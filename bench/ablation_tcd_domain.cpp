@@ -1,0 +1,64 @@
+// Ablation: why TCD is computed in log space.
+//
+// The paper: "We use logarithms for the frequencies and target because
+// under-testing is more problematic than over-testing, so we want to
+// downplay the latter."  This bench compares log-domain TCD against a
+// linear-domain RMSD on the same coverage data and shows the failure
+// mode the log transform avoids: a single heavily-tested partition
+// dominates the linear metric, making a suite with *more* untested
+// partitions look better.
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/tcd.hpp"
+#include "report/table.hpp"
+
+int main() {
+    using namespace iocov;
+    const double scale = bench::env_scale();
+    bench::print_banner("Ablation",
+                        "TCD log-domain vs linear-domain RMSD", scale);
+
+    const auto runs = bench::run_both(scale);
+    const auto& cm = runs.crashmonkey.find_input("open", "flags")->hist;
+    const auto& xfs = runs.xfstests.find_input("open", "flags")->hist;
+
+    const double target = 100.0 * scale * 50;  // mid-range uniform target
+
+    std::vector<std::vector<std::string>> rows = {
+        {"CrashMonkey", report::fixed(core::tcd_uniform(cm, target), 3),
+         report::fixed(core::tcd_linear_uniform(cm, target), 1)},
+        {"xfstests", report::fixed(core::tcd_uniform(xfs, target), 3),
+         report::fixed(core::tcd_linear_uniform(xfs, target), 1)},
+    };
+    std::printf("%s\n",
+                report::render_table({"suite", "TCD (log domain)",
+                                      "RMSD (linear domain)"},
+                                     rows)
+                    .c_str());
+
+    std::printf("untested flags: CrashMonkey=%zu, xfstests=%zu\n",
+                cm.untested().size(), xfs.untested().size());
+    std::printf(
+        "linear RMSD is dominated by xfstests' O_RDONLY spike (%s calls), "
+        "penalizing the suite with *better* coverage;\n"
+        "log-domain TCD keeps under-testing dominant, as designed.\n",
+        report::with_thousands(xfs.count("O_RDONLY")).c_str());
+
+    // Non-uniform targets: the paper's future-work extension.  Weight
+    // persistence flags higher, as a crash-consistency developer would.
+    auto persistence_targets = [&](const stats::PartitionHistogram& h) {
+        return core::TargetBuilder(h, target)
+            .boost("O_SYNC", 50.0)
+            .boost("O_DSYNC", 50.0)
+            .boost("O_DIRECT", 10.0)
+            .build();
+    };
+    std::printf("\nnon-uniform target (persistence-weighted):\n");
+    std::printf("  CrashMonkey TCD: %.3f   xfstests TCD: %.3f\n",
+                core::tcd(cm, persistence_targets(cm)),
+                core::tcd(xfs, persistence_targets(xfs)));
+    std::printf("  (CrashMonkey's O_SYNC-heavy profile narrows the gap "
+                "under a persistence-weighted target)\n");
+    return 0;
+}

@@ -1,0 +1,68 @@
+// Ablation: variant merging vs per-variant coverage.
+//
+// IOCov's variant handler merges open/openat/creat/openat2 into one
+// input space because variants share the kernel implementation.  This
+// bench computes per-variant counts from the same trace and shows what
+// merging buys: without it, coverage fragments across variants and
+// partitions look spuriously untested.
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/syscall_spec.hpp"
+#include "report/table.hpp"
+#include "syscall/kernel.hpp"
+#include "testers/fixtures.hpp"
+#include "testers/generator.hpp"
+#include "trace/filter.hpp"
+#include "trace/sink.hpp"
+#include "vfs/filesystem.hpp"
+
+int main() {
+    using namespace iocov;
+    const double scale = bench::env_scale();
+    bench::print_banner("Ablation",
+                        "variant merging vs per-variant coverage", scale);
+
+    // One xfstests run, raw trace retained.
+    vfs::FileSystem fs(testers::recommended_fs_config());
+    auto fx = testers::prepare_environment(fs, "/mnt/test");
+    trace::TraceBuffer buffer;
+    syscall::Kernel kernel(fs, &buffer);
+    testers::run_xfstests(kernel, fx, scale, 42);
+
+    trace::TraceFilter filter(trace::FilterConfig::mount_point("/mnt/test"));
+    const auto kept = filter.filter(buffer.events());
+
+    // Per-variant event counts for each tracked base.
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& spec : core::syscall_registry()) {
+        std::uint64_t total = 0;
+        std::string breakdown;
+        for (const auto& variant : spec.variants) {
+            std::uint64_t n = 0;
+            for (const auto& ev : kept)
+                if (ev.syscall == variant) ++n;
+            total += n;
+            if (!breakdown.empty()) breakdown += "  ";
+            breakdown += variant + "=" + report::with_thousands(n);
+        }
+        rows.push_back({spec.base, report::with_thousands(total),
+                        breakdown});
+    }
+    std::printf("%s\n",
+                report::render_table({"base syscall", "merged count",
+                                      "per-variant"},
+                                     rows)
+                    .c_str());
+
+    std::printf(
+        "merging matters: a partition tested only through pwrite64 would "
+        "look untested under\nper-variant accounting of write(2), even "
+        "though both calls exercise the same kernel path.\n");
+    std::printf("tracked variants: %zu across %zu bases; tracked "
+                "arguments: %zu (paper: 27 / 11 / 14)\n",
+                core::tracked_variant_count(),
+                core::syscall_registry().size(),
+                core::tracked_argument_count());
+    return 0;
+}

@@ -1,0 +1,55 @@
+#include "common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "syscall/kernel.hpp"
+#include "testers/fixtures.hpp"
+#include "vfs/filesystem.hpp"
+
+namespace iocov::bench {
+
+double env_scale(double fallback) {
+    if (const char* s = std::getenv("IOCOV_SCALE")) {
+        const double v = std::atof(s);
+        if (v > 0) return v;
+    }
+    return fallback;
+}
+
+core::CoverageReport run_suite(bool xfstests, double scale,
+                               std::uint64_t seed,
+                               testers::RunStats* stats) {
+    vfs::FileSystem fs(testers::recommended_fs_config());
+    auto fx = testers::prepare_environment(fs, "/mnt/test");
+
+    core::IOCov iocov(trace::FilterConfig::mount_point("/mnt/test"));
+    syscall::Kernel kernel(fs, &iocov.live_sink());
+
+    const auto run_stats =
+        xfstests ? testers::run_xfstests(kernel, fx, scale, seed)
+                 : testers::run_crashmonkey(kernel, fx, scale, seed);
+    if (stats) *stats = run_stats;
+
+    return iocov.report();
+}
+
+SuiteRun run_both(double scale) {
+    SuiteRun out;
+    out.scale = scale;
+    out.crashmonkey = run_suite(false, scale, 42, &out.crashmonkey_stats);
+    out.xfstests = run_suite(true, scale, 42, &out.xfstests_stats);
+    return out;
+}
+
+void print_banner(const std::string& experiment, const std::string& what,
+                  double scale) {
+    std::printf("==============================================================\n");
+    std::printf("%s — %s\n", experiment.c_str(), what.c_str());
+    std::printf("workload scale: %.3g of the published run "
+                "(set IOCOV_SCALE=1 for full volume)\n",
+                scale);
+    std::printf("==============================================================\n");
+}
+
+}  // namespace iocov::bench

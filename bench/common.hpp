@@ -1,0 +1,39 @@
+// Shared harness for the reproduction benches: run both simulated
+// suites through the full pipeline (kernel -> trace -> filter ->
+// analyzer) and hand each bench the resulting coverage reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/iocov.hpp"
+#include "testers/generator.hpp"
+
+namespace iocov::bench {
+
+struct SuiteRun {
+    core::CoverageReport crashmonkey;
+    core::CoverageReport xfstests;
+    testers::RunStats crashmonkey_stats;
+    testers::RunStats xfstests_stats;
+    double scale = 0.0;
+};
+
+/// Scale factor: IOCOV_SCALE env var, else `fallback`.  1.0 replays the
+/// suites at published volume; the default keeps each bench in seconds.
+double env_scale(double fallback = 0.02);
+
+/// Runs one simulated suite end to end and returns IOCov's report.
+core::CoverageReport run_suite(bool xfstests, double scale,
+                               std::uint64_t seed,
+                               testers::RunStats* stats = nullptr);
+
+/// Runs both suites (fresh file system each, same seed policy as the
+/// paper's one-shot measurement).
+SuiteRun run_both(double scale);
+
+/// Standard bench banner: experiment id + scale disclosure.
+void print_banner(const std::string& experiment, const std::string& what,
+                  double scale);
+
+}  // namespace iocov::bench

@@ -1,0 +1,72 @@
+// Extension: flag-combination (pairwise) coverage — the paper's
+// future-work "bit combinations" metric, across three suites
+// (CrashMonkey, xfstests, and an LTP-style conformance suite).
+//
+// Per-flag coverage (Fig. 2) can look healthy while combination
+// coverage is tiny: xfstests touches most flags but only a sliver of
+// the feasible flag *pairs*.
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/combos.hpp"
+#include "report/table.hpp"
+#include "syscall/kernel.hpp"
+#include "testers/fixtures.hpp"
+#include "testers/generator.hpp"
+#include "vfs/filesystem.hpp"
+
+namespace {
+
+iocov::core::CoverageReport run_named(const char* which, double scale) {
+    using namespace iocov;
+    vfs::FileSystem fs(testers::recommended_fs_config());
+    auto fx = testers::prepare_environment(fs, "/mnt/test");
+    core::IOCov iocov;
+    syscall::Kernel kernel(fs, &iocov.live_sink());
+    if (std::string(which) == "xfstests")
+        testers::run_xfstests(kernel, fx, scale, 42);
+    else if (std::string(which) == "ltp")
+        testers::run_ltp(kernel, fx, scale, 42);
+    else
+        testers::run_crashmonkey(kernel, fx, scale, 42);
+    return iocov.report();
+}
+
+}  // namespace
+
+int main() {
+    using namespace iocov;
+    const double scale = bench::env_scale();
+    bench::print_banner("Extension",
+                        "pairwise open-flag combination coverage", scale);
+
+    std::vector<std::vector<std::string>> rows;
+    for (const char* suite : {"CrashMonkey", "xfstests", "ltp"}) {
+        const auto report = run_named(suite, scale);
+        const auto* flags = report.find_input("open", "flags");
+        const auto pc = core::open_flag_pair_coverage(*flags);
+        rows.push_back({suite, std::to_string(pc.tested),
+                        std::to_string(pc.feasible),
+                        report::fixed(100 * pc.fraction, 1) + "%",
+                        report::fixed(
+                            100 * flags->hist.coverage_fraction(), 1) +
+                            "%"});
+    }
+    std::printf("%s\n",
+                report::render_table({"suite", "pairs tested",
+                                      "pairs feasible", "pair coverage",
+                                      "per-flag coverage"},
+                                     rows)
+                    .c_str());
+
+    const auto xfs = run_named("xfstests", scale);
+    const auto pc = core::open_flag_pair_coverage(
+        *xfs.find_input("open", "flags"));
+    std::printf("first five untested xfstests pairs (each a candidate "
+                "combination test):\n");
+    for (std::size_t i = 0; i < 5 && i < pc.untested.size(); ++i)
+        std::printf("  %s\n", pc.untested[i].c_str());
+    std::printf("\nper-flag coverage overstates thoroughness: every "
+                "suite's pair coverage is far below its flag coverage.\n");
+    return 0;
+}

@@ -1,0 +1,190 @@
+// Performance benchmarks (google-benchmark): the paper's "low-overhead
+// tracing" claim and the cost of each pipeline stage.
+//
+//   * syscall dispatch with tracing off vs on (tracing overhead)
+//   * trace filter throughput (regex + fd tracking)
+//   * analyzer throughput (variant merge + partitioning)
+//   * text round-trip (serialize + parse)
+//   * TCD computation
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "core/iocov.hpp"
+#include "core/tcd.hpp"
+#include "vfs/file_data.hpp"
+#include "syscall/kernel.hpp"
+#include "testers/fixtures.hpp"
+#include "testers/generator.hpp"
+#include "trace/text_format.hpp"
+#include "vfs/filesystem.hpp"
+
+namespace {
+
+using namespace iocov;
+
+/// A canned workload trace shared by the pipeline benches.
+const std::vector<trace::TraceEvent>& canned_trace() {
+    static const std::vector<trace::TraceEvent> kTrace = [] {
+        vfs::FileSystem fs(testers::recommended_fs_config());
+        auto fx = testers::prepare_environment(fs, "/mnt/test");
+        trace::TraceBuffer buffer;
+        syscall::Kernel kernel(fs, &buffer);
+        testers::run_crashmonkey(kernel, fx, 1.0, 42);
+        return buffer.events();
+    }();
+    return kTrace;
+}
+
+void BM_SyscallNoTracing(benchmark::State& state) {
+    vfs::FileSystem fs(testers::recommended_fs_config());
+    auto fx = testers::prepare_environment(fs, "/mnt/test");
+    syscall::Kernel kernel(fs, nullptr);
+    auto proc = kernel.make_process(1, vfs::Credentials::user(1000, 1000));
+    const std::string path = fx.scratch + "/bench";
+    for (auto _ : state) {
+        const auto fd = proc.sys_open(path.c_str(),
+                                      abi::O_CREAT | abi::O_WRONLY, 0644);
+        proc.sys_write(static_cast<int>(fd),
+                       syscall::WriteSrc::pattern(4096, std::byte{7}));
+        proc.sys_close(static_cast<int>(fd));
+    }
+    state.SetItemsProcessed(state.iterations() * 3);
+}
+BENCHMARK(BM_SyscallNoTracing);
+
+void BM_SyscallWithTracing(benchmark::State& state) {
+    vfs::FileSystem fs(testers::recommended_fs_config());
+    auto fx = testers::prepare_environment(fs, "/mnt/test");
+    trace::NullSink sink;  // emit cost without buffer growth
+    syscall::Kernel kernel(fs, &sink);
+    auto proc = kernel.make_process(1, vfs::Credentials::user(1000, 1000));
+    const std::string path = fx.scratch + "/bench";
+    for (auto _ : state) {
+        const auto fd = proc.sys_open(path.c_str(),
+                                      abi::O_CREAT | abi::O_WRONLY, 0644);
+        proc.sys_write(static_cast<int>(fd),
+                       syscall::WriteSrc::pattern(4096, std::byte{7}));
+        proc.sys_close(static_cast<int>(fd));
+    }
+    state.SetItemsProcessed(state.iterations() * 3);
+}
+BENCHMARK(BM_SyscallWithTracing);
+
+void BM_FilterThroughput(benchmark::State& state) {
+    const auto& events = canned_trace();
+    for (auto _ : state) {
+        trace::TraceFilter filter(
+            trace::FilterConfig::mount_point("/mnt/test"));
+        std::size_t kept = 0;
+        for (const auto& ev : events)
+            if (filter.admit(ev)) ++kept;
+        benchmark::DoNotOptimize(kept);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(events.size()));
+}
+BENCHMARK(BM_FilterThroughput);
+
+void BM_FilterThroughputPrefix(benchmark::State& state) {
+    const auto& events = canned_trace();
+    for (auto _ : state) {
+        trace::TraceFilter filter(
+            trace::FilterConfig::mount_point_prefix("/mnt/test"));
+        std::size_t kept = 0;
+        for (const auto& ev : events)
+            if (filter.admit(ev)) ++kept;
+        benchmark::DoNotOptimize(kept);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(events.size()));
+}
+BENCHMARK(BM_FilterThroughputPrefix);
+
+void BM_AnalyzerThroughput(benchmark::State& state) {
+    const auto& events = canned_trace();
+    for (auto _ : state) {
+        core::Analyzer analyzer;
+        analyzer.consume_all(events);
+        benchmark::DoNotOptimize(analyzer.report().events_tracked);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(events.size()));
+}
+BENCHMARK(BM_AnalyzerThroughput);
+
+void BM_TextRoundTrip(benchmark::State& state) {
+    const auto& events = canned_trace();
+    for (auto _ : state) {
+        std::size_t parsed = 0;
+        for (const auto& ev : events) {
+            const auto line = trace::format_event(ev);
+            if (trace::parse_event(line)) ++parsed;
+        }
+        benchmark::DoNotOptimize(parsed);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(events.size()));
+}
+BENCHMARK(BM_TextRoundTrip);
+
+void BM_TcdSweep(benchmark::State& state) {
+    core::Analyzer analyzer;
+    analyzer.consume_all(canned_trace());
+    const auto& hist =
+        analyzer.report().find_input("open", "flags")->hist;
+    for (auto _ : state) {
+        double acc = 0;
+        for (double t = 1; t <= 1e6; t *= 10)
+            acc += core::tcd_uniform(hist, t);
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(BM_TcdSweep);
+
+void BM_ExtentMapSmallWrites(benchmark::State& state) {
+    // Many small materialized writes at random offsets: the extent map's
+    // punch/insert path.
+    std::vector<std::byte> chunk(256, std::byte{7});
+    for (auto _ : state) {
+        vfs::FileData fd;
+        std::uint64_t off = 0;
+        for (int i = 0; i < 1000; ++i) {
+            fd.write(off % (1 << 20), chunk);
+            off = off * 2862933555777941757ULL + 3037000493ULL;
+        }
+        benchmark::DoNotOptimize(fd.allocated_bytes());
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_ExtentMapSmallWrites);
+
+void BM_ExtentMapGiantPatternWrite(benchmark::State& state) {
+    // The Fig. 3 case: a 258 MiB write must be O(1), not O(size).
+    for (auto _ : state) {
+        vfs::FileData fd;
+        fd.write_pattern(0, 258ULL << 20, std::byte{0xab});
+        benchmark::DoNotOptimize(fd.size());
+    }
+}
+BENCHMARK(BM_ExtentMapGiantPatternWrite);
+
+void BM_ExtentMapSparseRead(benchmark::State& state) {
+    vfs::FileData fd;
+    for (std::uint64_t i = 0; i < 256; ++i)
+        fd.write_pattern(i * 8192, 4096, std::byte{1});  // data/hole comb
+    std::vector<std::byte> buf(64 * 1024);
+    for (auto _ : state) {
+        std::uint64_t total = 0;
+        for (std::uint64_t off = 0; off < fd.size(); off += buf.size())
+            total += fd.read(off, buf);
+        benchmark::DoNotOptimize(total);
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(fd.size()));
+}
+BENCHMARK(BM_ExtentMapSparseRead);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// Compare two file-system test suites the way the paper's evaluation
+// does: run both simulated suites, then put their input coverage,
+// output coverage, and TCD side by side.
+//
+//   $ ./build/examples/compare_testers [scale]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/iocov.hpp"
+#include "core/tcd.hpp"
+#include "core/untested.hpp"
+#include "report/table.hpp"
+#include "syscall/kernel.hpp"
+#include "testers/fixtures.hpp"
+#include "testers/generator.hpp"
+#include "vfs/filesystem.hpp"
+
+using namespace iocov;  // NOLINT
+
+namespace {
+
+core::CoverageReport run_suite(bool xfstests, double scale) {
+    vfs::FileSystem fs(testers::recommended_fs_config());
+    auto fx = testers::prepare_environment(fs, "/mnt/test");
+    core::IOCov iocov;
+    syscall::Kernel kernel(fs, &iocov.live_sink());
+    if (xfstests) testers::run_xfstests(kernel, fx, scale, 42);
+    else testers::run_crashmonkey(kernel, fx, scale, 42);
+    return iocov.report();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const double scale = argc > 1 ? std::atof(argv[1]) : 0.01;
+    std::printf("running CrashMonkey and xfstests simulators at scale "
+                "%.3g...\n\n",
+                scale);
+    const auto cm = run_suite(false, scale);
+    const auto xfs = run_suite(true, scale);
+
+    // Per-space coverage summary.
+    std::vector<std::vector<std::string>> rows;
+    const auto cm_sum = core::summarize(cm);
+    const auto xfs_sum = core::summarize(xfs);
+    for (std::size_t i = 0; i < cm_sum.size(); ++i) {
+        const auto& c = cm_sum[i];
+        const auto& x = xfs_sum[i];
+        const std::string space =
+            c.arg.empty() ? c.base + " (output)" : c.base + "." + c.arg;
+        rows.push_back({space, std::to_string(c.declared),
+                        std::to_string(c.tested), std::to_string(x.tested)});
+    }
+    std::printf("%s\n",
+                report::render_table({"space", "partitions",
+                                      "CrashMonkey tested",
+                                      "xfstests tested"},
+                                     rows)
+                    .c_str());
+
+    // Headline comparison, Fig. 2 style.
+    const auto& cm_flags = cm.find_input("open", "flags")->hist;
+    const auto& xfs_flags = xfs.find_input("open", "flags")->hist;
+    std::printf("open-flag coverage: CrashMonkey %.0f%%, xfstests %.0f%%\n",
+                100 * cm_flags.coverage_fraction(),
+                100 * xfs_flags.coverage_fraction());
+
+    // TCD at a few targets (Fig. 5 style).
+    std::printf("\nTCD (open flags, uniform target):\n");
+    for (double t : {10.0, 100.0, 1000.0}) {
+        std::printf("  target %6.0f: CrashMonkey %.3f   xfstests %.3f\n",
+                    t * scale, core::tcd_uniform(cm_flags, t * scale),
+                    core::tcd_uniform(xfs_flags, t * scale));
+    }
+
+    // What should each suite add first?
+    const auto cm_gaps = core::find_untested(cm);
+    const auto xfs_gaps = core::find_untested(xfs);
+    std::printf("\nuntested partitions: CrashMonkey %zu, xfstests %zu\n",
+                cm_gaps.size(), xfs_gaps.size());
+    std::printf("first three xfstests gaps:\n");
+    for (std::size_t i = 0; i < 3 && i < xfs_gaps.size(); ++i)
+        std::printf("  [%s %s] %s\n", xfs_gaps[i].base.c_str(),
+                    xfs_gaps[i].partition.c_str(),
+                    xfs_gaps[i].suggestion.c_str());
+    return 0;
+}

@@ -1,0 +1,209 @@
+// Coverage-guided differential tester — the paper's future-work
+// direction ("we are currently developing a differential-testing-based
+// file system tester utilizing IOCov").
+//
+// Flow:
+//   1. Run the (weak) CrashMonkey simulator; evaluate which corpus bugs
+//      its inputs would expose.
+//   2. Ask IOCov for the suite's untested input/output partitions.
+//   3. Synthesize one targeted syscall per gap — boundary values first —
+//      and add environmental faults for the error outputs argument
+//      validation cannot reach.
+//   4. Re-evaluate: the targeted inputs expose bugs the suite missed,
+//      including the paper's Fig. 1 maximum-size lsetxattr bug.
+//
+//   $ ./build/examples/diff_tester
+#include <cstdio>
+#include <set>
+
+#include "abi/fcntl.hpp"
+#include "abi/seek.hpp"
+#include "abi/xattr.hpp"
+#include "bugstudy/study.hpp"
+#include "core/iocov.hpp"
+#include "core/untested.hpp"
+#include "stats/log_bucket.hpp"
+#include "syscall/process.hpp"
+#include "testers/fixtures.hpp"
+#include "testers/generator.hpp"
+#include "trace/sink.hpp"
+#include "vfs/filesystem.hpp"
+
+using namespace iocov;       // NOLINT
+using namespace iocov::abi;  // NOLINT
+
+namespace {
+
+/// Issues one syscall aimed at an untested input partition.
+void generate_for_gap(syscall::Process& proc, syscall::Process& proc32,
+                      const testers::Fixtures& fx,
+                      const core::UntestedPartition& gap) {
+    const std::string target = fx.scratch + "/difftest";
+    if (gap.base == "open" && gap.kind == core::UntestedPartition::Kind::Input) {
+        // Flag partitions: open something compatible with the flag.
+        std::uint32_t flag = 0;
+        for (const auto& info : open_flag_table())
+            if (gap.partition == info.name) flag = info.bits;
+        if (gap.partition == "O_RDONLY" || flag == O_RDONLY) {
+            proc.sys_open(fx.plain_file.c_str(), O_RDONLY);
+        } else if (flag == O_TMPFILE) {
+            const auto fd = proc.sys_open(fx.scratch.c_str(),
+                                          O_TMPFILE | O_RDWR, 0600);
+            if (fd >= 0) proc.sys_close(static_cast<int>(fd));
+        } else if (flag == O_LARGEFILE) {
+            // Exercise the real 32-bit semantics of the flag.
+            proc32.sys_open(fx.big_file.c_str(), O_RDONLY | O_LARGEFILE);
+            proc32.sys_open(fx.big_file.c_str(), O_RDONLY);  // EOVERFLOW
+        } else if (flag == O_EXCL) {
+            proc.sys_open((target + ".x").c_str(),
+                          O_CREAT | O_EXCL | O_WRONLY, 0644);
+        } else if (flag == O_DIRECTORY || flag == O_TMPFILE) {
+            proc.sys_open(fx.scratch.c_str(), O_RDONLY | flag);
+        } else {
+            const auto fd = proc.sys_open(target.c_str(),
+                                          O_CREAT | O_RDWR | flag, 0644);
+            if (fd >= 0) proc.sys_close(static_cast<int>(fd));
+        }
+        return;
+    }
+    if (gap.base == "write" && gap.arg == "count") {
+        if (auto bucket = stats::parse_bucket_label(gap.partition)) {
+            if (bucket->kind == stats::LogBucket::Kind::Zero) {
+                const auto fd = proc.sys_open(target.c_str(),
+                                              O_CREAT | O_WRONLY, 0644);
+                proc.sys_write(static_cast<int>(fd),
+                               syscall::WriteSrc::pattern(0, std::byte{1}));
+                proc.sys_close(static_cast<int>(fd));
+            } else if (bucket->kind == stats::LogBucket::Kind::Pow2 &&
+                       bucket->exponent <= 30) {
+                const auto fd = proc.sys_open(target.c_str(),
+                                              O_CREAT | O_WRONLY, 0644);
+                proc.sys_pwrite64(
+                    static_cast<int>(fd),
+                    syscall::WriteSrc::pattern(1ULL << bucket->exponent,
+                                               std::byte{1}),
+                    0);
+                proc.sys_close(static_cast<int>(fd));
+                proc.sys_truncate(target.c_str(), 0);  // release blocks
+            }
+        }
+        return;
+    }
+    if (gap.base == "setxattr" && gap.arg == "size") {
+        if (auto bucket = stats::parse_bucket_label(gap.partition)) {
+            std::size_t size = 0;
+            if (bucket->kind == stats::LogBucket::Kind::Pow2)
+                size = std::min<std::size_t>(
+                    std::size_t{1} << bucket->exponent, XATTR_SIZE_MAX_);
+            // Boundary-first: the top of the bucket, clamped to the
+            // documented maximum — which is exactly the Fig. 1 trigger.
+            std::vector<std::byte> value(size, std::byte{5});
+            proc.sys_setxattr(fx.plain_file.c_str(), "user.diff", value,
+                              0);
+            const auto upper = std::min<std::size_t>(
+                (std::size_t{2} << bucket->exponent) - 1, XATTR_SIZE_MAX_);
+            value.resize(upper, std::byte{5});
+            proc.sys_setxattr(fx.plain_file.c_str(), "user.diff", value,
+                              0);
+        }
+        return;
+    }
+    if (gap.base == "lseek" && gap.arg == "whence") {
+        int whence = 99;
+        for (int w : seek_whence_values())
+            if (gap.partition == *seek_whence_name(w)) whence = w;
+        const auto fd = proc.sys_open(fx.plain_file.c_str(), O_RDONLY);
+        proc.sys_lseek(static_cast<int>(fd), 0, whence);
+        proc.sys_close(static_cast<int>(fd));
+        return;
+    }
+    if (gap.base == "chmod" && gap.partition == "S_ISVTX") {
+        proc.sys_chmod((fx.scratch + "/subdir").c_str(), 01777);
+        return;
+    }
+}
+
+}  // namespace
+
+int main() {
+    vfs::FsConfig cfg = testers::recommended_fs_config();
+    cfg.quota_blocks_per_uid = 1 << 16;  // makes EDQUOT reachable
+    vfs::FileSystem fs(cfg);
+    auto fx = testers::prepare_environment(fs, "/mnt/test");
+
+    bugstudy::CoverageTracker tracker;
+    fs.set_hooks(&tracker);
+
+    trace::TraceBuffer buffer;
+    core::IOCov iocov;
+    trace::TeeSink tee(buffer, iocov.live_sink());
+    syscall::Kernel kernel(fs, &tee);
+
+    // ---- phase 1: the baseline suite ---------------------------------
+    testers::run_crashmonkey(kernel, fx, 0.05, 42);
+    auto baseline = bugstudy::evaluate_corpus(tracker, buffer.events());
+    std::printf("baseline (CrashMonkey sim): %d of %d corpus bugs "
+                "detected\n",
+                baseline.detected, baseline.total);
+
+    // ---- phase 2+3: coverage-guided input generation ------------------
+    const auto gaps = core::find_untested(iocov.report());
+    std::printf("IOCov reports %zu untested partitions; generating "
+                "targeted inputs...\n",
+                gaps.size());
+
+    auto proc = kernel.make_process(777, vfs::Credentials::user(1000, 1000));
+    auto proc32 = kernel.make_process(778,
+                                      vfs::Credentials::user(1000, 1000));
+    proc32.set_large_file_default(false);  // a 32-bit test process
+    for (const auto& gap : gaps) generate_for_gap(proc, proc32, fx, gap);
+
+    // Error outputs that need the environment's help (the paper:
+    // "triggering ENOMEM requires a system with limited memory").
+    kernel.faults().arm("open", Err::ENOMEM_);
+    proc.sys_open(fx.plain_file.c_str(), O_RDONLY);
+    kernel.faults().arm("open", Err::EINTR_);
+    proc.sys_open(fx.plain_file.c_str(), O_RDONLY);
+    kernel.faults().arm("read", Err::EIO_);
+    {
+        const auto fd = proc.sys_open(fx.plain_file.c_str(), O_RDONLY);
+        proc.sys_read(static_cast<int>(fd), syscall::ReadDst::discard(16));
+        proc.sys_close(static_cast<int>(fd));
+    }
+    // Quota exhaustion for the EDQUOT exit path.
+    {
+        const auto fd = proc.sys_open((fx.scratch + "/quota").c_str(),
+                                      O_CREAT | O_WRONLY, 0644);
+        proc.sys_pwrite64(static_cast<int>(fd),
+                          syscall::WriteSrc::pattern(
+                              (cfg.quota_blocks_per_uid + 2) * 4096,
+                              std::byte{1}),
+                          0);
+        proc.sys_close(static_cast<int>(fd));
+    }
+    // openat2 territory: RESOLVE_CACHED (EAGAIN) and oversized how.
+    OpenHow how;
+    how.flags = O_RDONLY;
+    how.resolve = RESOLVE_CACHED;
+    proc.sys_openat2(AT_FDCWD, fx.plain_file.c_str(), how);
+    how.resolve = 0;
+    proc.sys_openat2(AT_FDCWD, fx.plain_file.c_str(), how, 64);  // E2BIG
+
+    // ---- phase 4: what did the targeted inputs expose? ----------------
+    auto after = bugstudy::evaluate_corpus(tracker, buffer.events());
+    std::printf("after targeted generation: %d of %d detected "
+                "(+%d new)\n\n",
+                after.detected, after.total,
+                after.detected - baseline.detected);
+
+    std::set<std::string> before_ids;
+    for (const auto& o : baseline.outcomes)
+        if (o.detected) before_ids.insert(o.bug->id);
+    std::printf("newly exposed bugs:\n");
+    for (const auto& o : after.outcomes) {
+        if (!o.detected || before_ids.count(o.bug->id)) continue;
+        std::printf("  %-13s %s\n", o.bug->id.c_str(),
+                    o.bug->description.c_str());
+    }
+    return 0;
+}

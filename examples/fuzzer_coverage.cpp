@@ -1,0 +1,98 @@
+// Measuring a fuzzer's input coverage from its syzkaller-style program
+// log — the paper's future-work integration ("For different fuzzers,
+// IOCov needs to apply other techniques to trace fuzzed syscalls.
+// Syzkaller logs syscalls with declarative descriptions, which need to
+// be parsed by IOCov.").
+//
+//   $ ./build/examples/fuzzer_coverage [program.syz]
+//
+// Without an argument, analyzes a built-in corpus snippet and contrasts
+// the fuzzer's footprint with the hand-written-suite simulators: the
+// fuzzer hits weird flags (O_LARGEFILE, O_PATH) and wild sizes that the
+// suites never try, while leaving common partitions thin.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/iocov.hpp"
+#include "core/untested.hpp"
+#include "report/table.hpp"
+
+using namespace iocov;  // NOLINT
+
+namespace {
+
+const char* kBuiltinCorpus = R"(# syz corpus snippet (fs syscalls)
+r0 = openat(0xffffffffffffff9c, &(0x7f0000000000)='./file0\x00', 0x42, 0x1ff)
+write(r0, &(0x7f0000000040), 0x0)
+write(r0, &(0x7f0000000040), 0xfffffffe)
+pwrite64(r0, &(0x7f0000000040), 0x80000000, 0x7)
+lseek(r0, 0xfffffffffffffffb, 0x0)
+lseek(r0, 0x0, 0x4)
+ftruncate(r0, 0x7fffffffffffffff)
+close(r0)
+r1 = open(&(0x7f0000000100)='./file1\x00', 0x88000, 0x0)
+read(r1, &(0x7f0000000200), 0x2000)
+fchmod(r1, 0xfff)
+close(r1)
+r2 = openat2(0xffffffffffffff9c, &(0x7f0000000000)='./file0\x00', &(0x7f0000000040)={0x200000, 0x0, 0x10}, 0x18)
+fchdir(r2)
+close(r2)
+open(0x0, 0x0, 0x0)
+setxattr(&(0x7f0000000000)='./file0\x00', &(0x7f0000000080)='user.syz\x00', &(0x7f0000000300), 0x10000, 0x3)
+getxattr(&(0x7f0000000000)='./file0\x00', &(0x7f0000000080)='user.syz\x00', &(0x7f0000000300), 0x0)
+mkdir(&(0x7f0000000400)='./dir0\x00', 0xfff)
+chdir(&(0x7f0000000400)='./dir0\x00')
+unlink(&(0x7f0000000000)='./file1\x00')
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    core::IOCov iocov;
+    std::size_t parsed = 0;
+    if (argc > 1) {
+        std::ifstream in(argv[1]);
+        if (!in) {
+            std::fprintf(stderr, "cannot open %s\n", argv[1]);
+            return 1;
+        }
+        parsed = iocov.consume_syz(in);
+        std::printf("parsed %zu syscalls from %s\n\n", parsed, argv[1]);
+    } else {
+        std::stringstream in(kBuiltinCorpus);
+        parsed = iocov.consume_syz(in);
+        std::printf("parsed %zu syscalls from the built-in corpus "
+                    "snippet\n\n",
+                    parsed);
+    }
+
+    const auto& r = iocov.report();
+    std::printf("input coverage from the fuzzer program:\n\n");
+    for (const auto& in : r.inputs) {
+        if (in.hist.total() == 0) continue;
+        std::printf("%s.%s — %zu/%zu partitions:", in.base.c_str(),
+                    in.key.c_str(), in.hist.tested().size(),
+                    in.hist.partition_count());
+        for (const auto& row : in.hist.rows())
+            if (row.count) std::printf(" %s", row.label.c_str());
+        std::printf("\n");
+    }
+
+    std::printf("\nnote: no output coverage — syz programs are "
+                "declarative (every output space reads 0/%zu):\n",
+                r.find_output("open")->hist.partition_count());
+    std::printf("  open outputs observed: %llu\n",
+                static_cast<unsigned long long>(
+                    r.find_output("open")->hist.total()));
+
+    // What the fuzzer reaches that the simulated hand-written suites
+    // never do (cf. Fig. 2's untested flags).
+    const auto& flags = r.find_input("open", "flags")->hist;
+    std::printf("\nfuzzer-only territory: O_LARGEFILE=%llu O_PATH=%llu "
+                "(untested by both suites in Fig. 2)\n",
+                static_cast<unsigned long long>(
+                    flags.count("O_LARGEFILE")),
+                static_cast<unsigned long long>(flags.count("O_PATH")));
+    return 0;
+}

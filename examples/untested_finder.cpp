@@ -1,0 +1,59 @@
+// Untested-partition finder: point IOCov at a suite and get a worklist
+// of missing tests — the paper's "this information can be readily used
+// to improve these testing tools".
+//
+//   $ ./build/examples/untested_finder [crashmonkey|xfstests] [scale]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/iocov.hpp"
+#include "core/untested.hpp"
+#include "syscall/kernel.hpp"
+#include "testers/fixtures.hpp"
+#include "testers/generator.hpp"
+#include "vfs/filesystem.hpp"
+
+using namespace iocov;  // NOLINT
+
+int main(int argc, char** argv) {
+    const bool xfstests = !(argc > 1 && std::strcmp(argv[1],
+                                                    "crashmonkey") == 0);
+    const double scale = argc > 2 ? std::atof(argv[2]) : 0.01;
+
+    vfs::FileSystem fs(testers::recommended_fs_config());
+    auto fx = testers::prepare_environment(fs, "/mnt/test");
+    core::IOCov iocov;
+    syscall::Kernel kernel(fs, &iocov.live_sink());
+    if (xfstests) testers::run_xfstests(kernel, fx, scale, 42);
+    else testers::run_crashmonkey(kernel, fx, scale, 42);
+
+    std::printf("suite: %s (scale %.3g)\n\n",
+                xfstests ? "xfstests" : "CrashMonkey", scale);
+
+    const auto gaps = core::find_untested(iocov.report());
+    std::size_t inputs = 0, outputs = 0;
+    for (const auto& gap : gaps)
+        (gap.kind == core::UntestedPartition::Kind::Input ? inputs
+                                                          : outputs)++;
+    std::printf("%zu untested partitions (%zu input, %zu output)\n\n",
+                gaps.size(), inputs, outputs);
+
+    std::string last_base;
+    for (const auto& gap : gaps) {
+        if (gap.base != last_base) {
+            std::printf("%s:\n", gap.base.c_str());
+            last_base = gap.base;
+        }
+        std::printf("  %-18s -> %s\n", gap.partition.c_str(),
+                    gap.suggestion.c_str());
+    }
+
+    // Under-tested (tested but thin) partitions are the other half of
+    // the paper's under/over-testing story.
+    const auto thin = core::find_under_tested(iocov.report(), 3);
+    std::printf("\n%zu partitions tested fewer than 3 times "
+                "(under-tested)\n",
+                thin.size());
+    return 0;
+}

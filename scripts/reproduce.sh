@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# One-shot reproduction: build, test, regenerate every table and figure.
+#
+#   ./scripts/reproduce.sh                 # 2% workload scale (seconds)
+#   IOCOV_SCALE=1 ./scripts/reproduce.sh   # full published volume
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+echo "=== tests ==="
+ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt | tail -3
+
+echo "=== benches (every paper table and figure) ==="
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] && "$b"
+done 2>&1 | tee bench_output.txt | grep -E "matches paper|measured" || true
+
+echo "=== bug-study dataset ==="
+./build/tools/iocov bugstudy --export > data/bug_study_dataset.md
+echo "regenerated data/bug_study_dataset.md"

@@ -1,0 +1,76 @@
+#include "abi/fcntl.hpp"
+
+namespace iocov::abi {
+
+const std::vector<OpenFlagInfo>& open_flag_table() {
+    static const std::vector<OpenFlagInfo> kTable = {
+        {"O_RDONLY", O_RDONLY, true},
+        {"O_WRONLY", O_WRONLY, true},
+        {"O_RDWR", O_RDWR, true},
+        {"O_CREAT", O_CREAT, false},
+        {"O_EXCL", O_EXCL, false},
+        {"O_NOCTTY", O_NOCTTY, false},
+        {"O_TRUNC", O_TRUNC, false},
+        {"O_APPEND", O_APPEND, false},
+        {"O_NONBLOCK", O_NONBLOCK, false},
+        {"O_DSYNC", O_DSYNC, false},
+        {"O_ASYNC", O_ASYNC, false},
+        {"O_DIRECT", O_DIRECT, false},
+        {"O_LARGEFILE", O_LARGEFILE, false},
+        {"O_DIRECTORY", O_DIRECTORY, false},
+        {"O_NOFOLLOW", O_NOFOLLOW, false},
+        {"O_NOATIME", O_NOATIME, false},
+        {"O_CLOEXEC", O_CLOEXEC, false},
+        {"O_SYNC", O_SYNC, false},
+        {"O_PATH", O_PATH, false},
+        {"O_TMPFILE", O_TMPFILE, false},
+    };
+    return kTable;
+}
+
+std::vector<std::string> decompose_open_flags(std::uint32_t flags) {
+    std::vector<std::string> out;
+    // Access mode: exactly one of O_RDONLY / O_WRONLY / O_RDWR.  The
+    // kernel treats mode 3 as invalid; we report it as O_RDWR for
+    // coverage purposes (the syscall layer rejects it with EINVAL).
+    switch (flags & O_ACCMODE) {
+        case O_WRONLY: out.emplace_back("O_WRONLY"); break;
+        case O_RDONLY: out.emplace_back("O_RDONLY"); break;
+        default: out.emplace_back("O_RDWR"); break;
+    }
+    std::uint32_t rest = flags & ~O_ACCMODE;
+    // Composite flags first so O_SYNC absorbs O_DSYNC and O_TMPFILE
+    // absorbs O_DIRECTORY, matching how the kernel distinguishes them.
+    if ((rest & O_SYNC) == O_SYNC) {
+        out.emplace_back("O_SYNC");
+        rest &= ~static_cast<std::uint32_t>(O_SYNC);
+    }
+    if ((rest & O_TMPFILE) == O_TMPFILE) {
+        out.emplace_back("O_TMPFILE");
+        rest &= ~static_cast<std::uint32_t>(O_TMPFILE);
+    }
+    for (const auto& info : open_flag_table()) {
+        if (info.access_mode || info.bits == O_SYNC || info.bits == O_TMPFILE)
+            continue;
+        if ((rest & info.bits) == info.bits) {
+            out.emplace_back(info.name);
+            rest &= ~info.bits;
+        }
+    }
+    return out;
+}
+
+unsigned open_flag_cardinality(std::uint32_t flags) {
+    return static_cast<unsigned>(decompose_open_flags(flags).size());
+}
+
+std::string open_flags_to_string(std::uint32_t flags) {
+    std::string out;
+    for (const auto& name : decompose_open_flags(flags)) {
+        if (!out.empty()) out += '|';
+        out += name;
+    }
+    return out;
+}
+
+}  // namespace iocov::abi

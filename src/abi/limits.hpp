@@ -1,0 +1,18 @@
+// Path/name and I/O size limits (Linux values).
+#pragma once
+
+#include <cstdint>
+
+namespace iocov::abi {
+
+inline constexpr std::size_t NAME_MAX_ = 255;
+inline constexpr std::size_t PATH_MAX_ = 4096;
+inline constexpr std::size_t SYMLOOP_MAX_ = 40;
+inline constexpr int IOV_MAX_ = 1024;
+
+/// The kernel truncates any single read/write to this many bytes
+/// (MAX_RW_COUNT = INT_MAX & PAGE_MASK).
+inline constexpr std::uint64_t MAX_RW_COUNT =
+    0x7fffffffULL & ~0xfffULL;
+
+}  // namespace iocov::abi

@@ -1,0 +1,22 @@
+#include "abi/seek.hpp"
+
+namespace iocov::abi {
+
+const std::vector<int>& seek_whence_values() {
+    static const std::vector<int> kValues = {
+        SEEK_SET_, SEEK_CUR_, SEEK_END_, SEEK_DATA_, SEEK_HOLE_};
+    return kValues;
+}
+
+std::optional<std::string> seek_whence_name(int whence) {
+    switch (whence) {
+        case SEEK_SET_: return "SEEK_SET";
+        case SEEK_CUR_: return "SEEK_CUR";
+        case SEEK_END_: return "SEEK_END";
+        case SEEK_DATA_: return "SEEK_DATA";
+        case SEEK_HOLE_: return "SEEK_HOLE";
+        default: return std::nullopt;
+    }
+}
+
+}  // namespace iocov::abi

@@ -1,0 +1,23 @@
+// lseek(2) whence values — the paper's canonical "categorical" argument.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace iocov::abi {
+
+inline constexpr int SEEK_SET_ = 0;
+inline constexpr int SEEK_CUR_ = 1;
+inline constexpr int SEEK_END_ = 2;
+inline constexpr int SEEK_DATA_ = 3;
+inline constexpr int SEEK_HOLE_ = 4;
+
+/// All valid whence values, in numeric order (the categorical partition
+/// space for lseek's third argument).
+const std::vector<int>& seek_whence_values();
+
+/// "SEEK_SET" etc.; nullopt for invalid whence.
+std::optional<std::string> seek_whence_name(int whence);
+
+}  // namespace iocov::abi

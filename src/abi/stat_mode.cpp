@@ -1,0 +1,13 @@
+#include "abi/stat_mode.hpp"
+
+#include <cstdio>
+
+namespace iocov::abi {
+
+std::string mode_to_octal(mode_t_ mode) {
+    char buf[8];
+    std::snprintf(buf, sizeof buf, "%04o", mode & MODE_PERM_MASK);
+    return buf;
+}
+
+}  // namespace iocov::abi

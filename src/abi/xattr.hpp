@@ -1,0 +1,17 @@
+// Extended-attribute constants (setxattr/getxattr family).
+#pragma once
+
+#include <cstdint>
+
+namespace iocov::abi {
+
+// setxattr(2) flags (a tiny bitmap argument: 0, CREATE, or REPLACE).
+inline constexpr int XATTR_CREATE_ = 0x1;
+inline constexpr int XATTR_REPLACE_ = 0x2;
+
+// Linux VFS limits.
+inline constexpr std::size_t XATTR_NAME_MAX_ = 255;
+inline constexpr std::size_t XATTR_SIZE_MAX_ = 65536;
+inline constexpr std::size_t XATTR_LIST_MAX_ = 65536;
+
+}  // namespace iocov::abi

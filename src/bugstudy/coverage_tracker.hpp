@@ -1,0 +1,50 @@
+// Code-coverage tracker: the Gcov stand-in for the bug study.
+//
+// Implements the VFS instrumentation hooks: every probe() hit is counted
+// per site, giving "did the suite execute this code region" at function,
+// line, and branch granularity (sites are named "fn", "fn:line-ish",
+// "fn:branch").  It can also arm active faults at sites, which the
+// differential-testing example uses to plant live bugs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "vfs/hooks.hpp"
+
+namespace iocov::bugstudy {
+
+class CoverageTracker final : public vfs::VfsHooks {
+  public:
+    void probe(std::string_view site) override;
+    std::optional<abi::Err> inject(std::string_view site) override;
+
+    /// Number of times `site` executed.
+    std::uint64_t hits(std::string_view site) const;
+    bool covered(std::string_view site) const { return hits(site) > 0; }
+
+    /// All sites with nonzero hits.
+    const std::map<std::string, std::uint64_t>& sites() const {
+        return counts_;
+    }
+
+    std::size_t distinct_sites() const { return counts_.size(); }
+    void reset() { counts_.clear(); }
+
+    /// Arms a live fault: the next `times` executions of `site` fail
+    /// with `err` (coverage is still recorded).
+    void arm_fault(std::string site, abi::Err err, std::uint64_t times = ~0ULL);
+    void disarm(std::string_view site);
+
+  private:
+    std::map<std::string, std::uint64_t> counts_;
+    struct Armed {
+        abi::Err err;
+        std::uint64_t remaining;
+    };
+    std::map<std::string, Armed> armed_;
+};
+
+}  // namespace iocov::bugstudy

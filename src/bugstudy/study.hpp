@@ -1,0 +1,74 @@
+// The Section 2 bug-study harness.
+//
+// Runs the simulated xfstests suite against the instrumented VFS,
+// records code coverage (function/line/branch probe sites) and the full
+// syscall trace, then evaluates every bug in the corpus:
+//   covered(metric)  — did the suite execute the bug's code region?
+//   detected         — did any traced syscall satisfy the trigger?
+// and reproduces the paper's headline statistics: covered-but-missed
+// rates per coverage metric, the input/output bug classification, and
+// the fraction of covered-but-missed bugs that specific inputs would
+// expose.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bugstudy/bug.hpp"
+#include "bugstudy/coverage_tracker.hpp"
+
+namespace iocov::bugstudy {
+
+struct BugOutcome {
+    const Bug* bug = nullptr;
+    bool fn_covered = false;
+    bool line_covered = false;
+    bool branch_covered = false;
+    bool detected = false;
+};
+
+struct StudyResult {
+    std::vector<BugOutcome> outcomes;
+
+    int total = 0;
+    int ext4 = 0;
+    int btrfs = 0;
+    int detected = 0;
+
+    // Covered-but-missed per coverage metric (paper: 53% / 61% / 29%).
+    int line_cbm = 0;
+    int fn_cbm = 0;
+    int branch_cbm = 0;
+
+    // Classification (paper: input 71%, output 59%, either 81%).
+    int input_bugs = 0;
+    int output_bugs = 0;
+    int either_bugs = 0;
+    int both_bugs = 0;
+    int neither_bugs = 0;
+
+    /// Of the line-covered-but-missed bugs, how many are input bugs
+    /// (paper: 24/37 = 65%).
+    int cbm_input_triggerable = 0;
+
+    double pct(int k) const {
+        return total ? 100.0 * k / total : 0.0;
+    }
+};
+
+struct StudyOptions {
+    double scale = 0.02;   ///< xfstests-sim scale
+    std::uint64_t seed = 42;
+};
+
+/// Runs the full study pipeline (environment -> instrumented suite run
+/// -> per-bug evaluation).
+StudyResult run_bug_study(const StudyOptions& options = {});
+
+/// Evaluates the corpus against an existing coverage/trace pair (used
+/// by tests and by ablation benches that reuse one suite run).
+StudyResult evaluate_corpus(const CoverageTracker& tracker,
+                            const std::vector<trace::TraceEvent>& events);
+
+}  // namespace iocov::bugstudy

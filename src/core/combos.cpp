@@ -1,0 +1,59 @@
+#include "core/combos.hpp"
+
+#include <algorithm>
+
+#include "abi/fcntl.hpp"
+
+namespace iocov::core {
+namespace {
+
+bool is_access_mode(const std::string& name) {
+    return name == "O_RDONLY" || name == "O_WRONLY" || name == "O_RDWR";
+}
+
+bool absorbed(const std::string& a, const std::string& b) {
+    // decompose_open_flags() reports the composite flag only, so these
+    // pairs can never be observed.
+    const auto pair_is = [&](const char* x, const char* y) {
+        return (a == x && b == y) || (a == y && b == x);
+    };
+    return pair_is("O_SYNC", "O_DSYNC") ||
+           pair_is("O_TMPFILE", "O_DIRECTORY");
+}
+
+}  // namespace
+
+std::vector<std::string> feasible_open_flag_pairs() {
+    std::vector<std::string> names;
+    for (const auto& info : abi::open_flag_table())
+        names.emplace_back(info.name);
+    std::vector<std::string> out;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        for (std::size_t j = i + 1; j < names.size(); ++j) {
+            const auto& a = std::min(names[i], names[j]);
+            const auto& b = std::max(names[i], names[j]);
+            if (is_access_mode(a) && is_access_mode(b)) continue;
+            if (absorbed(a, b)) continue;
+            out.push_back(a + "+" + b);
+        }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+PairCoverage open_flag_pair_coverage(const ArgCoverage& flags) {
+    PairCoverage cov;
+    const auto feasible = feasible_open_flag_pairs();
+    cov.feasible = feasible.size();
+    for (const auto& pair : feasible) {
+        if (flags.pairs.count(pair) > 0) ++cov.tested;
+        else cov.untested.push_back(pair);
+    }
+    cov.fraction = cov.feasible
+                       ? static_cast<double>(cov.tested) /
+                             static_cast<double>(cov.feasible)
+                       : 0.0;
+    return cov;
+}
+
+}  // namespace iocov::core

@@ -1,0 +1,36 @@
+// Flag-combination coverage — the paper's future-work extension
+// ("enhance our metrics to support bit combinations").
+//
+// Per-flag coverage (Fig. 2) says nothing about which flags were tested
+// *together*, yet combination-dependent bugs are common (e.g.
+// O_DIRECT|O_APPEND interactions).  This module measures pairwise
+// combination coverage over the open-flag space: which of the feasible
+// flag pairs has the suite ever issued in one call?
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/coverage.hpp"
+
+namespace iocov::core {
+
+struct PairCoverage {
+    std::size_t tested = 0;
+    std::size_t feasible = 0;  ///< pairs that can legally co-occur
+    double fraction = 0.0;
+    /// Feasible pairs the suite never issued, as "A+B" labels.
+    std::vector<std::string> untested;
+};
+
+/// All feasible open-flag pairs: every unordered pair of distinct
+/// partitions except (a) two access modes (a 2-bit field holds one) and
+/// (b) pairs hidden by flag absorption (O_SYNC contains O_DSYNC,
+/// O_TMPFILE contains O_DIRECTORY).
+std::vector<std::string> feasible_open_flag_pairs();
+
+/// Pairwise coverage for an open-flags ArgCoverage (uses the `pairs`
+/// histogram the analyzer maintains).
+PairCoverage open_flag_pair_coverage(const ArgCoverage& flags);
+
+}  // namespace iocov::core

@@ -1,0 +1,162 @@
+#include "core/coverage.hpp"
+
+#include <algorithm>
+
+#include "abi/fcntl.hpp"
+#include "trace/syz_format.hpp"
+
+namespace iocov::core {
+
+ArgCoverage* CoverageReport::find_input(std::string_view base,
+                                        std::string_view key) {
+    for (auto& in : inputs)
+        if (in.base == base && in.key == key) return &in;
+    return nullptr;
+}
+
+const ArgCoverage* CoverageReport::find_input(std::string_view base,
+                                              std::string_view key) const {
+    for (const auto& in : inputs)
+        if (in.base == base && in.key == key) return &in;
+    return nullptr;
+}
+
+OutputCoverage* CoverageReport::find_output(std::string_view base) {
+    for (auto& out : outputs)
+        if (out.base == base) return &out;
+    return nullptr;
+}
+
+const OutputCoverage* CoverageReport::find_output(
+    std::string_view base) const {
+    for (const auto& out : outputs)
+        if (out.base == base) return &out;
+    return nullptr;
+}
+
+void CoverageReport::merge(const CoverageReport& other) {
+    events_seen += other.events_seen;
+    events_tracked += other.events_tracked;
+    for (const auto& oin : other.inputs) {
+        if (ArgCoverage* in = find_input(oin.base, oin.key)) {
+            in->hist.merge(oin.hist);
+            in->combo_cardinality.merge(oin.combo_cardinality);
+            in->combo_cardinality_rdonly.merge(oin.combo_cardinality_rdonly);
+            in->pairs.merge(oin.pairs);
+        } else {
+            inputs.push_back(oin);
+        }
+    }
+    for (const auto& oout : other.outputs) {
+        if (OutputCoverage* out = find_output(oout.base))
+            out->hist.merge(oout.hist);
+        else
+            outputs.push_back(oout);
+    }
+}
+
+namespace {
+
+std::vector<std::string> combo_declared() {
+    // Up to six flags were ever combined in the paper's data; declare
+    // 1..6 plus an overflow bucket.
+    return {"1", "2", "3", "4", "5", "6", "7+"};
+}
+
+std::string cardinality_label(std::size_t n) {
+    if (n >= 7) return "7+";
+    return std::to_string(n);
+}
+
+}  // namespace
+
+Analyzer::Analyzer(const std::vector<SyscallSpec>& registry)
+    : registry_(&registry) {
+    for (const auto& spec : registry) {
+        for (const auto& arg : spec.args) {
+            auto part = make_input_partitioner(spec.base, arg);
+            ArgCoverage cov;
+            cov.base = spec.base;
+            cov.key = arg.key;
+            cov.cls = arg.cls;
+            cov.hist = stats::PartitionHistogram::with_partitions(
+                part->declared());
+            if (spec.base == "open" && arg.key == "flags") {
+                cov.combo_cardinality =
+                    stats::PartitionHistogram::with_partitions(
+                        combo_declared());
+                cov.combo_cardinality_rdonly =
+                    stats::PartitionHistogram::with_partitions(
+                        combo_declared());
+            }
+            report_.inputs.push_back(std::move(cov));
+            inputs_.emplace(spec.base + "/" + arg.key, std::move(part));
+        }
+        OutputPartitioner opart(spec.success, spec.errors);
+        OutputCoverage ocov;
+        ocov.base = spec.base;
+        ocov.success = spec.success;
+        ocov.hist = stats::PartitionHistogram::with_partitions(
+            opart.declared());
+        report_.outputs.push_back(std::move(ocov));
+        outputs_.emplace(spec.base, std::move(opart));
+    }
+}
+
+void Analyzer::consume(const trace::TraceEvent& event) {
+    ++report_.events_seen;
+    auto ce = canonicalize(event, *registry_);
+    if (!ce) return;
+    ++report_.events_tracked;
+    const SyscallSpec* spec = find_spec(ce->base, *registry_);
+    if (!spec) return;
+    consume_input(*ce, *spec);
+    // Declarative inputs (e.g. parsed syzkaller programs) carry no
+    // observed return value; they contribute input coverage only.
+    if (!trace::is_input_only(event)) consume_output(*ce, *spec);
+}
+
+void Analyzer::consume_all(const std::vector<trace::TraceEvent>& events) {
+    for (const auto& ev : events) consume(ev);
+}
+
+void Analyzer::consume_input(const CanonicalEvent& ce,
+                             const SyscallSpec& spec) {
+    for (const auto& arg : spec.args) {
+        auto value = ce.arg(arg.key);
+        if (!value) continue;  // variant without this argument
+        auto pit = inputs_.find(spec.base + "/" + arg.key);
+        if (pit == inputs_.end()) continue;
+        ArgCoverage* cov = report_.find_input(spec.base, arg.key);
+
+        const auto labels = pit->second->labels_for(*value);
+        for (const auto& label : labels) cov->hist.add(label);
+
+        // Bitmap combination statistics (open flags only).
+        if (spec.base == "open" && arg.key == "flags") {
+            cov->combo_cardinality.add(cardinality_label(labels.size()));
+            const bool has_rdonly =
+                std::find(labels.begin(), labels.end(), "O_RDONLY") !=
+                labels.end();
+            if (has_rdonly)
+                cov->combo_cardinality_rdonly.add(
+                    cardinality_label(labels.size()));
+            for (std::size_t i = 0; i < labels.size(); ++i)
+                for (std::size_t j = i + 1; j < labels.size(); ++j) {
+                    const auto& a = std::min(labels[i], labels[j]);
+                    const auto& b = std::max(labels[i], labels[j]);
+                    cov->pairs.add(a + "+" + b);
+                }
+        }
+    }
+}
+
+void Analyzer::consume_output(const CanonicalEvent& ce,
+                              const SyscallSpec& spec) {
+    auto oit = outputs_.find(spec.base);
+    if (oit == outputs_.end()) return;
+    OutputCoverage* cov = report_.find_output(spec.base);
+    cov->hist.add(oit->second.label_for(ce.event.ret));
+}
+
+}  // namespace iocov::core

@@ -1,0 +1,89 @@
+// Coverage data model and the analyzer that fills it from a trace.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/partition.hpp"
+#include "core/syscall_spec.hpp"
+#include "core/variant_handler.hpp"
+#include "stats/histogram.hpp"
+#include "trace/event.hpp"
+
+namespace iocov::core {
+
+/// Input coverage for one tracked argument of one base syscall.
+struct ArgCoverage {
+    std::string base;
+    std::string key;
+    ArgClass cls = ArgClass::Numeric;
+
+    /// Frequency per partition (Fig. 2 / Fig. 3 of the paper).
+    stats::PartitionHistogram hist;
+
+    // Bitmap extras (populated only for the open-flags argument):
+    /// How many flags were combined per call — Table 1, "all flags" row.
+    stats::PartitionHistogram combo_cardinality;
+    /// Same, restricted to calls that include O_RDONLY — Table 1 row 2.
+    stats::PartitionHistogram combo_cardinality_rdonly;
+    /// Unordered flag pairs seen together ("O_CREAT+O_TRUNC") — the
+    /// paper's future-work "bit combinations" extension.
+    stats::PartitionHistogram pairs;
+};
+
+/// Output coverage for one base syscall (Fig. 4).
+struct OutputCoverage {
+    std::string base;
+    SuccessKind success = SuccessKind::Unit;
+    stats::PartitionHistogram hist;
+};
+
+/// Everything IOCov measured over one trace.
+struct CoverageReport {
+    std::vector<ArgCoverage> inputs;     // 14 entries
+    std::vector<OutputCoverage> outputs;  // 11 entries
+    std::uint64_t events_seen = 0;     ///< events fed to the analyzer
+    std::uint64_t events_tracked = 0;  ///< events in the tracked 27
+
+    ArgCoverage* find_input(std::string_view base, std::string_view key);
+    const ArgCoverage* find_input(std::string_view base,
+                                  std::string_view key) const;
+    OutputCoverage* find_output(std::string_view base);
+    const OutputCoverage* find_output(std::string_view base) const;
+
+    /// Merges another report (e.g. per-process shards) into this one.
+    void merge(const CoverageReport& other);
+};
+
+/// Streams trace events into a CoverageReport.
+class Analyzer {
+  public:
+    /// Tracks the paper's 27-syscall registry by default; pass
+    /// extended_syscall_registry() (or a custom one) to widen tracking.
+    explicit Analyzer(
+        const std::vector<SyscallSpec>& registry = syscall_registry());
+
+    /// Consumes one (already filtered) trace event.
+    void consume(const trace::TraceEvent& event);
+
+    /// Convenience over a whole buffer.
+    void consume_all(const std::vector<trace::TraceEvent>& events);
+
+    const CoverageReport& report() const { return report_; }
+    CoverageReport take_report() { return std::move(report_); }
+
+  private:
+    void consume_input(const CanonicalEvent& ce, const SyscallSpec& spec);
+    void consume_output(const CanonicalEvent& ce, const SyscallSpec& spec);
+
+    CoverageReport report_;
+    const std::vector<SyscallSpec>* registry_;
+    /// Partitioners keyed by "base/key".
+    std::map<std::string, std::unique_ptr<InputPartitioner>> inputs_;
+    std::map<std::string, OutputPartitioner> outputs_;
+};
+
+}  // namespace iocov::core

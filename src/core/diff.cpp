@@ -1,0 +1,98 @@
+#include "core/diff.hpp"
+
+#include <algorithm>
+
+namespace iocov::core {
+namespace {
+
+void diff_hist(const stats::PartitionHistogram& before,
+               const stats::PartitionHistogram& after, bool is_input,
+               const std::string& base, const std::string& arg,
+               const DiffOptions& options,
+               std::vector<CoverageDelta>* out) {
+    // Union of labels, before-order first.
+    std::vector<std::string> labels;
+    for (const auto& row : before.rows()) labels.push_back(row.label);
+    for (const auto& row : after.rows())
+        if (!before.has_partition(row.label)) labels.push_back(row.label);
+
+    for (const auto& label : labels) {
+        const std::uint64_t b = before.count(label);
+        const std::uint64_t a = after.count(label);
+        if (b == a) continue;
+        CoverageDelta d;
+        d.is_input = is_input;
+        d.base = base;
+        d.arg = arg;
+        d.partition = label;
+        d.before = b;
+        d.after = a;
+        if (b > 0 && a == 0) {
+            d.kind = CoverageDelta::Kind::Lost;
+        } else if (b == 0 && a > 0) {
+            d.kind = CoverageDelta::Kind::Gained;
+        } else {
+            const double lo = static_cast<double>(std::min(a, b));
+            const double hi = static_cast<double>(std::max(a, b));
+            if ((hi - lo) / hi < options.ratio_threshold) continue;
+            d.kind = a < b ? CoverageDelta::Kind::Decreased
+                           : CoverageDelta::Kind::Increased;
+        }
+        out->push_back(std::move(d));
+    }
+}
+
+int severity(CoverageDelta::Kind kind) {
+    switch (kind) {
+        case CoverageDelta::Kind::Lost: return 0;
+        case CoverageDelta::Kind::Decreased: return 1;
+        case CoverageDelta::Kind::Gained: return 2;
+        case CoverageDelta::Kind::Increased: return 3;
+    }
+    return 4;
+}
+
+}  // namespace
+
+std::vector<CoverageDelta> diff_reports(const CoverageReport& before,
+                                        const CoverageReport& after,
+                                        const DiffOptions& options) {
+    std::vector<CoverageDelta> out;
+    for (const auto& in : before.inputs) {
+        const auto* other = after.find_input(in.base, in.key);
+        if (!other) continue;
+        diff_hist(in.hist, other->hist, true, in.base, in.key, options,
+                  &out);
+    }
+    for (const auto& oc : before.outputs) {
+        const auto* other = after.find_output(oc.base);
+        if (!other) continue;
+        diff_hist(oc.hist, other->hist, false, oc.base, "", options, &out);
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const CoverageDelta& a, const CoverageDelta& b) {
+                         return severity(a.kind) < severity(b.kind);
+                     });
+    return out;
+}
+
+bool has_coverage_regression(const CoverageReport& before,
+                             const CoverageReport& after) {
+    const auto deltas = diff_reports(before, after);
+    return std::any_of(deltas.begin(), deltas.end(),
+                       [](const CoverageDelta& d) {
+                           return d.kind == CoverageDelta::Kind::Lost;
+                       });
+}
+
+std::string delta_kind_name(CoverageDelta::Kind kind) {
+    switch (kind) {
+        case CoverageDelta::Kind::Lost: return "LOST";
+        case CoverageDelta::Kind::Gained: return "gained";
+        case CoverageDelta::Kind::Decreased: return "decreased";
+        case CoverageDelta::Kind::Increased: return "increased";
+    }
+    return "?";
+}
+
+}  // namespace iocov::core

@@ -1,0 +1,47 @@
+// Coverage diffing: compare two CoverageReports (e.g. two versions of a
+// test suite, or before/after adding tests) and classify every changed
+// partition.  This is the regression-gate workflow: a partition whose
+// coverage drops to zero is a lost test.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/coverage.hpp"
+
+namespace iocov::core {
+
+struct CoverageDelta {
+    enum class Kind : std::uint8_t {
+        Lost,      ///< tested before, untested now
+        Gained,    ///< untested before, tested now
+        Decreased, ///< still tested but count fell below the threshold
+        Increased, ///< count grew beyond the threshold
+    };
+    Kind kind = Kind::Lost;
+    bool is_input = true;
+    std::string base;
+    std::string arg;        ///< empty for outputs
+    std::string partition;
+    std::uint64_t before = 0;
+    std::uint64_t after = 0;
+};
+
+struct DiffOptions {
+    /// Relative change (fraction) below which count movements are
+    /// ignored; 0.5 means report only >50% swings.
+    double ratio_threshold = 0.5;
+};
+
+/// All deltas from `before` to `after`, losses first.
+std::vector<CoverageDelta> diff_reports(const CoverageReport& before,
+                                        const CoverageReport& after,
+                                        const DiffOptions& options = {});
+
+/// True if `after` regresses `before`: some partition was lost.
+bool has_coverage_regression(const CoverageReport& before,
+                             const CoverageReport& after);
+
+std::string delta_kind_name(CoverageDelta::Kind kind);
+
+}  // namespace iocov::core

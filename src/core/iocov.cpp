@@ -1,0 +1,37 @@
+#include "core/iocov.hpp"
+
+#include "trace/syz_format.hpp"
+#include "trace/text_format.hpp"
+
+namespace iocov::core {
+
+IOCov::IOCov(trace::FilterConfig filter_config,
+             const std::vector<SyscallSpec>& registry)
+    : filter_(filter_config),
+      analyzer_(registry),
+      live_sink_([this](const trace::TraceEvent& ev) { consume(ev); }) {}
+
+void IOCov::consume(const trace::TraceEvent& event) {
+    if (filter_.admit(event)) analyzer_.consume(event);
+    else ++filtered_out_;
+}
+
+void IOCov::consume_all(const std::vector<trace::TraceEvent>& events) {
+    for (const auto& ev : events) consume(ev);
+}
+
+std::size_t IOCov::consume_syz(std::istream& in) {
+    trace::SyzParseStats stats;
+    const auto events = trace::parse_syz_program(in, &stats);
+    for (const auto& ev : events) analyzer_.consume(ev);
+    return stats.parsed;
+}
+
+std::size_t IOCov::consume_text(std::istream& in) {
+    std::size_t dropped = 0;
+    auto events = trace::parse_stream(in, &dropped);
+    consume_all(events);
+    return dropped;
+}
+
+}  // namespace iocov::core

@@ -1,0 +1,69 @@
+// IOCov facade: the public entry point of the library.
+//
+// Wires the three components of the paper's Section 3 pipeline —
+// trace filter, syscall variant handler, input/output partitioner —
+// behind one object:
+//
+//     iocov::core::IOCov iocov(
+//         iocov::trace::FilterConfig::mount_point("/mnt/test"));
+//     iocov.consume_all(buffer.events());
+//     const auto& report = iocov.report();
+//
+// As in the real tool, the only knob a new file-system tester needs is
+// the mount-point regular expression.
+#pragma once
+
+#include <istream>
+#include <string>
+
+#include "core/coverage.hpp"
+#include "core/tcd.hpp"
+#include "core/untested.hpp"
+#include "trace/filter.hpp"
+#include "trace/sink.hpp"
+
+namespace iocov::core {
+
+class IOCov {
+  public:
+    /// `filter_config` selects the file system under test; the default
+    /// matches the paper's xfstests setup (/mnt/test).  `registry`
+    /// selects the tracked syscall set (pass
+    /// extended_syscall_registry() for the future-work superset).
+    explicit IOCov(trace::FilterConfig filter_config =
+                       trace::FilterConfig::mount_point("/mnt/test"),
+                   const std::vector<SyscallSpec>& registry =
+                       syscall_registry());
+
+    /// Feeds one raw trace event (filtering happens internally; events
+    /// must arrive in trace order for fd tracking to work).
+    void consume(const trace::TraceEvent& event);
+
+    void consume_all(const std::vector<trace::TraceEvent>& events);
+
+    /// Parses an LTTng-style text trace and analyzes it.
+    /// Returns the number of malformed lines skipped.
+    std::size_t consume_text(std::istream& in);
+
+    /// Parses a syzkaller program/log and analyzes its *input* coverage
+    /// (declarative programs carry no return values, so output coverage
+    /// is unaffected).  Fuzzer programs run confined to their sandbox,
+    /// so no mount-point filtering is applied.  Returns the number of
+    /// syscall lines parsed.
+    std::size_t consume_syz(std::istream& in);
+
+    /// A sink that can be handed to a Kernel for live analysis.
+    trace::TraceSink& live_sink() { return live_sink_; }
+
+    const CoverageReport& report() const { return analyzer_.report(); }
+
+    std::uint64_t events_filtered_out() const { return filtered_out_; }
+
+  private:
+    trace::TraceFilter filter_;
+    Analyzer analyzer_;
+    trace::CallbackSink live_sink_;
+    std::uint64_t filtered_out_ = 0;
+};
+
+}  // namespace iocov::core

@@ -1,0 +1,265 @@
+#include "core/partition.hpp"
+
+#include <array>
+
+#include "abi/fcntl.hpp"
+#include "abi/limits.hpp"
+#include "abi/seek.hpp"
+#include "abi/stat_mode.hpp"
+#include "abi/xattr.hpp"
+#include "stats/log_bucket.hpp"
+
+namespace iocov::core {
+namespace {
+
+using stats::bucket_label;
+using stats::log_bucket_of;
+
+std::int64_t as_int(const trace::ArgValue& v) {
+    if (const auto* i = std::get_if<std::int64_t>(&v)) return *i;
+    if (const auto* u = std::get_if<std::uint64_t>(&v))
+        return static_cast<std::int64_t>(*u);
+    return 0;
+}
+
+std::uint64_t as_uint(const trace::ArgValue& v) {
+    if (const auto* u = std::get_if<std::uint64_t>(&v)) return *u;
+    if (const auto* i = std::get_if<std::int64_t>(&v))
+        return static_cast<std::uint64_t>(*i);
+    return 0;
+}
+
+// ---- bitmap: open flags ---------------------------------------------------
+
+class OpenFlagsPartitioner final : public InputPartitioner {
+  public:
+    std::vector<std::string> declared() const override {
+        std::vector<std::string> out;
+        for (const auto& info : abi::open_flag_table())
+            out.emplace_back(info.name);
+        return out;
+    }
+    std::vector<std::string> labels_for(
+        const trace::ArgValue& value) const override {
+        return abi::decompose_open_flags(
+            static_cast<std::uint32_t>(as_uint(value)));
+    }
+};
+
+// ---- bitmap: mode/permission bits ------------------------------------------
+
+class ModeBitsPartitioner final : public InputPartitioner {
+  public:
+    std::vector<std::string> declared() const override {
+        std::vector<std::string> out;
+        for (const auto& [bits, name] : kBits) out.emplace_back(name);
+        out.emplace_back("none");
+        return out;
+    }
+    std::vector<std::string> labels_for(
+        const trace::ArgValue& value) const override {
+        const auto mode =
+            static_cast<abi::mode_t_>(as_uint(value)) & abi::MODE_PERM_MASK;
+        std::vector<std::string> out;
+        for (const auto& [bits, name] : kBits)
+            if (mode & bits) out.emplace_back(name);
+        if (out.empty()) out.emplace_back("none");
+        return out;
+    }
+
+  private:
+    static constexpr std::array<std::pair<abi::mode_t_, const char*>, 12>
+        kBits = {{
+            {abi::S_ISUID, "S_ISUID"},
+            {abi::S_ISGID, "S_ISGID"},
+            {abi::S_ISVTX, "S_ISVTX"},
+            {abi::S_IRUSR, "S_IRUSR"},
+            {abi::S_IWUSR, "S_IWUSR"},
+            {abi::S_IXUSR, "S_IXUSR"},
+            {abi::S_IRGRP, "S_IRGRP"},
+            {abi::S_IWGRP, "S_IWGRP"},
+            {abi::S_IXGRP, "S_IXGRP"},
+            {abi::S_IROTH, "S_IROTH"},
+            {abi::S_IWOTH, "S_IWOTH"},
+            {abi::S_IXOTH, "S_IXOTH"},
+        }};
+};
+
+// ---- numeric ---------------------------------------------------------------
+
+class NumericPartitioner final : public InputPartitioner {
+  public:
+    std::vector<std::string> declared() const override {
+        std::vector<std::string> out;
+        out.emplace_back("<0");
+        out.emplace_back("=0");
+        for (unsigned e = 0; e <= kNumericDeclaredMaxExp; ++e)
+            out.push_back("2^" + std::to_string(e));
+        return out;
+    }
+    std::vector<std::string> labels_for(
+        const trace::ArgValue& value) const override {
+        return {bucket_label(log_bucket_of(as_int(value)))};
+    }
+};
+
+// ---- categorical ------------------------------------------------------------
+
+class WhencePartitioner final : public InputPartitioner {
+  public:
+    std::vector<std::string> declared() const override {
+        std::vector<std::string> out;
+        for (int w : abi::seek_whence_values())
+            out.push_back(*abi::seek_whence_name(w));
+        out.emplace_back("INVALID");
+        return out;
+    }
+    std::vector<std::string> labels_for(
+        const trace::ArgValue& value) const override {
+        auto name = abi::seek_whence_name(static_cast<int>(as_int(value)));
+        return {name ? *name : std::string("INVALID")};
+    }
+};
+
+class XattrFlagsPartitioner final : public InputPartitioner {
+  public:
+    std::vector<std::string> declared() const override {
+        return {"0", "XATTR_CREATE", "XATTR_REPLACE", "INVALID"};
+    }
+    std::vector<std::string> labels_for(
+        const trace::ArgValue& value) const override {
+        switch (as_int(value)) {
+            case 0: return {"0"};
+            case abi::XATTR_CREATE_: return {"XATTR_CREATE"};
+            case abi::XATTR_REPLACE_: return {"XATTR_REPLACE"};
+            default: return {"INVALID"};
+        }
+    }
+};
+
+// ---- identifiers -------------------------------------------------------------
+
+class FdPartitioner final : public InputPartitioner {
+  public:
+    std::vector<std::string> declared() const override {
+        return {"stdio(0-2)", "valid(>=3)",   "large(>=1024)",
+                "minus-one",  "AT_FDCWD",     "other-negative"};
+    }
+    std::vector<std::string> labels_for(
+        const trace::ArgValue& value) const override {
+        const std::int64_t fd = as_int(value);
+        if (fd >= 0 && fd <= 2) return {"stdio(0-2)"};
+        if (fd >= 1024) return {"large(>=1024)"};
+        if (fd >= 3) return {"valid(>=3)"};
+        if (fd == -1) return {"minus-one"};
+        if (fd == abi::AT_FDCWD) return {"AT_FDCWD"};
+        return {"other-negative"};
+    }
+};
+
+class PathPartitioner final : public InputPartitioner {
+  public:
+    std::vector<std::string> declared() const override {
+        return {"absolute",  "relative",      "dot",
+                "dotdot",    "trailing-slash", "contains-symlinkish",
+                "name-max",  "path-max",       "via-fd",
+                "faulting",  "empty"};
+    }
+    std::vector<std::string> labels_for(
+        const trace::ArgValue& value) const override {
+        const auto* s = std::get_if<std::string>(&value);
+        if (!s) return {"faulting"};
+        const std::string& p = *s;
+        std::vector<std::string> out;
+        if (p == "<fault>") return {"faulting"};
+        if (p == "<via-fd>") return {"via-fd"};
+        if (p.empty()) return {"empty"};
+        if (p == "." || p.starts_with("./")) out.emplace_back("dot");
+        if (p == ".." || p.starts_with("../")) out.emplace_back("dotdot");
+        out.emplace_back(p.front() == '/' ? "absolute" : "relative");
+        if (p.size() > 1 && p.back() == '/')
+            out.emplace_back("trailing-slash");
+        // Longest component length and whole-path length boundaries.
+        std::size_t comp = 0, longest = 0;
+        for (char ch : p) {
+            if (ch == '/') {
+                longest = std::max(longest, comp);
+                comp = 0;
+            } else {
+                ++comp;
+            }
+        }
+        longest = std::max(longest, comp);
+        if (longest > abi::NAME_MAX_) out.emplace_back("name-max");
+        if (p.size() >= abi::PATH_MAX_) out.emplace_back("path-max");
+        return out;
+    }
+};
+
+}  // namespace
+
+std::unique_ptr<InputPartitioner> make_input_partitioner(
+    std::string_view base, const ArgSpec& arg) {
+    switch (arg.cls) {
+        case ArgClass::Bitmap:
+            if (base == "open" && arg.key == "flags")
+                return std::make_unique<OpenFlagsPartitioner>();
+            return std::make_unique<ModeBitsPartitioner>();
+        case ArgClass::Numeric:
+            return std::make_unique<NumericPartitioner>();
+        case ArgClass::Categorical:
+            if (base == "setxattr")
+                return std::make_unique<XattrFlagsPartitioner>();
+            return std::make_unique<WhencePartitioner>();
+        case ArgClass::Identifier:
+            if (arg.key == "fd") return std::make_unique<FdPartitioner>();
+            return std::make_unique<PathPartitioner>();
+    }
+    return std::make_unique<NumericPartitioner>();
+}
+
+// ---- outputs -------------------------------------------------------------
+
+std::string ok_label() { return "OK"; }
+
+std::string ok_size_label(std::int64_t ret) {
+    return "OK:" + bucket_label(log_bucket_of(ret));
+}
+
+OutputPartitioner::OutputPartitioner(SuccessKind success,
+                                     std::vector<abi::Err> errors)
+    : success_(success), errors_(std::move(errors)) {}
+
+std::vector<std::string> OutputPartitioner::declared() const {
+    std::vector<std::string> out;
+    switch (success_) {
+        case SuccessKind::Unit:
+        case SuccessKind::NewFd:
+            out.push_back(ok_label());
+            break;
+        case SuccessKind::ByteCount:
+        case SuccessKind::Offset:
+            out.emplace_back("OK:=0");
+            for (unsigned e = 0; e <= kNumericDeclaredMaxExp; ++e)
+                out.push_back("OK:2^" + std::to_string(e));
+            break;
+    }
+    for (abi::Err e : errors_) out.push_back(abi::err_name(e));
+    return out;
+}
+
+std::string OutputPartitioner::label_for(std::int64_t ret) const {
+    if (ret >= 0) {
+        switch (success_) {
+            case SuccessKind::Unit:
+            case SuccessKind::NewFd:
+                return ok_label();
+            case SuccessKind::ByteCount:
+            case SuccessKind::Offset:
+                return ok_size_label(ret);
+        }
+    }
+    return abi::err_name(abi::err_of(ret));
+}
+
+}  // namespace iocov::core

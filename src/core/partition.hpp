@@ -1,0 +1,64 @@
+// Input- and output-space partitioners (Section 3 of the paper).
+//
+// Each argument class partitions differently:
+//   bitmap      -> one partition per flag (plus combination statistics)
+//   numeric     -> powers of two, with "=0" and "<0" boundary partitions
+//   categorical -> one partition per legal value, plus "INVALID"
+//   identifier  -> structural classes (absolute/relative/.../via-fd for
+//                  paths; stdio/valid/AT_FDCWD/invalid for fds)
+// Outputs partition into success vs. each documented error code; for
+// syscalls whose success returns a byte count or offset, the success
+// side is further split by powers of two.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/syscall_spec.hpp"
+#include "trace/event.hpp"
+
+namespace iocov::core {
+
+/// Maps one argument value to the partition label(s) it occupies.
+/// Bitmaps map to several labels (one per contained flag); the other
+/// classes map to exactly one.
+class InputPartitioner {
+  public:
+    virtual ~InputPartitioner() = default;
+
+    /// All partitions declared up front, so untested ones are visible.
+    virtual std::vector<std::string> declared() const = 0;
+
+    /// Labels exercised by this concrete value.
+    virtual std::vector<std::string> labels_for(
+        const trace::ArgValue& value) const = 0;
+};
+
+/// Builds the partitioner for a base syscall's tracked argument.
+std::unique_ptr<InputPartitioner> make_input_partitioner(
+    std::string_view base, const ArgSpec& arg);
+
+/// Output partitioner for a base syscall (success kind + error list).
+class OutputPartitioner {
+  public:
+    OutputPartitioner(SuccessKind success, std::vector<abi::Err> errors);
+
+    std::vector<std::string> declared() const;
+    std::string label_for(std::int64_t ret) const;
+
+  private:
+    SuccessKind success_;
+    std::vector<abi::Err> errors_;
+};
+
+/// The exponent ceiling for declared numeric partitions: the paper's
+/// Fig. 3 x-axis runs 0..32 (4 GiB).  Larger observed values extend the
+/// histogram dynamically.
+inline constexpr unsigned kNumericDeclaredMaxExp = 32;
+
+/// Label helpers shared with reports.
+std::string ok_label();                        // "OK"
+std::string ok_size_label(std::int64_t ret);   // "OK:2^k" / "OK:=0"
+
+}  // namespace iocov::core

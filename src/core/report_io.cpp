@@ -1,0 +1,129 @@
+#include "core/report_io.hpp"
+
+#include <sstream>
+
+namespace iocov::core {
+namespace {
+
+constexpr const char* kMagic = "# iocov-coverage v1";
+
+void save_hist(std::ostream& os, const stats::PartitionHistogram& hist,
+               const char* prefix = "") {
+    for (const auto& row : hist.rows())
+        os << "  " << prefix << row.label << ' ' << row.count << '\n';
+}
+
+std::string_view class_token(ArgClass cls) { return arg_class_name(cls); }
+
+std::optional<ArgClass> class_from_token(std::string_view tok) {
+    if (tok == "identifier") return ArgClass::Identifier;
+    if (tok == "bitmap") return ArgClass::Bitmap;
+    if (tok == "numeric") return ArgClass::Numeric;
+    if (tok == "categorical") return ArgClass::Categorical;
+    return std::nullopt;
+}
+
+std::string_view success_token(SuccessKind s) {
+    switch (s) {
+        case SuccessKind::Unit: return "Unit";
+        case SuccessKind::ByteCount: return "ByteCount";
+        case SuccessKind::Offset: return "Offset";
+        case SuccessKind::NewFd: return "NewFd";
+    }
+    return "Unit";
+}
+
+std::optional<SuccessKind> success_from_token(std::string_view tok) {
+    if (tok == "Unit") return SuccessKind::Unit;
+    if (tok == "ByteCount") return SuccessKind::ByteCount;
+    if (tok == "Offset") return SuccessKind::Offset;
+    if (tok == "NewFd") return SuccessKind::NewFd;
+    return std::nullopt;
+}
+
+}  // namespace
+
+std::ostream& save_report(std::ostream& os, const CoverageReport& report) {
+    os << kMagic << '\n';
+    os << "events_seen " << report.events_seen << '\n';
+    os << "events_tracked " << report.events_tracked << '\n';
+    for (const auto& in : report.inputs) {
+        os << "input " << in.base << ' ' << in.key << ' '
+           << class_token(in.cls) << '\n';
+        save_hist(os, in.hist);
+        save_hist(os, in.combo_cardinality, "@combo ");
+        save_hist(os, in.combo_cardinality_rdonly, "@combo_rdonly ");
+        save_hist(os, in.pairs, "@pair ");
+    }
+    for (const auto& out : report.outputs) {
+        os << "output " << out.base << ' ' << success_token(out.success)
+           << '\n';
+        save_hist(os, out.hist);
+    }
+    return os;
+}
+
+std::optional<CoverageReport> load_report(std::istream& in) {
+    std::string line;
+    if (!std::getline(in, line) || line != kMagic) return std::nullopt;
+
+    CoverageReport report;
+    ArgCoverage* cur_in = nullptr;
+    OutputCoverage* cur_out = nullptr;
+
+    while (std::getline(in, line)) {
+        std::istringstream ls(line);
+        std::string tok;
+        if (!(ls >> tok)) continue;  // blank
+
+        if (tok == "events_seen") {
+            if (!(ls >> report.events_seen)) return std::nullopt;
+        } else if (tok == "events_tracked") {
+            if (!(ls >> report.events_tracked)) return std::nullopt;
+        } else if (tok == "input") {
+            ArgCoverage cov;
+            std::string cls;
+            if (!(ls >> cov.base >> cov.key >> cls)) return std::nullopt;
+            auto parsed = class_from_token(cls);
+            if (!parsed) return std::nullopt;
+            cov.cls = *parsed;
+            report.inputs.push_back(std::move(cov));
+            cur_in = &report.inputs.back();
+            cur_out = nullptr;
+        } else if (tok == "output") {
+            OutputCoverage cov;
+            std::string succ;
+            if (!(ls >> cov.base >> succ)) return std::nullopt;
+            auto parsed = success_from_token(succ);
+            if (!parsed) return std::nullopt;
+            cov.success = *parsed;
+            report.outputs.push_back(std::move(cov));
+            cur_out = &report.outputs.back();
+            cur_in = nullptr;
+        } else if (tok == "@combo" || tok == "@combo_rdonly" ||
+                   tok == "@pair") {
+            if (!cur_in) return std::nullopt;
+            std::string label;
+            std::uint64_t count = 0;
+            if (!(ls >> label >> count)) return std::nullopt;
+            auto& hist = tok == "@combo" ? cur_in->combo_cardinality
+                         : tok == "@combo_rdonly"
+                             ? cur_in->combo_cardinality_rdonly
+                             : cur_in->pairs;
+            hist.add(label, 0);  // declare even when count is 0
+            if (count) hist.add(label, count);
+        } else {
+            // A partition row: "<label> <count>" for the current block.
+            std::uint64_t count = 0;
+            if (!(ls >> count)) return std::nullopt;
+            stats::PartitionHistogram* hist =
+                cur_in ? &cur_in->hist : cur_out ? &cur_out->hist : nullptr;
+            if (!hist) return std::nullopt;
+            hist->add(tok, 0);
+            if (count) hist->add(tok, count);
+        }
+    }
+    return report;
+}
+
+}  // namespace iocov::core

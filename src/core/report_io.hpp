@@ -1,0 +1,41 @@
+// CoverageReport persistence: a line-oriented text format so coverage
+// can be captured in CI, archived, and diffed across suite versions —
+// the workflow the paper proposes ("IOCov can be used to evaluate TCD
+// iteratively; this can help developers design test cases").
+//
+// Format (one report per file):
+//
+//     # iocov-coverage v1
+//     events_seen 123456
+//     events_tracked 120000
+//     input open flags bitmap
+//       O_RDONLY 7924
+//       ...
+//       @combo 4 5208
+//       @combo_rdonly 4 5198
+//       @pair O_CREAT+O_TRUNC 410000
+//     output open NewFd
+//       OK 137
+//       ENOENT 6
+//
+// Partition labels never contain whitespace, so fields are
+// space-separated; indentation is cosmetic.
+#pragma once
+
+#include <istream>
+#include <optional>
+#include <ostream>
+
+#include "core/coverage.hpp"
+
+namespace iocov::core {
+
+/// Writes the report; returns the stream.
+std::ostream& save_report(std::ostream& os, const CoverageReport& report);
+
+/// Parses a report saved by save_report. Returns nullopt on malformed
+/// input (wrong magic, bad counts). Unknown syscalls/arguments are
+/// preserved verbatim, so reports from newer registries still load.
+std::optional<CoverageReport> load_report(std::istream& in);
+
+}  // namespace iocov::core

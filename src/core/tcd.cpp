@@ -1,0 +1,66 @@
+#include "core/tcd.hpp"
+
+#include <cassert>
+
+#include "stats/rmsd.hpp"
+
+namespace iocov::core {
+
+double tcd(const stats::PartitionHistogram& hist,
+           const std::vector<double>& target) {
+    assert(target.size() == hist.partition_count());
+    std::vector<double> logf, logt;
+    logf.reserve(target.size());
+    logt.reserve(target.size());
+    const auto& rows = hist.rows();
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        logf.push_back(stats::safe_log10(static_cast<double>(rows[i].count)));
+        logt.push_back(stats::safe_log10(target[i]));
+    }
+    return stats::rmsd(logf, logt);
+}
+
+double tcd_uniform(const stats::PartitionHistogram& hist, double target) {
+    return tcd(hist,
+               std::vector<double>(hist.partition_count(), target));
+}
+
+double tcd_linear(const stats::PartitionHistogram& hist,
+                  const std::vector<double>& target) {
+    assert(target.size() == hist.partition_count());
+    std::vector<double> f, t;
+    f.reserve(target.size());
+    t.reserve(target.size());
+    const auto& rows = hist.rows();
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        f.push_back(static_cast<double>(rows[i].count));
+        t.push_back(target[i]);
+    }
+    return stats::rmsd(f, t);
+}
+
+double tcd_linear_uniform(const stats::PartitionHistogram& hist,
+                          double target) {
+    return tcd_linear(hist,
+                      std::vector<double>(hist.partition_count(), target));
+}
+
+TargetBuilder::TargetBuilder(const stats::PartitionHistogram& hist,
+                             double base)
+    : hist_(hist), targets_(hist.partition_count(), base) {}
+
+TargetBuilder& TargetBuilder::set(std::string_view label, double target) {
+    const auto& rows = hist_.rows();
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        if (rows[i].label == label) targets_[i] = target;
+    return *this;
+}
+
+TargetBuilder& TargetBuilder::boost(std::string_view label, double factor) {
+    const auto& rows = hist_.rows();
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        if (rows[i].label == label) targets_[i] *= factor;
+    return *this;
+}
+
+}  // namespace iocov::core

@@ -1,0 +1,56 @@
+// Test Coverage Deviation (TCD) — Section 4 of the paper.
+//
+// Given per-partition frequencies F and a target array T:
+//
+//     TCD(T) = sqrt( 1/N * sum_i (log10 F_i - log10 T_i)^2 )
+//
+// Logs downplay over-testing relative to under-testing; an untested
+// partition contributes its full log-distance to the target (counts
+// below 1 are floored at 1 so log is defined).  Lower is better; zero
+// means every partition is tested exactly the target number of times.
+#pragma once
+
+#include <vector>
+
+#include "stats/histogram.hpp"
+
+namespace iocov::core {
+
+/// TCD with a per-partition target array. target.size() must equal
+/// hist.partition_count(); targets below 1 are floored at 1.
+double tcd(const stats::PartitionHistogram& hist,
+           const std::vector<double>& target);
+
+/// TCD with a uniform target (the paper's Fig. 5 sweeps this value).
+double tcd_uniform(const stats::PartitionHistogram& hist, double target);
+
+/// Linear-domain RMSD between frequencies and targets — the ablation
+/// baseline showing why the paper computes TCD in log space (a single
+/// over-tested partition otherwise dominates the metric).
+double tcd_linear(const stats::PartitionHistogram& hist,
+                  const std::vector<double>& target);
+double tcd_linear_uniform(const stats::PartitionHistogram& hist,
+                          double target);
+
+/// Builder for non-uniform targets (the paper's future-work extension):
+/// start from a uniform base and boost selected partitions, e.g. weight
+/// persistence-related open flags (O_SYNC/O_DSYNC) higher for
+/// crash-consistency testing.
+class TargetBuilder {
+  public:
+    TargetBuilder(const stats::PartitionHistogram& hist, double base);
+
+    /// Sets the target for one partition label (no-op if absent).
+    TargetBuilder& set(std::string_view label, double target);
+
+    /// Multiplies the target for one partition label.
+    TargetBuilder& boost(std::string_view label, double factor);
+
+    std::vector<double> build() const { return targets_; }
+
+  private:
+    const stats::PartitionHistogram& hist_;
+    std::vector<double> targets_;
+};
+
+}  // namespace iocov::core

@@ -1,0 +1,104 @@
+#include "core/untested.hpp"
+
+namespace iocov::core {
+namespace {
+
+std::string input_suggestion(const ArgCoverage& cov,
+                             const std::string& partition) {
+    switch (cov.cls) {
+        case ArgClass::Bitmap:
+            return "invoke " + cov.base + "(2) with the " + partition +
+                   " flag set (alone and in combination)";
+        case ArgClass::Numeric:
+            if (partition == "=0")
+                return "call " + cov.base + "(2) with a zero " + cov.key +
+                       " (legal POSIX boundary value)";
+            if (partition == "<0")
+                return "call " + cov.base + "(2) with a negative " + cov.key +
+                       " to exercise validation";
+            return "call " + cov.base + "(2) with " + cov.key +
+                   " in the " + partition + " range";
+        case ArgClass::Categorical:
+            return "call " + cov.base + "(2) with " + cov.key + " = " +
+                   partition;
+        case ArgClass::Identifier:
+            return "call " + cov.base + "(2) with a " + partition + " " +
+                   cov.key;
+    }
+    return "exercise partition " + partition;
+}
+
+std::string output_suggestion(const OutputCoverage& cov,
+                              const std::string& partition) {
+    if (partition.rfind("OK", 0) == 0)
+        return "drive " + cov.base + "(2) to succeed with a return in " +
+               partition.substr(partition.find(':') + 1);
+    return "construct a state where " + cov.base + "(2) fails with " +
+           partition + " and assert the error is reported";
+}
+
+}  // namespace
+
+std::vector<UntestedPartition> find_untested(const CoverageReport& report) {
+    std::vector<UntestedPartition> out;
+    for (const auto& in : report.inputs) {
+        for (const auto& label : in.hist.untested()) {
+            out.push_back({UntestedPartition::Kind::Input, in.base, in.key,
+                           label, input_suggestion(in, label)});
+        }
+    }
+    for (const auto& oc : report.outputs) {
+        for (const auto& label : oc.hist.untested()) {
+            out.push_back({UntestedPartition::Kind::Output, oc.base, "",
+                           label, output_suggestion(oc, label)});
+        }
+    }
+    return out;
+}
+
+std::vector<UntestedPartition> find_under_tested(const CoverageReport& report,
+                                                 std::uint64_t threshold) {
+    std::vector<UntestedPartition> out;
+    for (const auto& in : report.inputs) {
+        for (const auto& row : in.hist.rows()) {
+            if (row.count > 0 && row.count < threshold) {
+                out.push_back({UntestedPartition::Kind::Input, in.base,
+                               in.key, row.label,
+                               input_suggestion(in, row.label)});
+            }
+        }
+    }
+    for (const auto& oc : report.outputs) {
+        for (const auto& row : oc.hist.rows()) {
+            if (row.count > 0 && row.count < threshold) {
+                out.push_back({UntestedPartition::Kind::Output, oc.base, "",
+                               row.label, output_suggestion(oc, row.label)});
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<CoverageSummaryRow> summarize(const CoverageReport& report) {
+    std::vector<CoverageSummaryRow> rows;
+    for (const auto& in : report.inputs) {
+        CoverageSummaryRow r;
+        r.base = in.base;
+        r.arg = in.key;
+        r.declared = in.hist.partition_count();
+        r.tested = in.hist.tested().size();
+        r.fraction = in.hist.coverage_fraction();
+        rows.push_back(std::move(r));
+    }
+    for (const auto& oc : report.outputs) {
+        CoverageSummaryRow r;
+        r.base = oc.base;
+        r.declared = oc.hist.partition_count();
+        r.tested = oc.hist.tested().size();
+        r.fraction = oc.hist.coverage_fraction();
+        rows.push_back(std::move(r));
+    }
+    return rows;
+}
+
+}  // namespace iocov::core

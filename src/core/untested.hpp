@@ -1,0 +1,45 @@
+// Untested-partition reporting: the actionable output of IOCov.
+//
+// The paper's headline empirical finding is that both CrashMonkey and
+// xfstests leave many input and output partitions untested.  This module
+// extracts those partitions from a CoverageReport and, for each, phrases
+// a concrete test suggestion a suite developer can act on (e.g. "open a
+// file with O_LARGEFILE", "drive write(2) into ENOSPC").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/coverage.hpp"
+
+namespace iocov::core {
+
+struct UntestedPartition {
+    enum class Kind : std::uint8_t { Input, Output };
+    Kind kind = Kind::Input;
+    std::string base;       ///< base syscall
+    std::string arg;        ///< argument key (inputs only)
+    std::string partition;  ///< the untested partition label
+    std::string suggestion; ///< human-readable test idea
+};
+
+/// All untested partitions in a report, inputs first.
+std::vector<UntestedPartition> find_untested(const CoverageReport& report);
+
+/// Partitions tested fewer than `threshold` times (but at least once):
+/// the "under-tested" set of the paper's over/under-testing discussion.
+std::vector<UntestedPartition> find_under_tested(const CoverageReport& report,
+                                                 std::uint64_t threshold);
+
+/// Summary counts per base syscall: declared/tested/untested partitions.
+struct CoverageSummaryRow {
+    std::string base;
+    std::string arg;  ///< empty for output rows
+    std::size_t declared = 0;
+    std::size_t tested = 0;
+    double fraction = 0.0;
+};
+
+std::vector<CoverageSummaryRow> summarize(const CoverageReport& report);
+
+}  // namespace iocov::core

@@ -1,0 +1,45 @@
+#include "core/variant_handler.hpp"
+
+#include "abi/fcntl.hpp"
+#include "core/syscall_spec.hpp"
+
+namespace iocov::core {
+
+std::optional<trace::ArgValue> CanonicalEvent::arg(
+    std::string_view key) const {
+    const trace::Arg* a = event.find_arg(key);
+    if (!a) return std::nullopt;
+    return a->value;
+}
+
+std::optional<CanonicalEvent> canonicalize(
+    const trace::TraceEvent& event,
+    const std::vector<SyscallSpec>& registry) {
+    auto base = base_of_variant(event.syscall, registry);
+    if (!base) return std::nullopt;
+
+    CanonicalEvent out;
+    out.base = *base;
+    out.variant = event.syscall;
+    out.event = event;
+
+    if (event.syscall == "creat") {
+        // creat(path, mode) == open(path, O_CREAT|O_WRONLY|O_TRUNC, mode).
+        out.event.args.push_back(
+            {"flags", trace::ArgValue{std::uint64_t{
+                          abi::O_CREAT | abi::O_WRONLY | abi::O_TRUNC}}});
+    } else if (event.syscall == "fchdir") {
+        // The directory identifier arrives as an fd, not a pathname.
+        out.event.args.push_back(
+            {"pathname", trace::ArgValue{std::string("<via-fd>")}});
+    } else if (event.syscall == "openat2") {
+        // mode/flags already present under the canonical names.
+    }
+    return out;
+}
+
+std::optional<CanonicalEvent> canonicalize(const trace::TraceEvent& event) {
+    return canonicalize(event, syscall_registry());
+}
+
+}  // namespace iocov::core

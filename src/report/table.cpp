@@ -1,0 +1,124 @@
+#include "report/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace iocov::report {
+namespace {
+
+bool looks_numeric(const std::string& s) {
+    if (s.empty()) return false;
+    for (char ch : s)
+        if (!(std::isdigit(static_cast<unsigned char>(ch)) || ch == '.' ||
+              ch == ',' || ch == '-' || ch == '%'))
+            return false;
+    return true;
+}
+
+std::string log_bar(std::uint64_t count, std::uint64_t max_count,
+                    std::size_t width) {
+    if (count == 0 || max_count == 0) return "";
+    const double lmax = std::log10(static_cast<double>(max_count) + 1.0);
+    const double lval = std::log10(static_cast<double>(count) + 1.0);
+    auto n = static_cast<std::size_t>(
+        std::lround(lval / lmax * static_cast<double>(width)));
+    n = std::max<std::size_t>(n, 1);
+    return std::string(n, '#');
+}
+
+}  // namespace
+
+std::string with_thousands(std::uint64_t n) {
+    std::string raw = std::to_string(n);
+    std::string out;
+    int pos = 0;
+    for (auto it = raw.rbegin(); it != raw.rend(); ++it) {
+        if (pos && pos % 3 == 0) out += ',';
+        out += *it;
+        ++pos;
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+std::string fixed(double v, int decimals) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+    return buf;
+}
+
+std::string render_table(const std::vector<std::string>& header,
+                         const std::vector<std::vector<std::string>>& rows) {
+    std::vector<std::size_t> widths(header.size());
+    for (std::size_t i = 0; i < header.size(); ++i)
+        widths[i] = header[i].size();
+    for (const auto& row : rows)
+        for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+
+    auto render_row = [&](const std::vector<std::string>& row) {
+        std::string out;
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            const std::string& cell = i < row.size() ? row[i] : "";
+            const auto pad = widths[i] - cell.size();
+            if (looks_numeric(cell)) {
+                out += std::string(pad, ' ') + cell;
+            } else {
+                out += cell + std::string(pad, ' ');
+            }
+            if (i + 1 < widths.size()) out += "  ";
+        }
+        // Trim trailing spaces.
+        while (!out.empty() && out.back() == ' ') out.pop_back();
+        return out + "\n";
+    };
+
+    std::string out = render_row(header);
+    std::size_t rule = 0;
+    for (std::size_t i = 0; i < widths.size(); ++i)
+        rule += widths[i] + (i + 1 < widths.size() ? 2 : 0);
+    out += std::string(rule, '-') + "\n";
+    for (const auto& row : rows) out += render_row(row);
+    return out;
+}
+
+std::string render_histogram(const stats::PartitionHistogram& hist,
+                             std::size_t bar_width) {
+    std::uint64_t max_count = 0;
+    for (const auto& row : hist.rows())
+        max_count = std::max(max_count, row.count);
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& row : hist.rows())
+        rows.push_back({row.label, with_thousands(row.count),
+                        log_bar(row.count, max_count, bar_width)});
+    return render_table({"partition", "count", "log scale"}, rows);
+}
+
+std::string render_comparison(const std::string& name_a,
+                              const stats::PartitionHistogram& a,
+                              const std::string& name_b,
+                              const stats::PartitionHistogram& b,
+                              std::size_t bar_width) {
+    std::vector<std::string> labels;
+    for (const auto& row : a.rows()) labels.push_back(row.label);
+    for (const auto& row : b.rows())
+        if (!a.has_partition(row.label)) labels.push_back(row.label);
+
+    std::uint64_t max_count = 1;
+    for (const auto& label : labels)
+        max_count = std::max({max_count, a.count(label), b.count(label)});
+
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& label : labels) {
+        rows.push_back({label, with_thousands(a.count(label)),
+                        log_bar(a.count(label), max_count, bar_width),
+                        with_thousands(b.count(label)),
+                        log_bar(b.count(label), max_count, bar_width)});
+    }
+    return render_table(
+        {"partition", name_a, name_a + " (log)", name_b, name_b + " (log)"},
+        rows);
+}
+
+}  // namespace iocov::report

@@ -1,0 +1,36 @@
+// Minimal fixed-width ASCII table/figure rendering for the bench
+// harnesses that regenerate the paper's tables and figures on stdout.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/histogram.hpp"
+
+namespace iocov::report {
+
+/// Renders rows as a fixed-width table with a header rule.  Column
+/// widths adapt to content; numeric-looking cells right-align.
+std::string render_table(const std::vector<std::string>& header,
+                         const std::vector<std::vector<std::string>>& rows);
+
+/// Renders one histogram as "label  count  bar" rows, with a log-scale
+/// bar (matching the paper's log10 y-axes).
+std::string render_histogram(const stats::PartitionHistogram& hist,
+                             std::size_t bar_width = 40);
+
+/// Side-by-side comparison of two suites over the union of partitions
+/// (the shape of the paper's Figures 2-4): label, count A, count B,
+/// log-bars.  Partition order follows `a`, with `b`-only labels after.
+std::string render_comparison(const std::string& name_a,
+                              const stats::PartitionHistogram& a,
+                              const std::string& name_b,
+                              const stats::PartitionHistogram& b,
+                              std::size_t bar_width = 24);
+
+/// Human formatting helpers.
+std::string with_thousands(std::uint64_t n);
+std::string fixed(double v, int decimals);
+
+}  // namespace iocov::report

@@ -1,0 +1,80 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+
+namespace iocov::stats {
+
+PartitionHistogram PartitionHistogram::with_partitions(
+    std::vector<std::string> labels) {
+    PartitionHistogram h;
+    h.rows_.reserve(labels.size());
+    for (auto& l : labels) {
+        if (!h.has_partition(l)) h.rows_.push_back({std::move(l), 0});
+    }
+    return h;
+}
+
+void PartitionHistogram::add(std::string_view label, std::uint64_t n) {
+    for (auto& row : rows_) {
+        if (row.label == label) {
+            row.count += n;
+            return;
+        }
+    }
+    rows_.push_back({std::string(label), n});
+}
+
+std::uint64_t PartitionHistogram::count(std::string_view label) const {
+    for (const auto& row : rows_)
+        if (row.label == label) return row.count;
+    return 0;
+}
+
+bool PartitionHistogram::has_partition(std::string_view label) const {
+    return std::any_of(rows_.begin(), rows_.end(),
+                       [&](const auto& r) { return r.label == label; });
+}
+
+std::vector<std::string> PartitionHistogram::untested() const {
+    std::vector<std::string> out;
+    for (const auto& row : rows_)
+        if (row.count == 0) out.push_back(row.label);
+    return out;
+}
+
+std::vector<std::string> PartitionHistogram::tested() const {
+    std::vector<std::string> out;
+    for (const auto& row : rows_)
+        if (row.count != 0) out.push_back(row.label);
+    return out;
+}
+
+std::uint64_t PartitionHistogram::total() const {
+    std::uint64_t sum = 0;
+    for (const auto& row : rows_) sum += row.count;
+    return sum;
+}
+
+double PartitionHistogram::coverage_fraction() const {
+    if (rows_.empty()) return 0.0;
+    const auto tested_n = static_cast<double>(rows_.size() - untested().size());
+    return tested_n / static_cast<double>(rows_.size());
+}
+
+void PartitionHistogram::merge(const PartitionHistogram& other) {
+    for (const auto& row : other.rows_) {
+        // add() with n==0 still declares the partition, preserving the
+        // union of declared (possibly untested) labels.
+        if (!has_partition(row.label)) rows_.push_back(row);
+        else if (row.count) add(row.label, row.count);
+    }
+}
+
+std::optional<PartitionCount> PartitionHistogram::max_row() const {
+    if (rows_.empty()) return std::nullopt;
+    return *std::max_element(
+        rows_.begin(), rows_.end(),
+        [](const auto& a, const auto& b) { return a.count < b.count; });
+}
+
+}  // namespace iocov::stats

@@ -1,0 +1,81 @@
+// Ordered frequency histogram over named partitions.
+//
+// Coverage in IOCov is fundamentally "how many times did each partition
+// of an input or output space get exercised".  PartitionHistogram is the
+// shared representation: a stable-ordered map from partition label to
+// count, with merge/compare/ratio helpers used by the coverage reports
+// and the TCD metric.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iocov::stats {
+
+/// One (partition label, frequency) row.
+struct PartitionCount {
+    std::string label;
+    std::uint64_t count = 0;
+
+    friend bool operator==(const PartitionCount&, const PartitionCount&) = default;
+};
+
+/// Frequency histogram keyed by partition label.
+///
+/// Labels keep their insertion order unless the histogram was built from
+/// a declared partition list (see with_partitions), in which case the
+/// declared order is preserved and undeclared labels append at the end.
+/// Lookup is linear-probe over a small vector: partition spaces here are
+/// tens of entries (flags, log2 buckets, errno values), so a flat vector
+/// beats a node-based map and keeps deterministic iteration for reports.
+class PartitionHistogram {
+  public:
+    PartitionHistogram() = default;
+
+    /// Pre-declares the partition labels (all at count zero) so that
+    /// untested partitions appear explicitly in reports.
+    static PartitionHistogram with_partitions(std::vector<std::string> labels);
+
+    /// Adds `n` observations of `label`, creating the partition if new.
+    void add(std::string_view label, std::uint64_t n = 1);
+
+    /// Count for `label`; zero if the partition was never declared/seen.
+    std::uint64_t count(std::string_view label) const;
+
+    /// True if the label exists (even at count zero).
+    bool has_partition(std::string_view label) const;
+
+    /// All rows in report order.
+    const std::vector<PartitionCount>& rows() const { return rows_; }
+
+    /// Labels whose count is zero — the "untested partitions" the paper
+    /// highlights for both CrashMonkey and xfstests.
+    std::vector<std::string> untested() const;
+
+    /// Labels with nonzero count.
+    std::vector<std::string> tested() const;
+
+    std::uint64_t total() const;
+    std::size_t partition_count() const { return rows_.size(); }
+    bool empty() const { return rows_.empty(); }
+
+    /// Fraction of declared partitions with nonzero count, in [0,1].
+    /// This is the headline "input coverage" / "output coverage" number.
+    double coverage_fraction() const;
+
+    /// Adds every row of `other` into this histogram (union of labels).
+    void merge(const PartitionHistogram& other);
+
+    /// Row with the maximum count (nullopt when empty).
+    std::optional<PartitionCount> max_row() const;
+
+    friend bool operator==(const PartitionHistogram&, const PartitionHistogram&) = default;
+
+  private:
+    std::vector<PartitionCount> rows_;
+};
+
+}  // namespace iocov::stats

@@ -1,0 +1,106 @@
+#include "stats/log_bucket.hpp"
+
+#include <array>
+#include <bit>
+#include <charconv>
+#include <cstdio>
+#include <limits>
+
+namespace iocov::stats {
+
+LogBucket log_bucket_of(std::int64_t value) {
+    if (value < 0) return {LogBucket::Kind::Negative, 0};
+    if (value == 0) return {LogBucket::Kind::Zero, 0};
+    const auto uv = static_cast<std::uint64_t>(value);
+    const unsigned exp = 63u - static_cast<unsigned>(std::countl_zero(uv));
+    return {LogBucket::Kind::Pow2, exp};
+}
+
+std::int64_t bucket_lower_bound(const LogBucket& b) {
+    switch (b.kind) {
+        case LogBucket::Kind::Negative:
+            return std::numeric_limits<std::int64_t>::min();
+        case LogBucket::Kind::Zero:
+            return 0;
+        case LogBucket::Kind::Pow2:
+            return static_cast<std::int64_t>(std::int64_t{1} << b.exponent);
+    }
+    return 0;
+}
+
+std::int64_t bucket_upper_bound(const LogBucket& b) {
+    switch (b.kind) {
+        case LogBucket::Kind::Negative:
+            return -1;
+        case LogBucket::Kind::Zero:
+            return 0;
+        case LogBucket::Kind::Pow2:
+            if (b.exponent >= 62) return std::numeric_limits<std::int64_t>::max();
+            return (std::int64_t{1} << (b.exponent + 1)) - 1;
+    }
+    return 0;
+}
+
+std::string bucket_label(const LogBucket& b) {
+    switch (b.kind) {
+        case LogBucket::Kind::Negative:
+            return "<0";
+        case LogBucket::Kind::Zero:
+            return "=0";
+        case LogBucket::Kind::Pow2:
+            return "2^" + std::to_string(b.exponent);
+    }
+    return "?";
+}
+
+std::string bucket_size_label(const LogBucket& b) {
+    switch (b.kind) {
+        case LogBucket::Kind::Negative:
+            return "<0";
+        case LogBucket::Kind::Zero:
+            return "0B";
+        case LogBucket::Kind::Pow2:
+            return human_size(std::uint64_t{1} << b.exponent);
+    }
+    return "?";
+}
+
+std::string human_size(std::uint64_t bytes) {
+    static constexpr std::array<const char*, 7> kUnits = {
+        "B", "KiB", "MiB", "GiB", "TiB", "PiB", "EiB"};
+    std::size_t unit = 0;
+    std::uint64_t whole = bytes;
+    std::uint64_t rem = 0;
+    while (whole >= 1024 && unit + 1 < kUnits.size()) {
+        rem = whole % 1024;
+        whole /= 1024;
+        ++unit;
+    }
+    char buf[64];
+    if (rem == 0) {
+        std::snprintf(buf, sizeof buf, "%llu%s",
+                      static_cast<unsigned long long>(whole), kUnits[unit]);
+    } else {
+        std::snprintf(buf, sizeof buf, "%.1f%s",
+                      static_cast<double>(whole) +
+                          static_cast<double>(rem) / 1024.0,
+                      kUnits[unit]);
+    }
+    return buf;
+}
+
+std::optional<LogBucket> parse_bucket_label(const std::string& label) {
+    if (label == "<0") return LogBucket{LogBucket::Kind::Negative, 0};
+    if (label == "=0") return LogBucket{LogBucket::Kind::Zero, 0};
+    if (label.size() > 2 && label[0] == '2' && label[1] == '^') {
+        unsigned exp = 0;
+        const char* first = label.data() + 2;
+        const char* last = label.data() + label.size();
+        auto [ptr, ec] = std::from_chars(first, last, exp);
+        if (ec == std::errc{} && ptr == last && exp < 64)
+            return LogBucket{LogBucket::Kind::Pow2, exp};
+    }
+    return std::nullopt;
+}
+
+}  // namespace iocov::stats

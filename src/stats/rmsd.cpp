@@ -1,0 +1,38 @@
+#include "stats/rmsd.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace iocov::stats {
+
+double rmsd(std::span<const double> a, std::span<const double> b) {
+    assert(a.size() == b.size());
+    if (a.empty()) return 0.0;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        sum += d * d;
+    }
+    return std::sqrt(sum / static_cast<double>(a.size()));
+}
+
+double safe_log10(double x, double floor) {
+    return std::log10(x < floor ? floor : x);
+}
+
+double mean(std::span<const double> xs) {
+    if (xs.empty()) return 0.0;
+    double sum = 0.0;
+    for (double x : xs) sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+    if (xs.size() < 2) return 0.0;
+    const double m = mean(xs);
+    double sum = 0.0;
+    for (double x : xs) sum += (x - m) * (x - m);
+    return std::sqrt(sum / static_cast<double>(xs.size()));
+}
+
+}  // namespace iocov::stats

@@ -1,0 +1,67 @@
+// Kernel: system-wide state shared by all simulated processes.
+//
+// Owns the trace sequence counter, the system open-file table limit
+// (ENFILE), and a syscall-level fault injector for environmental errors
+// (EINTR/ENOMEM/EIO) that argument validation alone cannot produce.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/sink.hpp"
+#include "vfs/fault.hpp"
+#include "vfs/filesystem.hpp"
+
+namespace iocov::syscall {
+
+struct KernelLimits {
+    /// System-wide open-file-description limit (exceed -> ENFILE).
+    std::uint64_t max_open_files = 65536;
+    /// Per-process fd limit, RLIMIT_NOFILE (exceed -> EMFILE).
+    unsigned max_fds_per_process = 1024;
+};
+
+class Process;
+
+class Kernel {
+  public:
+    /// `sink` receives one event per syscall; nullptr disables tracing.
+    explicit Kernel(vfs::FileSystem& fs, trace::TraceSink* sink = nullptr,
+                    KernelLimits limits = {});
+
+    Kernel(const Kernel&) = delete;
+    Kernel& operator=(const Kernel&) = delete;
+
+    vfs::FileSystem& fs() { return fs_; }
+    const KernelLimits& limits() const { return limits_; }
+
+    /// Adjusts fd-table limits at runtime (tests and workload generators
+    /// use this to make EMFILE/ENFILE reachable without thousands of
+    /// filler opens).
+    void set_limits(KernelLimits limits) { limits_ = limits; }
+
+    /// Syscall-level fault injector, keyed by syscall name ("open",
+    /// "write", or "*").  Checked before each syscall's own logic.
+    vfs::FaultInjector& faults() { return faults_; }
+
+    void set_sink(trace::TraceSink* sink) { sink_ = sink; }
+
+    /// Creates a process with its own fd table, cwd (root) and umask.
+    Process make_process(std::uint32_t pid, vfs::Credentials cred);
+
+  private:
+    friend class Process;
+
+    std::uint64_t next_seq() { return seq_++; }
+    bool file_table_full() const {
+        return open_files_ >= limits_.max_open_files;
+    }
+
+    vfs::FileSystem& fs_;
+    trace::TraceSink* sink_;
+    KernelLimits limits_;
+    vfs::FaultInjector faults_;
+    std::uint64_t seq_ = 0;
+    std::uint64_t open_files_ = 0;
+};
+
+}  // namespace iocov::syscall

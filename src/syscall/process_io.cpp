@@ -1,0 +1,276 @@
+// read / pread64 / readv, write / pwrite64 / writev, lseek.
+#include <algorithm>
+#include <array>
+#include <limits>
+
+#include "abi/limits.hpp"
+#include "abi/seek.hpp"
+#include "syscall/process.hpp"
+
+namespace iocov::syscall {
+
+using abi::Err;
+
+namespace {
+
+constexpr std::uint64_t kDirectAlign = 512;
+
+bool direct_misaligned(std::uint64_t off, std::uint64_t len) {
+    return (off % kDirectAlign) != 0 || (len % kDirectAlign) != 0;
+}
+
+}  // namespace
+
+std::int64_t Process::do_read(int fd, ReadDst& dst, std::int64_t pos,
+                              bool use_pos) {
+    FileDescription* desc = lookup_fd(fd);
+    if (!desc) return abi::fail(Err::EBADF_);
+    if (desc->path_only() || !desc->readable()) return abi::fail(Err::EBADF_);
+    if (desc->is_directory) return abi::fail(Err::EISDIR_);
+    if (use_pos && pos < 0) return abi::fail(Err::EINVAL_);
+
+    auto& fs = kernel_.fs_;
+    const vfs::Inode* node = fs.find(desc->ino);
+    if (!node) return abi::fail(Err::EBADF_);
+
+    if (node->is_fifo()) {
+        if (use_pos) return abi::fail(Err::ESPIPE_);
+        // The simulated fifo never has data: non-blocking reads see
+        // EAGAIN; a blocking read is modeled as interrupted by a signal.
+        return abi::fail((desc->flags & abi::O_NONBLOCK) ? Err::EAGAIN_
+                                                         : Err::EINTR_);
+    }
+
+    if (dst.kind() == ReadDst::Kind::BadAddr && dst.len() > 0)
+        return abi::fail(Err::EFAULT_);
+
+    // The kernel silently truncates giant requests to MAX_RW_COUNT.
+    const std::uint64_t count = std::min(dst.len(), abi::MAX_RW_COUNT);
+    const std::uint64_t off =
+        use_pos ? static_cast<std::uint64_t>(pos) : desc->offset;
+
+    if ((desc->flags & abi::O_DIRECT) && direct_misaligned(off, count))
+        return abi::fail(Err::EINVAL_);
+
+    if (count == 0) return 0;
+
+    std::uint64_t total = 0;
+    if (dst.kind() == ReadDst::Kind::Real) {
+        auto r = fs.read(desc->ino, off, dst.bytes().first(count));
+        if (!r.ok()) return abi::fail(r.error());
+        total = r.value();
+    } else {
+        // Discard destination: stream through a scratch chunk so huge
+        // reads never materialize a buffer.
+        std::array<std::byte, 256 * 1024> scratch;
+        while (total < count) {
+            const std::uint64_t want =
+                std::min<std::uint64_t>(scratch.size(), count - total);
+            auto r = fs.read(desc->ino, off + total,
+                             std::span(scratch.data(), want));
+            if (!r.ok()) return abi::fail(r.error());
+            total += r.value();
+            if (r.value() < want) break;  // EOF
+        }
+    }
+    if (!use_pos) desc->offset = off + total;
+    return static_cast<std::int64_t>(total);
+}
+
+std::int64_t Process::do_write(int fd, const WriteSrc& src, std::int64_t pos,
+                               bool use_pos) {
+    FileDescription* desc = lookup_fd(fd);
+    if (!desc) return abi::fail(Err::EBADF_);
+    if (desc->path_only() || !desc->writable()) return abi::fail(Err::EBADF_);
+    if (use_pos && pos < 0) return abi::fail(Err::EINVAL_);
+
+    auto& fs = kernel_.fs_;
+    const vfs::Inode* node = fs.find(desc->ino);
+    if (!node) return abi::fail(Err::EBADF_);
+
+    if (node->is_fifo()) {
+        if (use_pos) return abi::fail(Err::ESPIPE_);
+        return abi::fail(node->fifo_has_reader ? Err::EAGAIN_ : Err::EPIPE_);
+    }
+
+    if (src.kind() == WriteSrc::Kind::BadAddr && src.len() > 0)
+        return abi::fail(Err::EFAULT_);
+
+    const std::uint64_t count = std::min(src.len(), abi::MAX_RW_COUNT);
+    std::uint64_t off;
+    if (use_pos) {
+        off = static_cast<std::uint64_t>(pos);
+    } else if (desc->flags & abi::O_APPEND) {
+        off = node->data.size();
+    } else {
+        off = desc->offset;
+    }
+
+    if ((desc->flags & abi::O_DIRECT) && direct_misaligned(off, count))
+        return abi::fail(Err::EINVAL_);
+
+    if (count == 0) {
+        // POSIX: a zero-length write on a regular file returns 0 with
+        // no other effect — the boundary input the paper calls out.
+        return 0;
+    }
+
+    vfs::Result<std::uint64_t> r =
+        src.kind() == WriteSrc::Kind::Real
+            ? fs.write(desc->ino, off, src.bytes().first(count))
+            : fs.write_pattern(desc->ino, off, count, src.fill());
+    if (!r.ok()) return abi::fail(r.error());
+    if (!use_pos) desc->offset = off + r.value();
+    return static_cast<std::int64_t>(r.value());
+}
+
+std::int64_t Process::sys_read(int fd, ReadDst dst) {
+    std::int64_t ret;
+    if (auto e = fault("read")) ret = abi::fail(*e);
+    else ret = do_read(fd, dst, 0, false);
+    emit("read", {targ("fd", fd), uarg("count", dst.len())}, ret);
+    return ret;
+}
+
+std::int64_t Process::sys_pread64(int fd, ReadDst dst, std::int64_t pos) {
+    std::int64_t ret;
+    if (auto e = fault("pread64")) ret = abi::fail(*e);
+    else ret = do_read(fd, dst, pos, true);
+    emit("pread64",
+         {targ("fd", fd), uarg("count", dst.len()), targ("pos", pos)}, ret);
+    return ret;
+}
+
+std::int64_t Process::sys_readv(int fd, std::vector<ReadDst> iov) {
+    std::int64_t ret = 0;
+    std::uint64_t total_req = 0;
+    for (const auto& d : iov) total_req += d.len();
+
+    if (auto e = fault("readv")) {
+        ret = abi::fail(*e);
+    } else if (iov.size() > static_cast<std::size_t>(abi::IOV_MAX_)) {
+        ret = abi::fail(Err::EINVAL_);
+    } else {
+        std::int64_t total = 0;
+        for (auto& d : iov) {
+            const std::int64_t n = do_read(fd, d, 0, false);
+            if (n < 0) {
+                if (total == 0) total = n;  // nothing transferred yet
+                break;
+            }
+            total += n;
+            if (static_cast<std::uint64_t>(n) < d.len()) break;  // EOF
+        }
+        ret = total;
+    }
+    emit("readv",
+         {targ("fd", fd), uarg("vlen", iov.size()),
+          uarg("count", total_req)},
+         ret);
+    return ret;
+}
+
+std::int64_t Process::sys_write(int fd, WriteSrc src) {
+    std::int64_t ret;
+    if (auto e = fault("write")) ret = abi::fail(*e);
+    else ret = do_write(fd, src, 0, false);
+    emit("write", {targ("fd", fd), uarg("count", src.len())}, ret);
+    return ret;
+}
+
+std::int64_t Process::sys_pwrite64(int fd, WriteSrc src, std::int64_t pos) {
+    std::int64_t ret;
+    if (auto e = fault("pwrite64")) ret = abi::fail(*e);
+    else ret = do_write(fd, src, pos, true);
+    emit("pwrite64",
+         {targ("fd", fd), uarg("count", src.len()), targ("pos", pos)}, ret);
+    return ret;
+}
+
+std::int64_t Process::sys_writev(int fd, std::vector<WriteSrc> iov) {
+    std::int64_t ret = 0;
+    std::uint64_t total_req = 0;
+    for (const auto& s : iov) total_req += s.len();
+
+    if (auto e = fault("writev")) {
+        ret = abi::fail(*e);
+    } else if (iov.size() > static_cast<std::size_t>(abi::IOV_MAX_)) {
+        ret = abi::fail(Err::EINVAL_);
+    } else {
+        std::int64_t total = 0;
+        for (const auto& s : iov) {
+            const std::int64_t n = do_write(fd, s, 0, false);
+            if (n < 0) {
+                if (total == 0) total = n;
+                break;
+            }
+            total += n;
+            if (static_cast<std::uint64_t>(n) < s.len()) break;
+        }
+        ret = total;
+    }
+    emit("writev",
+         {targ("fd", fd), uarg("vlen", iov.size()),
+          uarg("count", total_req)},
+         ret);
+    return ret;
+}
+
+std::int64_t Process::sys_lseek(int fd, std::int64_t offset, int whence) {
+    std::int64_t ret;
+    auto compute = [&]() -> std::int64_t {
+        FileDescription* desc = lookup_fd(fd);
+        if (!desc) return abi::fail(Err::EBADF_);
+        const vfs::Inode* node = kernel_.fs_.find(desc->ino);
+        if (!node) return abi::fail(Err::EBADF_);
+        if (node->is_fifo()) return abi::fail(Err::ESPIPE_);
+        if (!abi::seek_whence_name(whence)) return abi::fail(Err::EINVAL_);
+
+        const auto size = static_cast<std::int64_t>(node->data.size());
+        std::int64_t target = 0;
+        switch (whence) {
+            case abi::SEEK_SET_:
+                target = offset;
+                break;
+            case abi::SEEK_CUR_: {
+                const auto cur = static_cast<std::int64_t>(desc->offset);
+                if (offset > 0 &&
+                    cur > std::numeric_limits<std::int64_t>::max() - offset)
+                    return abi::fail(Err::EOVERFLOW_);
+                target = cur + offset;
+                break;
+            }
+            case abi::SEEK_END_:
+                if (offset > 0 &&
+                    size > std::numeric_limits<std::int64_t>::max() - offset)
+                    return abi::fail(Err::EOVERFLOW_);
+                target = size + offset;
+                break;
+            case abi::SEEK_DATA_: {
+                if (offset < 0 || offset > size) return abi::fail(Err::ENXIO_);
+                auto d = node->data.next_data(
+                    static_cast<std::uint64_t>(offset));
+                if (!d) return abi::fail(Err::ENXIO_);
+                target = static_cast<std::int64_t>(*d);
+                break;
+            }
+            case abi::SEEK_HOLE_: {
+                if (offset < 0 || offset > size) return abi::fail(Err::ENXIO_);
+                target = static_cast<std::int64_t>(node->data.next_hole(
+                    static_cast<std::uint64_t>(offset)));
+                break;
+            }
+        }
+        if (target < 0) return abi::fail(Err::EINVAL_);
+        desc->offset = static_cast<std::uint64_t>(target);
+        return target;
+    };
+    if (auto e = fault("lseek")) ret = abi::fail(*e);
+    else ret = compute();
+    emit("lseek",
+         {targ("fd", fd), targ("offset", offset), targ("whence", whence)},
+         ret);
+    return ret;
+}
+
+}  // namespace iocov::syscall

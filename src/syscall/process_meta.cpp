@@ -1,0 +1,421 @@
+// truncate / ftruncate, mkdir / mkdirat, chmod family, close, chdir /
+// fchdir, and the untracked extras (fsync, unlink, rename, ...).
+#include "abi/limits.hpp"
+#include "syscall/process.hpp"
+
+namespace iocov::syscall {
+
+using abi::Err;
+
+std::int64_t Process::sys_truncate(const char* pathname,
+                                   std::int64_t length) {
+    auto compute = [&]() -> std::int64_t {
+        PathArg pa = path_arg(abi::AT_FDCWD, pathname);
+        if (pa.err) return pa.err;
+        if (length < 0) return abi::fail(Err::EINVAL_);
+        auto& fs = kernel_.fs_;
+        auto r = fs.resolve(pa.path, cred_, {.base = pa.base});
+        if (!r.ok()) return abi::fail(r.error());
+        const vfs::Inode* node = fs.find(r.value());
+        if (node->is_dir()) return abi::fail(Err::EISDIR_);
+        if (!node->is_reg()) return abi::fail(Err::EINVAL_);
+        if (node->executing) return abi::fail(Err::ETXTBSY_);
+        if (fs.config().read_only) return abi::fail(Err::EROFS_);
+        if (auto st = fs.access_check(r.value(), 2, cred_); !st.ok())
+            return abi::fail(st.error());
+        if (auto st = fs.truncate(r.value(),
+                                  static_cast<std::uint64_t>(length));
+            !st.ok())
+            return abi::fail(st.error());
+        return 0;
+    };
+    std::int64_t ret;
+    if (auto e = fault("truncate")) ret = abi::fail(*e);
+    else ret = compute();
+    emit("truncate", {sarg("pathname", pathname), targ("length", length)},
+         ret);
+    return ret;
+}
+
+std::int64_t Process::sys_ftruncate(int fd, std::int64_t length) {
+    auto compute = [&]() -> std::int64_t {
+        FileDescription* desc = lookup_fd(fd);
+        if (!desc) return abi::fail(Err::EBADF_);
+        if (length < 0) return abi::fail(Err::EINVAL_);
+        // POSIX: EINVAL (not EBADF) when the fd is not open for writing
+        // or does not refer to a regular file.
+        if (desc->path_only() || !desc->writable() || desc->is_directory)
+            return abi::fail(Err::EINVAL_);
+        const vfs::Inode* node = kernel_.fs_.find(desc->ino);
+        if (!node) return abi::fail(Err::EBADF_);
+        if (!node->is_reg()) return abi::fail(Err::EINVAL_);
+        if (auto st = kernel_.fs_.truncate(
+                desc->ino, static_cast<std::uint64_t>(length));
+            !st.ok())
+            return abi::fail(st.error());
+        return 0;
+    };
+    std::int64_t ret;
+    if (auto e = fault("ftruncate")) ret = abi::fail(*e);
+    else ret = compute();
+    emit("ftruncate", {targ("fd", fd), targ("length", length)}, ret);
+    return ret;
+}
+
+namespace {
+
+std::int64_t mkdir_common(vfs::FileSystem& fs, vfs::InodeId base,
+                          const std::string& path, abi::mode_t_ mode,
+                          abi::mode_t_ umask, const vfs::Credentials& cred) {
+    auto parent = fs.resolve_parent(path, cred, {.base = base});
+    if (!parent.ok()) return abi::fail(parent.error());
+    if (parent.value().name.empty()) return abi::fail(Err::EEXIST_);  // "/"
+    auto made = fs.make_dir(parent.value().parent, parent.value().name,
+                            mode & ~umask, cred);
+    if (!made.ok()) return abi::fail(made.error());
+    return 0;
+}
+
+}  // namespace
+
+std::int64_t Process::sys_mkdir(const char* pathname, abi::mode_t_ mode) {
+    std::int64_t ret;
+    if (auto e = fault("mkdir")) {
+        ret = abi::fail(*e);
+    } else {
+        PathArg pa = path_arg(abi::AT_FDCWD, pathname);
+        ret = pa.err ? pa.err
+                     : mkdir_common(kernel_.fs_, pa.base, pa.path, mode,
+                                    umask_, cred_);
+    }
+    emit("mkdir", {sarg("pathname", pathname), uarg("mode", mode)}, ret);
+    return ret;
+}
+
+std::int64_t Process::sys_mkdirat(int dfd, const char* pathname,
+                                  abi::mode_t_ mode) {
+    std::int64_t ret;
+    if (auto e = fault("mkdirat")) {
+        ret = abi::fail(*e);
+    } else {
+        PathArg pa = path_arg(dfd, pathname);
+        ret = pa.err ? pa.err
+                     : mkdir_common(kernel_.fs_, pa.base, pa.path, mode,
+                                    umask_, cred_);
+    }
+    emit("mkdirat",
+         {targ("dfd", dfd), sarg("pathname", pathname), uarg("mode", mode)},
+         ret);
+    return ret;
+}
+
+std::int64_t Process::do_chmod_path(int dfd, const char* pathname,
+                                    abi::mode_t_ mode, bool follow) {
+    PathArg pa = path_arg(dfd, pathname);
+    if (pa.err) return pa.err;
+    auto& fs = kernel_.fs_;
+    auto r = fs.resolve(pa.path, cred_,
+                        {.base = pa.base, .follow_final = follow});
+    if (!r.ok()) return abi::fail(r.error());
+    if (auto st = fs.chmod(r.value(), mode, cred_); !st.ok())
+        return abi::fail(st.error());
+    return 0;
+}
+
+std::int64_t Process::sys_chmod(const char* pathname, abi::mode_t_ mode) {
+    std::int64_t ret;
+    if (auto e = fault("chmod")) ret = abi::fail(*e);
+    else ret = do_chmod_path(abi::AT_FDCWD, pathname, mode, true);
+    emit("chmod", {sarg("pathname", pathname), uarg("mode", mode)}, ret);
+    return ret;
+}
+
+std::int64_t Process::sys_fchmod(int fd, abi::mode_t_ mode) {
+    auto compute = [&]() -> std::int64_t {
+        FileDescription* desc = lookup_fd(fd);
+        if (!desc) return abi::fail(Err::EBADF_);
+        if (auto st = kernel_.fs_.chmod(desc->ino, mode, cred_); !st.ok())
+            return abi::fail(st.error());
+        return 0;
+    };
+    std::int64_t ret;
+    if (auto e = fault("fchmod")) ret = abi::fail(*e);
+    else ret = compute();
+    emit("fchmod", {targ("fd", fd), uarg("mode", mode)}, ret);
+    return ret;
+}
+
+std::int64_t Process::sys_fchmodat(int dfd, const char* pathname,
+                                   abi::mode_t_ mode, std::uint32_t flags) {
+    std::int64_t ret;
+    if (auto e = fault("fchmodat")) {
+        ret = abi::fail(*e);
+    } else if (flags & ~abi::AT_SYMLINK_NOFOLLOW) {
+        ret = abi::fail(Err::EINVAL_);
+    } else if (flags & abi::AT_SYMLINK_NOFOLLOW) {
+        // Like glibc/the kernel: chmod on a symlink itself is
+        // unsupported.
+        ret = abi::fail(Err::EOPNOTSUPP_);
+    } else {
+        ret = do_chmod_path(dfd, pathname, mode, true);
+    }
+    emit("fchmodat",
+         {targ("dfd", dfd), sarg("pathname", pathname), uarg("mode", mode),
+          uarg("flags", flags)},
+         ret);
+    return ret;
+}
+
+std::int64_t Process::sys_close(int fd) {
+    auto compute = [&]() -> std::int64_t {
+        if (!lookup_fd(fd)) return abi::fail(Err::EBADF_);
+        drop_fd_entry(fd);
+        return 0;
+    };
+    std::int64_t ret;
+    if (auto e = fault("close")) ret = abi::fail(*e);
+    else ret = compute();
+    emit("close", {targ("fd", fd)}, ret);
+    return ret;
+}
+
+std::int64_t Process::sys_chdir(const char* pathname) {
+    auto compute = [&]() -> std::int64_t {
+        PathArg pa = path_arg(abi::AT_FDCWD, pathname);
+        if (pa.err) return pa.err;
+        auto& fs = kernel_.fs_;
+        auto r = fs.resolve(pa.path, cred_, {.base = pa.base});
+        if (!r.ok()) return abi::fail(r.error());
+        const vfs::Inode* node = fs.find(r.value());
+        if (!node->is_dir()) return abi::fail(Err::ENOTDIR_);
+        if (auto st = fs.access_check(r.value(), 1, cred_); !st.ok())
+            return abi::fail(st.error());
+        cwd_ = r.value();
+        return 0;
+    };
+    std::int64_t ret;
+    if (auto e = fault("chdir")) ret = abi::fail(*e);
+    else ret = compute();
+    emit("chdir", {sarg("pathname", pathname)}, ret);
+    return ret;
+}
+
+std::int64_t Process::sys_fchdir(int fd) {
+    auto compute = [&]() -> std::int64_t {
+        FileDescription* desc = lookup_fd(fd);
+        if (!desc) return abi::fail(Err::EBADF_);
+        if (!desc->is_directory) return abi::fail(Err::ENOTDIR_);
+        if (auto st = kernel_.fs_.access_check(desc->ino, 1, cred_); !st.ok())
+            return abi::fail(st.error());
+        cwd_ = desc->ino;
+        return 0;
+    };
+    std::int64_t ret;
+    if (auto e = fault("fchdir")) ret = abi::fail(*e);
+    else ret = compute();
+    emit("fchdir", {targ("fd", fd)}, ret);
+    return ret;
+}
+
+// ---- untracked extras ------------------------------------------------------
+
+namespace {
+
+std::int64_t stat_common(vfs::FileSystem& fs, vfs::InodeId base,
+                         const std::string& path, bool follow,
+                         const vfs::Credentials& cred, vfs::Stat* out) {
+    auto r = fs.resolve(path, cred, {.base = base, .follow_final = follow});
+    if (!r.ok()) return abi::fail(r.error());
+    auto st = fs.stat(r.value());
+    if (!st.ok()) return abi::fail(st.error());
+    if (out) *out = st.value();
+    return 0;
+}
+
+}  // namespace
+
+std::int64_t Process::sys_stat(const char* pathname, vfs::Stat* out) {
+    std::int64_t ret;
+    if (auto e = fault("stat")) {
+        ret = abi::fail(*e);
+    } else {
+        PathArg pa = path_arg(abi::AT_FDCWD, pathname);
+        ret = pa.err ? pa.err
+                     : stat_common(kernel_.fs(), pa.base, pa.path, true,
+                                   cred_, out);
+    }
+    emit("stat", {sarg("pathname", pathname)}, ret);
+    return ret;
+}
+
+std::int64_t Process::sys_lstat(const char* pathname, vfs::Stat* out) {
+    std::int64_t ret;
+    if (auto e = fault("lstat")) {
+        ret = abi::fail(*e);
+    } else {
+        PathArg pa = path_arg(abi::AT_FDCWD, pathname);
+        ret = pa.err ? pa.err
+                     : stat_common(kernel_.fs(), pa.base, pa.path, false,
+                                   cred_, out);
+    }
+    emit("lstat", {sarg("pathname", pathname)}, ret);
+    return ret;
+}
+
+std::int64_t Process::sys_fstat(int fd, vfs::Stat* out) {
+    auto compute = [&]() -> std::int64_t {
+        FileDescription* desc = lookup_fd(fd);
+        if (!desc) return abi::fail(Err::EBADF_);
+        auto st = kernel_.fs().stat(desc->ino);
+        if (!st.ok()) return abi::fail(st.error());
+        if (out) *out = st.value();
+        return 0;
+    };
+    std::int64_t ret;
+    if (auto e = fault("fstat")) ret = abi::fail(*e);
+    else ret = compute();
+    emit("fstat", {targ("fd", fd)}, ret);
+    return ret;
+}
+
+std::int64_t Process::sys_fsync(int fd) {
+    std::int64_t ret;
+    if (auto e = fault("fsync")) ret = abi::fail(*e);
+    else ret = lookup_fd(fd) ? 0 : abi::fail(Err::EBADF_);
+    emit("fsync", {targ("fd", fd)}, ret);
+    return ret;
+}
+
+std::int64_t Process::sys_fdatasync(int fd) {
+    std::int64_t ret;
+    if (auto e = fault("fdatasync")) ret = abi::fail(*e);
+    else ret = lookup_fd(fd) ? 0 : abi::fail(Err::EBADF_);
+    emit("fdatasync", {targ("fd", fd)}, ret);
+    return ret;
+}
+
+std::int64_t Process::sys_sync() {
+    std::int64_t ret = 0;
+    if (auto e = fault("sync")) ret = abi::fail(*e);
+    emit("sync", {}, ret);
+    return ret;
+}
+
+std::int64_t Process::sys_unlink(const char* pathname) {
+    auto compute = [&]() -> std::int64_t {
+        PathArg pa = path_arg(abi::AT_FDCWD, pathname);
+        if (pa.err) return pa.err;
+        auto& fs = kernel_.fs_;
+        auto parent = fs.resolve_parent(pa.path, cred_, {.base = pa.base});
+        if (!parent.ok()) return abi::fail(parent.error());
+        if (parent.value().name.empty()) return abi::fail(Err::EISDIR_);
+        if (auto st = fs.unlink(parent.value().parent, parent.value().name,
+                                cred_);
+            !st.ok())
+            return abi::fail(st.error());
+        return 0;
+    };
+    std::int64_t ret;
+    if (auto e = fault("unlink")) ret = abi::fail(*e);
+    else ret = compute();
+    emit("unlink", {sarg("pathname", pathname)}, ret);
+    return ret;
+}
+
+std::int64_t Process::sys_rmdir(const char* pathname) {
+    auto compute = [&]() -> std::int64_t {
+        PathArg pa = path_arg(abi::AT_FDCWD, pathname);
+        if (pa.err) return pa.err;
+        auto& fs = kernel_.fs_;
+        auto parent = fs.resolve_parent(pa.path, cred_, {.base = pa.base});
+        if (!parent.ok()) return abi::fail(parent.error());
+        if (parent.value().name.empty()) return abi::fail(Err::EBUSY_);  // "/"
+        if (auto st = fs.remove_dir(parent.value().parent,
+                                    parent.value().name, cred_);
+            !st.ok())
+            return abi::fail(st.error());
+        return 0;
+    };
+    std::int64_t ret;
+    if (auto e = fault("rmdir")) ret = abi::fail(*e);
+    else ret = compute();
+    emit("rmdir", {sarg("pathname", pathname)}, ret);
+    return ret;
+}
+
+std::int64_t Process::sys_rename(const char* oldpath, const char* newpath) {
+    auto compute = [&]() -> std::int64_t {
+        PathArg po = path_arg(abi::AT_FDCWD, oldpath);
+        if (po.err) return po.err;
+        PathArg pn = path_arg(abi::AT_FDCWD, newpath);
+        if (pn.err) return pn.err;
+        auto& fs = kernel_.fs_;
+        auto op = fs.resolve_parent(po.path, cred_, {.base = po.base});
+        if (!op.ok()) return abi::fail(op.error());
+        auto np = fs.resolve_parent(pn.path, cred_, {.base = pn.base});
+        if (!np.ok()) return abi::fail(np.error());
+        if (op.value().name.empty() || np.value().name.empty())
+            return abi::fail(Err::EBUSY_);
+        if (auto st = fs.rename(op.value().parent, op.value().name,
+                                np.value().parent, np.value().name, cred_);
+            !st.ok())
+            return abi::fail(st.error());
+        return 0;
+    };
+    std::int64_t ret;
+    if (auto e = fault("rename")) ret = abi::fail(*e);
+    else ret = compute();
+    emit("rename", {sarg("oldpath", oldpath), sarg("newpath", newpath)}, ret);
+    return ret;
+}
+
+std::int64_t Process::sys_symlink(const char* target, const char* linkpath) {
+    auto compute = [&]() -> std::int64_t {
+        if (!target) return abi::fail(Err::EFAULT_);
+        PathArg pa = path_arg(abi::AT_FDCWD, linkpath);
+        if (pa.err) return pa.err;
+        auto& fs = kernel_.fs_;
+        auto parent = fs.resolve_parent(pa.path, cred_, {.base = pa.base});
+        if (!parent.ok()) return abi::fail(parent.error());
+        if (parent.value().name.empty()) return abi::fail(Err::EEXIST_);
+        auto made = fs.make_symlink(parent.value().parent,
+                                    parent.value().name, target, cred_);
+        if (!made.ok()) return abi::fail(made.error());
+        return 0;
+    };
+    std::int64_t ret;
+    if (auto e = fault("symlink")) ret = abi::fail(*e);
+    else ret = compute();
+    emit("symlink", {sarg("target", target), sarg("linkpath", linkpath)},
+         ret);
+    return ret;
+}
+
+std::int64_t Process::sys_link(const char* oldpath, const char* newpath) {
+    auto compute = [&]() -> std::int64_t {
+        PathArg po = path_arg(abi::AT_FDCWD, oldpath);
+        if (po.err) return po.err;
+        PathArg pn = path_arg(abi::AT_FDCWD, newpath);
+        if (pn.err) return pn.err;
+        auto& fs = kernel_.fs_;
+        // link(2) does not follow a final symlink on oldpath.
+        auto target = fs.resolve(po.path, cred_,
+                                 {.base = po.base, .follow_final = false});
+        if (!target.ok()) return abi::fail(target.error());
+        auto parent = fs.resolve_parent(pn.path, cred_, {.base = pn.base});
+        if (!parent.ok()) return abi::fail(parent.error());
+        if (parent.value().name.empty()) return abi::fail(Err::EEXIST_);
+        if (auto st = fs.link(target.value(), parent.value().parent,
+                              parent.value().name, cred_);
+            !st.ok())
+            return abi::fail(st.error());
+        return 0;
+    };
+    std::int64_t ret;
+    if (auto e = fault("link")) ret = abi::fail(*e);
+    else ret = compute();
+    emit("link", {sarg("oldpath", oldpath), sarg("newpath", newpath)}, ret);
+    return ret;
+}
+
+}  // namespace iocov::syscall

@@ -1,0 +1,246 @@
+// open / openat / creat / openat2.
+#include "abi/limits.hpp"
+#include "syscall/process.hpp"
+
+namespace iocov::syscall {
+
+using abi::Err;
+using vfs::ResolveOpts;
+
+namespace {
+
+/// All flag bits open(2) understands (anything else is ignored by the
+/// classic syscalls but rejected by openat2's strict validation).
+constexpr std::uint32_t kKnownOpenFlags =
+    abi::O_ACCMODE | abi::O_CREAT | abi::O_EXCL | abi::O_NOCTTY |
+    abi::O_TRUNC | abi::O_APPEND | abi::O_NONBLOCK | abi::O_DSYNC |
+    abi::O_ASYNC | abi::O_DIRECT | abi::O_LARGEFILE | abi::O_DIRECTORY |
+    abi::O_NOFOLLOW | abi::O_NOATIME | abi::O_CLOEXEC | abi::O_SYNC |
+    abi::O_PATH | abi::O_TMPFILE;
+
+constexpr std::uint64_t kOpenHowSize = 24;  // sizeof(struct open_how)
+
+}  // namespace
+
+std::int64_t Process::do_open(int dfd, const char* pathname,
+                              std::uint32_t flags, abi::mode_t_ mode,
+                              std::uint64_t resolve, bool strict_openat2) {
+    auto& fs = kernel_.fs_;
+    fs.probe_site("do_sys_open");
+
+    PathArg pa = path_arg(dfd, pathname);
+    if (pa.err) return pa.err;
+
+    const std::uint32_t acc = flags & abi::O_ACCMODE;
+    const bool is_tmpfile = (flags & abi::O_TMPFILE) == abi::O_TMPFILE;
+
+    if (strict_openat2) {
+        if (flags & ~kKnownOpenFlags) return abi::fail(Err::EINVAL_);
+        if (resolve & ~abi::RESOLVE_VALID_MASK) return abi::fail(Err::EINVAL_);
+        if (mode != 0 && !(flags & abi::O_CREAT) && !is_tmpfile)
+            return abi::fail(Err::EINVAL_);
+        if (resolve & abi::RESOLVE_CACHED) {
+            // We model a cold dcache: a cached-only lookup can never be
+            // satisfied, exactly the EAGAIN contract of openat2(2).
+            return abi::fail(Err::EAGAIN_);
+        }
+    }
+
+    if (acc == abi::O_ACCMODE) return abi::fail(Err::EINVAL_);
+    if (is_tmpfile && acc == abi::O_RDONLY) return abi::fail(Err::EINVAL_);
+
+    ResolveOpts ropts;
+    ropts.base = pa.base;
+    ropts.follow_final = !(flags & abi::O_NOFOLLOW);
+    ropts.no_symlinks = resolve & abi::RESOLVE_NO_SYMLINKS;
+    ropts.no_xdev = resolve & abi::RESOLVE_NO_XDEV;
+    ropts.beneath =
+        resolve & (abi::RESOLVE_BENEATH | abi::RESOLVE_IN_ROOT);
+
+    vfs::InodeId ino = vfs::kInvalidInode;
+    bool anonymous = false;
+    bool created = false;
+
+    if (is_tmpfile) {
+        fs.probe_site("ext4_tmpfile");
+        auto dir = fs.resolve(pa.path, cred_, ropts);
+        if (!dir.ok()) return abi::fail(dir.error());
+        auto anon = fs.create_anonymous(dir.value(),
+                                        mode & ~umask_ & abi::MODE_PERM_MASK,
+                                        cred_);
+        if (!anon.ok()) return abi::fail(anon.error());
+        ino = anon.value();
+        anonymous = true;
+    } else if (flags & abi::O_CREAT) {
+        auto parent = fs.resolve_parent(pa.path, cred_, ropts);
+        if (!parent.ok()) return abi::fail(parent.error());
+        if (parent.value().name.empty())
+            return abi::fail(Err::EISDIR_);  // open("/", O_CREAT)
+
+        // Look the final component up without following a final symlink:
+        // O_CREAT|O_EXCL must refuse even a dangling symlink (EEXIST).
+        ResolveOpts peek = ropts;
+        peek.follow_final = false;
+        auto existing = fs.resolve(pa.path, cred_, peek);
+        if (existing.ok()) {
+            if (flags & abi::O_EXCL) return abi::fail(Err::EEXIST_);
+            // Re-resolve with the caller's symlink policy.
+            auto full = fs.resolve(pa.path, cred_, ropts);
+            if (!full.ok()) return abi::fail(full.error());
+            ino = full.value();
+        } else if (existing.error() == Err::ENOENT_) {
+            if (parent.value().trailing_slash) return abi::fail(Err::EISDIR_);
+            auto made = fs.create_file(parent.value().parent,
+                                       parent.value().name,
+                                       mode & ~umask_, cred_);
+            if (!made.ok()) return abi::fail(made.error());
+            ino = made.value();
+            created = true;
+        } else {
+            return abi::fail(existing.error());
+        }
+    } else {
+        auto full = fs.resolve(pa.path, cred_, ropts);
+        if (!full.ok()) return abi::fail(full.error());
+        ino = full.value();
+    }
+
+    const vfs::Inode* node = fs.find(ino);
+    if (!node) return abi::fail(Err::ENOENT_);
+
+    const bool path_only = flags & abi::O_PATH;
+    const bool wants_write =
+        acc == abi::O_WRONLY || acc == abi::O_RDWR;
+
+    // A final symlink survives resolution only under O_NOFOLLOW; opening
+    // it is allowed solely for O_PATH.
+    if (node->is_lnk() && !path_only) return abi::fail(Err::ELOOP_);
+
+    if ((flags & abi::O_DIRECTORY) && !is_tmpfile && !node->is_dir())
+        return abi::fail(Err::ENOTDIR_);
+    if (node->is_dir() && wants_write) return abi::fail(Err::EISDIR_);
+
+    if (!path_only) {
+        switch (node->device) {
+            case vfs::DeviceState::NoDriver:
+                return abi::fail(Err::ENODEV_);
+            case vfs::DeviceState::NoUnit:
+                return abi::fail(Err::ENXIO_);
+            case vfs::DeviceState::Busy:
+                return abi::fail(Err::EBUSY_);
+            default:
+                break;
+        }
+        if (node->is_fifo() && acc == abi::O_WRONLY &&
+            (flags & abi::O_NONBLOCK) && !node->fifo_has_reader)
+            return abi::fail(Err::ENXIO_);
+        if (node->executing && wants_write) return abi::fail(Err::ETXTBSY_);
+
+        if (!large_file_default_ && !(flags & abi::O_LARGEFILE) &&
+            node->is_reg() && node->data.size() > 0x7fffffffULL) {
+            fs.probe_site("generic_file_open:eoverflow");
+            return abi::fail(Err::EOVERFLOW_);
+        }
+
+        if ((flags & abi::O_NOATIME) && !cred_.is_superuser() &&
+            cred_.uid != node->uid)
+            return abi::fail(Err::EPERM_);
+
+        if ((wants_write || (flags & abi::O_TRUNC)) &&
+            fs.config().read_only && !created)
+            return abi::fail(Err::EROFS_);
+
+        if (!created) {
+            unsigned mask = 0;
+            if (acc == abi::O_RDONLY || acc == abi::O_RDWR) mask |= 4;
+            if (wants_write) mask |= 2;
+            if (auto st = fs.access_check(ino, mask, cred_); !st.ok())
+                return abi::fail(st.error());
+        }
+
+        if ((flags & abi::O_TRUNC) && node->is_reg() && !created &&
+            node->data.size() > 0) {
+            // Linux truncates even for O_RDONLY|O_TRUNC, but requires
+            // write permission on the inode.
+            if (auto st = fs.access_check(ino, 2, cred_); !st.ok())
+                return abi::fail(st.error());
+            if (auto st = fs.truncate(ino, 0); !st.ok())
+                return abi::fail(st.error());
+        }
+    }
+
+    const std::int64_t fd = alloc_fd();
+    if (fd < 0) {
+        if (anonymous) fs.release_anonymous(ino);
+        return fd;
+    }
+    FileDescription desc;
+    desc.ino = ino;
+    desc.flags = flags;
+    desc.is_directory = node->is_dir();
+    desc.anonymous = anonymous;
+    fds_.emplace(static_cast<int>(fd), desc);
+    ++kernel_.open_files_;
+    return fd;
+}
+
+std::int64_t Process::sys_open(const char* pathname, std::uint32_t flags,
+                               abi::mode_t_ mode) {
+    std::int64_t ret;
+    if (auto e = fault("open")) ret = abi::fail(*e);
+    else ret = do_open(abi::AT_FDCWD, pathname, flags, mode, 0, false);
+    emit("open",
+         {sarg("pathname", pathname), uarg("flags", flags),
+          uarg("mode", mode)},
+         ret);
+    return ret;
+}
+
+std::int64_t Process::sys_openat(int dfd, const char* pathname,
+                                 std::uint32_t flags, abi::mode_t_ mode) {
+    std::int64_t ret;
+    if (auto e = fault("openat")) ret = abi::fail(*e);
+    else ret = do_open(dfd, pathname, flags, mode, 0, false);
+    emit("openat",
+         {targ("dfd", dfd), sarg("pathname", pathname), uarg("flags", flags),
+          uarg("mode", mode)},
+         ret);
+    return ret;
+}
+
+std::int64_t Process::sys_creat(const char* pathname, abi::mode_t_ mode) {
+    const std::uint32_t flags = abi::O_CREAT | abi::O_WRONLY | abi::O_TRUNC;
+    std::int64_t ret;
+    if (auto e = fault("creat")) ret = abi::fail(*e);
+    else ret = do_open(abi::AT_FDCWD, pathname, flags, mode, 0, false);
+    emit("creat", {sarg("pathname", pathname), uarg("mode", mode)}, ret);
+    return ret;
+}
+
+std::int64_t Process::sys_openat2(int dfd, const char* pathname,
+                                  const abi::OpenHow& how,
+                                  std::uint64_t usize) {
+    std::int64_t ret;
+    if (auto e = fault("openat2")) {
+        ret = abi::fail(*e);
+    } else if (usize > kOpenHowSize) {
+        // A larger-than-known struct means the caller wants extensions
+        // this kernel lacks.
+        ret = abi::fail(Err::E2BIG_);
+    } else if (usize < kOpenHowSize) {
+        ret = abi::fail(Err::EINVAL_);
+    } else {
+        ret = do_open(dfd, pathname,
+                      static_cast<std::uint32_t>(how.flags),
+                      static_cast<abi::mode_t_>(how.mode), how.resolve,
+                      true);
+    }
+    emit("openat2",
+         {targ("dfd", dfd), sarg("pathname", pathname),
+          uarg("flags", how.flags), uarg("mode", how.mode),
+          uarg("resolve", how.resolve), uarg("usize", usize)},
+         ret);
+    return ret;
+}
+
+}  // namespace iocov::syscall

@@ -1,0 +1,285 @@
+// setxattr / lsetxattr / fsetxattr, getxattr / lgetxattr / fgetxattr.
+#include <cstring>
+
+#include "abi/xattr.hpp"
+#include "syscall/process.hpp"
+
+namespace iocov::syscall {
+
+using abi::Err;
+
+std::int64_t Process::check_xattr_name(const char* name) const {
+    if (!name) return abi::fail(Err::EFAULT_);
+    const std::size_t len = std::strlen(name);
+    if (len == 0) return abi::fail(Err::ERANGE_);
+    if (len > abi::XATTR_NAME_MAX_) return abi::fail(Err::ERANGE_);
+    const std::string_view sv(name, len);
+    if (sv.starts_with("user.") || sv.starts_with("security."))
+        return 0;
+    if (sv.starts_with("trusted."))
+        return cred_.is_superuser() ? 0 : abi::fail(Err::EPERM_);
+    // Unknown namespace (including "system.*" we don't implement).
+    return abi::fail(Err::EOPNOTSUPP_);
+}
+
+std::int64_t Process::do_setxattr(const char* pathname, const char* name,
+                                  std::span<const std::byte> value, int flags,
+                                  bool follow, const char*) {
+    PathArg pa = path_arg(abi::AT_FDCWD, pathname);
+    if (pa.err) return pa.err;
+    if (auto e = check_xattr_name(name)) return e;
+    if (flags & ~(abi::XATTR_CREATE_ | abi::XATTR_REPLACE_))
+        return abi::fail(Err::EINVAL_);
+    if ((flags & abi::XATTR_CREATE_) && (flags & abi::XATTR_REPLACE_))
+        return abi::fail(Err::EINVAL_);
+    if (value.size() > abi::XATTR_SIZE_MAX_) return abi::fail(Err::E2BIG_);
+    auto& fs = kernel_.fs_;
+    auto r = fs.resolve(pa.path, cred_,
+                        {.base = pa.base, .follow_final = follow});
+    if (!r.ok()) return abi::fail(r.error());
+    if (auto st = fs.set_xattr(r.value(), name, value, flags, cred_);
+        !st.ok())
+        return abi::fail(st.error());
+    return 0;
+}
+
+std::int64_t Process::do_getxattr(const char* pathname, const char* name,
+                                  std::uint64_t size, bool follow,
+                                  const char*) {
+    PathArg pa = path_arg(abi::AT_FDCWD, pathname);
+    if (pa.err) return pa.err;
+    if (auto e = check_xattr_name(name)) return e;
+    auto& fs = kernel_.fs_;
+    auto r = fs.resolve(pa.path, cred_,
+                        {.base = pa.base, .follow_final = follow});
+    if (!r.ok()) return abi::fail(r.error());
+    auto v = fs.get_xattr(r.value(), name);
+    if (!v.ok()) return abi::fail(v.error());
+    if (size == 0) return static_cast<std::int64_t>(v.value().size());
+    if (v.value().size() > size) return abi::fail(Err::ERANGE_);
+    return static_cast<std::int64_t>(v.value().size());
+}
+
+std::int64_t Process::sys_setxattr(const char* pathname, const char* name,
+                                   std::span<const std::byte> value,
+                                   int flags) {
+    std::int64_t ret;
+    if (auto e = fault("setxattr")) ret = abi::fail(*e);
+    else ret = do_setxattr(pathname, name, value, flags, true, "setxattr");
+    emit("setxattr",
+         {sarg("pathname", pathname), sarg("name", name),
+          uarg("size", value.size()), targ("flags", flags)},
+         ret);
+    return ret;
+}
+
+std::int64_t Process::sys_lsetxattr(const char* pathname, const char* name,
+                                    std::span<const std::byte> value,
+                                    int flags) {
+    std::int64_t ret;
+    if (auto e = fault("lsetxattr")) ret = abi::fail(*e);
+    else ret = do_setxattr(pathname, name, value, flags, false, "lsetxattr");
+    emit("lsetxattr",
+         {sarg("pathname", pathname), sarg("name", name),
+          uarg("size", value.size()), targ("flags", flags)},
+         ret);
+    return ret;
+}
+
+std::int64_t Process::sys_fsetxattr(int fd, const char* name,
+                                    std::span<const std::byte> value,
+                                    int flags) {
+    auto compute = [&]() -> std::int64_t {
+        FileDescription* desc = lookup_fd(fd);
+        if (!desc) return abi::fail(Err::EBADF_);
+        if (auto e = check_xattr_name(name)) return e;
+        if (flags & ~(abi::XATTR_CREATE_ | abi::XATTR_REPLACE_))
+            return abi::fail(Err::EINVAL_);
+        if ((flags & abi::XATTR_CREATE_) && (flags & abi::XATTR_REPLACE_))
+            return abi::fail(Err::EINVAL_);
+        if (value.size() > abi::XATTR_SIZE_MAX_) return abi::fail(Err::E2BIG_);
+        if (auto st = kernel_.fs_.set_xattr(desc->ino, name, value, flags,
+                                            cred_);
+            !st.ok())
+            return abi::fail(st.error());
+        return 0;
+    };
+    std::int64_t ret;
+    if (auto e = fault("fsetxattr")) ret = abi::fail(*e);
+    else ret = compute();
+    emit("fsetxattr",
+         {targ("fd", fd), sarg("name", name), uarg("size", value.size()),
+          targ("flags", flags)},
+         ret);
+    return ret;
+}
+
+std::int64_t Process::sys_getxattr(const char* pathname, const char* name,
+                                   std::uint64_t size) {
+    std::int64_t ret;
+    if (auto e = fault("getxattr")) ret = abi::fail(*e);
+    else ret = do_getxattr(pathname, name, size, true, "getxattr");
+    emit("getxattr",
+         {sarg("pathname", pathname), sarg("name", name), uarg("size", size)},
+         ret);
+    return ret;
+}
+
+std::int64_t Process::sys_lgetxattr(const char* pathname, const char* name,
+                                    std::uint64_t size) {
+    std::int64_t ret;
+    if (auto e = fault("lgetxattr")) ret = abi::fail(*e);
+    else ret = do_getxattr(pathname, name, size, false, "lgetxattr");
+    emit("lgetxattr",
+         {sarg("pathname", pathname), sarg("name", name), uarg("size", size)},
+         ret);
+    return ret;
+}
+
+std::int64_t Process::sys_fgetxattr(int fd, const char* name,
+                                    std::uint64_t size) {
+    auto compute = [&]() -> std::int64_t {
+        FileDescription* desc = lookup_fd(fd);
+        if (!desc) return abi::fail(Err::EBADF_);
+        if (auto e = check_xattr_name(name)) return e;
+        auto v = kernel_.fs_.get_xattr(desc->ino, name);
+        if (!v.ok()) return abi::fail(v.error());
+        if (size == 0) return static_cast<std::int64_t>(v.value().size());
+        if (v.value().size() > size) return abi::fail(Err::ERANGE_);
+        return static_cast<std::int64_t>(v.value().size());
+    };
+    std::int64_t ret;
+    if (auto e = fault("fgetxattr")) ret = abi::fail(*e);
+    else ret = compute();
+    emit("fgetxattr",
+         {targ("fd", fd), sarg("name", name), uarg("size", size)}, ret);
+    return ret;
+}
+
+std::int64_t Process::sys_listxattr(const char* pathname,
+                                    std::uint64_t size) {
+    auto compute = [&]() -> std::int64_t {
+        PathArg pa = path_arg(abi::AT_FDCWD, pathname);
+        if (pa.err) return pa.err;
+        auto r = kernel_.fs().resolve(pa.path, cred_, {.base = pa.base});
+        if (!r.ok()) return abi::fail(r.error());
+        auto names = kernel_.fs().list_xattr(r.value());
+        if (!names.ok()) return abi::fail(names.error());
+        std::uint64_t need = 0;
+        for (const auto& n : names.value()) need += n.size() + 1;
+        if (size == 0) return static_cast<std::int64_t>(need);
+        if (need > size) return abi::fail(Err::ERANGE_);
+        return static_cast<std::int64_t>(need);
+    };
+    std::int64_t ret;
+    if (auto e = fault("listxattr")) ret = abi::fail(*e);
+    else ret = compute();
+    emit("listxattr", {sarg("pathname", pathname), uarg("size", size)},
+         ret);
+    return ret;
+}
+
+std::int64_t Process::sys_llistxattr(const char* pathname,
+                                     std::uint64_t size) {
+    auto compute = [&]() -> std::int64_t {
+        PathArg pa = path_arg(abi::AT_FDCWD, pathname);
+        if (pa.err) return pa.err;
+        auto r = kernel_.fs().resolve(
+            pa.path, cred_, {.base = pa.base, .follow_final = false});
+        if (!r.ok()) return abi::fail(r.error());
+        auto names = kernel_.fs().list_xattr(r.value());
+        if (!names.ok()) return abi::fail(names.error());
+        std::uint64_t need = 0;
+        for (const auto& n : names.value()) need += n.size() + 1;
+        if (size == 0) return static_cast<std::int64_t>(need);
+        if (need > size) return abi::fail(Err::ERANGE_);
+        return static_cast<std::int64_t>(need);
+    };
+    std::int64_t ret;
+    if (auto e = fault("llistxattr")) ret = abi::fail(*e);
+    else ret = compute();
+    emit("llistxattr", {sarg("pathname", pathname), uarg("size", size)},
+         ret);
+    return ret;
+}
+
+std::int64_t Process::sys_flistxattr(int fd, std::uint64_t size) {
+    auto compute = [&]() -> std::int64_t {
+        FileDescription* desc = lookup_fd(fd);
+        if (!desc) return abi::fail(Err::EBADF_);
+        auto names = kernel_.fs().list_xattr(desc->ino);
+        if (!names.ok()) return abi::fail(names.error());
+        std::uint64_t need = 0;
+        for (const auto& n : names.value()) need += n.size() + 1;
+        if (size == 0) return static_cast<std::int64_t>(need);
+        if (need > size) return abi::fail(Err::ERANGE_);
+        return static_cast<std::int64_t>(need);
+    };
+    std::int64_t ret;
+    if (auto e = fault("flistxattr")) ret = abi::fail(*e);
+    else ret = compute();
+    emit("flistxattr", {targ("fd", fd), uarg("size", size)}, ret);
+    return ret;
+}
+
+std::int64_t Process::sys_removexattr(const char* pathname,
+                                      const char* name) {
+    auto compute = [&]() -> std::int64_t {
+        PathArg pa = path_arg(abi::AT_FDCWD, pathname);
+        if (pa.err) return pa.err;
+        if (auto e = check_xattr_name(name)) return e;
+        auto r = kernel_.fs().resolve(pa.path, cred_, {.base = pa.base});
+        if (!r.ok()) return abi::fail(r.error());
+        if (auto st = kernel_.fs().remove_xattr(r.value(), name, cred_);
+            !st.ok())
+            return abi::fail(st.error());
+        return 0;
+    };
+    std::int64_t ret;
+    if (auto e = fault("removexattr")) ret = abi::fail(*e);
+    else ret = compute();
+    emit("removexattr", {sarg("pathname", pathname), sarg("name", name)},
+         ret);
+    return ret;
+}
+
+std::int64_t Process::sys_lremovexattr(const char* pathname,
+                                       const char* name) {
+    auto compute = [&]() -> std::int64_t {
+        PathArg pa = path_arg(abi::AT_FDCWD, pathname);
+        if (pa.err) return pa.err;
+        if (auto e = check_xattr_name(name)) return e;
+        auto r = kernel_.fs().resolve(
+            pa.path, cred_, {.base = pa.base, .follow_final = false});
+        if (!r.ok()) return abi::fail(r.error());
+        if (auto st = kernel_.fs().remove_xattr(r.value(), name, cred_);
+            !st.ok())
+            return abi::fail(st.error());
+        return 0;
+    };
+    std::int64_t ret;
+    if (auto e = fault("lremovexattr")) ret = abi::fail(*e);
+    else ret = compute();
+    emit("lremovexattr", {sarg("pathname", pathname), sarg("name", name)},
+         ret);
+    return ret;
+}
+
+std::int64_t Process::sys_fremovexattr(int fd, const char* name) {
+    auto compute = [&]() -> std::int64_t {
+        FileDescription* desc = lookup_fd(fd);
+        if (!desc) return abi::fail(Err::EBADF_);
+        if (auto e = check_xattr_name(name)) return e;
+        if (auto st = kernel_.fs().remove_xattr(desc->ino, name, cred_);
+            !st.ok())
+            return abi::fail(st.error());
+        return 0;
+    };
+    std::int64_t ret;
+    if (auto e = fault("fremovexattr")) ret = abi::fail(*e);
+    else ret = compute();
+    emit("fremovexattr", {targ("fd", fd), sarg("name", name)}, ret);
+    return ret;
+}
+
+}  // namespace iocov::syscall

@@ -1,0 +1,20 @@
+#include "syscall/userbuf.hpp"
+
+#include <algorithm>
+
+namespace iocov::syscall {
+
+WriteSrc WriteSrc::first(std::uint64_t n) const {
+    const std::uint64_t len = std::min(n, len_);
+    switch (kind_) {
+        case Kind::Real:
+            return real(bytes_.first(len));
+        case Kind::Pattern:
+            return pattern(len, fill_);
+        case Kind::BadAddr:
+            return bad_address(len);
+    }
+    return pattern(0, std::byte{0});
+}
+
+}  // namespace iocov::syscall

@@ -1,0 +1,115 @@
+#include "testers/fixtures.hpp"
+
+#include <cassert>
+
+#include "vfs/path.hpp"
+
+namespace iocov::testers {
+
+namespace {
+
+/// mkdir -p through the VFS API as root.
+vfs::InodeId mkdirs(vfs::FileSystem& fs, const std::string& path,
+                    abi::mode_t_ perm = 0755) {
+    const auto root_cred = vfs::Credentials::root();
+    vfs::InodeId cur = vfs::kRootInode;
+    for (const auto& comp : vfs::split_path(path)) {
+        auto resolved = fs.resolve("/", root_cred);  // keep clock moving
+        (void)resolved;
+        const vfs::Inode* dir = fs.find(cur);
+        assert(dir && dir->is_dir());
+        auto it = dir->dirents.find(comp);
+        if (it != dir->dirents.end()) {
+            cur = it->second;
+            continue;
+        }
+        auto made = fs.make_dir(cur, comp, perm, root_cred);
+        assert(made.ok());
+        cur = made.value();
+    }
+    return cur;
+}
+
+}  // namespace
+
+Fixtures prepare_environment(vfs::FileSystem& fs, const std::string& mount) {
+    const auto root = vfs::Credentials::root();
+    Fixtures fx;
+    fx.mount = mount;
+    fx.scratch = mount + "/scratch";
+    fx.fixture_dir = mount + "/fixtures";
+
+    mkdirs(fs, mount, 0755);
+    const vfs::InodeId mount_ino = fs.resolve(mount, root).value();
+    // World-writable scratch area so unprivileged workload processes can
+    // create and delete freely.
+    const vfs::InodeId scratch = fs.make_dir(mount_ino, "scratch",
+                                             0777, root).value();
+    (void)scratch;
+    const vfs::InodeId fxdir =
+        fs.make_dir(mount_ino, "fixtures", 0755, root).value();
+
+    auto file_with_data = [&](vfs::InodeId dir, const char* name,
+                              abi::mode_t_ perm,
+                              std::uint64_t size) -> vfs::InodeId {
+        auto ino = fs.create_file(dir, name, perm, root).value();
+        if (size) {
+            const auto w = fs.write_pattern(ino, 0, size, std::byte{0x5a});
+            assert(w.ok());
+            (void)w;
+        }
+        return ino;
+    };
+
+    fx.plain_file = fx.fixture_dir + "/plain";
+    file_with_data(fxdir, "plain", 0644, 4096);
+
+    fx.noperm_file = fx.fixture_dir + "/noperm";
+    file_with_data(fxdir, "noperm", 0000, 128);
+
+    fx.noperm_dir = fx.fixture_dir + "/noperm_dir";
+    auto npd = fs.make_dir(fxdir, "noperm_dir", 0755, root).value();
+    fs.create_file(npd, "inside", 0644, root);
+    fs.chmod(npd, 0000, root);
+
+    fx.loop_link = fx.fixture_dir + "/loop_a";
+    fs.make_symlink(fxdir, "loop_a", fx.fixture_dir + "/loop_b", root);
+    fs.make_symlink(fxdir, "loop_b", fx.fixture_dir + "/loop_a", root);
+
+    fx.dangling_link = fx.fixture_dir + "/dangling";
+    fs.make_symlink(fxdir, "dangling", fx.fixture_dir + "/nowhere", root);
+
+    fx.busy_dev = fx.fixture_dir + "/busy_dev";
+    fs.make_special(fxdir, "busy_dev", abi::S_IFBLK | 0644,
+                    vfs::DeviceState::Busy, root);
+    fx.nodriver_dev = fx.fixture_dir + "/nodriver_dev";
+    fs.make_special(fxdir, "nodriver_dev", abi::S_IFCHR | 0644,
+                    vfs::DeviceState::NoDriver, root);
+    fx.nounit_dev = fx.fixture_dir + "/nounit_dev";
+    fs.make_special(fxdir, "nounit_dev", abi::S_IFCHR | 0644,
+                    vfs::DeviceState::NoUnit, root);
+
+    fx.fifo = fx.fixture_dir + "/fifo";
+    fs.make_special(fxdir, "fifo", abi::S_IFIFO | 0666,
+                    vfs::DeviceState::None, root);
+
+    fx.running_exe = fx.fixture_dir + "/running_exe";
+    auto exe = file_with_data(fxdir, "running_exe", 0755, 8192);
+    fs.find_mutable(exe)->executing = true;
+
+    fx.big_file = fx.fixture_dir + "/big3g";
+    auto big = fs.create_file(fxdir, "big3g", 0666, root).value();
+    // Sparse: 3 GiB of size, zero allocated blocks.
+    fs.truncate(big, 3ULL << 30);
+
+    fx.inner_mount = fx.fixture_dir + "/inner_mount";
+    auto inner = fs.make_dir(fxdir, "inner_mount", 0755, root).value();
+    fs.find_mutable(inner)->mountpoint = true;
+
+    fx.deep_dir = fx.fixture_dir + "/d1/d2/d3/d4";
+    mkdirs(fs, fx.deep_dir, 0755);
+
+    return fx;
+}
+
+}  // namespace iocov::testers

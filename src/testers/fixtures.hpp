@@ -1,0 +1,42 @@
+// Test-environment fixtures: the file-system state both simulated
+// testers run against.
+//
+// Mirrors what a real tester's setup phase (mkfs + fixture scripts)
+// provides: a writable mount point plus the special objects that make
+// hard error paths reachable — permission-denied files, symlink loops,
+// device nodes in various broken states, a running executable, a file
+// too large for 32-bit offsets, and a directory marked as a mount
+// boundary.
+#pragma once
+
+#include <string>
+
+#include "vfs/filesystem.hpp"
+
+namespace iocov::testers {
+
+struct Fixtures {
+    std::string mount;          ///< e.g. "/mnt/test"
+    std::string scratch;        ///< mount + "/scratch" (0777, free for all)
+    std::string fixture_dir;    ///< mount + "/fixtures"
+    std::string plain_file;     ///< small regular file with data
+    std::string noperm_file;    ///< mode 0000, owned by root
+    std::string noperm_dir;     ///< mode 0000 directory
+    std::string loop_link;      ///< symlink loop head (a -> b -> a)
+    std::string dangling_link;  ///< symlink to a missing target
+    std::string busy_dev;       ///< block device, opens fail EBUSY
+    std::string nodriver_dev;   ///< char device, opens fail ENODEV
+    std::string nounit_dev;     ///< char device, opens fail ENXIO
+    std::string fifo;           ///< fifo with no reader
+    std::string running_exe;    ///< executing binary (write -> ETXTBSY)
+    std::string big_file;       ///< sparse 3 GiB file (EOVERFLOW bait)
+    std::string inner_mount;    ///< directory marked as a mount boundary
+    std::string deep_dir;       ///< nested directory chain
+};
+
+/// Builds the fixture tree under `mount` directly through the VFS API
+/// (the way mkfs/fixture scripts prepare a device before a tester runs,
+/// outside the traced workload).
+Fixtures prepare_environment(vfs::FileSystem& fs, const std::string& mount);
+
+}  // namespace iocov::testers

@@ -1,0 +1,978 @@
+#include "testers/generator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "abi/fcntl.hpp"
+#include "abi/seek.hpp"
+#include "abi/xattr.hpp"
+
+namespace iocov::testers {
+
+using namespace iocov::abi;  // NOLINT: flag constants read better unqualified
+using syscall::Process;
+using syscall::ReadDst;
+using syscall::WriteSrc;
+
+vfs::FsConfig recommended_fs_config() {
+    vfs::FsConfig cfg;
+    cfg.capacity_blocks = (8ULL << 30) / cfg.block_size;  // 8 GiB
+    cfg.max_inodes = 1 << 17;
+    // Room for a full XATTR_SIZE_MAX_ value plus bookkeeping, so the
+    // xattr sweep reaches the paper's Fig. 1 boundary without ENOSPC.
+    cfg.inode_xattr_capacity = 70000;
+    return cfg;
+}
+
+namespace {
+
+bool grants_write(std::uint32_t flags) {
+    const auto acc = flags & O_ACCMODE;
+    return acc == O_WRONLY || acc == O_RDWR;
+}
+
+}  // namespace
+
+struct TesterSim::Ctx {
+    syscall::Kernel& kernel;
+    const Fixtures& fx;
+    Rng rng;
+    Process user;  ///< unprivileged workload identity (like fsgqa)
+    Process root;  ///< privileged identity for setup-ish calls
+
+    /// Open budget per flag combination (see header).
+    std::vector<std::pair<std::uint32_t, std::int64_t>> budget;
+
+    RunStats stats;
+    std::uint64_t uniq = 0;
+
+    std::vector<std::string> pool;  ///< pre-created reusable files
+    std::string rfile;              ///< sparse read-source file
+    std::string wfile;              ///< write-target file
+    std::string xfile;              ///< xattr playground file
+
+    Ctx(syscall::Kernel& k, const Fixtures& f, std::uint64_t seed)
+        : kernel(k),
+          fx(f),
+          rng(seed),
+          user(k.make_process(1000, vfs::Credentials::user(1000, 1000))),
+          root(k.make_process(999, vfs::Credentials::root())) {}
+
+    std::string unique(const char* stem) {
+        return fx.scratch + "/" + stem + std::to_string(uniq++);
+    }
+};
+
+TesterSim::TesterSim(TesterProfile profile, Options options)
+    : profile_(std::move(profile)), options_(options) {}
+
+std::uint64_t TesterSim::scaled(std::uint64_t count) const {
+    if (count == 0) return 0;
+    const double v = static_cast<double>(count) * options_.scale;
+    return std::max<std::uint64_t>(1, static_cast<std::uint64_t>(
+                                          std::llround(v)));
+}
+
+namespace {
+
+/// Spends one open from the budget (if the combo is listed) and issues
+/// it, occasionally through the openat variant.
+std::int64_t open_spend(TesterSim::Ctx* c, unsigned variant_permille,
+                        std::uint32_t flags, const char* path,
+                        mode_t_ mode = 0644, Process* proc = nullptr) {
+    for (auto& [combo, left] : c->budget) {
+        if (combo == flags) {
+            --left;
+            break;
+        }
+    }
+    Process& p = proc ? *proc : c->user;
+    ++c->stats.opens;
+    if (c->rng.below(1000) < variant_permille)
+        return p.sys_openat(AT_FDCWD, path, flags, mode);
+    return p.sys_open(path, flags, mode);
+}
+
+std::int64_t budget_left(const TesterSim::Ctx* c, std::uint32_t flags) {
+    for (const auto& [combo, left] : c->budget)
+        if (combo == flags) return left;
+    return 0;
+}
+
+/// Picks the combo with the most remaining budget that contains all of
+/// `require`, none of `forbid`, and (if `need_write`) a writing access
+/// mode.  Falls back to `require` itself if nothing matches.
+std::uint32_t pick_combo(TesterSim::Ctx* c, std::uint32_t require,
+                         std::uint32_t forbid, bool need_write) {
+    std::uint32_t best = 0;
+    std::int64_t best_left = std::numeric_limits<std::int64_t>::min();
+    bool found = false;
+    for (const auto& [combo, left] : c->budget) {
+        if ((combo & require) != require) continue;
+        if (combo & forbid) continue;
+        if (need_write != grants_write(combo)) continue;
+        if (!found || left > best_left) {
+            best = combo;
+            best_left = left;
+            found = true;
+        }
+    }
+    if (!found) best = need_write ? (require | O_WRONLY) : require;
+    return best;
+}
+
+/// Draws a value from a numeric bucket target.
+std::uint64_t sample_bucket(Rng& rng, const NumericBucketTarget& b,
+                            std::uint64_t align = 1) {
+    if (b.zero) return 0;
+    if (b.exact) return b.exact_value;
+    const std::uint64_t lo = 1ULL << b.exp;
+    const std::uint64_t hi = (1ULL << (b.exp + 1)) - 1;
+    std::uint64_t v = rng.range(lo, hi);
+    if (align > 1) {
+        v = v / align * align;
+        if (v < lo) v = lo % align == 0 ? lo : (lo / align + 1) * align;
+        if (v > hi) v = lo;  // bucket narrower than alignment: take base
+    }
+    return v;
+}
+
+}  // namespace
+
+RunStats TesterSim::run(syscall::Kernel& kernel, const Fixtures& fx) {
+    Ctx c(kernel, fx, options_.seed);
+
+    // Budget: every combo at its scaled target.
+    for (const auto& combo : profile_.open_combos)
+        c.budget.emplace_back(combo.flags,
+                              static_cast<std::int64_t>(scaled(combo.count)));
+
+    // Untraced setup (a real tester's fixture scripts run before LTTng
+    // starts): reusable pool files, a sparse read source, scratch files.
+    auto& fs = kernel.fs();
+    const auto user_cred = vfs::Credentials::user(1000, 1000);
+    const auto scratch_ino = fs.resolve(fx.scratch, user_cred).value();
+    for (int i = 0; i < 16; ++i) {
+        const std::string name = "pool" + std::to_string(i);
+        auto ino = fs.create_file(scratch_ino, name, 0644, user_cred);
+        assert(ino.ok());
+        fs.write_pattern(ino.value(), 0, 2048, std::byte{0x11});
+        c.pool.push_back(fx.scratch + "/" + name);
+    }
+    {
+        auto ino = fs.create_file(scratch_ino, "rsrc", 0644, user_cred);
+        assert(ino.ok());
+        // Data, a hole from 4-8 MiB, then data to 17 MiB: gives
+        // SEEK_DATA/SEEK_HOLE real structure.
+        fs.write_pattern(ino.value(), 0, 4ULL << 20, std::byte{0x22});
+        fs.write_pattern(ino.value(), 8ULL << 20, 9ULL << 20,
+                         std::byte{0x33});
+        c.rfile = fx.scratch + "/rsrc";
+    }
+    fs.create_file(scratch_ino, "wdst", 0644, user_cred);
+    c.wfile = fx.scratch + "/wdst";
+    {
+        auto ino = fs.create_file(scratch_ino, "xattrs", 0644, user_cred);
+        assert(ino.ok());
+        std::vector<std::byte> v(64, std::byte{0x44});
+        fs.set_xattr(ino.value(), "user.attr0", v, 0, user_cred);
+        c.xfile = fx.scratch + "/xattrs";
+    }
+    fs.make_dir(scratch_ino, "subdir", 0777, user_cred);
+
+    phase_io(c);
+    phase_lseek(c);
+    phase_truncate(c);
+    phase_mkdir(c);
+    phase_chmod(c);
+    phase_xattr(c);
+    phase_chdir(c);
+    phase_errors(c);
+    phase_remaining_opens(c);
+
+    c.stats.total_syscalls = c.stats.opens + c.stats.writes + c.stats.reads;
+    return c.stats;
+}
+
+void TesterSim::phase_io(Ctx& c) {
+    if (!profile_.write_sizes.empty()) {
+        const std::uint32_t combo = pick_combo(
+            &c, O_CREAT, O_EXCL | O_DIRECTORY | O_NOFOLLOW, true);
+        const bool direct = combo & O_DIRECT;
+        const std::int64_t fd = open_spend(&c, profile_.variant_permille,
+                                           combo, c.wfile.c_str());
+        assert(fd >= 0);
+        std::uint64_t persist_tick = 0;
+        for (const auto& bucket : profile_.write_sizes) {
+            const std::uint64_t n = scaled(bucket.count);
+            for (std::uint64_t i = 0; i < n; ++i) {
+                const std::uint64_t size =
+                    sample_bucket(c.rng, bucket, direct ? 512 : 1);
+                const auto fill =
+                    static_cast<std::byte>(c.rng.below(256));
+                const auto variant = c.rng.below(100);
+                std::int64_t r;
+                if (size >= (1ULL << 20) || variant < 80) {
+                    r = c.user.sys_pwrite64(
+                        static_cast<int>(fd),
+                        WriteSrc::pattern(size, fill), 0);
+                } else if (variant < 95 || size < 2) {
+                    r = c.user.sys_write(static_cast<int>(fd),
+                                         WriteSrc::pattern(size, fill));
+                } else {
+                    const std::uint64_t half = size / 2;
+                    r = c.user.sys_writev(
+                        static_cast<int>(fd),
+                        {WriteSrc::pattern(half, fill),
+                         WriteSrc::pattern(size - half, fill)});
+                }
+                (void)r;
+                ++c.stats.writes;
+                if (profile_.persistence_heavy && (++persist_tick % 8) == 0)
+                    c.user.sys_fsync(static_cast<int>(fd));
+            }
+            // Reset the linear-offset growth from the write/writev
+            // variants so the file never balloons past the scratch
+            // volume (pwrite64 at pos 0 dominates anyway).
+            c.user.sys_lseek(static_cast<int>(fd), 0, SEEK_SET_);
+        }
+        c.user.sys_close(static_cast<int>(fd));
+    }
+
+    if (!profile_.read_sizes.empty()) {
+        const std::uint32_t combo =
+            pick_combo(&c, 0, O_CREAT | O_DIRECTORY | O_TRUNC, false);
+        const std::int64_t fd = open_spend(&c, profile_.variant_permille,
+                                           combo, c.rfile.c_str());
+        assert(fd >= 0);
+        for (const auto& bucket : profile_.read_sizes) {
+            const std::uint64_t n = scaled(bucket.count);
+            for (std::uint64_t i = 0; i < n; ++i) {
+                const std::uint64_t size = sample_bucket(c.rng, bucket);
+                const auto variant = c.rng.below(100);
+                if (variant < 70) {
+                    c.user.sys_pread64(static_cast<int>(fd),
+                                       ReadDst::discard(size), 0);
+                } else if (variant < 90 || size < 2) {
+                    c.user.sys_pread64(
+                        static_cast<int>(fd), ReadDst::discard(size),
+                        static_cast<std::int64_t>(c.rng.below(1 << 20)));
+                } else {
+                    const std::uint64_t half = size / 2;
+                    c.user.sys_readv(static_cast<int>(fd),
+                                     {ReadDst::discard(half),
+                                      ReadDst::discard(size - half)});
+                }
+                ++c.stats.reads;
+            }
+        }
+        // A couple of plain read(2)s so the base variant shows up too.
+        for (int i = 0; i < 4 && !profile_.read_sizes.empty(); ++i)
+            c.user.sys_read(static_cast<int>(fd), ReadDst::discard(4096));
+        c.stats.reads += 4;
+        c.user.sys_close(static_cast<int>(fd));
+    }
+}
+
+void TesterSim::phase_lseek(Ctx& c) {
+    if (profile_.lseek_whences.empty()) return;
+    const std::uint32_t combo =
+        pick_combo(&c, 0, O_CREAT | O_DIRECTORY | O_TRUNC, false);
+    const std::int64_t fd = open_spend(&c, profile_.variant_permille, combo,
+                                       c.rfile.c_str());
+    assert(fd >= 0);
+    const std::int64_t size = 17LL << 20;
+    for (const auto& target : profile_.lseek_whences) {
+        const std::uint64_t n = scaled(target.count);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            std::int64_t off = 0;
+            switch (target.whence) {
+                case SEEK_SET_:
+                    off = static_cast<std::int64_t>(c.rng.below(1 << 20));
+                    break;
+                case SEEK_CUR_:
+                    // Occasional rewind keeps the cursor inside the file
+                    // without flooding SEEK_SET with bookkeeping calls.
+                    if (i % 64 == 0)
+                        c.user.sys_lseek(static_cast<int>(fd), 0, SEEK_SET_);
+                    off = static_cast<std::int64_t>(c.rng.below(8192));
+                    break;
+                case SEEK_END_:
+                    off = -static_cast<std::int64_t>(c.rng.below(4096));
+                    break;
+                case SEEK_DATA_:
+                    off = static_cast<std::int64_t>(
+                        c.rng.below(12ULL << 20));
+                    break;
+                case SEEK_HOLE_:
+                    off = static_cast<std::int64_t>(
+                        c.rng.below(static_cast<std::uint64_t>(size)));
+                    break;
+            }
+            c.user.sys_lseek(static_cast<int>(fd), off, target.whence);
+        }
+    }
+    c.user.sys_close(static_cast<int>(fd));
+}
+
+void TesterSim::phase_truncate(Ctx& c) {
+    for (const auto& bucket : profile_.truncate_lengths) {
+        const std::uint64_t n = scaled(bucket.count);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            const auto len = static_cast<std::int64_t>(
+                sample_bucket(c.rng, bucket));
+            const std::uint32_t combo = pick_combo(
+                &c, 0, O_CREAT | O_DIRECTORY | O_TRUNC | O_DIRECT, true);
+            // ftruncate needs an fd; only take that path while the open
+            // budget can absorb it, so Fig. 2 totals stay on target.
+            if (c.rng.below(1000) < profile_.variant_permille &&
+                budget_left(&c, combo) > 0) {
+                const std::int64_t fd =
+                    open_spend(&c, profile_.variant_permille, combo,
+                               c.wfile.c_str());
+                if (fd >= 0) {
+                    c.user.sys_ftruncate(static_cast<int>(fd), len);
+                    c.user.sys_close(static_cast<int>(fd));
+                }
+            } else {
+                c.user.sys_truncate(
+                    c.pool[c.rng.below(c.pool.size())].c_str(), len);
+            }
+        }
+    }
+}
+
+void TesterSim::phase_mkdir(Ctx& c) {
+    for (const auto& target : profile_.mkdir_modes) {
+        const std::uint64_t n = scaled(target.count);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            const std::string path = c.unique("mkd");
+            if (c.rng.below(1000) < profile_.variant_permille)
+                c.user.sys_mkdirat(AT_FDCWD, path.c_str(), target.mode);
+            else
+                c.user.sys_mkdir(path.c_str(), target.mode);
+            c.user.sys_rmdir(path.c_str());  // keep the inode table flat
+        }
+    }
+}
+
+void TesterSim::phase_chmod(Ctx& c) {
+    for (const auto& target : profile_.chmod_modes) {
+        const std::uint64_t n = scaled(target.count);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            const auto variant = c.rng.below(1000);
+            const std::string& path = c.pool[c.rng.below(c.pool.size())];
+            if (variant < profile_.variant_permille / 2) {
+                const std::uint32_t combo = pick_combo(
+                    &c, 0, O_CREAT | O_DIRECTORY | O_TRUNC, false);
+                const std::int64_t fd = open_spend(
+                    &c, profile_.variant_permille, combo, path.c_str());
+                if (fd >= 0) {
+                    c.user.sys_fchmod(static_cast<int>(fd), target.mode);
+                    c.user.sys_close(static_cast<int>(fd));
+                }
+            } else if (variant < profile_.variant_permille) {
+                c.user.sys_fchmodat(AT_FDCWD, path.c_str(), target.mode, 0);
+            } else {
+                c.user.sys_chmod(path.c_str(), target.mode);
+            }
+        }
+    }
+    // Restore pool permissions for later phases (only if this profile
+    // exercised chmod at all — the restore calls are chmod traffic too).
+    if (!profile_.chmod_modes.empty())
+        for (const auto& path : c.pool)
+            c.user.sys_chmod(path.c_str(), 0644);
+}
+
+void TesterSim::phase_xattr(Ctx& c) {
+    auto& fs = c.kernel.fs();
+    const auto user_cred = vfs::Credentials::user(1000, 1000);
+    const vfs::InodeId xino = fs.resolve(c.xfile, user_cred).value();
+
+    auto reset_xattrs = [&] {
+        // Untraced cleanup so each traced set sees fresh in-inode space.
+        auto names = fs.list_xattr(xino);
+        if (names.ok())
+            for (const auto& name : names.value())
+                fs.remove_xattr(xino, name, user_cred);
+        std::vector<std::byte> v(64, std::byte{0x44});
+        fs.set_xattr(xino, "user.attr0", v, 0, user_cred);
+    };
+
+    for (const auto& bucket : profile_.xattr_set_sizes) {
+        const std::uint64_t n = scaled(bucket.count);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            const std::uint64_t size = sample_bucket(c.rng, bucket);
+            std::vector<std::byte> value(size, std::byte{0x77});
+            const auto roll = c.rng.below(100);
+            int flags = 0;
+            std::string name = "user.a" + std::to_string(c.rng.below(4));
+            if (roll < 10) {
+                flags = XATTR_CREATE_;
+                name = "user.c" + std::to_string(c.uniq++);
+            } else if (roll < 20) {
+                flags = XATTR_REPLACE_;
+                name = "user.attr0";
+            }
+            if (size >= 8192) reset_xattrs();
+            const auto variant = c.rng.below(1000);
+            if (variant < profile_.variant_permille / 2) {
+                const std::uint32_t combo = pick_combo(
+                    &c, 0, O_CREAT | O_DIRECTORY | O_TRUNC, false);
+                const std::int64_t fd = open_spend(
+                    &c, profile_.variant_permille, combo, c.xfile.c_str());
+                if (fd >= 0) {
+                    c.user.sys_fsetxattr(static_cast<int>(fd), name.c_str(),
+                                         value, flags);
+                    c.user.sys_close(static_cast<int>(fd));
+                }
+            } else if (variant < profile_.variant_permille) {
+                c.user.sys_lsetxattr(c.xfile.c_str(), name.c_str(), value,
+                                     flags);
+            } else {
+                c.user.sys_setxattr(c.xfile.c_str(), name.c_str(), value,
+                                    flags);
+            }
+        }
+    }
+    reset_xattrs();
+
+    for (const auto& bucket : profile_.xattr_get_sizes) {
+        const std::uint64_t n = scaled(bucket.count);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            const std::uint64_t size = sample_bucket(c.rng, bucket);
+            const auto variant = c.rng.below(1000);
+            if (variant < profile_.variant_permille / 2) {
+                const std::uint32_t combo = pick_combo(
+                    &c, 0, O_CREAT | O_DIRECTORY | O_TRUNC, false);
+                const std::int64_t fd = open_spend(
+                    &c, profile_.variant_permille, combo, c.xfile.c_str());
+                if (fd >= 0) {
+                    c.user.sys_fgetxattr(static_cast<int>(fd), "user.attr0",
+                                         size);
+                    c.user.sys_close(static_cast<int>(fd));
+                }
+            } else if (variant < profile_.variant_permille) {
+                c.user.sys_lgetxattr(c.xfile.c_str(), "user.attr0", size);
+            } else {
+                c.user.sys_getxattr(c.xfile.c_str(), "user.attr0", size);
+            }
+        }
+    }
+}
+
+void TesterSim::phase_chdir(Ctx& c) {
+    if (profile_.chdir_count == 0) return;
+    const std::uint64_t n = scaled(profile_.chdir_count);
+    const std::string subdir = c.fx.scratch + "/subdir";
+    if (!profile_.chdir_diverse) {
+        for (std::uint64_t i = 0; i < n; ++i)
+            c.user.sys_chdir(c.fx.scratch.c_str());
+        return;
+    }
+    std::uint64_t issued = 0;
+    while (issued < n) {
+        c.user.sys_chdir(c.fx.scratch.c_str());       // absolute
+        c.user.sys_chdir("subdir");                    // relative
+        c.user.sys_chdir("..");                        // dotdot
+        c.user.sys_chdir(".");                         // dot
+        issued += 4;
+        if (c.rng.below(4) == 0) {
+            const std::uint32_t combo = pick_combo(&c, O_DIRECTORY, 0, false);
+            const std::int64_t fd = open_spend(&c, profile_.variant_permille,
+                                               combo, subdir.c_str());
+            if (fd >= 0) {
+                c.user.sys_fchdir(static_cast<int>(fd));  // via-fd
+                c.user.sys_close(static_cast<int>(fd));
+            }
+            ++issued;
+        }
+        if (c.rng.below(8) == 0) {
+            c.user.sys_chdir((subdir + "/").c_str());  // trailing slash
+            ++issued;
+        }
+    }
+    c.user.sys_chdir(c.fx.mount.c_str());
+}
+
+void TesterSim::phase_remaining_opens(Ctx& c) {
+    for (auto& [flags, left] : c.budget) {
+        while (left > 0) {  // open_spend decrements `left`
+            std::string path;
+            bool unlink_after = false;
+            if ((flags & O_TMPFILE) == O_TMPFILE) {
+                path = c.fx.scratch;
+            } else if (flags & O_DIRECTORY) {
+                path = c.rng.chance(1, 2) ? c.fx.scratch
+                                          : c.fx.scratch + "/subdir";
+            } else if (flags & O_EXCL) {
+                path = c.unique("x");
+                unlink_after = true;
+            } else if (flags & O_NOATIME) {
+                // Owner-only: open a file the workload identity owns.
+                path = c.pool[c.rng.below(c.pool.size())];
+            } else {
+                path = c.pool[c.rng.below(c.pool.size())];
+            }
+            const std::int64_t fd = open_spend(
+                &c, profile_.variant_permille, flags, path.c_str());
+            if (fd >= 0) {
+                if (profile_.persistence_heavy && (flags & O_SYNC) &&
+                    c.rng.below(8) == 0)
+                    c.user.sys_fsync(static_cast<int>(fd));
+                c.user.sys_close(static_cast<int>(fd));
+            }
+            if (unlink_after) c.user.sys_unlink(path.c_str());
+        }
+    }
+}
+
+void TesterSim::phase_errors(Ctx& c) {
+    for (const auto& [base, errs] : profile_.error_targets)
+        for (const auto& [err, count] : errs)
+            run_error_scenario(c, base, err, scaled(count));
+}
+
+void TesterSim::run_error_scenario(Ctx& c, const std::string& base,
+                                   abi::Err err, std::uint64_t n) {
+    using abi::Err;
+    auto& fs = c.kernel.fs();
+    const unsigned pm = profile_.variant_permille;
+    c.stats.error_scenarios += n;
+
+    auto bad_fd = [&](std::uint64_t i) -> int {
+        // Rotate through the fd identifier partitions: -1, stdio,
+        // a large never-opened fd, and a plausible-but-closed one.
+        switch (i % 4) {
+            case 0: return -1;
+            case 1: return 1;
+            case 2: return 999999;
+            default: return 97;
+        }
+    };
+
+    if (base == "open") {
+        const std::string missing = c.fx.scratch + "/enoent_probe";
+        // Most scenarios need a combo without flags that would preempt
+        // the intended error (O_DIRECTORY turns everything into ENOTDIR
+        // on a non-directory target).
+        auto plain_combo = [&] {
+            // For errors raised on the *inode* (EACCES, device states,
+            // fd limits): O_DIRECTORY would preempt them with ENOTDIR.
+            return pick_combo(&c, 0,
+                              O_CREAT | O_DIRECTORY | O_TMPFILE | O_PATH,
+                              false);
+        };
+        auto lookup_combo = [&] {
+            // For errors raised during path resolution (ENOENT,
+            // ENOTDIR, ENAMETOOLONG, ELOOP): any non-creating combo
+            // fails identically, so spend the largest budget.  Strip
+            // O_DIRECTORY from the forbidden O_TMPFILE bits: O_TMPFILE
+            // is a composite containing O_DIRECTORY, and plain
+            // directory opens are perfectly valid here.
+            return pick_combo(
+                &c, 0,
+                O_CREAT | (O_TMPFILE & ~O_DIRECTORY) | O_PATH, false);
+        };
+        for (std::uint64_t i = 0; i < n; ++i) {
+            switch (err) {
+                case Err::ENOENT_:
+                    open_spend(&c, pm, lookup_combo(),
+                               (missing + std::to_string(i % 7)).c_str());
+                    break;
+                case Err::EEXIST_:
+                    open_spend(&c, pm,
+                               pick_combo(&c, O_CREAT | O_EXCL, 0,
+                                          c.rng.chance(1, 2)),
+                               c.pool[i % c.pool.size()].c_str());
+                    break;
+                case Err::EISDIR_:
+                    open_spend(&c, pm,
+                               pick_combo(&c, 0,
+                                          O_EXCL | O_DIRECTORY | O_TMPFILE,
+                                          true),
+                               c.fx.scratch.c_str());
+                    break;
+                case Err::ENOTDIR_:
+                    open_spend(&c, pm, lookup_combo(),
+                               (c.pool[0] + "/below_a_file").c_str());
+                    break;
+                case Err::EACCES_:
+                    open_spend(&c, pm, plain_combo(),
+                               c.fx.noperm_file.c_str());
+                    break;
+                case Err::EINVAL_:
+                    // Access mode 3 is invalid; the flags word still
+                    // decomposes as O_RDWR for coverage, so it spends the
+                    // O_RDWR budget.
+                    for (auto& [combo, left] : c.budget) {
+                        if (combo == O_RDWR) {
+                            --left;
+                            break;
+                        }
+                    }
+                    ++c.stats.opens;
+                    c.user.sys_open(c.pool[0].c_str(), O_ACCMODE);
+                    break;
+                case Err::ENAMETOOLONG_: {
+                    const std::string log_jam =
+                        c.fx.scratch + "/" + std::string(300, 'n');
+                    open_spend(&c, pm, lookup_combo(),
+                               log_jam.c_str());
+                    break;
+                }
+                case Err::ELOOP_:
+                    // The loop is detected while following the links,
+                    // before any O_DIRECTORY type check; forbid only
+                    // O_NOFOLLOW/O_PATH (which would open the link).
+                    open_spend(&c, pm,
+                               pick_combo(&c, 0,
+                                          O_CREAT | O_NOFOLLOW | O_PATH,
+                                          false),
+                               c.fx.loop_link.c_str());
+                    break;
+                case Err::EROFS_:
+                    fs.set_read_only(true);
+                    open_spend(&c, pm,
+                               pick_combo(&c, 0, O_CREAT | O_DIRECTORY,
+                                          true),
+                               c.pool[0].c_str());
+                    fs.set_read_only(false);
+                    break;
+                case Err::EPERM_:
+                    // O_NOATIME by a non-owner (fixture owned by root).
+                    open_spend(&c, pm, pick_combo(&c, O_NOATIME, 0, false),
+                               c.fx.plain_file.c_str());
+                    break;
+                case Err::ETXTBSY_:
+                    open_spend(&c, pm,
+                               pick_combo(&c, 0,
+                                          O_CREAT | O_EXCL | O_DIRECTORY |
+                                              O_TMPFILE | O_TRUNC,
+                                          true),
+                               c.fx.running_exe.c_str());
+                    break;
+                case Err::ENXIO_:
+                    open_spend(&c, pm, plain_combo(),
+                               c.fx.nounit_dev.c_str());
+                    break;
+                case Err::EBUSY_:
+                    open_spend(&c, pm, plain_combo(),
+                               c.fx.busy_dev.c_str());
+                    break;
+                case Err::ENODEV_:
+                    open_spend(&c, pm, plain_combo(),
+                               c.fx.nodriver_dev.c_str());
+                    break;
+                case Err::EFAULT_:
+                    open_spend(&c, pm, plain_combo(),
+                               nullptr);
+                    break;
+                case Err::EMFILE_: {
+                    // Clamp the fd table at its current size: the very
+                    // next open fails without thousands of filler fds.
+                    auto limits = c.kernel.limits();
+                    auto clamped = limits;
+                    clamped.max_fds_per_process = static_cast<unsigned>(
+                        c.user.open_fd_count());
+                    c.kernel.set_limits(clamped);
+                    open_spend(&c, pm, plain_combo(),
+                               c.pool[0].c_str());
+                    c.kernel.set_limits(limits);
+                    break;
+                }
+                default:
+                    open_spend(&c, pm, lookup_combo(), missing.c_str());
+                    break;
+            }
+        }
+        return;
+    }
+
+    if (base == "write" || base == "read") {
+        const bool is_write = base == "write";
+        // A writable (resp. readable) fd for content-level failures.
+        const std::uint32_t combo = pick_combo(
+            &c, is_write ? O_CREAT : 0u,
+            O_EXCL | O_DIRECTORY | O_TRUNC | O_DIRECT, is_write);
+        const std::int64_t fd =
+            open_spend(&c, pm, combo,
+                       (is_write ? c.wfile : c.rfile).c_str());
+        for (std::uint64_t i = 0; i < n; ++i) {
+            switch (err) {
+                case Err::EBADF_:
+                    if (is_write)
+                        c.user.sys_write(bad_fd(i),
+                                         WriteSrc::pattern(512, std::byte{1}));
+                    else
+                        c.user.sys_read(bad_fd(i), ReadDst::discard(512));
+                    break;
+                case Err::EFAULT_:
+                    if (is_write)
+                        c.user.sys_write(static_cast<int>(fd),
+                                         WriteSrc::bad_address(4096));
+                    else
+                        c.user.sys_read(static_cast<int>(fd),
+                                        ReadDst::bad_address(4096));
+                    break;
+                case Err::EFBIG_:
+                    c.user.sys_pwrite64(
+                        static_cast<int>(fd),
+                        WriteSrc::pattern(8192, std::byte{2}),
+                        static_cast<std::int64_t>(
+                            fs.config().max_file_size - 100));
+                    break;
+                case Err::ENOSPC_: {
+                    const std::uint64_t cap = fs.config().capacity_blocks;
+                    fs.set_capacity_blocks(fs.used_blocks());
+                    c.user.sys_pwrite64(
+                        static_cast<int>(fd),
+                        WriteSrc::pattern(1ULL << 20, std::byte{3}),
+                        1ULL << 30);
+                    fs.set_capacity_blocks(cap);
+                    break;
+                }
+                case Err::EISDIR_: {
+                    const std::uint32_t dcombo =
+                        pick_combo(&c, O_DIRECTORY, O_CREAT, false);
+                    const std::int64_t dfd = open_spend(
+                        &c, pm, dcombo, c.fx.scratch.c_str());
+                    if (dfd >= 0) {
+                        c.user.sys_read(static_cast<int>(dfd),
+                                        ReadDst::discard(512));
+                        c.user.sys_close(static_cast<int>(dfd));
+                    }
+                    break;
+                }
+                default:
+                    break;
+            }
+        }
+        if (fd >= 0) c.user.sys_close(static_cast<int>(fd));
+        return;
+    }
+
+    if (base == "lseek") {
+        const std::uint32_t combo =
+            pick_combo(&c, 0, O_CREAT | O_DIRECTORY | O_TRUNC, false);
+        const std::int64_t fd =
+            open_spend(&c, pm, combo, c.rfile.c_str());
+        for (std::uint64_t i = 0; i < n; ++i) {
+            switch (err) {
+                case Err::EBADF_:
+                    c.user.sys_lseek(bad_fd(i), 0, SEEK_SET_);
+                    break;
+                case Err::EINVAL_:
+                    if (i % 2 == 0)
+                        c.user.sys_lseek(static_cast<int>(fd), 0, 99);
+                    else
+                        c.user.sys_lseek(static_cast<int>(fd), -5,
+                                         SEEK_SET_);
+                    break;
+                case Err::ENXIO_:
+                    c.user.sys_lseek(static_cast<int>(fd),
+                                     (20LL << 20) + 1, SEEK_DATA_);
+                    break;
+                default:
+                    break;
+            }
+        }
+        if (fd >= 0) c.user.sys_close(static_cast<int>(fd));
+        return;
+    }
+
+    if (base == "truncate") {
+        for (std::uint64_t i = 0; i < n; ++i) {
+            switch (err) {
+                case Err::ENOENT_:
+                    c.user.sys_truncate(
+                        (c.fx.scratch + "/missing_t").c_str(), 0);
+                    break;
+                case Err::EISDIR_:
+                    c.user.sys_truncate(c.fx.scratch.c_str(), 0);
+                    break;
+                case Err::EACCES_:
+                    c.user.sys_truncate(c.fx.noperm_file.c_str(), 0);
+                    break;
+                case Err::EINVAL_:
+                    c.user.sys_truncate(c.pool[0].c_str(), -1);
+                    break;
+                case Err::EFBIG_:
+                    c.user.sys_truncate(
+                        c.pool[0].c_str(),
+                        static_cast<std::int64_t>(
+                            fs.config().max_file_size + 4096));
+                    break;
+                default:
+                    break;
+            }
+        }
+        return;
+    }
+
+    if (base == "mkdir") {
+        for (std::uint64_t i = 0; i < n; ++i) {
+            switch (err) {
+                case Err::EEXIST_:
+                    c.user.sys_mkdir(c.fx.scratch.c_str(), 0755);
+                    break;
+                case Err::ENOENT_:
+                    c.user.sys_mkdir(
+                        (c.fx.scratch + "/void/child").c_str(), 0755);
+                    break;
+                case Err::EACCES_:
+                    c.user.sys_mkdir(
+                        (c.fx.noperm_dir + "/new").c_str(), 0755);
+                    break;
+                case Err::ENAMETOOLONG_: {
+                    const std::string name =
+                        c.fx.scratch + "/" + std::string(300, 'm');
+                    c.user.sys_mkdir(name.c_str(), 0755);
+                    break;
+                }
+                default:
+                    break;
+            }
+        }
+        return;
+    }
+
+    if (base == "chmod") {
+        for (std::uint64_t i = 0; i < n; ++i) {
+            switch (err) {
+                case Err::ENOENT_:
+                    c.user.sys_chmod(
+                        (c.fx.scratch + "/missing_c").c_str(), 0644);
+                    break;
+                case Err::EPERM_:
+                    c.user.sys_chmod(c.fx.plain_file.c_str(), 0600);
+                    break;
+                default:
+                    break;
+            }
+        }
+        return;
+    }
+
+    if (base == "close") {
+        for (std::uint64_t i = 0; i < n; ++i)
+            c.user.sys_close(bad_fd(i));
+        return;
+    }
+
+    if (base == "chdir") {
+        for (std::uint64_t i = 0; i < n; ++i) {
+            switch (err) {
+                case Err::ENOENT_:
+                    c.user.sys_chdir((c.fx.scratch + "/gone").c_str());
+                    break;
+                case Err::ENOTDIR_:
+                    c.user.sys_chdir(c.pool[0].c_str());
+                    break;
+                case Err::EACCES_:
+                    c.user.sys_chdir(c.fx.noperm_dir.c_str());
+                    break;
+                default:
+                    break;
+            }
+        }
+        return;
+    }
+
+    if (base == "setxattr") {
+        std::vector<std::byte> small(32, std::byte{9});
+        for (std::uint64_t i = 0; i < n; ++i) {
+            switch (err) {
+                case Err::ENODATA_:
+                    c.user.sys_setxattr(c.xfile.c_str(), "user.absent",
+                                        small, XATTR_REPLACE_);
+                    break;
+                case Err::EEXIST_:
+                    c.user.sys_setxattr(c.xfile.c_str(), "user.attr0",
+                                        small, XATTR_CREATE_);
+                    break;
+                case Err::E2BIG_: {
+                    std::vector<std::byte> huge(XATTR_SIZE_MAX_ + 1,
+                                                std::byte{9});
+                    c.user.sys_setxattr(c.xfile.c_str(), "user.huge", huge,
+                                        0);
+                    break;
+                }
+                case Err::ERANGE_: {
+                    const std::string name =
+                        "user." + std::string(300, 'r');
+                    c.user.sys_setxattr(c.xfile.c_str(), name.c_str(),
+                                        small, 0);
+                    break;
+                }
+                case Err::EOPNOTSUPP_:
+                    c.user.sys_setxattr(c.xfile.c_str(), "bogusns.attr",
+                                        small, 0);
+                    break;
+                case Err::ENOSPC_: {
+                    // Fill the in-inode xattr area (untraced), then the
+                    // traced set trips the Fig. 1 code region's ENOSPC.
+                    const auto user_cred =
+                        vfs::Credentials::user(1000, 1000);
+                    const auto xino =
+                        fs.resolve(c.xfile, user_cred).value();
+                    std::vector<std::byte> filler(
+                        fs.config().inode_xattr_capacity - 200,
+                        std::byte{8});
+                    fs.set_xattr(xino, "user.filler", filler, 0, user_cred);
+                    c.user.sys_setxattr(c.xfile.c_str(), "user.overflow",
+                                        std::vector<std::byte>(
+                                            4096, std::byte{7}),
+                                        0);
+                    fs.remove_xattr(xino, "user.filler", user_cred);
+                    break;
+                }
+                default:
+                    break;
+            }
+        }
+        return;
+    }
+
+    if (base == "getxattr") {
+        for (std::uint64_t i = 0; i < n; ++i) {
+            switch (err) {
+                case Err::ENODATA_:
+                    c.user.sys_getxattr(c.xfile.c_str(), "user.absent",
+                                        256);
+                    break;
+                case Err::ERANGE_:
+                    c.user.sys_getxattr(c.xfile.c_str(), "user.attr0", 8);
+                    break;
+                default:
+                    break;
+            }
+        }
+        return;
+    }
+}
+
+RunStats run_crashmonkey(syscall::Kernel& kernel, const Fixtures& fx,
+                         double scale, std::uint64_t seed) {
+    TesterSim sim(crashmonkey_profile(), {scale, seed});
+    return sim.run(kernel, fx);
+}
+
+RunStats run_xfstests(syscall::Kernel& kernel, const Fixtures& fx,
+                      double scale, std::uint64_t seed) {
+    TesterSim sim(xfstests_profile(), {scale, seed});
+    return sim.run(kernel, fx);
+}
+
+RunStats run_ltp(syscall::Kernel& kernel, const Fixtures& fx, double scale,
+                 std::uint64_t seed) {
+    TesterSim sim(ltp_profile(), {scale, seed});
+    return sim.run(kernel, fx);
+}
+
+}  // namespace iocov::testers

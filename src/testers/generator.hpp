@@ -1,0 +1,93 @@
+// Workload generator: turns a TesterProfile into real syscall traffic.
+//
+// The generator owns no statistics of its own — it issues opens, reads,
+// writes, seeks, metadata operations, and deliberately failing calls
+// against the simulated kernel until the profile's (scaled) targets are
+// met.  Whatever IOCov later reports is computed from the trace those
+// calls produce.
+//
+// Open-flag bookkeeping: workload phases need file descriptors, and
+// every open they issue is also an open the suite "spent".  The
+// generator therefore draws all opens from a per-combination budget
+// initialized from the profile; a final pass issues whatever budget the
+// workload phases did not consume, keeping the aggregate combination
+// counts on target.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "syscall/kernel.hpp"
+#include "syscall/process.hpp"
+#include "testers/fixtures.hpp"
+#include "testers/profile.hpp"
+#include "testers/rng.hpp"
+
+namespace iocov::testers {
+
+struct RunStats {
+    std::uint64_t opens = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t error_scenarios = 0;
+    std::uint64_t total_syscalls = 0;  ///< per the kernel's trace counter
+};
+
+/// A file-system configuration sized for the simulated suites: room for
+/// xattr sweeps up to XATTR_SIZE_MAX and enough inodes/blocks that only
+/// deliberate scenarios hit ENOSPC.
+vfs::FsConfig recommended_fs_config();
+
+class TesterSim {
+  public:
+    struct Options {
+        /// Fraction of the profile's (full-run) counts to issue.  1.0
+        /// replays the suite at published volume (~15M syscalls for
+        /// xfstests); benches default to a lighter scale and report it.
+        double scale = 0.02;
+        std::uint64_t seed = 42;
+    };
+
+    TesterSim(TesterProfile profile, Options options);
+
+    struct Ctx;  // per-run state (processes, budgets, paths)
+
+    /// Runs the workload. `fx` must have been prepared on `kernel`'s
+    /// file system and the kernel's sink should already be connected.
+    RunStats run(syscall::Kernel& kernel, const Fixtures& fx);
+
+    const TesterProfile& profile() const { return profile_; }
+
+    /// scaled(n) = how many calls an n-count target becomes at this
+    /// scale (at least 1 for any nonzero target, so "tested at all"
+    /// never degrades into "untested" at small scales).
+    std::uint64_t scaled(std::uint64_t count) const;
+
+  private:
+    void phase_io(Ctx& c);
+    void phase_lseek(Ctx& c);
+    void phase_truncate(Ctx& c);
+    void phase_mkdir(Ctx& c);
+    void phase_chmod(Ctx& c);
+    void phase_xattr(Ctx& c);
+    void phase_chdir(Ctx& c);
+    void phase_errors(Ctx& c);
+    void phase_remaining_opens(Ctx& c);
+
+    void run_error_scenario(Ctx& c, const std::string& base, abi::Err err,
+                            std::uint64_t n);
+
+    TesterProfile profile_;
+    Options options_;
+};
+
+/// Convenience wrappers used by benches and examples.
+RunStats run_crashmonkey(syscall::Kernel& kernel, const Fixtures& fx,
+                         double scale, std::uint64_t seed = 42);
+RunStats run_xfstests(syscall::Kernel& kernel, const Fixtures& fx,
+                      double scale, std::uint64_t seed = 42);
+RunStats run_ltp(syscall::Kernel& kernel, const Fixtures& fx, double scale,
+                 std::uint64_t seed = 42);
+
+}  // namespace iocov::testers

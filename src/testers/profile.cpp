@@ -1,0 +1,376 @@
+#include "testers/profile.hpp"
+
+#include "abi/fcntl.hpp"
+#include "abi/seek.hpp"
+
+namespace iocov::testers {
+
+using namespace iocov::abi;  // NOLINT: flag constants read better unqualified
+
+TesterProfile crashmonkey_profile() {
+    TesterProfile p;
+    p.name = "CrashMonkey";
+    p.persistence_heavy = true;
+    p.variant_permille = 20;  // the harness occasionally uses openat
+
+    // Calibrated to Fig. 2 (O_RDONLY = 7,924) and Table 1's cardinality
+    // rows (1:9.3%, 2:2.8%, 3:22.1%, 4:65.4%, 5:0.5%, 6:0), with ~99.5%
+    // of opens including O_RDONLY so the "O_RDONLY" row tracks "all".
+    p.open_combos = {
+        {O_RDONLY, 737},
+        {O_WRONLY, 4},
+        {O_RDONLY | O_CLOEXEC, 222},
+        {O_RDONLY | O_DIRECTORY | O_CLOEXEC, 1735},
+        {O_RDWR | O_CREAT | O_DIRECT, 25},
+        {O_RDONLY | O_CREAT | O_DIRECT | O_SYNC, 2592},
+        {O_RDONLY | O_DIRECTORY | O_NOFOLLOW | O_CLOEXEC, 2598},
+        {O_WRONLY | O_CREAT | O_TRUNC | O_DIRECT, 10},
+        {O_RDONLY | O_CREAT | O_EXCL | O_DIRECT | O_SYNC, 40},
+    };
+
+    // Fig. 3: CrashMonkey exercises only a handful of small write-size
+    // buckets (log2 10-16) and never writes 0 bytes.
+    p.write_sizes = {
+        {false, 10, 900, false, 0},
+        {false, 12, 4200, false, 0},
+        {false, 13, 1100, false, 0},
+        {false, 15, 600, false, 0},
+        {false, 16, 1500, false, 0},
+    };
+    p.read_sizes = {
+        {false, 12, 2400, false, 0},
+        {false, 16, 800, false, 0},
+    };
+    p.truncate_lengths = {
+        {true, 0, 150, false, 0},
+        {false, 12, 150, false, 0},
+    };
+    p.lseek_whences = {
+        {SEEK_SET_, 1200},
+    };
+    p.mkdir_modes = {
+        {0755, 450},
+    };
+    // CrashMonkey does not exercise chmod or xattrs at all (untested
+    // input spaces the paper highlights).
+    p.chmod_modes = {};
+    p.xattr_set_sizes = {};
+    p.xattr_get_sizes = {};
+
+    p.chdir_count = 600;
+    p.chdir_diverse = false;
+
+    // Fig. 4: only four open error codes, and ENOTDIR *more* often than
+    // xfstests (the one code where CrashMonkey wins).
+    p.error_targets = {
+        {"open",
+         {{Err::ENOENT_, 310},
+          // EEXIST needs O_CREAT|O_EXCL, whose only CrashMonkey combo
+          // has 40 uses total (Table 1's 0.5% five-flag share) — the
+          // error target must fit inside that marginal.
+          {Err::EEXIST_, 40},
+          {Err::ENOTDIR_, 880},
+          {Err::EISDIR_, 45}}},
+        {"write", {{Err::EBADF_, 25}}},
+        {"read", {{Err::EBADF_, 25}}},
+        {"close", {{Err::EBADF_, 40}}},
+        {"mkdir", {{Err::EEXIST_, 60}}},
+    };
+    return p;
+}
+
+TesterProfile xfstests_profile() {
+    TesterProfile p;
+    p.name = "xfstests";
+    p.variant_permille = 180;
+
+    // Calibrated to Fig. 2 (O_RDONLY = 4,099,770) and Table 1
+    // (all: 6.1/28.2/18.2/46.8/0.5/0.4; O_RDONLY: 6.0/30.8/10.5/51.9/
+    // 0.5/0.3).  O_RDONLY-containing opens are ~85% of the total.
+    p.open_combos = {
+        // -- 1 flag --
+        {O_RDONLY, 245986},
+        {O_WRONLY, 30000},
+        {O_RDWR, 18233},
+        // -- 2 flags --
+        {O_RDONLY | O_DIRECTORY, 700000},
+        {O_RDONLY | O_CLOEXEC, 400000},
+        {O_RDONLY | O_NOFOLLOW, 162729},
+        {O_RDWR | O_CREAT, 60000},
+        {O_WRONLY | O_APPEND, 37430},
+        // -- 3 flags --
+        {O_RDONLY | O_DIRECTORY | O_CLOEXEC, 250000},
+        {O_RDONLY | O_CREAT | O_NONBLOCK, 100476},
+        {O_RDONLY | O_SYNC | O_CLOEXEC, 80000},
+        {O_WRONLY | O_CREAT | O_TRUNC, 400000},
+        {O_RDWR | O_CREAT | O_EXCL, 47357},
+        // -- 4 flags --
+        {O_RDONLY | O_DIRECTORY | O_NOFOLLOW | O_CLOEXEC, 1500000},
+        {O_RDONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 627781},
+        {O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 80000},
+        {O_RDWR | O_CREAT | O_DIRECT | O_DSYNC, 49504},
+        // -- 5 flags --
+        {O_RDONLY | O_CREAT | O_EXCL | O_NONBLOCK | O_CLOEXEC, 20499},
+        {O_WRONLY | O_CREAT | O_EXCL | O_TRUNC | O_CLOEXEC, 3617},
+        // -- 6 flags --
+        {O_RDONLY | O_CREAT | O_EXCL | O_TRUNC | O_NONBLOCK | O_CLOEXEC,
+         12299},
+        {O_RDWR | O_CREAT | O_EXCL | O_APPEND | O_DSYNC | O_CLOEXEC, 6994},
+    };
+
+    // Fig. 3: xfstests covers "=0" and every bucket up to 2^28, with the
+    // largest observed write exactly 258 MiB; nothing above that even
+    // though 64-bit systems (and ext4's 16 TiB files) would allow it.
+    p.write_sizes = {
+        {true, 0, 5200, false, 0},        // write(fd, buf, 0)
+        {false, 0, 310000, false, 0},     {false, 1, 160000, false, 0},
+        {false, 2, 150000, false, 0},     {false, 3, 120000, false, 0},
+        {false, 4, 130000, false, 0},     {false, 5, 95000, false, 0},
+        {false, 6, 88000, false, 0},      {false, 7, 76000, false, 0},
+        {false, 8, 240000, false, 0},     {false, 9, 450000, false, 0},
+        {false, 10, 90000, false, 0},     {false, 11, 85000, false, 0},
+        {false, 12, 980000, false, 0},    {false, 13, 130000, false, 0},
+        {false, 14, 76000, false, 0},     {false, 15, 64000, false, 0},
+        {false, 16, 310000, false, 0},    {false, 17, 28000, false, 0},
+        {false, 18, 21000, false, 0},     {false, 19, 16000, false, 0},
+        {false, 20, 52000, false, 0},     {false, 21, 8200, false, 0},
+        {false, 22, 4600, false, 0},      {false, 23, 2900, false, 0},
+        {false, 24, 2100, false, 0},      {false, 25, 640, false, 0},
+        {false, 26, 230, false, 0},       {false, 27, 85, false, 0},
+        // The single largest write: 258 MiB (the Fig. 3 annotation).
+        {false, 28, 12, true, 258ULL << 20},
+    };
+    p.read_sizes = {
+        {true, 0, 2100, false, 0},     {false, 0, 120000, false, 0},
+        {false, 4, 60000, false, 0},   {false, 9, 220000, false, 0},
+        {false, 12, 640000, false, 0}, {false, 14, 48000, false, 0},
+        {false, 16, 150000, false, 0}, {false, 20, 21000, false, 0},
+        {false, 22, 3400, false, 0},   {false, 24, 900, false, 0},
+    };
+    p.truncate_lengths = {
+        {true, 0, 42000, false, 0},    {false, 9, 5200, false, 0},
+        {false, 12, 18000, false, 0},  {false, 16, 7400, false, 0},
+        {false, 20, 3100, false, 0},   {false, 24, 800, false, 0},
+        {false, 30, 120, false, 0},
+    };
+    p.lseek_whences = {
+        {SEEK_SET_, 310000},
+        {SEEK_CUR_, 52000},
+        {SEEK_END_, 48000},
+        {SEEK_DATA_, 6200},
+        {SEEK_HOLE_, 6100},
+    };
+    p.mkdir_modes = {
+        {0755, 88000}, {0777, 21000}, {0700, 9800},
+        {0000, 340},   {01777, 520},  {02755, 180},
+    };
+    p.chmod_modes = {
+        {0644, 26000}, {0755, 14000}, {0600, 8800}, {0000, 900},
+        {0444, 2100},  {04755, 310},  {02755, 280}, {0777, 5200},
+    };
+    p.xattr_set_sizes = {
+        {true, 0, 800, false, 0},     {false, 2, 2400, false, 0},
+        {false, 4, 6800, false, 0},   {false, 6, 3100, false, 0},
+        {false, 8, 1900, false, 0},   {false, 10, 850, false, 0},
+        {false, 12, 420, false, 0},   {false, 14, 160, false, 0},
+        // Largest value xfstests ever sets: 32 KiB on the nose.  The
+        // XATTR_SIZE_MAX boundary (65536) stays untested — which is how
+        // the paper's Fig. 1 lsetxattr bug slipped past the suite.
+        {false, 15, 40, true, 32768},
+    };
+    p.xattr_get_sizes = {
+        {true, 0, 3200, false, 0},  // size-probe calls
+        {false, 6, 2600, false, 0},
+        {false, 8, 5200, false, 0},
+        {false, 12, 900, false, 0},
+    };
+
+    p.chdir_count = 26000;
+    p.chdir_diverse = true;
+
+    // Fig. 4: xfstests beats CrashMonkey on every open error except
+    // ENOTDIR; 12 of the 27 documented codes stay untested (ENOMEM,
+    // EINTR, EAGAIN, EDQUOT, E2BIG, ENODEV, ENFILE, EFBIG, EXDEV,
+    // EOVERFLOW, ETXTBSY is tested, ...).
+    p.error_targets = {
+        {"open",
+         {{Err::ENOENT_, 196000},
+          {Err::EEXIST_, 21000},
+          {Err::EACCES_, 5200},
+          {Err::EISDIR_, 3100},
+          {Err::EINVAL_, 1900},
+          {Err::ENAMETOOLONG_, 820},
+          {Err::ELOOP_, 640},
+          {Err::EROFS_, 410},
+          {Err::ENOTDIR_, 150},
+          {Err::EPERM_, 85},
+          {Err::ETXTBSY_, 52},
+          {Err::ENXIO_, 38},
+          {Err::EBUSY_, 31},
+          {Err::EFAULT_, 18},
+          {Err::EMFILE_, 9}}},
+        {"write",
+         {{Err::EBADF_, 1400},
+          {Err::EFBIG_, 120},
+          {Err::ENOSPC_, 260},
+          {Err::EFAULT_, 45}}},
+        {"read",
+         {{Err::EBADF_, 1400}, {Err::EISDIR_, 380}, {Err::EFAULT_, 45}}},
+        {"lseek",
+         {{Err::EBADF_, 300}, {Err::EINVAL_, 520}, {Err::ENXIO_, 240}}},
+        {"truncate",
+         {{Err::ENOENT_, 900},
+          {Err::EISDIR_, 240},
+          {Err::EACCES_, 310},
+          {Err::EINVAL_, 410},
+          {Err::EFBIG_, 60}}},
+        {"mkdir",
+         {{Err::EEXIST_, 5200},
+          {Err::ENOENT_, 2400},
+          {Err::EACCES_, 480},
+          {Err::ENAMETOOLONG_, 160}}},
+        {"chmod",
+         {{Err::ENOENT_, 1900}, {Err::EPERM_, 420}}},
+        {"close", {{Err::EBADF_, 2600}}},
+        {"chdir",
+         {{Err::ENOENT_, 840},
+          {Err::ENOTDIR_, 310},
+          {Err::EACCES_, 120}}},
+        {"setxattr",
+         {{Err::ENODATA_, 620},
+          {Err::EEXIST_, 540},
+          {Err::E2BIG_, 85},
+          {Err::ERANGE_, 64},
+          {Err::EOPNOTSUPP_, 120},
+          {Err::ENOSPC_, 96}}},
+        {"getxattr",
+         {{Err::ENODATA_, 2800}, {Err::ERANGE_, 410}}},
+    };
+    return p;
+}
+
+TesterProfile ltp_profile() {
+    TesterProfile p;
+    p.name = "LTP";
+    p.variant_permille = 300;  // conformance suites exercise variants hard
+
+    // Wide but shallow: each combination a few hundred times, one combo
+    // per cardinality class; every access mode appears.
+    p.open_combos = {
+        {O_RDONLY, 2200},
+        {O_WRONLY, 800},
+        {O_RDWR, 900},
+        {O_RDONLY | O_CLOEXEC, 400},
+        {O_WRONLY | O_APPEND, 350},
+        {O_RDONLY | O_DIRECTORY, 450},
+        {O_RDONLY | O_NONBLOCK, 300},
+        {O_WRONLY | O_CREAT | O_TRUNC, 700},
+        {O_RDWR | O_CREAT | O_EXCL, 320},
+        {O_RDONLY | O_NOFOLLOW | O_CLOEXEC, 180},
+        {O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 150},
+        {O_RDWR | O_CREAT | O_DIRECT | O_DSYNC, 90},
+        {O_RDONLY | O_SYNC | O_CLOEXEC, 80},
+        {O_RDONLY | O_NOATIME, 12},
+        {O_WRONLY | O_CREAT | O_EXCL | O_TRUNC | O_CLOEXEC, 40},
+    };
+    // Conformance sweeps hit the documented boundaries deliberately:
+    // zero, one byte, a page, odd sizes — but no giant writes.
+    p.write_sizes = {
+        {true, 0, 120, false, 0},  {false, 0, 450, false, 0},
+        {false, 3, 260, false, 0}, {false, 9, 380, false, 0},
+        {false, 12, 520, false, 0}, {false, 16, 140, false, 0},
+        {false, 20, 25, false, 0},
+    };
+    p.read_sizes = {
+        {true, 0, 80, false, 0},
+        {false, 0, 300, false, 0},
+        {false, 12, 420, false, 0},
+        {false, 16, 110, false, 0},
+    };
+    p.truncate_lengths = {
+        {true, 0, 160, false, 0},
+        {false, 9, 90, false, 0},
+        {false, 12, 120, false, 0},
+        {false, 20, 30, false, 0},
+    };
+    p.lseek_whences = {
+        {SEEK_SET_, 900}, {SEEK_CUR_, 450}, {SEEK_END_, 420},
+        {SEEK_DATA_, 60}, {SEEK_HOLE_, 60},
+    };
+    p.mkdir_modes = {
+        {0755, 500}, {0777, 140}, {0700, 120}, {0000, 60}, {01777, 40},
+        {04755, 24}, {02755, 24},
+    };
+    p.chmod_modes = {
+        {0644, 260}, {0755, 180}, {0000, 90}, {0444, 80}, {0222, 70},
+        {0111, 70},  {04755, 40}, {02755, 40}, {01777, 40}, {0777, 90},
+    };
+    p.xattr_set_sizes = {
+        {true, 0, 60, false, 0},
+        {false, 4, 180, false, 0},
+        {false, 8, 90, false, 0},
+        {false, 12, 40, false, 0},
+    };
+    p.xattr_get_sizes = {
+        {true, 0, 120, false, 0},
+        {false, 7, 160, false, 0},
+    };
+    p.chdir_count = 800;
+    p.chdir_diverse = true;
+
+    // The conformance mandate: every documented error gets a test.
+    p.error_targets = {
+        {"open",
+         {{Err::ENOENT_, 260},
+          {Err::EEXIST_, 120},
+          {Err::EACCES_, 140},
+          {Err::EISDIR_, 80},
+          {Err::ENOTDIR_, 90},
+          {Err::EINVAL_, 60},
+          {Err::ENAMETOOLONG_, 70},
+          {Err::ELOOP_, 60},
+          {Err::EROFS_, 50},
+          {Err::EPERM_, 24},
+          {Err::ETXTBSY_, 20},
+          {Err::ENXIO_, 20},
+          {Err::EBUSY_, 16},
+          {Err::ENODEV_, 16},
+          {Err::EFAULT_, 30},
+          {Err::EMFILE_, 12}}},
+        {"write",
+         {{Err::EBADF_, 90},
+          {Err::EFBIG_, 20},
+          {Err::ENOSPC_, 30},
+          {Err::EFAULT_, 40}}},
+        {"read",
+         {{Err::EBADF_, 90}, {Err::EISDIR_, 40}, {Err::EFAULT_, 40}}},
+        {"lseek",
+         {{Err::EBADF_, 60}, {Err::EINVAL_, 80}, {Err::ENXIO_, 30}}},
+        {"truncate",
+         {{Err::ENOENT_, 60},
+          {Err::EISDIR_, 30},
+          {Err::EACCES_, 40},
+          {Err::EINVAL_, 50},
+          {Err::EFBIG_, 12}}},
+        {"mkdir",
+         {{Err::EEXIST_, 80},
+          {Err::ENOENT_, 60},
+          {Err::EACCES_, 40},
+          {Err::ENAMETOOLONG_, 30}}},
+        {"chmod", {{Err::ENOENT_, 60}, {Err::EPERM_, 40}}},
+        {"close", {{Err::EBADF_, 120}}},
+        {"chdir",
+         {{Err::ENOENT_, 60}, {Err::ENOTDIR_, 40}, {Err::EACCES_, 30}}},
+        {"setxattr",
+         {{Err::ENODATA_, 40},
+          {Err::EEXIST_, 40},
+          {Err::E2BIG_, 16},
+          {Err::ERANGE_, 16},
+          {Err::EOPNOTSUPP_, 20},
+          {Err::ENOSPC_, 12}}},
+        {"getxattr", {{Err::ENODATA_, 60}, {Err::ERANGE_, 30}}},
+    };
+    return p;
+}
+
+}  // namespace iocov::testers

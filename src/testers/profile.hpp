@@ -1,0 +1,107 @@
+// Tester profiles: the published input/output footprints of xfstests
+// and CrashMonkey, expressed as generator targets.
+//
+// The paper reports the two suites' behaviour as marginal distributions
+// (Fig. 2: open-flag frequencies, Table 1: flag-combination
+// cardinalities, Fig. 3: write-size buckets, Fig. 4: open error codes).
+// We cannot rerun the real suites against a real kernel here, so each
+// simulator is driven by a profile holding those published marginals
+// (exact where the paper gives numbers, calibrated to the figures'
+// log-scale bars elsewhere).  The generator then issues *real* syscalls
+// whose aggregate statistics match the profile at the configured scale.
+// Everything downstream — coverage histograms, untested partitions,
+// Table 1 percentages, the Fig. 5 TCD crossover — is computed from the
+// resulting traces, not copied from the paper.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "abi/errno.hpp"
+
+namespace iocov::testers {
+
+/// One open-flag combination with its target call count (at scale 1.0).
+struct OpenComboTarget {
+    std::uint32_t flags = 0;
+    std::uint64_t count = 0;
+};
+
+/// One numeric-argument bucket target: `zero` selects the "=0" boundary
+/// partition, otherwise values are drawn from [2^exp, 2^(exp+1)) —
+/// except `exact`, which pins the value to 2^exp + delta (used for the
+/// paper's "Max 258 MiB" write annotation).
+struct NumericBucketTarget {
+    bool zero = false;
+    unsigned exp = 0;
+    std::uint64_t count = 0;
+    bool exact = false;
+    std::uint64_t exact_value = 0;
+};
+
+/// lseek whence usage.
+struct WhenceTarget {
+    int whence = 0;
+    std::uint64_t count = 0;
+};
+
+/// mkdir/chmod mode usage.
+struct ModeTarget {
+    std::uint32_t mode = 0;
+    std::uint64_t count = 0;
+};
+
+struct TesterProfile {
+    std::string name;
+
+    std::vector<OpenComboTarget> open_combos;
+    std::vector<NumericBucketTarget> write_sizes;
+    std::vector<NumericBucketTarget> read_sizes;
+    std::vector<NumericBucketTarget> truncate_lengths;
+    std::vector<NumericBucketTarget> xattr_set_sizes;
+    std::vector<NumericBucketTarget> xattr_get_sizes;
+    std::vector<WhenceTarget> lseek_whences;
+    std::vector<ModeTarget> mkdir_modes;
+    std::vector<ModeTarget> chmod_modes;
+
+    /// Successful chdir calls to issue.  When `chdir_diverse` is set the
+    /// generator cycles through absolute / relative / "." / ".." paths
+    /// and fchdir, covering the pathname identifier partitions.
+    std::uint64_t chdir_count = 0;
+    bool chdir_diverse = false;
+
+    /// Error-path scenarios to drive, per base syscall, per errno, with
+    /// target counts.  The generator realizes each by constructing the
+    /// corresponding file-system state and issuing the failing call.
+    std::map<std::string, std::map<abi::Err, std::uint64_t>> error_targets;
+
+    /// Fraction of tracked calls issued through the non-default variant
+    /// (openat instead of open, pwrite64 instead of write, ...), per
+    /// mille.  xfstests mixes variants; CrashMonkey sticks to the base.
+    unsigned variant_permille = 0;
+
+    /// Whether the workload sprinkles fsync/fdatasync/sync calls
+    /// (crash-consistency testers are persistence-heavy).
+    bool persistence_heavy = false;
+};
+
+/// CrashMonkey (OSDI '18): bounded black-box crash-consistency tester.
+/// Narrow flag vocabulary, ~7.9k O_RDONLY opens, small write sizes,
+/// almost no error-path coverage — but a strong ENOTDIR habit.
+TesterProfile crashmonkey_profile();
+
+/// xfstests: 706 generic + 308 ext4 hand-written regression tests.
+/// Broad flags (up to 6 combined), writes spanning "=0" through the
+/// 258 MiB maximum, and deliberate error-path tests.
+TesterProfile xfstests_profile();
+
+/// LTP (Linux Test Project): a syscall-conformance suite the paper
+/// names alongside xfstests.  Its footprint is wide but shallow — every
+/// documented behaviour (success and error) of every syscall gets a
+/// handful of dedicated tests, at a fraction of xfstests' volume.
+/// Included as a third comparison point for the coverage tooling.
+TesterProfile ltp_profile();
+
+}  // namespace iocov::testers

@@ -1,0 +1,20 @@
+#include "testers/rng.hpp"
+
+namespace iocov::testers {
+
+std::size_t weighted_pick(Rng& rng, const std::vector<double>& weights) {
+    double total = 0;
+    for (double w : weights) total += w;
+    if (total <= 0) return 0;
+    // 53-bit uniform double in [0, total).
+    const double u =
+        static_cast<double>(rng.next() >> 11) / 9007199254740992.0 * total;
+    double acc = 0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        acc += weights[i];
+        if (u < acc) return i;
+    }
+    return weights.size() - 1;
+}
+
+}  // namespace iocov::testers

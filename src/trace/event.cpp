@@ -1,0 +1,36 @@
+#include "trace/event.hpp"
+
+namespace iocov::trace {
+
+const Arg* TraceEvent::find_arg(std::string_view name) const {
+    for (const auto& a : args)
+        if (a.name == name) return &a;
+    return nullptr;
+}
+
+std::optional<std::int64_t> TraceEvent::int_arg(std::string_view name) const {
+    const Arg* a = find_arg(name);
+    if (!a) return std::nullopt;
+    if (const auto* i = std::get_if<std::int64_t>(&a->value)) return *i;
+    if (const auto* u = std::get_if<std::uint64_t>(&a->value))
+        return static_cast<std::int64_t>(*u);
+    return std::nullopt;
+}
+
+std::optional<std::uint64_t> TraceEvent::uint_arg(std::string_view name) const {
+    const Arg* a = find_arg(name);
+    if (!a) return std::nullopt;
+    if (const auto* u = std::get_if<std::uint64_t>(&a->value)) return *u;
+    if (const auto* i = std::get_if<std::int64_t>(&a->value))
+        return static_cast<std::uint64_t>(*i);
+    return std::nullopt;
+}
+
+std::optional<std::string> TraceEvent::str_arg(std::string_view name) const {
+    const Arg* a = find_arg(name);
+    if (!a) return std::nullopt;
+    if (const auto* s = std::get_if<std::string>(&a->value)) return *s;
+    return std::nullopt;
+}
+
+}  // namespace iocov::trace

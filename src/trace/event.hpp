@@ -1,0 +1,52 @@
+// Syscall trace events — the substrate replacing LTTng.
+//
+// The simulated syscall layer emits one TraceEvent per call; the IOCov
+// analyzer consumes a stream of them.  An event carries the syscall
+// *variant* name ("openat", not "open"), typed arguments, and the raw
+// kernel-convention return value (>= 0 success, -errno failure).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace iocov::trace {
+
+/// A traced argument value.  Signed for fds/offsets/whence, unsigned for
+/// flags/modes/sizes, string for pathnames and xattr names.
+using ArgValue = std::variant<std::int64_t, std::uint64_t, std::string>;
+
+struct Arg {
+    std::string name;
+    ArgValue value;
+
+    friend bool operator==(const Arg&, const Arg&) = default;
+};
+
+/// One traced system call.
+struct TraceEvent {
+    std::uint64_t seq = 0;  ///< Monotonic sequence number within a buffer.
+    std::uint32_t pid = 0;
+    std::uint32_t tid = 0;
+    std::string syscall;    ///< Variant name as invoked (e.g. "pwrite64").
+    std::vector<Arg> args;  ///< In prototype order.
+    std::int64_t ret = 0;   ///< >= 0 success; < 0 is -errno.
+
+    bool ok() const { return ret >= 0; }
+
+    /// Argument lookup by name; nullopt if the syscall has no such arg.
+    const Arg* find_arg(std::string_view name) const;
+
+    /// Typed accessors; nullopt when missing or of a different type
+    /// (signed/unsigned are interconvertible for convenience).
+    std::optional<std::int64_t> int_arg(std::string_view name) const;
+    std::optional<std::uint64_t> uint_arg(std::string_view name) const;
+    std::optional<std::string> str_arg(std::string_view name) const;
+
+    friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+}  // namespace iocov::trace

@@ -1,0 +1,128 @@
+#include "trace/filter.hpp"
+
+#include <algorithm>
+
+namespace iocov::trace {
+namespace {
+
+constexpr std::int64_t kAtFdCwd = -100;
+
+bool is_open_family(const std::string& name) {
+    return name == "open" || name == "openat" || name == "creat" ||
+           name == "openat2";
+}
+
+bool returns_watchable_fd(const TraceEvent& ev) {
+    return is_open_family(ev.syscall) && ev.ok();
+}
+
+}  // namespace
+
+FilterConfig FilterConfig::mount_point(const std::string& mount) {
+    FilterConfig cfg;
+    // Match the mount point itself and anything beneath it.  The mount
+    // string is escaped naively (sufficient for conventional mount paths).
+    std::string escaped;
+    for (char ch : mount) {
+        if (std::string("\\^$.|?*+()[]{}").find(ch) != std::string::npos)
+            escaped += '\\';
+        escaped += ch;
+    }
+    cfg.include.push_back("^" + escaped + "(/.*)?$");
+    return cfg;
+}
+
+FilterConfig FilterConfig::mount_point_prefix(const std::string& mount) {
+    FilterConfig cfg;
+    cfg.include_prefixes.push_back(mount);
+    return cfg;
+}
+
+TraceFilter::TraceFilter(const FilterConfig& config)
+    : prefixes_(config.include_prefixes) {
+    for (const auto& pat : config.include)
+        include_.emplace_back(pat, std::regex::extended);
+    for (const auto& pat : config.exclude)
+        exclude_.emplace_back(pat, std::regex::extended);
+}
+
+bool TraceFilter::path_in_scope(const std::string& path) const {
+    auto matches_any = [&](const std::vector<std::regex>& pats) {
+        return std::any_of(pats.begin(), pats.end(), [&](const std::regex& re) {
+            return std::regex_match(path, re);
+        });
+    };
+    bool included = false;
+    for (const auto& prefix : prefixes_) {
+        if (path.size() >= prefix.size() &&
+            path.compare(0, prefix.size(), prefix) == 0 &&
+            (path.size() == prefix.size() || path[prefix.size()] == '/')) {
+            included = true;
+            break;
+        }
+    }
+    if (!included && !matches_any(include_)) return false;
+    return !matches_any(exclude_);
+}
+
+bool TraceFilter::admit(const TraceEvent& event) {
+    const auto pid = event.pid;
+    auto& watched = watched_[pid];
+
+    // Resolve whether a (dfd, pathname) pair is in scope.
+    auto lookup_in_scope = [&](std::optional<std::string> path,
+                               std::optional<std::int64_t> dfd) {
+        if (path && !path->empty() && path->front() == '/')
+            return path_in_scope(*path);
+        // Relative path: scope comes from the directory it resolves
+        // against — a watched dfd, or the pid's cwd for AT_FDCWD.
+        if (dfd && *dfd != kAtFdCwd) return watched.count(*dfd) > 0;
+        auto it = cwd_in_scope_.find(pid);
+        return it != cwd_in_scope_.end() && it->second;
+    };
+
+    bool in_scope = false;
+    if (auto path = event.str_arg("pathname")) {
+        in_scope = lookup_in_scope(path, event.int_arg("dfd"));
+    } else if (auto fd = event.int_arg("fd")) {
+        in_scope = watched.count(*fd) > 0;
+    }
+
+    // State updates, in trace order.
+    if (event.syscall == "chdir" && event.ok()) {
+        if (auto path = event.str_arg("pathname"))
+            cwd_in_scope_[pid] = lookup_in_scope(path, std::nullopt);
+    } else if (event.syscall == "fchdir" && event.ok()) {
+        if (auto fd = event.int_arg("fd"))
+            cwd_in_scope_[pid] = watched.count(*fd) > 0;
+    } else if (returns_watchable_fd(event)) {
+        if (in_scope) watched.insert(event.ret);
+    } else if (event.syscall == "close" && event.ok()) {
+        if (auto fd = event.int_arg("fd")) watched.erase(*fd);
+    }
+
+    return in_scope;
+}
+
+std::vector<TraceEvent> TraceFilter::filter(
+    const std::vector<TraceEvent>& events) {
+    reset();
+    std::vector<TraceEvent> kept;
+    kept.reserve(events.size());
+    for (const auto& ev : events)
+        if (admit(ev)) kept.push_back(ev);
+    return kept;
+}
+
+void TraceFilter::reset() {
+    watched_.clear();
+    cwd_in_scope_.clear();
+}
+
+std::size_t TraceFilter::watched_fd_count() const {
+    std::size_t n = 0;
+    for (const auto& [pid, fds] : watched_) n += fds.size();
+    return n;
+}
+
+}  // namespace iocov::trace

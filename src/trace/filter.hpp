@@ -1,0 +1,75 @@
+// Trace filter: keeps only syscalls aimed at the file system under test.
+//
+// A tracer records *every* syscall a tester makes, including ones against
+// the build tree, /proc, temporary files, etc.  Like the real IOCov, we
+// filter by mount-point regular expressions before analysis.  Path-less
+// syscalls (read/write/close/... on a file descriptor) cannot be matched
+// textually, so the filter is stateful: it watches fds returned by admitted
+// open-family calls and admits subsequent fd-based calls on those fds.
+// This mirrors how one reconstructs fd provenance from an LTTng trace.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <regex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "trace/event.hpp"
+
+namespace iocov::trace {
+
+/// Filter configuration. `include` patterns select in-scope paths (e.g.
+/// "^/mnt/test(/.*)?$"); `exclude` patterns veto paths even when an
+/// include matched (useful to drop a tester's scratch subdirectory).
+struct FilterConfig {
+    std::vector<std::string> include;
+    std::vector<std::string> exclude;
+    /// Literal mount-point prefixes matched without regex machinery —
+    /// the fast path for the overwhelmingly common "everything under
+    /// /mnt/test" configuration (~4x cheaper per event than std::regex;
+    /// see perf_analyzer's BM_FilterThroughputPrefix).
+    std::vector<std::string> include_prefixes;
+
+    /// The paper's xfstests setup: everything under /mnt/test.
+    /// Uses a regex so `exclude` patterns compose naturally.
+    static FilterConfig mount_point(const std::string& mount);
+
+    /// Same scope via the literal-prefix fast path.
+    static FilterConfig mount_point_prefix(const std::string& mount);
+};
+
+class TraceFilter {
+  public:
+    explicit TraceFilter(const FilterConfig& config);
+
+    /// Decides whether `event` targets the file system under test,
+    /// updating fd-watch state as a side effect.  Events must be fed in
+    /// trace order (fd admission depends on the preceding opens).
+    bool admit(const TraceEvent& event);
+
+    /// Convenience: runs admit() over a whole trace, returning the kept
+    /// events. Resets state first so a filter can be reused.
+    std::vector<TraceEvent> filter(const std::vector<TraceEvent>& events);
+
+    /// Forgets all watched fds (e.g. between test-suite runs).
+    void reset();
+
+    /// Number of fds currently being watched across all pids.
+    std::size_t watched_fd_count() const;
+
+  private:
+    bool path_in_scope(const std::string& path) const;
+
+    std::vector<std::regex> include_;
+    std::vector<std::regex> exclude_;
+    std::vector<std::string> prefixes_;
+    /// pid -> set of fds opened within the mount point.
+    std::map<std::uint32_t, std::set<std::int64_t>> watched_;
+    /// pid -> whether its cwd is inside the mount point (tracked via
+    /// chdir/fchdir so relative paths resolve correctly).
+    std::map<std::uint32_t, bool> cwd_in_scope_;
+};
+
+}  // namespace iocov::trace

@@ -1,0 +1,11 @@
+#include "trace/sink.hpp"
+
+#include "trace/text_format.hpp"
+
+namespace iocov::trace {
+
+void TextSink::emit(const TraceEvent& event) {
+    os_ << format_event(event) << '\n';
+}
+
+}  // namespace iocov::trace

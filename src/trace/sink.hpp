@@ -1,0 +1,81 @@
+// Trace sinks: where emitted syscall events go.
+//
+// The syscall layer is sink-agnostic (like the kernel's tracepoints);
+// tests and the analyzer use TraceBuffer, the text pipeline streams
+// through TextSink, and NullSink measures tracing overhead.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <vector>
+
+#include "trace/event.hpp"
+
+namespace iocov::trace {
+
+/// Destination for emitted trace events.
+class TraceSink {
+  public:
+    virtual ~TraceSink() = default;
+    virtual void emit(const TraceEvent& event) = 0;
+};
+
+/// Discards events (baseline for overhead benchmarks).
+class NullSink final : public TraceSink {
+  public:
+    void emit(const TraceEvent&) override {}
+};
+
+/// Buffers events in memory; the standard analyzer input.
+class TraceBuffer final : public TraceSink {
+  public:
+    void emit(const TraceEvent& event) override { events_.push_back(event); }
+
+    const std::vector<TraceEvent>& events() const { return events_; }
+    std::size_t size() const { return events_.size(); }
+    bool empty() const { return events_.empty(); }
+    void clear() { events_.clear(); }
+
+  private:
+    std::vector<TraceEvent> events_;
+};
+
+/// Forwards each event to a callback (used to chain filter -> analyzer
+/// without materializing an intermediate buffer).
+class CallbackSink final : public TraceSink {
+  public:
+    explicit CallbackSink(std::function<void(const TraceEvent&)> fn)
+        : fn_(std::move(fn)) {}
+    void emit(const TraceEvent& event) override { fn_(event); }
+
+  private:
+    std::function<void(const TraceEvent&)> fn_;
+};
+
+/// Serializes each event as one text line (LTTng-like format; see
+/// text_format.hpp) to an ostream.
+class TextSink final : public TraceSink {
+  public:
+    explicit TextSink(std::ostream& os) : os_(os) {}
+    void emit(const TraceEvent& event) override;
+
+  private:
+    std::ostream& os_;
+};
+
+/// Duplicates events to two sinks (e.g. buffer + text log).
+class TeeSink final : public TraceSink {
+  public:
+    TeeSink(TraceSink& a, TraceSink& b) : a_(a), b_(b) {}
+    void emit(const TraceEvent& event) override {
+        a_.emit(event);
+        b_.emit(event);
+    }
+
+  private:
+    TraceSink& a_;
+    TraceSink& b_;
+};
+
+}  // namespace iocov::trace

@@ -1,0 +1,300 @@
+#include "trace/syz_format.hpp"
+
+#include <charconv>
+#include <cstdlib>
+
+namespace iocov::trace {
+namespace {
+
+// ---- per-syscall argument signatures ---------------------------------------
+//
+// Prefixes: "i:" signed int arg, "u:" unsigned arg, "s:" string arg
+// (pointer to pathname/name), "-" skipped (data buffers), "o:" an
+// open_how struct (expands to flags/mode/resolve).
+
+struct SyzSig {
+    const char* name;
+    std::vector<const char*> args;
+};
+
+const std::vector<SyzSig>& signatures() {
+    static const std::vector<SyzSig> kSigs = {
+        {"open", {"s:pathname", "u:flags", "u:mode"}},
+        {"openat", {"i:dfd", "s:pathname", "u:flags", "u:mode"}},
+        {"creat", {"s:pathname", "u:mode"}},
+        {"openat2", {"i:dfd", "s:pathname", "o:how", "u:usize"}},
+        {"read", {"i:fd", "-", "u:count"}},
+        {"pread64", {"i:fd", "-", "u:count", "i:pos"}},
+        {"readv", {"i:fd", "-", "u:vlen"}},
+        {"write", {"i:fd", "-", "u:count"}},
+        {"pwrite64", {"i:fd", "-", "u:count", "i:pos"}},
+        {"writev", {"i:fd", "-", "u:vlen"}},
+        {"lseek", {"i:fd", "i:offset", "i:whence"}},
+        {"truncate", {"s:pathname", "i:length"}},
+        {"ftruncate", {"i:fd", "i:length"}},
+        {"mkdir", {"s:pathname", "u:mode"}},
+        {"mkdirat", {"i:dfd", "s:pathname", "u:mode"}},
+        {"chmod", {"s:pathname", "u:mode"}},
+        {"fchmod", {"i:fd", "u:mode"}},
+        {"fchmodat", {"i:dfd", "s:pathname", "u:mode", "u:flags"}},
+        {"close", {"i:fd"}},
+        {"chdir", {"s:pathname"}},
+        {"fchdir", {"i:fd"}},
+        {"setxattr", {"s:pathname", "s:name", "-", "u:size", "i:flags"}},
+        {"lsetxattr", {"s:pathname", "s:name", "-", "u:size", "i:flags"}},
+        {"fsetxattr", {"i:fd", "s:name", "-", "u:size", "i:flags"}},
+        {"getxattr", {"s:pathname", "s:name", "-", "u:size"}},
+        {"lgetxattr", {"s:pathname", "s:name", "-", "u:size"}},
+        {"fgetxattr", {"i:fd", "s:name", "-", "u:size"}},
+        // Untracked-but-parsed extras keep the trace realistic.
+        {"unlink", {"s:pathname"}},
+        {"rmdir", {"s:pathname"}},
+        {"rename", {"s:oldpath", "s:newpath"}},
+        {"symlink", {"s:target", "s:linkpath"}},
+        {"link", {"s:oldpath", "s:newpath"}},
+        {"listxattr", {"s:pathname", "-", "u:size"}},
+        {"removexattr", {"s:pathname", "s:name"}},
+        {"fsync", {"i:fd"}},
+        {"fdatasync", {"i:fd"}},
+        {"sync", {}},
+    };
+    return kSigs;
+}
+
+const SyzSig* find_sig(std::string_view name) {
+    for (const auto& sig : signatures())
+        if (name == sig.name) return &sig;
+    return nullptr;
+}
+
+// ---- raw token splitting ----------------------------------------------------
+
+/// Splits an argument list on top-level commas, respecting (), {}, [],
+/// and single-quoted strings.
+std::vector<std::string_view> split_args(std::string_view s) {
+    std::vector<std::string_view> out;
+    int depth = 0;
+    bool in_str = false;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        const char ch = s[i];
+        if (in_str) {
+            if (ch == '\\') ++i;
+            else if (ch == '\'') in_str = false;
+            continue;
+        }
+        switch (ch) {
+            case '\'': in_str = true; break;
+            case '(': case '{': case '[': ++depth; break;
+            case ')': case '}': case ']': --depth; break;
+            case ',':
+                if (depth == 0) {
+                    out.push_back(s.substr(start, i - start));
+                    start = i + 1;
+                }
+                break;
+            default: break;
+        }
+    }
+    if (start < s.size() || !out.empty() || !s.empty())
+        out.push_back(s.substr(start));
+    // Trim whitespace.
+    for (auto& tok : out) {
+        while (!tok.empty() && (tok.front() == ' ' || tok.front() == '\t'))
+            tok.remove_prefix(1);
+        while (!tok.empty() && (tok.back() == ' ' || tok.back() == '\t'))
+            tok.remove_suffix(1);
+    }
+    if (out.size() == 1 && out[0].empty()) out.clear();
+    return out;
+}
+
+std::optional<std::uint64_t> parse_syz_number(std::string_view tok) {
+    if (tok == "AUTO") return 0;
+    std::uint64_t v = 0;
+    if (tok.starts_with("0x") || tok.starts_with("0X")) {
+        auto [p, ec] = std::from_chars(tok.data() + 2,
+                                       tok.data() + tok.size(), v, 16);
+        if (ec != std::errc{} || p != tok.data() + tok.size())
+            return std::nullopt;
+        return v;
+    }
+    auto [p, ec] =
+        std::from_chars(tok.data(), tok.data() + tok.size(), v, 10);
+    if (ec != std::errc{} || p != tok.data() + tok.size())
+        return std::nullopt;
+    return v;
+}
+
+/// Decodes a syz single-quoted string literal ('./file0\x00').
+std::optional<std::string> parse_syz_string(std::string_view tok) {
+    if (tok.size() < 2 || tok.front() != '\'' || tok.back() != '\'')
+        return std::nullopt;
+    tok = tok.substr(1, tok.size() - 2);
+    std::string out;
+    for (std::size_t i = 0; i < tok.size(); ++i) {
+        if (tok[i] != '\\') {
+            out += tok[i];
+            continue;
+        }
+        if (i + 1 >= tok.size()) return std::nullopt;
+        if (tok[i + 1] == 'x' && i + 3 < tok.size()) {
+            const char hex[3] = {tok[i + 2], tok[i + 3], 0};
+            out += static_cast<char>(std::strtoul(hex, nullptr, 16));
+            i += 3;
+        } else {
+            out += tok[i + 1];
+            ++i;
+        }
+    }
+    // Pathnames are NUL-terminated in syz programs; strip the padding.
+    while (!out.empty() && out.back() == '\0') out.pop_back();
+    return out;
+}
+
+/// Resolves a resource reference (r0, r1, ...) to a synthetic fd.
+std::optional<std::int64_t> parse_resource(
+    std::string_view tok, const std::vector<std::string>& resources) {
+    if (tok.size() < 2 || tok.front() != 'r') return std::nullopt;
+    for (std::size_t i = 0; i < resources.size(); ++i)
+        if (resources[i] == tok) return static_cast<std::int64_t>(3 + i);
+    // Unknown resource: syz would have declared it; map deterministically
+    // off its number anyway.
+    std::uint64_t n = 0;
+    auto [p, ec] =
+        std::from_chars(tok.data() + 1, tok.data() + tok.size(), n, 10);
+    if (ec != std::errc{} || p != tok.data() + tok.size())
+        return std::nullopt;
+    return static_cast<std::int64_t>(3 + n);
+}
+
+/// Extracts the pointee expression of a pointer argument:
+/// &(0x7f0000000000)='lit' -> 'lit'; &(0x7f...) -> "" (blob).
+/// Returns nullopt if the token is not a pointer expression.
+std::optional<std::string_view> pointee_of(std::string_view tok) {
+    if (!tok.starts_with("&")) return std::nullopt;
+    const auto close = tok.find(')');
+    if (close == std::string_view::npos) return std::nullopt;
+    auto rest = tok.substr(close + 1);
+    if (rest.starts_with("=")) return rest.substr(1);
+    return std::string_view{};  // pointer to unannotated data
+}
+
+/// Parses a numeric token that may be a plain number or a resource ref.
+std::optional<std::int64_t> parse_int_token(
+    std::string_view tok, const std::vector<std::string>& resources) {
+    if (auto r = parse_resource(tok, resources)) return r;
+    if (auto n = parse_syz_number(tok))
+        return static_cast<std::int64_t>(*n);  // two's complement wrap
+    return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<TraceEvent> parse_syz_line(
+    std::string_view line, std::vector<std::string>* resources) {
+    // Strip comments and whitespace.
+    if (const auto hash = line.find('#'); hash != std::string_view::npos)
+        line = line.substr(0, hash);
+    while (!line.empty() && (line.front() == ' ' || line.front() == '\t'))
+        line.remove_prefix(1);
+    while (!line.empty() &&
+           (line.back() == ' ' || line.back() == '\t' ||
+            line.back() == '\r'))
+        line.remove_suffix(1);
+    if (line.empty()) return std::nullopt;
+
+    // Optional "rN = " result binding.
+    std::string result_name;
+    if (line.front() == 'r') {
+        const auto eq = line.find(" = ");
+        const auto paren = line.find('(');
+        if (eq != std::string_view::npos && eq < paren) {
+            result_name = std::string(line.substr(0, eq));
+            line.remove_prefix(eq + 3);
+        }
+    }
+
+    const auto open_paren = line.find('(');
+    if (open_paren == std::string_view::npos || line.back() != ')')
+        return std::nullopt;
+    const auto name = line.substr(0, open_paren);
+    const SyzSig* sig = find_sig(name);
+    if (!sig) return std::nullopt;
+
+    const auto arg_text =
+        line.substr(open_paren + 1, line.size() - open_paren - 2);
+    const auto tokens = split_args(arg_text);
+
+    TraceEvent ev;
+    ev.syscall = std::string(name);
+    ev.pid = 1;
+    ev.tid = 1;
+    ev.ret = kSyzNoReturn;
+
+    for (std::size_t i = 0; i < sig->args.size() && i < tokens.size();
+         ++i) {
+        const std::string_view spec = sig->args[i];
+        const std::string_view tok = tokens[i];
+        if (spec == "-") continue;
+        const auto kind = spec.substr(0, 2);
+        const std::string key(spec.substr(2));
+        if (kind == "i:") {
+            if (auto v = parse_int_token(tok, *resources))
+                ev.args.push_back({key, ArgValue{*v}});
+        } else if (kind == "u:") {
+            if (auto v = parse_syz_number(tok))
+                ev.args.push_back({key, ArgValue{*v}});
+        } else if (kind == "s:") {
+            const auto pointee = pointee_of(tok);
+            if (!pointee) {
+                // A literal 0x0 in a pointer position is a faulting
+                // address, like the real fuzzers generate.
+                if (parse_syz_number(tok) == std::uint64_t{0})
+                    ev.args.push_back(
+                        {key, ArgValue{std::string("<fault>")}});
+                continue;
+            }
+            if (auto str = parse_syz_string(*pointee))
+                ev.args.push_back({key, ArgValue{std::move(*str)}});
+        } else if (kind == "o:") {
+            // open_how struct literal: {flags, mode, resolve}.
+            const auto pointee = pointee_of(tok);
+            if (pointee && pointee->size() > 2 &&
+                pointee->front() == '{' && pointee->back() == '}') {
+                const auto fields = split_args(
+                    pointee->substr(1, pointee->size() - 2));
+                const char* names[3] = {"flags", "mode", "resolve"};
+                for (std::size_t f = 0; f < fields.size() && f < 3; ++f)
+                    if (auto v = parse_syz_number(fields[f]))
+                        ev.args.push_back({names[f], ArgValue{*v}});
+            }
+        }
+    }
+
+    if (!result_name.empty()) resources->push_back(std::move(result_name));
+    return ev;
+}
+
+std::vector<TraceEvent> parse_syz_program(std::istream& in,
+                                          SyzParseStats* stats) {
+    std::vector<TraceEvent> out;
+    std::vector<std::string> resources;
+    SyzParseStats local;
+    std::string line;
+    std::uint64_t seq = 0;
+    while (std::getline(in, line)) {
+        ++local.lines;
+        if (auto ev = parse_syz_line(line, &resources)) {
+            ev->seq = seq++;
+            out.push_back(std::move(*ev));
+            ++local.parsed;
+        } else {
+            ++local.skipped;
+        }
+    }
+    if (stats) *stats = local;
+    return out;
+}
+
+}  // namespace iocov::trace

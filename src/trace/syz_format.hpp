@@ -1,0 +1,66 @@
+// Syzkaller program parser — the paper's future-work fuzzer front end.
+//
+// Syzkaller logs syscalls as declarative program lines rather than a
+// kernel trace:
+//
+//     r0 = openat(0xffffffffffffff9c, &(0x7f0000000000)='./file0\x00',
+//                 0x42, 0x1ff)
+//     write(r0, &(0x7f0000000040), 0x1000)
+//     close(r0)
+//
+// This parser turns such programs into TraceEvents so the IOCov
+// analyzer can measure a fuzzer's *input* coverage.  Syzkaller programs
+// carry no return values (they describe what to execute, not what
+// happened), so parsed events are marked input-only: the analyzer
+// counts their argument partitions but not output partitions.
+//
+// Supported subset (enough for the fs-syscall corpus):
+//   * resource results:      r3 = open(...)
+//   * resource references:   read(r3, ...)     -> a synthetic fd number
+//   * numeric constants:     0x42, 42, AUTO (-> 0)
+//   * pointer-to-data args:  &(0x7f0000000000)='lit\x00'  -> the string
+//   *                        &(0x7f0000000000)=... (blob) -> elided
+//   * nil pointers:          0x0 in a pointer position     -> <fault>
+//   * trailing comments and blank lines
+#pragma once
+
+#include <istream>
+#include <limits>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/event.hpp"
+
+namespace iocov::trace {
+
+struct SyzParseStats {
+    std::size_t lines = 0;
+    std::size_t parsed = 0;
+    std::size_t skipped = 0;  ///< blank/comment/unsupported lines
+};
+
+/// Parses one syzkaller program line.  Returns nullopt for lines that
+/// are not syscall invocations (blank, comments) or are malformed.
+/// `resources` maps resource names (r0, r1, ...) to synthetic fd
+/// numbers and is updated when the line assigns a result.
+std::optional<TraceEvent> parse_syz_line(
+    std::string_view line, std::vector<std::string>* resources);
+
+/// Parses a whole syzkaller program/log. Events are numbered in
+/// sequence; pid defaults to 1 (syz programs are single-threaded unless
+/// annotated, and annotations are out of scope).
+std::vector<TraceEvent> parse_syz_program(std::istream& in,
+                                          SyzParseStats* stats = nullptr);
+
+/// True if this event came from a syz program (its `ret` is a
+/// placeholder, not an observed result).  Encoded as ret ==
+/// kSyzNoReturn; the analyzer checks this to skip output coverage.
+inline constexpr std::int64_t kSyzNoReturn =
+    std::numeric_limits<std::int64_t>::min();
+inline bool is_input_only(const TraceEvent& ev) {
+    return ev.ret == kSyzNoReturn;
+}
+
+}  // namespace iocov::trace

@@ -1,0 +1,205 @@
+#include "trace/text_format.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+namespace iocov::trace {
+namespace {
+
+// --- tiny recursive-descent helpers over a string_view cursor ---------
+
+struct Cursor {
+    std::string_view rest;
+
+    bool consume(std::string_view token) {
+        if (rest.substr(0, token.size()) != token) return false;
+        rest.remove_prefix(token.size());
+        return true;
+    }
+
+    void skip_spaces() {
+        while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+    }
+
+    /// Consumes characters until one of `stops` or end; returns them.
+    std::string_view take_until(std::string_view stops) {
+        std::size_t i = 0;
+        while (i < rest.size() && stops.find(rest[i]) == std::string_view::npos)
+            ++i;
+        auto out = rest.substr(0, i);
+        rest.remove_prefix(i);
+        return out;
+    }
+};
+
+template <typename T>
+std::optional<T> parse_number(std::string_view s, int base = 10) {
+    T value{};
+    auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value, base);
+    if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+    return value;
+}
+
+std::optional<ArgValue> parse_value(Cursor& c) {
+    if (c.rest.empty()) return std::nullopt;
+    if (c.rest.front() == '"') {
+        c.rest.remove_prefix(1);
+        std::string raw;
+        while (!c.rest.empty() && c.rest.front() != '"') {
+            if (c.rest.front() == '\\') {
+                if (c.rest.size() < 2) return std::nullopt;
+                raw += c.rest.substr(0, 2);
+                c.rest.remove_prefix(2);
+            } else {
+                raw += c.rest.front();
+                c.rest.remove_prefix(1);
+            }
+        }
+        if (!c.consume("\"")) return std::nullopt;
+        auto unescaped = unescape_string(raw);
+        if (!unescaped) return std::nullopt;
+        return ArgValue{std::move(*unescaped)};
+    }
+    auto token = c.take_until(", =");
+    if (token.starts_with("0x")) {
+        auto u = parse_number<std::uint64_t>(token.substr(2), 16);
+        if (!u) return std::nullopt;
+        return ArgValue{*u};
+    }
+    auto i = parse_number<std::int64_t>(token);
+    if (!i) return std::nullopt;
+    return ArgValue{*i};
+}
+
+}  // namespace
+
+std::string escape_string(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char ch : s) {
+        switch (ch) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default: out += ch;
+        }
+    }
+    return out;
+}
+
+std::optional<std::string> unescape_string(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] != '\\') {
+            out += s[i];
+            continue;
+        }
+        if (++i == s.size()) return std::nullopt;
+        switch (s[i]) {
+            case '"': out += '"'; break;
+            case '\\': out += '\\'; break;
+            case 'n': out += '\n'; break;
+            case 't': out += '\t'; break;
+            default: return std::nullopt;
+        }
+    }
+    return out;
+}
+
+std::string format_event(const TraceEvent& event) {
+    char head[96];
+    std::snprintf(head, sizeof head, "[%09llu] pid=%u tid=%u %s:",
+                  static_cast<unsigned long long>(event.seq), event.pid,
+                  event.tid, event.syscall.c_str());
+    std::string out = head;
+    bool first = true;
+    for (const auto& arg : event.args) {
+        out += first ? " " : ", ";
+        first = false;
+        out += arg.name;
+        out += '=';
+        if (const auto* i = std::get_if<std::int64_t>(&arg.value)) {
+            out += std::to_string(*i);
+        } else if (const auto* u = std::get_if<std::uint64_t>(&arg.value)) {
+            char buf[24];
+            std::snprintf(buf, sizeof buf, "0x%llx",
+                          static_cast<unsigned long long>(*u));
+            out += buf;
+        } else {
+            out += '"';
+            out += escape_string(std::get<std::string>(arg.value));
+            out += '"';
+        }
+    }
+    out += " = ";
+    out += std::to_string(event.ret);
+    return out;
+}
+
+std::optional<TraceEvent> parse_event(std::string_view line) {
+    Cursor c{line};
+    TraceEvent ev;
+
+    if (!c.consume("[")) return std::nullopt;
+    auto seq = parse_number<std::uint64_t>(c.take_until("]"));
+    if (!seq || !c.consume("]")) return std::nullopt;
+    ev.seq = *seq;
+
+    c.skip_spaces();
+    if (!c.consume("pid=")) return std::nullopt;
+    auto pid = parse_number<std::uint32_t>(c.take_until(" "));
+    if (!pid) return std::nullopt;
+    ev.pid = *pid;
+
+    c.skip_spaces();
+    if (!c.consume("tid=")) return std::nullopt;
+    auto tid = parse_number<std::uint32_t>(c.take_until(" "));
+    if (!tid) return std::nullopt;
+    ev.tid = *tid;
+
+    c.skip_spaces();
+    auto name = c.take_until(":");
+    if (name.empty() || !c.consume(":")) return std::nullopt;
+    ev.syscall = std::string(name);
+
+    // Arguments until the " = ret" tail.
+    for (;;) {
+        c.skip_spaces();
+        if (c.rest.starts_with("= ")) break;  // no more args
+        auto arg_name = c.take_until("=");
+        if (arg_name.empty() || !c.consume("=")) return std::nullopt;
+        auto value = parse_value(c);
+        if (!value) return std::nullopt;
+        ev.args.push_back({std::string(arg_name), std::move(*value)});
+        c.skip_spaces();
+        if (c.consume(",")) continue;
+        if (c.rest.starts_with("= ")) break;
+        return std::nullopt;
+    }
+    if (!c.consume("= ")) return std::nullopt;
+    auto ret = parse_number<std::int64_t>(c.take_until(" "));
+    if (!ret) return std::nullopt;
+    ev.ret = *ret;
+    c.skip_spaces();
+    if (!c.rest.empty()) return std::nullopt;
+    return ev;
+}
+
+std::vector<TraceEvent> parse_stream(std::istream& in, std::size_t* dropped) {
+    std::vector<TraceEvent> out;
+    if (dropped) *dropped = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#') continue;
+        if (auto ev = parse_event(line)) {
+            out.push_back(std::move(*ev));
+        } else if (dropped) {
+            ++*dropped;
+        }
+    }
+    return out;
+}
+
+}  // namespace iocov::trace

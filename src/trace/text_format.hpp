@@ -1,0 +1,43 @@
+// Text serialization of trace events (LTTng-style line format).
+//
+// One event per line:
+//
+//   [000000017] pid=1201 tid=1201 openat: dfd=-100,
+//       pathname="/mnt/test/f0", flags=0x241, mode=0x1a4 = 3
+//
+// Unsigned args print as hex with 0x, signed as decimal, strings quoted
+// with backslash escapes.  The parser accepts exactly what format_event
+// produces, enabling the trace-file -> analyzer pipeline of the real
+// IOCov tool and round-trip tests.
+#pragma once
+
+#include <istream>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/event.hpp"
+
+namespace iocov::trace {
+
+/// Renders one event as a single line (no trailing newline).
+std::string format_event(const TraceEvent& event);
+
+/// Parses a line produced by format_event. Returns nullopt on malformed
+/// input (never throws; trace files may be truncated mid-line).
+std::optional<TraceEvent> parse_event(std::string_view line);
+
+/// Parses an entire stream, skipping blank lines and '#' comments.
+/// Malformed lines are counted into *dropped (if non-null) and skipped,
+/// mirroring how the real analyzer tolerates torn LTTng buffers.
+std::vector<TraceEvent> parse_stream(std::istream& in,
+                                     std::size_t* dropped = nullptr);
+
+/// Escapes a string for quoting inside a trace line.
+std::string escape_string(std::string_view s);
+
+/// Reverses escape_string; nullopt on invalid escape sequences.
+std::optional<std::string> unescape_string(std::string_view s);
+
+}  // namespace iocov::trace

@@ -1,0 +1,38 @@
+#include "vfs/fault.hpp"
+
+namespace iocov::vfs {
+
+void FaultInjector::arm(std::string op, abi::Err err, unsigned skip) {
+    one_shots_.push_back({std::move(op), err, skip});
+}
+
+void FaultInjector::arm_periodic(std::string op, abi::Err err,
+                                 unsigned period) {
+    if (period == 0) period = 1;
+    periodics_.push_back({std::move(op), err, period, 0});
+}
+
+std::optional<abi::Err> FaultInjector::check(std::string_view op) {
+    for (auto it = one_shots_.begin(); it != one_shots_.end(); ++it) {
+        if (it->op != "*" && it->op != op) continue;
+        if (it->skip > 0) {
+            --it->skip;
+            continue;
+        }
+        const abi::Err err = it->err;
+        one_shots_.erase(it);
+        return err;
+    }
+    for (auto& p : periodics_) {
+        if (p.op != "*" && p.op != op) continue;
+        if (++p.count % p.period == 0) return p.err;
+    }
+    return std::nullopt;
+}
+
+void FaultInjector::clear() {
+    one_shots_.clear();
+    periodics_.clear();
+}
+
+}  // namespace iocov::vfs

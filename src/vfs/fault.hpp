@@ -1,0 +1,51 @@
+// Deterministic fault injection for hard-to-reach error paths.
+//
+// Some errno values cannot arise from argument validation alone — ENOMEM
+// needs memory pressure, EIO a bad disk, EINTR a signal.  The paper
+// notes these are the hardest outputs to cover.  FaultInjector lets a
+// test or workload arm "the Nth next call to syscall X fails with E".
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "abi/errno.hpp"
+
+namespace iocov::vfs {
+
+class FaultInjector {
+  public:
+    /// Arms a one-shot fault: after `skip` matching calls pass through,
+    /// the next call whose operation name equals `op` (or any call, for
+    /// op == "*") fails with `err`.
+    void arm(std::string op, abi::Err err, unsigned skip = 0);
+
+    /// Arms a recurring fault: every `period`-th matching call fails.
+    void arm_periodic(std::string op, abi::Err err, unsigned period);
+
+    /// Consults the injector; returns the errno to fail with, if any.
+    std::optional<abi::Err> check(std::string_view op);
+
+    void clear();
+    bool empty() const { return one_shots_.empty() && periodics_.empty(); }
+
+  private:
+    struct OneShot {
+        std::string op;
+        abi::Err err;
+        unsigned skip;
+    };
+    struct Periodic {
+        std::string op;
+        abi::Err err;
+        unsigned period;
+        unsigned count = 0;
+    };
+    std::deque<OneShot> one_shots_;
+    std::deque<Periodic> periodics_;
+};
+
+}  // namespace iocov::vfs

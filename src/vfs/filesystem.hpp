@@ -1,0 +1,260 @@
+// The in-memory file system under test.
+//
+// This is the substrate standing in for Ext4: an inode-based namespace
+// with hard links, symlinks, permissions, sparse regular files, extended
+// attributes, capacity and quota accounting, and deliberately complete
+// POSIX error behaviour.  IOCov observes only the syscall boundary, so a
+// VFS that validates arguments and produces errno values the way the
+// kernel does exercises the same input/output space the paper measures.
+//
+// Division of labour with the syscall layer (src/syscall): this class is
+// inode-granular (resolve paths, operate on inodes); file descriptors,
+// open-flag semantics, offsets, and per-process state live above it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "abi/errno.hpp"
+#include "abi/stat_mode.hpp"
+#include "vfs/fault.hpp"
+#include "vfs/hooks.hpp"
+#include "vfs/inode.hpp"
+#include "vfs/result.hpp"
+#include "vfs/types.hpp"
+
+namespace iocov::vfs {
+
+/// Path-resolution behaviour, covering both classic lookup flags and
+/// openat2(2) RESOLVE_* restrictions.
+struct ResolveOpts {
+    /// Directory the walk starts from for relative paths.
+    InodeId base = kRootInode;
+    /// Follow a symlink in the final component (false = O_NOFOLLOW /
+    /// lstat semantics: a final symlink resolves to the link itself).
+    bool follow_final = true;
+    /// RESOLVE_NO_SYMLINKS: any symlink anywhere fails with ELOOP.
+    bool no_symlinks = false;
+    /// RESOLVE_NO_XDEV: crossing an inode marked as a mountpoint fails
+    /// with EXDEV.
+    bool no_xdev = false;
+    /// RESOLVE_BENEATH: absolute paths and ".." escaping `base` fail
+    /// with EXDEV.
+    bool beneath = false;
+};
+
+/// Result of resolving all but the final component.
+struct ParentAndName {
+    InodeId parent = kInvalidInode;
+    std::string name;
+    /// The original path had a trailing slash (final entry must be a
+    /// directory; creation of regular files must fail with EISDIR).
+    bool trailing_slash = false;
+};
+
+class FileSystem {
+  public:
+    explicit FileSystem(FsConfig config = {});
+
+    FileSystem(const FileSystem&) = delete;
+    FileSystem& operator=(const FileSystem&) = delete;
+
+    // ---- instrumentation --------------------------------------------
+
+    /// Installs coverage/bug hooks (bugstudy module); nullptr disables.
+    void set_hooks(VfsHooks* hooks) { hooks_ = hooks; }
+
+    /// Fault injector for environmental errors (EIO, ENOMEM, ...).
+    FaultInjector& faults() { return faults_; }
+
+    /// Passthrough instrumentation for the syscall layer, which probes
+    /// open-path sites (e.g. "ext4_create") through the same hooks.
+    void probe_site(std::string_view site) { hook_probe(site); }
+    std::optional<abi::Err> inject_site(std::string_view site) {
+        return hook_inject(site);
+    }
+
+    // ---- namespace operations ---------------------------------------
+
+    /// Resolves `path` to an inode. Errors: ENOENT, ENOTDIR, EACCES
+    /// (missing search permission), ELOOP, ENAMETOOLONG, EXDEV.
+    Result<InodeId> resolve(std::string_view path, const Credentials& cred,
+                            const ResolveOpts& opts = {});
+
+    /// Resolves the parent directory of `path`'s final component.
+    /// The final component itself may or may not exist.
+    Result<ParentAndName> resolve_parent(std::string_view path,
+                                         const Credentials& cred,
+                                         const ResolveOpts& opts = {});
+
+    /// Creates a regular file entry. Errors: EEXIST, EACCES, ENOSPC
+    /// (inode exhaustion), EDQUOT, EROFS, ENOTDIR, ENAMETOOLONG.
+    Result<InodeId> create_file(InodeId parent, std::string_view name,
+                                abi::mode_t_ perm, const Credentials& cred);
+
+    /// Creates a directory. Same errors as create_file plus EMLINK.
+    Result<InodeId> make_dir(InodeId parent, std::string_view name,
+                             abi::mode_t_ perm, const Credentials& cred);
+
+    /// Creates a symlink with the given target string.
+    Result<InodeId> make_symlink(InodeId parent, std::string_view name,
+                                 std::string_view target,
+                                 const Credentials& cred);
+
+    /// Creates a special node (device/fifo) — test-setup helper to make
+    /// device error paths (ENXIO/ENODEV/EBUSY) reachable via open(2).
+    Result<InodeId> make_special(InodeId parent, std::string_view name,
+                                 abi::mode_t_ mode, DeviceState device,
+                                 const Credentials& cred);
+
+    /// Creates an unnamed regular file (O_TMPFILE): the inode exists but
+    /// no directory references it.  `dir` is the directory named in the
+    /// open call, used for the write-permission check.  The caller must
+    /// release_anonymous() when the last fd closes.
+    Result<InodeId> create_anonymous(InodeId dir, abi::mode_t_ perm,
+                                     const Credentials& cred);
+
+    /// Frees an inode created by create_anonymous.
+    void release_anonymous(InodeId ino);
+
+    /// Adds a hard link to an existing inode. Errors: EEXIST, EMLINK,
+    /// EPERM (directories), EACCES, EROFS.
+    Status link(InodeId target, InodeId parent, std::string_view name,
+                const Credentials& cred);
+
+    /// Removes a non-directory entry. Errors: ENOENT, EISDIR, EACCES,
+    /// EROFS, EPERM (sticky directory).
+    Status unlink(InodeId parent, std::string_view name,
+                  const Credentials& cred);
+
+    /// Removes an empty directory. Errors: ENOTEMPTY, ENOTDIR, EBUSY
+    /// (mountpoint), plus unlink's.
+    Status remove_dir(InodeId parent, std::string_view name,
+                      const Credentials& cred);
+
+    /// Renames old_parent/old_name to new_parent/new_name (same-mount
+    /// only; replaces an existing target per POSIX rules).
+    Status rename(InodeId old_parent, std::string_view old_name,
+                  InodeId new_parent, std::string_view new_name,
+                  const Credentials& cred);
+
+    // ---- regular-file I/O (permissions were checked at open time) ----
+
+    /// Reads up to out.size() bytes at `off`. Short reads at EOF; 0 at
+    /// or past EOF. Errors: EISDIR is handled at open; EIO via faults.
+    Result<std::uint64_t> read(InodeId ino, std::uint64_t off,
+                               std::span<std::byte> out);
+
+    /// Writes materialized bytes. Errors: EFBIG, ENOSPC, EDQUOT, EROFS.
+    Result<std::uint64_t> write(InodeId ino, std::uint64_t off,
+                                std::span<const std::byte> bytes);
+
+    /// Writes `len` copies of `fill` (O(1) space; used for large writes).
+    Result<std::uint64_t> write_pattern(InodeId ino, std::uint64_t off,
+                                        std::uint64_t len, std::byte fill);
+
+    /// Sets file size. Shrink frees blocks; growth creates a hole.
+    /// Errors: EFBIG, EROFS; EINVAL/EACCES belong to the syscall layer.
+    Status truncate(InodeId ino, std::uint64_t new_size);
+
+    // ---- metadata ----------------------------------------------------
+
+    Result<Stat> stat(InodeId ino) const;
+
+    /// chmod(2) core: only owner or superuser; clears sgid for
+    /// non-members per POSIX. Errors: EPERM, EROFS.
+    Status chmod(InodeId ino, abi::mode_t_ mode, const Credentials& cred);
+
+    Status chown(InodeId ino, std::uint32_t uid, std::uint32_t gid,
+                 const Credentials& cred);
+
+    /// access(2)-style permission check. `mask`: 4=r, 2=w, 1=x.
+    Status access_check(InodeId ino, unsigned mask,
+                        const Credentials& cred) const;
+
+    // ---- extended attributes ----------------------------------------
+
+    /// Errors: EEXIST (XATTR_CREATE_), ENODATA (XATTR_REPLACE_), ENOSPC
+    /// (in-inode space exhausted), E2BIG handled by syscall layer,
+    /// EPERM (not owner), EROFS.
+    Status set_xattr(InodeId ino, std::string_view name,
+                     std::span<const std::byte> value, int flags,
+                     const Credentials& cred);
+
+    /// Returns the value. Errors: ENODATA. (ERANGE is a syscall-layer
+    /// concern — it depends on the caller's buffer size.)
+    Result<std::vector<std::byte>> get_xattr(InodeId ino,
+                                             std::string_view name) const;
+
+    Result<std::vector<std::string>> list_xattr(InodeId ino) const;
+    Status remove_xattr(InodeId ino, std::string_view name,
+                        const Credentials& cred);
+
+    // ---- accounting / mount state -----------------------------------
+
+    FsUsage usage() const;
+    const FsConfig& config() const { return config_; }
+    void set_read_only(bool ro) { config_.read_only = ro; }
+
+    /// Shrinks/grows the device at runtime — how tests and workload
+    /// generators drive the allocator into ENOSPC without filling a
+    /// full-size volume block by block.
+    void set_capacity_blocks(std::uint64_t blocks) {
+        config_.capacity_blocks = blocks;
+    }
+    std::uint64_t used_blocks() const { return used_blocks_; }
+
+    // ---- introspection (tests, bug study, diff testing) --------------
+
+    const Inode* find(InodeId ino) const;
+    Inode* find_mutable(InodeId ino);
+    std::uint64_t inode_count() const { return inodes_.size(); }
+
+    /// Logical clock (bumped once per mutating operation).
+    std::uint64_t now() const { return clock_; }
+
+  private:
+    Result<InodeId> walk(std::span<const std::string> components,
+                         bool follow_final, const Credentials& cred,
+                         const ResolveOpts& opts, unsigned depth);
+
+    Result<InodeId> alloc_inode(abi::mode_t_ mode, const Credentials& cred);
+    void free_inode(InodeId ino);
+
+    /// Entry-name validation shared by all creators: ENAMETOOLONG,
+    /// EACCES (parent write perm), EROFS, ENOTDIR, EEXIST.
+    Status can_create(InodeId parent, std::string_view name,
+                      const Credentials& cred) const;
+
+    /// Charges `delta` blocks against capacity and the owner's quota
+    /// (negative delta releases). Fails with ENOSPC/EDQUOT.
+    Status charge_blocks(std::uint32_t uid, std::int64_t delta);
+
+    /// Drops one link; frees the inode when nlink reaches 0.
+    void unlink_inode(Inode& inode);
+
+    std::uint64_t tick() { return ++clock_; }
+
+    void hook_probe(std::string_view site) {
+        if (hooks_) hooks_->probe(site);
+    }
+    std::optional<abi::Err> hook_inject(std::string_view site) {
+        if (hooks_) return hooks_->inject(site);
+        return std::nullopt;
+    }
+
+    FsConfig config_;
+    std::map<InodeId, Inode> inodes_;
+    InodeId next_ino_ = kRootInode;
+    std::uint64_t used_blocks_ = 0;
+    std::map<std::uint32_t, std::uint64_t> quota_used_;  // uid -> blocks
+    std::uint64_t clock_ = 0;
+    VfsHooks* hooks_ = nullptr;
+    FaultInjector faults_;
+};
+
+}  // namespace iocov::vfs

@@ -1,0 +1,31 @@
+// Instrumentation hooks: the Gcov/bug-injection seam.
+//
+// The paper's bug study instruments kernel file-system code with Gcov
+// and asks, per bug-fix commit, "did the suite execute the buggy region,
+// and did it trigger the bug?".  Our analog: the VFS calls probe() at
+// named sites (function entries, interesting branches), and inject()
+// at sites where an armed synthetic bug may override the outcome.
+// The bugstudy module implements this interface; production use leaves
+// it null (zero overhead beyond a pointer test).
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "abi/errno.hpp"
+
+namespace iocov::vfs {
+
+class VfsHooks {
+  public:
+    virtual ~VfsHooks() = default;
+
+    /// Coverage probe: the named code site executed.
+    virtual void probe(std::string_view site) = 0;
+
+    /// Fault/bug injection: return an errno to force this site to fail,
+    /// or nullopt to proceed normally.
+    virtual std::optional<abi::Err> inject(std::string_view site) = 0;
+};
+
+}  // namespace iocov::vfs

@@ -1,0 +1,73 @@
+// Inode and inode-table types for the in-memory file system.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "abi/stat_mode.hpp"
+#include "vfs/file_data.hpp"
+#include "vfs/types.hpp"
+
+namespace iocov::vfs {
+
+/// Device-node behaviour markers. Real device semantics are out of
+/// scope; these flags exist to make the corresponding open(2) error
+/// paths reachable (ENXIO, ENODEV, EBUSY).
+enum class DeviceState : std::uint8_t {
+    None,      ///< not a device
+    Ok,        ///< device with a driver; opens succeed
+    NoDriver,  ///< ENODEV on open
+    NoUnit,    ///< ENXIO on open
+    Busy,      ///< EBUSY on open (e.g. a mounted block device)
+};
+
+struct Inode {
+    InodeId id = kInvalidInode;
+    abi::mode_t_ mode = 0;  ///< type | permission bits
+    std::uint32_t uid = 0;
+    std::uint32_t gid = 0;
+    std::uint32_t nlink = 0;
+    Timestamps times;
+
+    /// Regular-file contents (unused for other types).
+    FileData data;
+
+    /// Directory entries: name -> child inode ("." / ".." implicit).
+    std::map<std::string, InodeId> dirents;
+
+    /// Parent directory (directories only; enables ".." resolution).
+    InodeId parent = kInvalidInode;
+
+    /// Symlink target (symlinks only).
+    std::string symlink_target;
+
+    /// Extended attributes.
+    std::map<std::string, std::vector<std::byte>> xattrs;
+
+    /// Bytes of in-inode xattr space remaining (models ext4's
+    /// i_extra_isize accounting; see the Fig. 1 bug in the paper).
+    std::uint32_t xattr_space = 0;
+
+    // Error-path enablers (see DeviceState).
+    DeviceState device = DeviceState::None;
+    /// Inode is a running executable: open for write -> ETXTBSY.
+    bool executing = false;
+    /// Inode is a mount-point boundary: openat2(RESOLVE_NO_XDEV) -> EXDEV.
+    bool mountpoint = false;
+    /// Named fifo with no reader: open(O_WRONLY|O_NONBLOCK) -> ENXIO.
+    bool fifo_has_reader = false;
+
+    bool is_reg() const { return abi::is_reg(mode); }
+    bool is_dir() const { return abi::is_dir(mode); }
+    bool is_lnk() const { return abi::is_lnk(mode); }
+    bool is_fifo() const { return (mode & abi::S_IFMT) == abi::S_IFIFO; }
+    bool is_device() const {
+        const auto t = mode & abi::S_IFMT;
+        return t == abi::S_IFBLK || t == abi::S_IFCHR;
+    }
+    abi::mode_t_ perms() const { return mode & abi::MODE_PERM_MASK; }
+};
+
+}  // namespace iocov::vfs

@@ -1,0 +1,84 @@
+// Result<T>: value-or-errno return type for every VFS operation.
+//
+// The kernel convention (negative return encodes errno) survives at the
+// syscall boundary; inside the VFS we want type safety, so operations
+// return Result<T> and the syscall layer flattens it to int64.  This is
+// a minimal std::expected stand-in (the toolchain here is C++20).
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "abi/errno.hpp"
+
+namespace iocov::vfs {
+
+template <typename T>
+class Result {
+  public:
+    Result(T value) : v_(std::move(value)) {}          // NOLINT(implicit)
+    Result(abi::Err error) : v_(error) {               // NOLINT(implicit)
+        assert(error != abi::Err::Ok && "use a value for success");
+    }
+
+    bool ok() const { return std::holds_alternative<T>(v_); }
+    explicit operator bool() const { return ok(); }
+
+    const T& value() const& {
+        assert(ok());
+        return std::get<T>(v_);
+    }
+    T& value() & {
+        assert(ok());
+        return std::get<T>(v_);
+    }
+    T&& value() && {
+        assert(ok());
+        return std::get<T>(std::move(v_));
+    }
+
+    abi::Err error() const {
+        assert(!ok());
+        return std::get<abi::Err>(v_);
+    }
+
+    /// Error code if failed, Err::Ok if succeeded (for logging).
+    abi::Err status() const { return ok() ? abi::Err::Ok : error(); }
+
+  private:
+    std::variant<T, abi::Err> v_;
+};
+
+/// Result<void> equivalent.
+class Status {
+  public:
+    Status() = default;                                 // success
+    Status(abi::Err error) : err_(error) {}             // NOLINT(implicit)
+
+    bool ok() const { return err_ == abi::Err::Ok; }
+    explicit operator bool() const { return ok(); }
+    abi::Err error() const {
+        assert(!ok());
+        return err_;
+    }
+    abi::Err status() const { return err_; }
+
+  private:
+    abi::Err err_ = abi::Err::Ok;
+};
+
+/// Propagation helper: evaluates expr; on error returns it from the
+/// enclosing function; on success binds the value.
+#define IOCOV_TRY(var, expr)                      \
+    auto var##_res = (expr);                      \
+    if (!var##_res.ok()) return var##_res.error(); \
+    auto& var = var##_res.value()
+
+#define IOCOV_TRY_STATUS(expr)                      \
+    do {                                            \
+        auto try_status_ = (expr);                  \
+        if (!try_status_.ok()) return try_status_.error(); \
+    } while (0)
+
+}  // namespace iocov::vfs

@@ -1,0 +1,76 @@
+// Common VFS value types: identifiers, credentials, stat, configuration.
+#pragma once
+
+#include <cstdint>
+
+#include "abi/stat_mode.hpp"
+
+namespace iocov::vfs {
+
+/// Inode number. 0 is invalid; the root directory is always inode 1.
+using InodeId = std::uint64_t;
+inline constexpr InodeId kInvalidInode = 0;
+inline constexpr InodeId kRootInode = 1;
+
+/// Caller identity for permission checks. uid 0 is the superuser.
+struct Credentials {
+    std::uint32_t uid = 0;
+    std::uint32_t gid = 0;
+
+    bool is_superuser() const { return uid == 0; }
+
+    static Credentials root() { return {0, 0}; }
+    static Credentials user(std::uint32_t uid, std::uint32_t gid) {
+        return {uid, gid};
+    }
+};
+
+/// Logical timestamps (ticks of the file system's operation clock; real
+/// wall-clock time would make traces nondeterministic).
+struct Timestamps {
+    std::uint64_t atime = 0;
+    std::uint64_t mtime = 0;
+    std::uint64_t ctime = 0;
+};
+
+/// stat(2)-like metadata snapshot.
+struct Stat {
+    InodeId ino = kInvalidInode;
+    abi::mode_t_ mode = 0;
+    std::uint32_t uid = 0;
+    std::uint32_t gid = 0;
+    std::uint32_t nlink = 0;
+    std::uint64_t size = 0;
+    std::uint64_t blocks = 0;  ///< allocated 512-byte units, as stat(2)
+    Timestamps times;
+};
+
+/// Mount-time configuration. Defaults model a small but realistic ext4
+/// volume so capacity/quota error paths are reachable in tests.
+struct FsConfig {
+    std::uint64_t block_size = 4096;
+    /// Data capacity in blocks (default 4 GiB worth).
+    std::uint64_t capacity_blocks = (4ULL << 30) / 4096;
+    std::uint64_t max_inodes = 1 << 16;
+    /// Per-file size limit (ext4's 16 TiB default, scaled to test size).
+    std::uint64_t max_file_size = 16ULL << 40;
+    /// Maximum hard links per inode (ext4: 65000).
+    std::uint32_t max_links = 65000;
+    /// Per-uid block quota; 0 disables quotas.
+    std::uint64_t quota_blocks_per_uid = 0;
+    /// Mounted read-only (every mutation fails with EROFS).
+    bool read_only = false;
+    /// Bytes of in-inode space available for xattrs (models ext4's
+    /// i_extra_isize region from the paper's Fig. 1 bug).
+    std::uint32_t inode_xattr_capacity = 256;
+};
+
+/// statfs(2)-like usage snapshot.
+struct FsUsage {
+    std::uint64_t total_blocks = 0;
+    std::uint64_t used_blocks = 0;
+    std::uint64_t total_inodes = 0;
+    std::uint64_t used_inodes = 0;
+};
+
+}  // namespace iocov::vfs

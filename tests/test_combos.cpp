@@ -1,0 +1,53 @@
+#include "core/combos.hpp"
+
+#include <gtest/gtest.h>
+
+#include "abi/fcntl.hpp"
+
+namespace iocov::core {
+namespace {
+
+TEST(FeasiblePairs, ExcludesAccessModeAndAbsorbedPairs) {
+    const auto pairs = feasible_open_flag_pairs();
+    // 20 flags -> C(20,2)=190, minus 3 access-mode pairs, minus 2
+    // absorbed pairs (O_SYNC+O_DSYNC, O_TMPFILE+O_DIRECTORY).
+    EXPECT_EQ(pairs.size(), 185u);
+    for (const auto& p : pairs) {
+        EXPECT_NE(p, "O_RDONLY+O_WRONLY");
+        EXPECT_NE(p, "O_DSYNC+O_SYNC");
+        EXPECT_NE(p, "O_DIRECTORY+O_TMPFILE");
+    }
+    // Sorted and unique.
+    for (std::size_t i = 1; i < pairs.size(); ++i)
+        EXPECT_LT(pairs[i - 1], pairs[i]);
+}
+
+TEST(PairCoverage, CountsTestedPairs) {
+    Analyzer a;
+    trace::TraceEvent ev;
+    ev.syscall = "open";
+    ev.args = {{"pathname", trace::ArgValue{std::string("/mnt/test/f")}},
+               {"flags", trace::ArgValue{std::uint64_t{
+                             abi::O_WRONLY | abi::O_CREAT | abi::O_TRUNC}}},
+               {"mode", trace::ArgValue{std::uint64_t{0644}}}};
+    ev.ret = 3;
+    a.consume(ev);
+    const auto pc =
+        open_flag_pair_coverage(*a.report().find_input("open", "flags"));
+    // Three flags -> three pairs.
+    EXPECT_EQ(pc.tested, 3u);
+    EXPECT_EQ(pc.feasible, 185u);
+    EXPECT_EQ(pc.untested.size(), 182u);
+    EXPECT_NEAR(pc.fraction, 3.0 / 185.0, 1e-12);
+}
+
+TEST(PairCoverage, EmptyReportHasZeroCoverage) {
+    Analyzer a;
+    const auto pc =
+        open_flag_pair_coverage(*a.report().find_input("open", "flags"));
+    EXPECT_EQ(pc.tested, 0u);
+    EXPECT_EQ(pc.untested.size(), pc.feasible);
+}
+
+}  // namespace
+}  // namespace iocov::core

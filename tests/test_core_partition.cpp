@@ -1,0 +1,138 @@
+// Input/output partitioners.
+#include <gtest/gtest.h>
+
+#include "abi/fcntl.hpp"
+#include "abi/seek.hpp"
+#include "abi/xattr.hpp"
+#include "core/partition.hpp"
+
+namespace iocov::core {
+namespace {
+
+using trace::ArgValue;
+
+std::unique_ptr<InputPartitioner> part(const char* base, const char* key,
+                                       ArgClass cls) {
+    return make_input_partitioner(base, ArgSpec{key, cls});
+}
+
+TEST(OpenFlagsPartitioner, DeclaresFig2AxisAndDecomposes) {
+    auto p = part("open", "flags", ArgClass::Bitmap);
+    EXPECT_EQ(p->declared().size(), 20u);
+    const auto labels = p->labels_for(ArgValue{
+        std::uint64_t{abi::O_WRONLY | abi::O_CREAT | abi::O_TRUNC}});
+    EXPECT_EQ(labels,
+              (std::vector<std::string>{"O_WRONLY", "O_CREAT", "O_TRUNC"}));
+}
+
+TEST(ModeBitsPartitioner, PerBitLabels) {
+    auto p = part("chmod", "mode", ArgClass::Bitmap);
+    EXPECT_EQ(p->declared().size(), 13u);  // 12 bits + "none"
+    const auto labels = p->labels_for(ArgValue{std::uint64_t{0640}});
+    EXPECT_EQ(labels, (std::vector<std::string>{"S_IRUSR", "S_IWUSR",
+                                                "S_IRGRP"}));
+    EXPECT_EQ(p->labels_for(ArgValue{std::uint64_t{0}}),
+              std::vector<std::string>{"none"});
+    const auto setuid = p->labels_for(ArgValue{std::uint64_t{04000}});
+    EXPECT_EQ(setuid, std::vector<std::string>{"S_ISUID"});
+}
+
+TEST(NumericPartitioner, DeclaresBoundariesAndBuckets) {
+    auto p = part("write", "count", ArgClass::Numeric);
+    const auto declared = p->declared();
+    // "<0", "=0", 2^0..2^32 (the Fig. 3 x-axis).
+    EXPECT_EQ(declared.size(), 2u + kNumericDeclaredMaxExp + 1);
+    EXPECT_EQ(declared[0], "<0");
+    EXPECT_EQ(declared[1], "=0");
+    EXPECT_EQ(p->labels_for(ArgValue{std::uint64_t{0}}),
+              std::vector<std::string>{"=0"});
+    EXPECT_EQ(p->labels_for(ArgValue{std::int64_t{-7}}),
+              std::vector<std::string>{"<0"});
+    EXPECT_EQ(p->labels_for(ArgValue{std::uint64_t{1500}}),
+              std::vector<std::string>{"2^10"});
+}
+
+TEST(WhencePartitioner, NamedValuesPlusInvalid) {
+    auto p = part("lseek", "whence", ArgClass::Categorical);
+    EXPECT_EQ(p->declared().size(), 6u);
+    EXPECT_EQ(p->labels_for(ArgValue{std::int64_t{abi::SEEK_END_}}),
+              std::vector<std::string>{"SEEK_END"});
+    EXPECT_EQ(p->labels_for(ArgValue{std::int64_t{42}}),
+              std::vector<std::string>{"INVALID"});
+}
+
+TEST(XattrFlagsPartitioner, CategoricalValues) {
+    auto p = part("setxattr", "flags", ArgClass::Categorical);
+    EXPECT_EQ(p->labels_for(ArgValue{std::int64_t{0}}),
+              std::vector<std::string>{"0"});
+    EXPECT_EQ(p->labels_for(ArgValue{std::int64_t{abi::XATTR_CREATE_}}),
+              std::vector<std::string>{"XATTR_CREATE"});
+    EXPECT_EQ(p->labels_for(ArgValue{std::int64_t{3}}),
+              std::vector<std::string>{"INVALID"});
+}
+
+TEST(FdPartitioner, IdentifierClasses) {
+    auto p = part("close", "fd", ArgClass::Identifier);
+    EXPECT_EQ(p->labels_for(ArgValue{std::int64_t{0}}),
+              std::vector<std::string>{"stdio(0-2)"});
+    EXPECT_EQ(p->labels_for(ArgValue{std::int64_t{7}}),
+              std::vector<std::string>{"valid(>=3)"});
+    EXPECT_EQ(p->labels_for(ArgValue{std::int64_t{5000}}),
+              std::vector<std::string>{"large(>=1024)"});
+    EXPECT_EQ(p->labels_for(ArgValue{std::int64_t{-1}}),
+              std::vector<std::string>{"minus-one"});
+    EXPECT_EQ(p->labels_for(ArgValue{std::int64_t{abi::AT_FDCWD}}),
+              std::vector<std::string>{"AT_FDCWD"});
+    EXPECT_EQ(p->labels_for(ArgValue{std::int64_t{-7}}),
+              std::vector<std::string>{"other-negative"});
+}
+
+TEST(PathPartitioner, StructuralClasses) {
+    auto p = part("chdir", "pathname", ArgClass::Identifier);
+    auto labels = [&](const char* s) {
+        return p->labels_for(ArgValue{std::string(s)});
+    };
+    EXPECT_EQ(labels("/mnt/test"), std::vector<std::string>{"absolute"});
+    EXPECT_EQ(labels("sub"), std::vector<std::string>{"relative"});
+    EXPECT_EQ(labels("."), (std::vector<std::string>{"dot", "relative"}));
+    EXPECT_EQ(labels(".."),
+              (std::vector<std::string>{"dotdot", "relative"}));
+    EXPECT_EQ(labels("/a/"),
+              (std::vector<std::string>{"absolute", "trailing-slash"}));
+    EXPECT_EQ(labels("<via-fd>"), std::vector<std::string>{"via-fd"});
+    EXPECT_EQ(labels("<fault>"), std::vector<std::string>{"faulting"});
+    EXPECT_EQ(labels(""), std::vector<std::string>{"empty"});
+    const std::string long_comp = "/" + std::string(300, 'x');
+    auto ll = labels(long_comp.c_str());
+    EXPECT_NE(std::find(ll.begin(), ll.end(), "name-max"), ll.end());
+    const std::string long_path(5000, 'y');
+    ll = labels(long_path.c_str());
+    EXPECT_NE(std::find(ll.begin(), ll.end(), "path-max"), ll.end());
+}
+
+TEST(OutputPartitioner, UnitSuccessIsJustOk) {
+    OutputPartitioner p(SuccessKind::Unit,
+                        {abi::Err::ENOENT_, abi::Err::EACCES_});
+    EXPECT_EQ(p.declared(),
+              (std::vector<std::string>{"OK", "ENOENT", "EACCES"}));
+    EXPECT_EQ(p.label_for(0), "OK");
+    EXPECT_EQ(p.label_for(-2), "ENOENT");
+}
+
+TEST(OutputPartitioner, ByteCountSuccessSplitsByPow2) {
+    OutputPartitioner p(SuccessKind::ByteCount, {abi::Err::EBADF_});
+    EXPECT_EQ(p.label_for(0), "OK:=0");
+    EXPECT_EQ(p.label_for(4096), "OK:2^12");
+    EXPECT_EQ(p.label_for(-9), "EBADF");
+    // Declared: =0 plus 2^0..2^32 plus the error.
+    EXPECT_EQ(p.declared().size(), 1u + kNumericDeclaredMaxExp + 1 + 1);
+}
+
+TEST(OutputPartitioner, UndocumentedErrnoStillGetsALabel) {
+    OutputPartitioner p(SuccessKind::Unit, {abi::Err::ENOENT_});
+    // An errno outside the declared list labels dynamically.
+    EXPECT_EQ(p.label_for(-122), "EDQUOT");
+}
+
+}  // namespace
+}  // namespace iocov::core

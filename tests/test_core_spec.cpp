@@ -1,0 +1,116 @@
+// Syscall registry + variant handler.
+#include <gtest/gtest.h>
+
+#include "abi/fcntl.hpp"
+#include "core/syscall_spec.hpp"
+#include "core/variant_handler.hpp"
+
+namespace iocov::core {
+namespace {
+
+TEST(SyscallSpec, PaperTotals) {
+    // "27 syscalls, including 11 base syscalls ... 14 distinct arguments"
+    EXPECT_EQ(syscall_registry().size(), 11u);
+    EXPECT_EQ(tracked_variant_count(), 27u);
+    EXPECT_EQ(tracked_argument_count(), 14u);
+}
+
+TEST(SyscallSpec, ElevenBaseSyscallsMatchThePaperList) {
+    const std::vector<std::string> expected = {
+        "open",  "read",  "write", "lseek",    "truncate", "mkdir",
+        "chmod", "close", "chdir", "setxattr", "getxattr"};
+    ASSERT_EQ(syscall_registry().size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i)
+        EXPECT_EQ(syscall_registry()[i].base, expected[i]);
+}
+
+TEST(SyscallSpec, VariantLookup) {
+    EXPECT_EQ(*base_of_variant("openat2"), "open");
+    EXPECT_EQ(*base_of_variant("creat"), "open");
+    EXPECT_EQ(*base_of_variant("pwrite64"), "write");
+    EXPECT_EQ(*base_of_variant("fchdir"), "chdir");
+    EXPECT_EQ(*base_of_variant("lgetxattr"), "getxattr");
+    EXPECT_FALSE(base_of_variant("rename").has_value());
+    EXPECT_FALSE(base_of_variant("fsync").has_value());
+}
+
+TEST(SyscallSpec, FindSpecAndErrorLists) {
+    const auto* open_spec = find_spec("open");
+    ASSERT_NE(open_spec, nullptr);
+    EXPECT_EQ(open_spec->errors.size(), 27u);  // Fig. 4's 27 error codes
+    EXPECT_EQ(open_spec->success, SuccessKind::NewFd);
+    const auto* write_spec = find_spec("write");
+    EXPECT_EQ(write_spec->success, SuccessKind::ByteCount);
+    EXPECT_EQ(find_spec("bogus"), nullptr);
+}
+
+TEST(SyscallSpec, ArgClassesMatchThePaperTaxonomy) {
+    auto cls_of = [](const char* base, const char* key) {
+        for (const auto& a : find_spec(base)->args)
+            if (a.key == key) return a.cls;
+        return ArgClass::Identifier;
+    };
+    EXPECT_EQ(cls_of("open", "flags"), ArgClass::Bitmap);
+    EXPECT_EQ(cls_of("open", "mode"), ArgClass::Bitmap);
+    EXPECT_EQ(cls_of("write", "count"), ArgClass::Numeric);
+    EXPECT_EQ(cls_of("lseek", "whence"), ArgClass::Categorical);
+    EXPECT_EQ(cls_of("close", "fd"), ArgClass::Identifier);
+    EXPECT_EQ(cls_of("chdir", "pathname"), ArgClass::Identifier);
+    EXPECT_EQ(cls_of("setxattr", "flags"), ArgClass::Categorical);
+}
+
+trace::TraceEvent make_event(const char* syscall) {
+    trace::TraceEvent ev;
+    ev.syscall = syscall;
+    ev.ret = 0;
+    return ev;
+}
+
+TEST(VariantHandler, MapsVariantsToBases) {
+    auto ce = canonicalize(make_event("pread64"));
+    ASSERT_TRUE(ce.has_value());
+    EXPECT_EQ(ce->base, "read");
+    EXPECT_EQ(ce->variant, "pread64");
+}
+
+TEST(VariantHandler, UntrackedSyscallsReturnNullopt) {
+    EXPECT_FALSE(canonicalize(make_event("rename")).has_value());
+    EXPECT_FALSE(canonicalize(make_event("fsync")).has_value());
+    EXPECT_FALSE(canonicalize(make_event("")).has_value());
+}
+
+TEST(VariantHandler, CreatSynthesizesImplicitFlags) {
+    auto ev = make_event("creat");
+    ev.args = {{"pathname", trace::ArgValue{std::string("/mnt/test/f")}},
+               {"mode", trace::ArgValue{std::uint64_t{0644}}}};
+    auto ce = canonicalize(ev);
+    ASSERT_TRUE(ce.has_value());
+    auto flags = ce->arg("flags");
+    ASSERT_TRUE(flags.has_value());
+    EXPECT_EQ(std::get<std::uint64_t>(*flags),
+              abi::O_CREAT | abi::O_WRONLY | abi::O_TRUNC);
+}
+
+TEST(VariantHandler, FchdirSynthesizesViaFdIdentifier) {
+    auto ev = make_event("fchdir");
+    ev.args = {{"fd", trace::ArgValue{std::int64_t{5}}}};
+    auto ce = canonicalize(ev);
+    ASSERT_TRUE(ce.has_value());
+    EXPECT_EQ(ce->base, "chdir");
+    auto path = ce->arg("pathname");
+    ASSERT_TRUE(path.has_value());
+    EXPECT_EQ(std::get<std::string>(*path), "<via-fd>");
+}
+
+TEST(VariantHandler, ArgLookupFallsThroughToOriginalArgs) {
+    auto ev = make_event("write");
+    ev.args = {{"fd", trace::ArgValue{std::int64_t{4}}},
+               {"count", trace::ArgValue{std::uint64_t{512}}}};
+    auto ce = canonicalize(ev);
+    ASSERT_TRUE(ce.has_value());
+    EXPECT_EQ(std::get<std::uint64_t>(*ce->arg("count")), 512u);
+    EXPECT_FALSE(ce->arg("missing").has_value());
+}
+
+}  // namespace
+}  // namespace iocov::core

@@ -1,0 +1,101 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iocov::stats {
+namespace {
+
+TEST(PartitionHistogram, StartsEmpty) {
+    PartitionHistogram h;
+    EXPECT_TRUE(h.empty());
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.coverage_fraction(), 0.0);
+    EXPECT_FALSE(h.max_row().has_value());
+}
+
+TEST(PartitionHistogram, DeclaredPartitionsShowAsUntested) {
+    auto h = PartitionHistogram::with_partitions({"a", "b", "c"});
+    EXPECT_EQ(h.partition_count(), 3u);
+    EXPECT_EQ(h.untested().size(), 3u);
+    h.add("b");
+    EXPECT_EQ(h.untested(), (std::vector<std::string>{"a", "c"}));
+    EXPECT_EQ(h.tested(), (std::vector<std::string>{"b"}));
+}
+
+TEST(PartitionHistogram, WithPartitionsDeduplicates) {
+    auto h = PartitionHistogram::with_partitions({"a", "a", "b"});
+    EXPECT_EQ(h.partition_count(), 2u);
+}
+
+TEST(PartitionHistogram, AddCreatesUndeclaredPartitions) {
+    auto h = PartitionHistogram::with_partitions({"a"});
+    h.add("dynamic", 5);
+    EXPECT_EQ(h.count("dynamic"), 5u);
+    EXPECT_EQ(h.partition_count(), 2u);
+}
+
+TEST(PartitionHistogram, PreservesDeclarationOrder) {
+    auto h = PartitionHistogram::with_partitions({"z", "m", "a"});
+    h.add("m");
+    h.add("extra");
+    ASSERT_EQ(h.rows().size(), 4u);
+    EXPECT_EQ(h.rows()[0].label, "z");
+    EXPECT_EQ(h.rows()[1].label, "m");
+    EXPECT_EQ(h.rows()[2].label, "a");
+    EXPECT_EQ(h.rows()[3].label, "extra");
+}
+
+TEST(PartitionHistogram, CountsAccumulate) {
+    PartitionHistogram h;
+    h.add("x");
+    h.add("x", 9);
+    EXPECT_EQ(h.count("x"), 10u);
+    EXPECT_EQ(h.total(), 10u);
+}
+
+TEST(PartitionHistogram, CoverageFractionCountsNonzeroPartitions) {
+    auto h = PartitionHistogram::with_partitions({"a", "b", "c", "d"});
+    h.add("a");
+    h.add("b", 100);
+    EXPECT_DOUBLE_EQ(h.coverage_fraction(), 0.5);
+}
+
+TEST(PartitionHistogram, MergeUnionsLabelsAndAddsCounts) {
+    auto a = PartitionHistogram::with_partitions({"x", "y"});
+    a.add("x", 3);
+    auto b = PartitionHistogram::with_partitions({"y", "z"});
+    b.add("y", 2);
+    a.merge(b);
+    EXPECT_EQ(a.count("x"), 3u);
+    EXPECT_EQ(a.count("y"), 2u);
+    EXPECT_EQ(a.count("z"), 0u);
+    EXPECT_TRUE(a.has_partition("z"));  // declared-but-untested survives
+}
+
+TEST(PartitionHistogram, MergePreservesZeroDeclarations) {
+    auto a = PartitionHistogram::with_partitions({"x"});
+    PartitionHistogram b;
+    b.add("y", 7);
+    a.merge(b);
+    EXPECT_EQ(a.untested(), std::vector<std::string>{"x"});
+    EXPECT_EQ(a.count("y"), 7u);
+}
+
+TEST(PartitionHistogram, MaxRowFindsHeaviestPartition) {
+    PartitionHistogram h;
+    h.add("small", 10);
+    h.add("big", 1000);
+    h.add("mid", 100);
+    ASSERT_TRUE(h.max_row());
+    EXPECT_EQ(h.max_row()->label, "big");
+    EXPECT_EQ(h.max_row()->count, 1000u);
+}
+
+TEST(PartitionHistogram, LookupOfUnknownLabelIsZeroNotError) {
+    PartitionHistogram h;
+    EXPECT_EQ(h.count("nope"), 0u);
+    EXPECT_FALSE(h.has_partition("nope"));
+}
+
+}  // namespace
+}  // namespace iocov::stats

@@ -1,0 +1,121 @@
+// End-to-end integration: kernel -> trace -> (text round trip) ->
+// filter -> analyzer, live vs offline equivalence.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "abi/fcntl.hpp"
+#include "core/iocov.hpp"
+#include "syscall/process.hpp"
+#include "testers/fixtures.hpp"
+#include "trace/text_format.hpp"
+#include "vfs/filesystem.hpp"
+
+namespace iocov {
+namespace {
+
+using namespace iocov::abi;  // NOLINT
+
+class PipelineTest : public ::testing::Test {
+  protected:
+    PipelineTest()
+        : fs_(),
+          fx_(testers::prepare_environment(fs_, "/mnt/test")) {}
+
+    /// A small but representative workload.
+    void run_workload(syscall::Kernel& kernel) {
+        auto proc =
+            kernel.make_process(1, vfs::Credentials::user(1000, 1000));
+        const auto fd = proc.sys_open(
+            (fx_.scratch + "/w").c_str(), O_CREAT | O_WRONLY, 0644);
+        proc.sys_write(static_cast<int>(fd),
+                       syscall::WriteSrc::pattern(4096, std::byte{1}));
+        proc.sys_write(static_cast<int>(fd),
+                       syscall::WriteSrc::pattern(0, std::byte{1}));
+        proc.sys_close(static_cast<int>(fd));
+        proc.sys_open((fx_.scratch + "/missing").c_str(), O_RDONLY);
+        proc.sys_mkdir((fx_.scratch + "/d").c_str(), 0755);
+        // Out-of-scope noise the filter must drop.
+        proc.sys_open("/etc/passwd", O_RDONLY);
+        proc.sys_mkdir("/tmp/outside", 0777);
+    }
+
+    vfs::FileSystem fs_;
+    testers::Fixtures fx_;
+};
+
+TEST_F(PipelineTest, LiveAnalysisProducesExpectedCoverage) {
+    core::IOCov iocov;
+    syscall::Kernel kernel(fs_, &iocov.live_sink());
+    run_workload(kernel);
+
+    const auto& r = iocov.report();
+    const auto* flags = r.find_input("open", "flags");
+    EXPECT_EQ(flags->hist.count("O_CREAT"), 1u);
+    EXPECT_EQ(flags->hist.count("O_RDONLY"), 1u);  // only the in-scope one
+    const auto* wc = r.find_input("write", "count");
+    EXPECT_EQ(wc->hist.count("2^12"), 1u);
+    EXPECT_EQ(wc->hist.count("=0"), 1u);
+    const auto* oo = r.find_output("open");
+    EXPECT_EQ(oo->hist.count("ENOENT"), 1u);
+    // /etc/passwd and /tmp noise was filtered.
+    EXPECT_GE(iocov.events_filtered_out(), 2u);
+    const auto* mo = r.find_output("mkdir");
+    EXPECT_EQ(mo->hist.count("OK"), 1u);
+}
+
+TEST_F(PipelineTest, OfflineTextTraceMatchesLiveAnalysis) {
+    // Live path.
+    core::IOCov live;
+    {
+        vfs::FileSystem fs2;
+        auto fx2 = testers::prepare_environment(fs2, "/mnt/test");
+        (void)fx2;
+        syscall::Kernel kernel(fs2, &live.live_sink());
+        run_workload(kernel);
+    }
+
+    // Offline path: record to a text "file", parse it back, analyze.
+    std::stringstream text;
+    {
+        vfs::FileSystem fs2;
+        auto fx2 = testers::prepare_environment(fs2, "/mnt/test");
+        (void)fx2;
+        trace::TextSink sink(text);
+        syscall::Kernel kernel(fs2, &sink);
+        run_workload(kernel);
+    }
+    core::IOCov offline;
+    const auto dropped = offline.consume_text(text);
+    EXPECT_EQ(dropped, 0u);
+
+    // The two reports must be identical.
+    const auto& a = live.report();
+    const auto& b = offline.report();
+    ASSERT_EQ(a.inputs.size(), b.inputs.size());
+    for (std::size_t i = 0; i < a.inputs.size(); ++i) {
+        EXPECT_EQ(a.inputs[i].hist, b.inputs[i].hist)
+            << a.inputs[i].base << "/" << a.inputs[i].key;
+    }
+    for (std::size_t i = 0; i < a.outputs.size(); ++i)
+        EXPECT_EQ(a.outputs[i].hist, b.outputs[i].hist)
+            << a.outputs[i].base;
+    EXPECT_EQ(a.events_tracked, b.events_tracked);
+}
+
+TEST_F(PipelineTest, CustomMountPointConfiguration) {
+    // "The only setting that needs to be adjusted ... is the regular
+    // expression used to identify the tester's mount points."
+    vfs::FileSystem fs2;
+    auto fx2 = testers::prepare_environment(fs2, "/media/sut");
+    core::IOCov iocov(trace::FilterConfig::mount_point("/media/sut"));
+    syscall::Kernel kernel(fs2, &iocov.live_sink());
+    auto proc = kernel.make_process(1, vfs::Credentials::user(1000, 1000));
+    proc.sys_open((fx2.scratch + "/f").c_str(), O_CREAT | O_WRONLY, 0644);
+    proc.sys_open("/mnt/test/elsewhere", O_RDONLY);
+    EXPECT_EQ(iocov.report().find_output("open")->hist.count("OK"), 1u);
+    EXPECT_EQ(iocov.events_filtered_out(), 1u);
+}
+
+}  // namespace
+}  // namespace iocov

@@ -1,0 +1,55 @@
+#include "report/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iocov::report {
+namespace {
+
+TEST(WithThousands, GroupsDigits) {
+    EXPECT_EQ(with_thousands(0), "0");
+    EXPECT_EQ(with_thousands(999), "999");
+    EXPECT_EQ(with_thousands(1000), "1,000");
+    EXPECT_EQ(with_thousands(4099770), "4,099,770");
+}
+
+TEST(Fixed, Decimals) {
+    EXPECT_EQ(fixed(3.14159, 2), "3.14");
+    EXPECT_EQ(fixed(65.4, 1), "65.4");
+}
+
+TEST(RenderTable, AlignsColumnsAndRightAlignsNumbers) {
+    const auto out = render_table({"name", "count"},
+                                  {{"alpha", "1"}, {"b", "1,000"}});
+    // Header, rule, two rows.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("1,000"), std::string::npos);
+    // Numeric cells right-align: the "1" row pads on the left.
+    EXPECT_NE(out.find("     1\n"), std::string::npos);
+}
+
+TEST(RenderHistogram, ShowsBarsOnlyForNonzero) {
+    stats::PartitionHistogram h =
+        stats::PartitionHistogram::with_partitions({"hot", "cold"});
+    h.add("hot", 1000);
+    const auto out = render_histogram(h);
+    EXPECT_NE(out.find('#'), std::string::npos);
+    // The "cold" row has an empty bar.
+    const auto cold_pos = out.find("cold");
+    ASSERT_NE(cold_pos, std::string::npos);
+    const auto cold_line = out.substr(cold_pos, out.find('\n', cold_pos) -
+                                                    cold_pos);
+    EXPECT_EQ(cold_line.find('#'), std::string::npos);
+}
+
+TEST(RenderComparison, UnionsPartitionsFromBothSides) {
+    stats::PartitionHistogram a, b;
+    a.add("only_a", 5);
+    b.add("only_b", 7);
+    const auto out = render_comparison("A", a, "B", b);
+    EXPECT_NE(out.find("only_a"), std::string::npos);
+    EXPECT_NE(out.find("only_b"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace iocov::report

@@ -1,0 +1,157 @@
+// CoverageReport save/load round-trip and the diff engine.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "abi/fcntl.hpp"
+#include "core/diff.hpp"
+#include "core/report_io.hpp"
+
+namespace iocov::core {
+namespace {
+
+using trace::ArgValue;
+using trace::TraceEvent;
+
+TraceEvent open_event(std::uint32_t flags, std::int64_t ret) {
+    TraceEvent ev;
+    ev.syscall = "open";
+    ev.args = {{"pathname", ArgValue{std::string("/mnt/test/f")}},
+               {"flags", ArgValue{std::uint64_t{flags}}},
+               {"mode", ArgValue{std::uint64_t{0644}}}};
+    ev.ret = ret;
+    return ev;
+}
+
+CoverageReport sample_report() {
+    Analyzer a;
+    a.consume(open_event(abi::O_RDONLY, 3));
+    a.consume(open_event(abi::O_RDONLY | abi::O_CLOEXEC, 4));
+    a.consume(open_event(abi::O_WRONLY | abi::O_CREAT | abi::O_TRUNC, -2));
+    TraceEvent w;
+    w.syscall = "pwrite64";
+    w.args = {{"fd", ArgValue{std::int64_t{3}}},
+              {"count", ArgValue{std::uint64_t{4096}}},
+              {"pos", ArgValue{std::int64_t{0}}}};
+    w.ret = 4096;
+    a.consume(w);
+    return a.take_report();
+}
+
+TEST(ReportIo, RoundTripPreservesEverything) {
+    const auto original = sample_report();
+    std::stringstream ss;
+    save_report(ss, original);
+    const auto loaded = load_report(ss);
+    ASSERT_TRUE(loaded.has_value());
+
+    EXPECT_EQ(loaded->events_seen, original.events_seen);
+    EXPECT_EQ(loaded->events_tracked, original.events_tracked);
+    ASSERT_EQ(loaded->inputs.size(), original.inputs.size());
+    for (std::size_t i = 0; i < original.inputs.size(); ++i) {
+        const auto& a = original.inputs[i];
+        const auto& b = loaded->inputs[i];
+        EXPECT_EQ(a.base, b.base);
+        EXPECT_EQ(a.key, b.key);
+        EXPECT_EQ(a.cls, b.cls);
+        EXPECT_EQ(a.hist, b.hist) << a.base << "/" << a.key;
+        EXPECT_EQ(a.combo_cardinality, b.combo_cardinality);
+        EXPECT_EQ(a.combo_cardinality_rdonly, b.combo_cardinality_rdonly);
+        EXPECT_EQ(a.pairs, b.pairs);
+    }
+    ASSERT_EQ(loaded->outputs.size(), original.outputs.size());
+    for (std::size_t i = 0; i < original.outputs.size(); ++i) {
+        EXPECT_EQ(loaded->outputs[i].hist, original.outputs[i].hist);
+        EXPECT_EQ(loaded->outputs[i].success, original.outputs[i].success);
+    }
+}
+
+TEST(ReportIo, UntestedPartitionsSurviveTheRoundTrip) {
+    const auto original = sample_report();
+    std::stringstream ss;
+    save_report(ss, original);
+    const auto loaded = load_report(ss);
+    ASSERT_TRUE(loaded.has_value());
+    // The O_LARGEFILE partition is declared-but-zero on both sides.
+    const auto* flags = loaded->find_input("open", "flags");
+    EXPECT_TRUE(flags->hist.has_partition("O_LARGEFILE"));
+    EXPECT_EQ(flags->hist.count("O_LARGEFILE"), 0u);
+    EXPECT_EQ(flags->hist.untested(),
+              original.find_input("open", "flags")->hist.untested());
+}
+
+TEST(ReportIo, RejectsGarbage) {
+    std::stringstream empty;
+    EXPECT_FALSE(load_report(empty).has_value());
+    std::stringstream wrong("not a report\nevents_seen 3\n");
+    EXPECT_FALSE(load_report(wrong).has_value());
+    std::stringstream bad_count(
+        "# iocov-coverage v1\nevents_seen notanumber\n");
+    EXPECT_FALSE(load_report(bad_count).has_value());
+    std::stringstream orphan_row("# iocov-coverage v1\nO_RDONLY 5\n");
+    EXPECT_FALSE(load_report(orphan_row).has_value());
+}
+
+TEST(Diff, IdenticalReportsHaveNoDeltas) {
+    const auto r = sample_report();
+    EXPECT_TRUE(diff_reports(r, r).empty());
+    EXPECT_FALSE(has_coverage_regression(r, r));
+}
+
+TEST(Diff, DetectsLostAndGainedPartitions) {
+    Analyzer before, after;
+    before.consume(open_event(abi::O_RDONLY, 3));
+    after.consume(open_event(abi::O_WRONLY, 3));
+    const auto deltas = diff_reports(before.report(), after.report());
+    bool lost_rdonly = false, gained_wronly = false;
+    for (const auto& d : deltas) {
+        if (d.partition == "O_RDONLY" &&
+            d.kind == CoverageDelta::Kind::Lost)
+            lost_rdonly = true;
+        if (d.partition == "O_WRONLY" &&
+            d.kind == CoverageDelta::Kind::Gained)
+            gained_wronly = true;
+    }
+    EXPECT_TRUE(lost_rdonly);
+    EXPECT_TRUE(gained_wronly);
+    EXPECT_TRUE(has_coverage_regression(before.report(), after.report()));
+    // Losses sort first.
+    ASSERT_FALSE(deltas.empty());
+    EXPECT_EQ(deltas.front().kind, CoverageDelta::Kind::Lost);
+}
+
+TEST(Diff, RatioThresholdSuppressesSmallMovements) {
+    Analyzer before, after;
+    for (int i = 0; i < 100; ++i)
+        before.consume(open_event(abi::O_RDONLY, 3));
+    for (int i = 0; i < 80; ++i)
+        after.consume(open_event(abi::O_RDONLY, 3));
+    // 20% drop, threshold 50%: no deltas for the flag partition.
+    auto deltas = diff_reports(before.report(), after.report());
+    for (const auto& d : deltas)
+        EXPECT_NE(d.partition, "O_RDONLY") << delta_kind_name(d.kind);
+    // Tighten the threshold and the decrease appears.
+    deltas = diff_reports(before.report(), after.report(), {0.1});
+    bool found = false;
+    for (const auto& d : deltas)
+        if (d.partition == "O_RDONLY" &&
+            d.kind == CoverageDelta::Kind::Decreased)
+            found = true;
+    EXPECT_TRUE(found);
+}
+
+TEST(Diff, OutputDeltasAreReportedToo) {
+    Analyzer before, after;
+    before.consume(open_event(abi::O_RDONLY, -2));  // ENOENT covered
+    after.consume(open_event(abi::O_RDONLY, 3));    // only OK covered
+    const auto deltas = diff_reports(before.report(), after.report());
+    bool lost_enoent = false;
+    for (const auto& d : deltas)
+        if (!d.is_input && d.base == "open" && d.partition == "ENOENT" &&
+            d.kind == CoverageDelta::Kind::Lost)
+            lost_enoent = true;
+    EXPECT_TRUE(lost_enoent);
+}
+
+}  // namespace
+}  // namespace iocov::core

@@ -1,0 +1,248 @@
+// read/write families and lseek.
+#include <gtest/gtest.h>
+
+#include "abi/fcntl.hpp"
+#include "abi/limits.hpp"
+#include "abi/seek.hpp"
+#include "syscall/process.hpp"
+#include "testers/fixtures.hpp"
+#include "trace/sink.hpp"
+#include "vfs/filesystem.hpp"
+
+namespace iocov::syscall {
+namespace {
+
+using namespace iocov::abi;  // NOLINT
+
+class IoTest : public ::testing::Test {
+  protected:
+    IoTest()
+        : fs_(),
+          fx_(testers::prepare_environment(fs_, "/mnt/test")),
+          kernel_(fs_, &buffer_),
+          proc_(kernel_.make_process(1, vfs::Credentials::user(1000, 1000))) {
+    }
+
+    int open_rw(const char* name) {
+        const auto fd =
+            proc_.sys_open((fx_.scratch + "/" + name).c_str(),
+                           O_CREAT | O_RDWR, 0644);
+        EXPECT_GE(fd, 0);
+        return static_cast<int>(fd);
+    }
+
+    std::vector<std::byte> buf(std::initializer_list<int> xs) {
+        std::vector<std::byte> out;
+        for (int x : xs) out.push_back(static_cast<std::byte>(x));
+        return out;
+    }
+
+    vfs::FileSystem fs_;
+    testers::Fixtures fx_;
+    trace::TraceBuffer buffer_;
+    Kernel kernel_;
+    Process proc_;
+};
+
+TEST_F(IoTest, WriteAdvancesOffsetAndReadsBack) {
+    const int fd = open_rw("f");
+    const auto data = buf({1, 2, 3, 4});
+    EXPECT_EQ(proc_.sys_write(fd, WriteSrc::real(data)), 4);
+    EXPECT_EQ(proc_.sys_lseek(fd, 0, SEEK_SET_), 0);
+    std::vector<std::byte> out(4);
+    EXPECT_EQ(proc_.sys_read(fd, ReadDst::real(out)), 4);
+    EXPECT_EQ(out, data);
+    // Offset is now at EOF: further reads return 0.
+    EXPECT_EQ(proc_.sys_read(fd, ReadDst::real(out)), 0);
+}
+
+TEST_F(IoTest, ZeroLengthWriteIsPosixNoOp) {
+    const int fd = open_rw("f");
+    EXPECT_EQ(proc_.sys_write(fd, WriteSrc::pattern(0, std::byte{1})), 0);
+    EXPECT_EQ(proc_.sys_lseek(fd, 0, SEEK_END_), 0);  // size unchanged
+}
+
+TEST_F(IoTest, PwriteDoesNotMoveOffset) {
+    const int fd = open_rw("f");
+    EXPECT_EQ(proc_.sys_pwrite64(fd, WriteSrc::pattern(10, std::byte{7}),
+                                 100),
+              10);
+    EXPECT_EQ(proc_.sys_lseek(fd, 0, SEEK_CUR_), 0);
+    EXPECT_EQ(proc_.sys_lseek(fd, 0, SEEK_END_), 110);
+    EXPECT_EQ(proc_.sys_pwrite64(fd, WriteSrc::pattern(1, std::byte{7}),
+                                 -5),
+              fail(Err::EINVAL_));
+}
+
+TEST_F(IoTest, AppendAlwaysWritesAtEof) {
+    const auto path = fx_.scratch + "/app";
+    const auto fd0 = proc_.sys_open(path.c_str(), O_CREAT | O_WRONLY, 0644);
+    proc_.sys_write(static_cast<int>(fd0),
+                    WriteSrc::pattern(100, std::byte{1}));
+    const auto fd = proc_.sys_open(path.c_str(), O_WRONLY | O_APPEND);
+    ASSERT_GE(fd, 0);
+    EXPECT_EQ(proc_.sys_write(static_cast<int>(fd),
+                              WriteSrc::pattern(10, std::byte{2})),
+              10);
+    EXPECT_EQ(proc_.sys_lseek(static_cast<int>(fd), 0, SEEK_END_), 110);
+}
+
+TEST_F(IoTest, BadFdCombinations) {
+    EXPECT_EQ(proc_.sys_read(-1, ReadDst::discard(10)), fail(Err::EBADF_));
+    EXPECT_EQ(proc_.sys_write(99, WriteSrc::pattern(1, std::byte{0})),
+              fail(Err::EBADF_));
+    // Wrong access mode.
+    const auto rd = proc_.sys_open(fx_.plain_file.c_str(), O_RDONLY);
+    EXPECT_EQ(proc_.sys_write(static_cast<int>(rd),
+                              WriteSrc::pattern(1, std::byte{0})),
+              fail(Err::EBADF_));
+    const auto wr = proc_.sys_open((fx_.scratch + "/w").c_str(),
+                                   O_CREAT | O_WRONLY, 0644);
+    EXPECT_EQ(proc_.sys_read(static_cast<int>(wr), ReadDst::discard(1)),
+              fail(Err::EBADF_));
+    // O_PATH fds cannot do IO at all.
+    const auto pfd = proc_.sys_open(fx_.plain_file.c_str(),
+                                    O_RDONLY | O_PATH);
+    EXPECT_EQ(proc_.sys_read(static_cast<int>(pfd), ReadDst::discard(1)),
+              fail(Err::EBADF_));
+}
+
+TEST_F(IoTest, ReadOnDirectoryIsEisdir) {
+    const auto dfd = proc_.sys_open(fx_.scratch.c_str(),
+                                    O_RDONLY | O_DIRECTORY);
+    EXPECT_EQ(proc_.sys_read(static_cast<int>(dfd), ReadDst::discard(16)),
+              fail(Err::EISDIR_));
+}
+
+TEST_F(IoTest, EfaultOnBadUserBuffer) {
+    const int fd = open_rw("f");
+    EXPECT_EQ(proc_.sys_write(fd, WriteSrc::bad_address(16)),
+              fail(Err::EFAULT_));
+    EXPECT_EQ(proc_.sys_read(fd, ReadDst::bad_address(16)),
+              fail(Err::EFAULT_));
+    // Zero-length transfers with a bad pointer succeed, as in Linux.
+    EXPECT_EQ(proc_.sys_write(fd, WriteSrc::bad_address(0)), 0);
+    EXPECT_EQ(proc_.sys_read(fd, ReadDst::bad_address(0)), 0);
+}
+
+TEST_F(IoTest, GiantCountIsClampedToMaxRwCount) {
+    const int fd = open_rw("f");
+    const auto ret = proc_.sys_write(
+        fd, WriteSrc::pattern(MAX_RW_COUNT + 4096, std::byte{1}));
+    EXPECT_EQ(static_cast<std::uint64_t>(ret), MAX_RW_COUNT);
+}
+
+TEST_F(IoTest, DirectIoRequiresAlignment) {
+    const auto fd = proc_.sys_open((fx_.scratch + "/d").c_str(),
+                                   O_CREAT | O_RDWR | O_DIRECT, 0644);
+    ASSERT_GE(fd, 0);
+    EXPECT_EQ(proc_.sys_write(static_cast<int>(fd),
+                              WriteSrc::pattern(100, std::byte{1})),
+              fail(Err::EINVAL_));
+    EXPECT_EQ(proc_.sys_write(static_cast<int>(fd),
+                              WriteSrc::pattern(512, std::byte{1})),
+              512);
+    EXPECT_EQ(proc_.sys_pwrite64(static_cast<int>(fd),
+                                 WriteSrc::pattern(512, std::byte{1}), 7),
+              fail(Err::EINVAL_));
+}
+
+TEST_F(IoTest, WritevGathersAndReportsTotals) {
+    const int fd = open_rw("v");
+    const auto ret = proc_.sys_writev(
+        fd, {WriteSrc::pattern(3, std::byte{1}),
+             WriteSrc::pattern(5, std::byte{2})});
+    EXPECT_EQ(ret, 8);
+    EXPECT_EQ(proc_.sys_lseek(fd, 0, SEEK_SET_), 0);
+    std::vector<std::byte> a(3), b(5);
+    EXPECT_EQ(proc_.sys_readv(fd, {ReadDst::real(a), ReadDst::real(b)}), 8);
+    EXPECT_EQ(a[2], std::byte{1});
+    EXPECT_EQ(b[0], std::byte{2});
+}
+
+TEST_F(IoTest, IovecCountLimit) {
+    const int fd = open_rw("v");
+    std::vector<ReadDst> iov(IOV_MAX_ + 1, ReadDst::discard(1));
+    EXPECT_EQ(proc_.sys_readv(fd, std::move(iov)), fail(Err::EINVAL_));
+}
+
+TEST_F(IoTest, LseekWhenceMatrix) {
+    const int fd = open_rw("s");
+    proc_.sys_write(fd, WriteSrc::pattern(1000, std::byte{1}));
+    EXPECT_EQ(proc_.sys_lseek(fd, 100, SEEK_SET_), 100);
+    EXPECT_EQ(proc_.sys_lseek(fd, 50, SEEK_CUR_), 150);
+    EXPECT_EQ(proc_.sys_lseek(fd, -100, SEEK_END_), 900);
+    // Past EOF is legal.
+    EXPECT_EQ(proc_.sys_lseek(fd, 5000, SEEK_SET_), 5000);
+    // Errors.
+    EXPECT_EQ(proc_.sys_lseek(fd, -1, SEEK_SET_), fail(Err::EINVAL_));
+    EXPECT_EQ(proc_.sys_lseek(fd, 0, 99), fail(Err::EINVAL_));
+    EXPECT_EQ(proc_.sys_lseek(999, 0, SEEK_SET_), fail(Err::EBADF_));
+    EXPECT_EQ(proc_.sys_lseek(fd, -2000, SEEK_END_), fail(Err::EINVAL_));
+    EXPECT_EQ(proc_.sys_lseek(
+                  fd, std::numeric_limits<std::int64_t>::max(), SEEK_END_),
+              fail(Err::EOVERFLOW_));
+}
+
+TEST_F(IoTest, LseekDataAndHole) {
+    const int fd = open_rw("sparse");
+    proc_.sys_pwrite64(fd, WriteSrc::pattern(4096, std::byte{1}), 0);
+    proc_.sys_pwrite64(fd, WriteSrc::pattern(4096, std::byte{2}),
+                       1 << 20);
+    const auto size = (1 << 20) + 4096;
+    EXPECT_EQ(proc_.sys_lseek(fd, 0, SEEK_DATA_), 0);
+    EXPECT_EQ(proc_.sys_lseek(fd, 4096, SEEK_DATA_), 1 << 20);
+    EXPECT_EQ(proc_.sys_lseek(fd, 0, SEEK_HOLE_), 4096);
+    EXPECT_EQ(proc_.sys_lseek(fd, 1 << 20, SEEK_HOLE_), size);
+    EXPECT_EQ(proc_.sys_lseek(fd, size + 1, SEEK_DATA_),
+              fail(Err::ENXIO_));
+    EXPECT_EQ(proc_.sys_lseek(fd, -1, SEEK_DATA_), fail(Err::ENXIO_));
+}
+
+TEST_F(IoTest, LseekOnFifoIsEspipe) {
+    // Open the fixture fifo read-only (always succeeds in our model).
+    const auto fd = proc_.sys_open(fx_.fifo.c_str(), O_RDONLY);
+    ASSERT_GE(fd, 0);
+    EXPECT_EQ(proc_.sys_lseek(static_cast<int>(fd), 0, SEEK_SET_),
+              fail(Err::ESPIPE_));
+    // pread on a fifo is also ESPIPE.
+    EXPECT_EQ(proc_.sys_pread64(static_cast<int>(fd), ReadDst::discard(1),
+                                0),
+              fail(Err::ESPIPE_));
+}
+
+TEST_F(IoTest, FifoReadAndWriteSemantics) {
+    const auto rfd = proc_.sys_open(fx_.fifo.c_str(),
+                                    O_RDONLY | O_NONBLOCK);
+    ASSERT_GE(rfd, 0);
+    EXPECT_EQ(proc_.sys_read(static_cast<int>(rfd), ReadDst::discard(16)),
+              fail(Err::EAGAIN_));
+    const auto rfd_blocking = proc_.sys_open(fx_.fifo.c_str(), O_RDONLY);
+    EXPECT_EQ(proc_.sys_read(static_cast<int>(rfd_blocking),
+                             ReadDst::discard(16)),
+              fail(Err::EINTR_));
+    // Writer with no reader (our fifo never has one): EPIPE.
+    const auto wfd = proc_.sys_open(fx_.fifo.c_str(), O_WRONLY);
+    ASSERT_GE(wfd, 0);
+    EXPECT_EQ(proc_.sys_write(static_cast<int>(wfd),
+                              WriteSrc::pattern(4, std::byte{1})),
+              fail(Err::EPIPE_));
+}
+
+TEST_F(IoTest, DiscardReadsHandleLargeSizes) {
+    const int fd = open_rw("big");
+    proc_.sys_pwrite64(fd, WriteSrc::pattern(3 << 20, std::byte{9}), 0);
+    proc_.sys_lseek(fd, 0, SEEK_SET_);
+    EXPECT_EQ(proc_.sys_read(fd, ReadDst::discard(4 << 20)), 3 << 20);
+}
+
+TEST_F(IoTest, EnospcRollbackKeepsOffsetUnchanged) {
+    const int fd = open_rw("nospace");
+    fs_.set_capacity_blocks(fs_.used_blocks());
+    EXPECT_EQ(proc_.sys_write(fd, WriteSrc::pattern(8192, std::byte{1})),
+              fail(Err::ENOSPC_));
+    EXPECT_EQ(proc_.sys_lseek(fd, 0, SEEK_CUR_), 0);
+}
+
+}  // namespace
+}  // namespace iocov::syscall

@@ -1,0 +1,269 @@
+// truncate/ftruncate, mkdir family, chmod family, close, chdir family,
+// and the untracked extras.
+#include <gtest/gtest.h>
+
+#include "abi/fcntl.hpp"
+#include "syscall/process.hpp"
+#include "testers/fixtures.hpp"
+#include "trace/sink.hpp"
+#include "vfs/filesystem.hpp"
+
+namespace iocov::syscall {
+namespace {
+
+using namespace iocov::abi;  // NOLINT
+
+class MetaTest : public ::testing::Test {
+  protected:
+    MetaTest()
+        : fs_(),
+          fx_(testers::prepare_environment(fs_, "/mnt/test")),
+          kernel_(fs_, &buffer_),
+          root_(kernel_.make_process(1, vfs::Credentials::root())),
+          user_(kernel_.make_process(2, vfs::Credentials::user(1000, 1000))) {
+    }
+
+    std::string scratch(const std::string& name) {
+        return fx_.scratch + "/" + name;
+    }
+
+    vfs::InodeId ino_of(const std::string& path) {
+        return fs_.resolve(path, vfs::Credentials::root()).value();
+    }
+
+    vfs::FileSystem fs_;
+    testers::Fixtures fx_;
+    trace::TraceBuffer buffer_;
+    Kernel kernel_;
+    Process root_;
+    Process user_;
+};
+
+TEST_F(MetaTest, TruncateByPath) {
+    const auto path = scratch("t");
+    const auto fd = user_.sys_open(path.c_str(), O_CREAT | O_WRONLY, 0644);
+    user_.sys_write(static_cast<int>(fd),
+                    WriteSrc::pattern(1000, std::byte{1}));
+    EXPECT_EQ(user_.sys_truncate(path.c_str(), 10), 0);
+    EXPECT_EQ(fs_.stat(ino_of(path)).value().size, 10u);
+    // Growth creates a sparse tail.
+    EXPECT_EQ(user_.sys_truncate(path.c_str(), 100000), 0);
+    EXPECT_EQ(fs_.stat(ino_of(path)).value().size, 100000u);
+}
+
+TEST_F(MetaTest, TruncateErrors) {
+    EXPECT_EQ(user_.sys_truncate(scratch("nope").c_str(), 0),
+              fail(Err::ENOENT_));
+    EXPECT_EQ(user_.sys_truncate(fx_.scratch.c_str(), 0),
+              fail(Err::EISDIR_));
+    EXPECT_EQ(user_.sys_truncate(fx_.fifo.c_str(), 0), fail(Err::EINVAL_));
+    EXPECT_EQ(user_.sys_truncate(fx_.noperm_file.c_str(), 0),
+              fail(Err::EACCES_));
+    EXPECT_EQ(user_.sys_truncate(fx_.plain_file.c_str(), -1),
+              fail(Err::EINVAL_));
+    EXPECT_EQ(user_.sys_truncate(nullptr, 0), fail(Err::EFAULT_));
+    EXPECT_EQ(root_.sys_truncate(fx_.running_exe.c_str(), 0),
+              fail(Err::ETXTBSY_));
+    const auto huge = static_cast<std::int64_t>(
+        fs_.config().max_file_size + 4096);
+    EXPECT_EQ(root_.sys_truncate(fx_.plain_file.c_str(), huge),
+              fail(Err::EFBIG_));
+}
+
+TEST_F(MetaTest, FtruncateRequiresWritableRegularFd) {
+    const auto path = scratch("ft");
+    const auto wfd = user_.sys_open(path.c_str(), O_CREAT | O_RDWR, 0644);
+    user_.sys_write(static_cast<int>(wfd),
+                    WriteSrc::pattern(100, std::byte{1}));
+    EXPECT_EQ(user_.sys_ftruncate(static_cast<int>(wfd), 7), 0);
+    EXPECT_EQ(fs_.stat(ino_of(path)).value().size, 7u);
+
+    EXPECT_EQ(user_.sys_ftruncate(999, 0), fail(Err::EBADF_));
+    EXPECT_EQ(user_.sys_ftruncate(static_cast<int>(wfd), -3),
+              fail(Err::EINVAL_));
+    const auto rfd = user_.sys_open(path.c_str(), O_RDONLY);
+    EXPECT_EQ(user_.sys_ftruncate(static_cast<int>(rfd), 0),
+              fail(Err::EINVAL_));
+    const auto dfd = user_.sys_open(fx_.scratch.c_str(),
+                                    O_RDONLY | O_DIRECTORY);
+    EXPECT_EQ(user_.sys_ftruncate(static_cast<int>(dfd), 0),
+              fail(Err::EINVAL_));
+}
+
+TEST_F(MetaTest, MkdirAppliesModeAndUmask) {
+    user_.set_umask(022);
+    EXPECT_EQ(user_.sys_mkdir(scratch("d").c_str(), 0777), 0);
+    EXPECT_EQ(fs_.find(ino_of(scratch("d")))->perms(), 0755u);
+}
+
+TEST_F(MetaTest, MkdirErrors) {
+    EXPECT_EQ(user_.sys_mkdir(fx_.scratch.c_str(), 0755),
+              fail(Err::EEXIST_));
+    EXPECT_EQ(user_.sys_mkdir(scratch("a/b").c_str(), 0755),
+              fail(Err::ENOENT_));
+    EXPECT_EQ(user_.sys_mkdir((fx_.noperm_dir + "/x").c_str(), 0755),
+              fail(Err::EACCES_));
+    EXPECT_EQ(user_.sys_mkdir((fx_.plain_file + "/x").c_str(), 0755),
+              fail(Err::ENOTDIR_));
+    EXPECT_EQ(user_.sys_mkdir(nullptr, 0755), fail(Err::EFAULT_));
+    EXPECT_EQ(user_.sys_mkdir("/", 0755), fail(Err::EEXIST_));
+}
+
+TEST_F(MetaTest, MkdiratResolvesThroughDfd) {
+    const auto dfd = user_.sys_open(fx_.scratch.c_str(),
+                                    O_RDONLY | O_DIRECTORY);
+    EXPECT_EQ(user_.sys_mkdirat(static_cast<int>(dfd), "viadfd", 0755), 0);
+    EXPECT_TRUE(fs_.resolve(scratch("viadfd"),
+                            vfs::Credentials::root()).ok());
+    EXPECT_EQ(user_.sys_mkdirat(999, "x", 0755), fail(Err::EBADF_));
+}
+
+TEST_F(MetaTest, ChmodFamily) {
+    const auto path = scratch("c");
+    user_.sys_open(path.c_str(), O_CREAT | O_WRONLY, 0644);
+    EXPECT_EQ(user_.sys_chmod(path.c_str(), 0600), 0);
+    EXPECT_EQ(fs_.find(ino_of(path))->perms(), 0600u);
+
+    const auto fd = user_.sys_open(path.c_str(), O_RDONLY);
+    EXPECT_EQ(user_.sys_fchmod(static_cast<int>(fd), 0640), 0);
+    EXPECT_EQ(fs_.find(ino_of(path))->perms(), 0640u);
+    EXPECT_EQ(user_.sys_fchmod(999, 0640), fail(Err::EBADF_));
+
+    EXPECT_EQ(user_.sys_fchmodat(AT_FDCWD, path.c_str(), 0600, 0), 0);
+    EXPECT_EQ(user_.sys_fchmodat(AT_FDCWD, path.c_str(), 0600,
+                                 AT_SYMLINK_NOFOLLOW),
+              fail(Err::EOPNOTSUPP_));
+    EXPECT_EQ(user_.sys_fchmodat(AT_FDCWD, path.c_str(), 0600, 0xffff),
+              fail(Err::EINVAL_));
+
+    // Non-owner cannot chmod.
+    EXPECT_EQ(user_.sys_chmod(fx_.plain_file.c_str(), 0600),
+              fail(Err::EPERM_));
+    EXPECT_EQ(user_.sys_chmod(scratch("missing").c_str(), 0600),
+              fail(Err::ENOENT_));
+}
+
+TEST_F(MetaTest, CloseSemantics) {
+    const auto fd = user_.sys_open(fx_.plain_file.c_str(), O_RDONLY);
+    EXPECT_EQ(user_.sys_close(static_cast<int>(fd)), 0);
+    EXPECT_EQ(user_.sys_close(static_cast<int>(fd)), fail(Err::EBADF_));
+    EXPECT_EQ(user_.sys_close(-1), fail(Err::EBADF_));
+    EXPECT_EQ(user_.sys_close(0), fail(Err::EBADF_));  // stdio unmodeled
+}
+
+TEST_F(MetaTest, ChdirAffectsRelativeResolution) {
+    EXPECT_EQ(user_.sys_chdir(fx_.scratch.c_str()), 0);
+    EXPECT_EQ(user_.sys_mkdir("reldir", 0755), 0);
+    EXPECT_TRUE(fs_.resolve(scratch("reldir"),
+                            vfs::Credentials::root()).ok());
+    EXPECT_EQ(user_.sys_chdir("reldir"), 0);
+    const auto fd = user_.sys_open("../reldir", O_RDONLY | O_DIRECTORY);
+    EXPECT_GE(fd, 0);
+}
+
+TEST_F(MetaTest, ChdirErrors) {
+    EXPECT_EQ(user_.sys_chdir(scratch("void").c_str()),
+              fail(Err::ENOENT_));
+    EXPECT_EQ(user_.sys_chdir(fx_.plain_file.c_str()),
+              fail(Err::ENOTDIR_));
+    EXPECT_EQ(user_.sys_chdir(fx_.noperm_dir.c_str()),
+              fail(Err::EACCES_));
+    EXPECT_EQ(user_.sys_chdir(nullptr), fail(Err::EFAULT_));
+}
+
+TEST_F(MetaTest, FchdirSemantics) {
+    const auto dfd = user_.sys_open(fx_.scratch.c_str(),
+                                    O_RDONLY | O_DIRECTORY);
+    EXPECT_EQ(user_.sys_fchdir(static_cast<int>(dfd)), 0);
+    EXPECT_EQ(user_.sys_mkdir("after_fchdir", 0755), 0);
+    EXPECT_TRUE(fs_.resolve(scratch("after_fchdir"),
+                            vfs::Credentials::root()).ok());
+    EXPECT_EQ(user_.sys_fchdir(999), fail(Err::EBADF_));
+    const auto ffd = user_.sys_open(fx_.plain_file.c_str(), O_RDONLY);
+    EXPECT_EQ(user_.sys_fchdir(static_cast<int>(ffd)),
+              fail(Err::ENOTDIR_));
+}
+
+TEST_F(MetaTest, UntrackedExtrasBehave) {
+    const auto fd = user_.sys_open(fx_.plain_file.c_str(), O_RDONLY);
+    EXPECT_EQ(user_.sys_fsync(static_cast<int>(fd)), 0);
+    EXPECT_EQ(user_.sys_fdatasync(static_cast<int>(fd)), 0);
+    EXPECT_EQ(user_.sys_fsync(999), fail(Err::EBADF_));
+    EXPECT_EQ(user_.sys_sync(), 0);
+
+    const auto p = scratch("victim");
+    user_.sys_open(p.c_str(), O_CREAT | O_WRONLY, 0644);
+    EXPECT_EQ(user_.sys_unlink(p.c_str()), 0);
+    EXPECT_EQ(user_.sys_unlink(p.c_str()), fail(Err::ENOENT_));
+
+    EXPECT_EQ(user_.sys_mkdir(scratch("dd").c_str(), 0755), 0);
+    EXPECT_EQ(user_.sys_rmdir(scratch("dd").c_str()), 0);
+
+    user_.sys_open(scratch("r1").c_str(), O_CREAT | O_WRONLY, 0644);
+    EXPECT_EQ(user_.sys_rename(scratch("r1").c_str(),
+                               scratch("r2").c_str()),
+              0);
+    EXPECT_TRUE(fs_.resolve(scratch("r2"), vfs::Credentials::root()).ok());
+
+    EXPECT_EQ(user_.sys_symlink("/mnt/test/scratch/r2",
+                                scratch("sym").c_str()),
+              0);
+    EXPECT_EQ(user_.sys_link(scratch("r2").c_str(),
+                             scratch("hard").c_str()),
+              0);
+}
+
+TEST_F(MetaTest, EveryCallEmitsTraceEvents) {
+    buffer_.clear();
+    user_.sys_mkdir(scratch("tr").c_str(), 0755);
+    user_.sys_chdir(fx_.scratch.c_str());
+    user_.sys_close(-1);
+    ASSERT_EQ(buffer_.size(), 3u);
+    EXPECT_EQ(buffer_.events()[0].syscall, "mkdir");
+    EXPECT_EQ(buffer_.events()[1].syscall, "chdir");
+    EXPECT_EQ(buffer_.events()[2].syscall, "close");
+    EXPECT_EQ(buffer_.events()[2].ret, fail(Err::EBADF_));
+    // Sequence numbers are monotonic.
+    EXPECT_LT(buffer_.events()[0].seq, buffer_.events()[1].seq);
+    EXPECT_LT(buffer_.events()[1].seq, buffer_.events()[2].seq);
+}
+
+TEST_F(MetaTest, ProcessExitReleasesSystemFileTable) {
+    auto limits = kernel_.limits();
+    limits.max_open_files = 2;
+    kernel_.set_limits(limits);
+    {
+        auto tmp = kernel_.make_process(7, vfs::Credentials::root());
+        ASSERT_GE(tmp.sys_open(fx_.plain_file.c_str(), O_RDONLY), 0);
+        ASSERT_GE(tmp.sys_open(fx_.plain_file.c_str(), O_RDONLY), 0);
+        EXPECT_EQ(user_.sys_open(fx_.plain_file.c_str(), O_RDONLY),
+                  fail(Err::ENFILE_));
+    }
+    // tmp's destructor released its two descriptions.
+    EXPECT_GE(user_.sys_open(fx_.plain_file.c_str(), O_RDONLY), 0);
+}
+
+TEST_F(MetaTest, StatFamily) {
+    vfs::Stat st{};
+    EXPECT_EQ(user_.sys_stat(fx_.plain_file.c_str(), &st), 0);
+    EXPECT_TRUE(abi::is_reg(st.mode));
+    EXPECT_EQ(st.size, 4096u);
+    EXPECT_EQ(user_.sys_stat(scratch("absent").c_str(), &st),
+              fail(Err::ENOENT_));
+    EXPECT_EQ(user_.sys_stat(nullptr, &st), fail(Err::EFAULT_));
+
+    // lstat sees the symlink itself; stat follows it.
+    user_.sys_symlink(fx_.plain_file.c_str(), scratch("sl").c_str());
+    EXPECT_EQ(user_.sys_lstat(scratch("sl").c_str(), &st), 0);
+    EXPECT_TRUE(abi::is_lnk(st.mode));
+    EXPECT_EQ(user_.sys_stat(scratch("sl").c_str(), &st), 0);
+    EXPECT_TRUE(abi::is_reg(st.mode));
+
+    const auto fd = user_.sys_open(fx_.plain_file.c_str(), O_RDONLY);
+    EXPECT_EQ(user_.sys_fstat(static_cast<int>(fd), &st), 0);
+    EXPECT_EQ(st.size, 4096u);
+    EXPECT_EQ(user_.sys_fstat(999, &st), fail(Err::EBADF_));
+}
+
+}  // namespace
+}  // namespace iocov::syscall

@@ -1,0 +1,158 @@
+#include "trace/text_format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace iocov::trace {
+namespace {
+
+TraceEvent sample_event() {
+    TraceEvent ev;
+    ev.seq = 17;
+    ev.pid = 1201;
+    ev.tid = 1201;
+    ev.syscall = "openat";
+    ev.args = {{"dfd", ArgValue{std::int64_t{-100}}},
+               {"pathname", ArgValue{std::string("/mnt/test/f0")}},
+               {"flags", ArgValue{std::uint64_t{0241}}},
+               {"mode", ArgValue{std::uint64_t{0644}}}};
+    ev.ret = 3;
+    return ev;
+}
+
+TEST(TextFormat, FormatsLttngStyleLine) {
+    const auto line = format_event(sample_event());
+    EXPECT_EQ(line,
+              "[000000017] pid=1201 tid=1201 openat: dfd=-100, "
+              "pathname=\"/mnt/test/f0\", flags=0xa1, mode=0x1a4 = 3");
+}
+
+TEST(TextFormat, RoundTripsSampleEvent) {
+    const auto ev = sample_event();
+    const auto parsed = parse_event(format_event(ev));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, ev);
+}
+
+TEST(TextFormat, RoundTripsEventWithoutArgs) {
+    TraceEvent ev;
+    ev.seq = 1;
+    ev.pid = 7;
+    ev.tid = 7;
+    ev.syscall = "sync";
+    ev.ret = 0;
+    const auto parsed = parse_event(format_event(ev));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, ev);
+}
+
+TEST(TextFormat, RoundTripsNegativeReturn) {
+    auto ev = sample_event();
+    ev.ret = -2;  // -ENOENT
+    const auto parsed = parse_event(format_event(ev));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->ret, -2);
+}
+
+TEST(TextFormat, EscapesSpecialCharactersInStrings) {
+    TraceEvent ev;
+    ev.syscall = "open";
+    ev.args = {{"pathname",
+                ArgValue{std::string("/mnt/test/we\"ird\\name\n\t")}}};
+    ev.ret = -2;
+    const auto parsed = parse_event(format_event(ev));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, ev);
+}
+
+TEST(TextFormat, StringWithCommaAndEqualsSurvives) {
+    TraceEvent ev;
+    ev.syscall = "open";
+    ev.args = {{"pathname", ArgValue{std::string("/mnt/a=b, c")}}};
+    ev.ret = 4;
+    const auto parsed = parse_event(format_event(ev));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, ev);
+}
+
+TEST(TextFormat, ParserRejectsMalformedLines) {
+    EXPECT_FALSE(parse_event(""));
+    EXPECT_FALSE(parse_event("garbage"));
+    EXPECT_FALSE(parse_event("[x] pid=1 tid=1 open: = 0"));
+    EXPECT_FALSE(parse_event("[1] pid=1 tid=1 open: fd=notanumber = 0"));
+    EXPECT_FALSE(parse_event("[1] pid=1 tid=1 open: fd=1"));  // no ret
+    EXPECT_FALSE(parse_event("[1] pid=1 open: = 0"));         // no tid
+    EXPECT_FALSE(
+        parse_event("[1] pid=1 tid=1 open: = 0 trailing"));   // junk tail
+}
+
+TEST(TextFormat, ParserRejectsUnterminatedString) {
+    EXPECT_FALSE(
+        parse_event("[1] pid=1 tid=1 open: pathname=\"/mnt = 0"));
+}
+
+TEST(TextFormat, StreamParsingSkipsCommentsAndCountsDrops) {
+    std::stringstream ss;
+    ss << "# a comment\n";
+    ss << format_event(sample_event()) << "\n";
+    ss << "torn line\n";
+    ss << "\n";
+    ss << format_event(sample_event()) << "\n";
+    std::size_t dropped = 0;
+    const auto events = parse_stream(ss, &dropped);
+    EXPECT_EQ(events.size(), 2u);
+    EXPECT_EQ(dropped, 1u);
+}
+
+TEST(EscapeString, InverseOfUnescape) {
+    const std::string raw = "a\"b\\c\nd\te";
+    const auto unescaped = unescape_string(escape_string(raw));
+    ASSERT_TRUE(unescaped.has_value());
+    EXPECT_EQ(*unescaped, raw);
+}
+
+TEST(UnescapeString, RejectsBadEscapes) {
+    EXPECT_FALSE(unescape_string("trailing\\"));
+    EXPECT_FALSE(unescape_string("bad\\q"));
+}
+
+// Property: round-trip holds across arg-type combinations.
+struct RoundTripCase {
+    const char* name;
+    ArgValue value;
+};
+
+class TextRoundTrip : public ::testing::TestWithParam<RoundTripCase> {};
+
+TEST_P(TextRoundTrip, SingleArgRoundTrips) {
+    TraceEvent ev;
+    ev.seq = 99;
+    ev.pid = 1;
+    ev.tid = 2;
+    ev.syscall = "probe";
+    ev.args = {{GetParam().name, GetParam().value}};
+    ev.ret = -22;
+    const auto parsed = parse_event(format_event(ev));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, ev);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, TextRoundTrip,
+    ::testing::Values(
+        RoundTripCase{"i0", ArgValue{std::int64_t{0}}},
+        RoundTripCase{"imin",
+                      ArgValue{std::numeric_limits<std::int64_t>::min()}},
+        RoundTripCase{"imax",
+                      ArgValue{std::numeric_limits<std::int64_t>::max()}},
+        RoundTripCase{"u0", ArgValue{std::uint64_t{0}}},
+        RoundTripCase{"umax",
+                      ArgValue{std::numeric_limits<std::uint64_t>::max()}},
+        RoundTripCase{"empty", ArgValue{std::string()}},
+        RoundTripCase{"plain", ArgValue{std::string("abc")}},
+        RoundTripCase{"quoted", ArgValue{std::string("\"\"")}},
+        RoundTripCase{"slashes", ArgValue{std::string("\\\\n")}}));
+
+}  // namespace
+}  // namespace iocov::trace

@@ -1,0 +1,293 @@
+// iocov — command-line front end for the library.
+//
+//   iocov analyze  [--mount RE] [--syz] [--save FILE] TRACE...
+//   iocov report   [--untested] [--under N] [--summary] FILE
+//   iocov diff     BEFORE AFTER
+//   iocov tcd      [--target N] [--arg BASE.KEY] FILE
+//   iocov demo     [--suite NAME] [--scale S]   (run a simulator)
+//   iocov bugstudy [--scale S] [--export]       (Section 2 study/dataset)
+//
+// `analyze` consumes one or more LTTng-style text traces (or, with
+// --syz, syzkaller programs) and prints the coverage summary; --save
+// writes the report in the persistent format `report`/`diff`/`tcd`
+// consume.  `demo` exists so the tool is explorable without captured
+// traces: it runs one of the built-in suite simulators end to end.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bugstudy/study.hpp"
+#include "core/combos.hpp"
+#include "core/diff.hpp"
+#include "core/iocov.hpp"
+#include "core/report_io.hpp"
+#include "core/tcd.hpp"
+#include "core/untested.hpp"
+#include "report/table.hpp"
+#include "syscall/kernel.hpp"
+#include "testers/fixtures.hpp"
+#include "testers/generator.hpp"
+#include "vfs/filesystem.hpp"
+
+namespace {
+
+using namespace iocov;  // NOLINT
+
+int usage() {
+    std::fprintf(
+        stderr,
+        "usage:\n"
+        "  iocov analyze [--mount RE] [--syz] [--extended] [--save FILE] TRACE...\n"
+        "  iocov report  [--untested] [--under N] FILE\n"
+        "  iocov diff    BEFORE AFTER\n"
+        "  iocov tcd     [--target N] [--arg BASE.KEY] FILE\n"
+        "  iocov demo    [--suite crashmonkey|xfstests|ltp] [--scale S]\n"
+        "  iocov bugstudy [--scale S] [--export]\n");
+    return 2;
+}
+
+std::optional<core::CoverageReport> load(const char* path) {
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "iocov: cannot open %s\n", path);
+        return std::nullopt;
+    }
+    auto report = core::load_report(in);
+    if (!report)
+        std::fprintf(stderr, "iocov: %s is not a coverage report\n", path);
+    return report;
+}
+
+void print_summary(const core::CoverageReport& report) {
+    std::printf("events: %llu tracked / %llu seen\n\n",
+                static_cast<unsigned long long>(report.events_tracked),
+                static_cast<unsigned long long>(report.events_seen));
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& row : core::summarize(report)) {
+        rows.push_back({row.arg.empty() ? row.base + " (output)"
+                                        : row.base + "." + row.arg,
+                        std::to_string(row.declared),
+                        std::to_string(row.tested),
+                        report::fixed(100 * row.fraction, 1) + "%"});
+    }
+    std::printf("%s", report::render_table(
+                          {"space", "partitions", "tested", "coverage"},
+                          rows)
+                          .c_str());
+    const auto* flags = report.find_input("open", "flags");
+    if (flags) {
+        const auto pc = core::open_flag_pair_coverage(*flags);
+        std::printf("\nopen-flag pair coverage: %zu/%zu (%.1f%%)\n",
+                    pc.tested, pc.feasible, 100 * pc.fraction);
+    }
+}
+
+int cmd_analyze(int argc, char** argv) {
+    std::string mount = "/mnt/test";
+    bool syz = false;
+    bool extended = false;
+    const char* save_path = nullptr;
+    std::vector<const char*> traces;
+    for (int i = 0; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--mount") && i + 1 < argc) {
+            mount = argv[++i];
+        } else if (!std::strcmp(argv[i], "--syz")) {
+            syz = true;
+        } else if (!std::strcmp(argv[i], "--extended")) {
+            extended = true;
+        } else if (!std::strcmp(argv[i], "--save") && i + 1 < argc) {
+            save_path = argv[++i];
+        } else {
+            traces.push_back(argv[i]);
+        }
+    }
+    if (traces.empty()) return usage();
+
+    core::IOCov iocov(trace::FilterConfig::mount_point(mount),
+                      extended ? core::extended_syscall_registry()
+                               : core::syscall_registry());
+    for (const char* path : traces) {
+        std::ifstream in(path);
+        if (!in) {
+            std::fprintf(stderr, "iocov: cannot open %s\n", path);
+            return 1;
+        }
+        if (syz) {
+            const auto parsed = iocov.consume_syz(in);
+            std::printf("%s: %zu syscalls parsed (input coverage only)\n",
+                        path, parsed);
+        } else {
+            const auto dropped = iocov.consume_text(in);
+            std::printf("%s: analyzed (%zu malformed lines skipped)\n",
+                        path, dropped);
+        }
+    }
+    std::printf("\n");
+    print_summary(iocov.report());
+    if (save_path) {
+        std::ofstream out(save_path);
+        core::save_report(out, iocov.report());
+        std::printf("\nreport saved to %s\n", save_path);
+    }
+    return 0;
+}
+
+int cmd_report(int argc, char** argv) {
+    bool untested = false;
+    std::uint64_t under = 0;
+    const char* path = nullptr;
+    for (int i = 0; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--untested")) untested = true;
+        else if (!std::strcmp(argv[i], "--under") && i + 1 < argc)
+            under = std::strtoull(argv[++i], nullptr, 10);
+        else path = argv[i];
+    }
+    if (!path) return usage();
+    auto report = load(path);
+    if (!report) return 1;
+
+    if (untested) {
+        for (const auto& gap : core::find_untested(*report))
+            std::printf("%-8s %-10s %-18s %s\n",
+                        gap.kind == core::UntestedPartition::Kind::Input
+                            ? "input"
+                            : "output",
+                        gap.base.c_str(), gap.partition.c_str(),
+                        gap.suggestion.c_str());
+        return 0;
+    }
+    if (under > 0) {
+        for (const auto& gap : core::find_under_tested(*report, under))
+            std::printf("%-10s %-18s under-tested\n", gap.base.c_str(),
+                        gap.partition.c_str());
+        return 0;
+    }
+    print_summary(*report);
+    return 0;
+}
+
+int cmd_diff(int argc, char** argv) {
+    if (argc != 2) return usage();
+    auto before = load(argv[0]);
+    auto after = load(argv[1]);
+    if (!before || !after) return 1;
+    const auto deltas = core::diff_reports(*before, *after);
+    for (const auto& d : deltas)
+        std::printf("%-9s %s%s%s [%s] %llu -> %llu\n",
+                    core::delta_kind_name(d.kind).c_str(), d.base.c_str(),
+                    d.arg.empty() ? "" : ".", d.arg.c_str(),
+                    d.partition.c_str(),
+                    static_cast<unsigned long long>(d.before),
+                    static_cast<unsigned long long>(d.after));
+    const bool regressed = core::has_coverage_regression(*before, *after);
+    std::printf("%zu deltas; regression: %s\n", deltas.size(),
+                regressed ? "YES" : "no");
+    return regressed ? 3 : 0;
+}
+
+int cmd_tcd(int argc, char** argv) {
+    double target = 1000;
+    std::string arg = "open.flags";
+    const char* path = nullptr;
+    for (int i = 0; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--target") && i + 1 < argc)
+            target = std::atof(argv[++i]);
+        else if (!std::strcmp(argv[i], "--arg") && i + 1 < argc)
+            arg = argv[++i];
+        else path = argv[i];
+    }
+    if (!path) return usage();
+    auto report = load(path);
+    if (!report) return 1;
+    const auto dot = arg.find('.');
+    if (dot == std::string::npos) return usage();
+    const auto* in = report->find_input(arg.substr(0, dot),
+                                        arg.substr(dot + 1));
+    if (!in) {
+        std::fprintf(stderr, "iocov: no input space %s\n", arg.c_str());
+        return 1;
+    }
+    std::printf("TCD(%s, target=%g) = %.4f\n", arg.c_str(), target,
+                core::tcd_uniform(in->hist, target));
+    return 0;
+}
+
+int cmd_demo(int argc, char** argv) {
+    std::string suite = "xfstests";
+    double scale = 0.01;
+    for (int i = 0; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--suite") && i + 1 < argc)
+            suite = argv[++i];
+        else if (!std::strcmp(argv[i], "--scale") && i + 1 < argc)
+            scale = std::atof(argv[++i]);
+    }
+    vfs::FileSystem fs(testers::recommended_fs_config());
+    auto fx = testers::prepare_environment(fs, "/mnt/test");
+    core::IOCov iocov;
+    syscall::Kernel kernel(fs, &iocov.live_sink());
+    if (suite == "crashmonkey")
+        testers::run_crashmonkey(kernel, fx, scale, 42);
+    else if (suite == "ltp")
+        testers::run_ltp(kernel, fx, scale, 42);
+    else
+        testers::run_xfstests(kernel, fx, scale, 42);
+    std::printf("suite: %s at scale %g\n\n", suite.c_str(), scale);
+    print_summary(iocov.report());
+    return 0;
+}
+
+int cmd_bugstudy(int argc, char** argv) {
+    double scale = 0.01;
+    bool export_dataset = false;
+    for (int i = 0; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--scale") && i + 1 < argc)
+            scale = std::atof(argv[++i]);
+        else if (!std::strcmp(argv[i], "--export"))
+            export_dataset = true;
+    }
+    if (export_dataset) {
+        // The dataset the paper promises to release: per-bug coverage
+        // sites, classification, and trigger.
+        std::printf("%s", bugstudy::render_bug_dataset().c_str());
+        return 0;
+    }
+    const auto r = bugstudy::run_bug_study({scale, 42});
+    std::printf("bug study (%d bugs: %d ext4 + %d btrfs), xfstests-sim at "
+                "scale %g\n\n",
+                r.total, r.ext4, r.btrfs, scale);
+    std::printf("detected: %d\n", r.detected);
+    std::printf("covered-but-missed: line %d (%.0f%%), function %d "
+                "(%.0f%%), branch %d (%.0f%%)\n",
+                r.line_cbm, r.pct(r.line_cbm), r.fn_cbm, r.pct(r.fn_cbm),
+                r.branch_cbm, r.pct(r.branch_cbm));
+    std::printf("classification: input %d (%.0f%%), output %d (%.0f%%), "
+                "either %d (%.0f%%)\n\n",
+                r.input_bugs, r.pct(r.input_bugs), r.output_bugs,
+                r.pct(r.output_bugs), r.either_bugs, r.pct(r.either_bugs));
+    std::printf("%-14s %-4s %-4s %-6s %-8s %s\n", "id", "line", "fn",
+                "branch", "detected", "description");
+    for (const auto& o : r.outcomes)
+        std::printf("%-14s %-4s %-4s %-6s %-8s %.60s\n",
+                    o.bug->id.c_str(), o.line_covered ? "y" : "-",
+                    o.fn_covered ? "y" : "-", o.branch_covered ? "y" : "-",
+                    o.detected ? "FOUND" : "-",
+                    o.bug->description.c_str());
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) return usage();
+    const std::string cmd = argv[1];
+    if (cmd == "analyze") return cmd_analyze(argc - 2, argv + 2);
+    if (cmd == "report") return cmd_report(argc - 2, argv + 2);
+    if (cmd == "diff") return cmd_diff(argc - 2, argv + 2);
+    if (cmd == "tcd") return cmd_tcd(argc - 2, argv + 2);
+    if (cmd == "demo") return cmd_demo(argc - 2, argv + 2);
+    if (cmd == "bugstudy") return cmd_bugstudy(argc - 2, argv + 2);
+    return usage();
+}
