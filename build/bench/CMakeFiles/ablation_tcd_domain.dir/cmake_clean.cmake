@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tcd_domain.dir/ablation_tcd_domain.cpp.o"
+  "CMakeFiles/ablation_tcd_domain.dir/ablation_tcd_domain.cpp.o.d"
+  "ablation_tcd_domain"
+  "ablation_tcd_domain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tcd_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_pair_coverage.dir/ext_pair_coverage.cpp.o"
+  "CMakeFiles/ext_pair_coverage.dir/ext_pair_coverage.cpp.o.d"
+  "ext_pair_coverage"
+  "ext_pair_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_pair_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_open_flags.dir/fig2_open_flags.cpp.o"
+  "CMakeFiles/fig2_open_flags.dir/fig2_open_flags.cpp.o.d"
+  "fig2_open_flags"
+  "fig2_open_flags.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_open_flags.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

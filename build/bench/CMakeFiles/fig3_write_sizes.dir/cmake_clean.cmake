@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_write_sizes.dir/fig3_write_sizes.cpp.o"
+  "CMakeFiles/fig3_write_sizes.dir/fig3_write_sizes.cpp.o.d"
+  "fig3_write_sizes"
+  "fig3_write_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_write_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

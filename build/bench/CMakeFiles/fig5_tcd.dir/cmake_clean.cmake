@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_tcd.dir/fig5_tcd.cpp.o"
+  "CMakeFiles/fig5_tcd.dir/fig5_tcd.cpp.o.d"
+  "fig5_tcd"
+  "fig5_tcd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_tcd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

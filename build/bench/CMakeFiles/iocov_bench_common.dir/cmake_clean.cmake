@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iocov_bench_common.dir/common.cpp.o"
+  "CMakeFiles/iocov_bench_common.dir/common.cpp.o.d"
+  "libiocov_bench_common.a"
+  "libiocov_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iocov_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

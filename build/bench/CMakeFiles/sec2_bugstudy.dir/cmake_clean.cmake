@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec2_bugstudy.dir/sec2_bugstudy.cpp.o"
+  "CMakeFiles/sec2_bugstudy.dir/sec2_bugstudy.cpp.o.d"
+  "sec2_bugstudy"
+  "sec2_bugstudy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec2_bugstudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_flag_combos.dir/table1_flag_combos.cpp.o"
+  "CMakeFiles/table1_flag_combos.dir/table1_flag_combos.cpp.o.d"
+  "table1_flag_combos"
+  "table1_flag_combos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_flag_combos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

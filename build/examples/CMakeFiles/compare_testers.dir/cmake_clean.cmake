@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_testers.dir/compare_testers.cpp.o"
+  "CMakeFiles/compare_testers.dir/compare_testers.cpp.o.d"
+  "compare_testers"
+  "compare_testers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_testers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coverage_diff.dir/coverage_diff.cpp.o"
+  "CMakeFiles/coverage_diff.dir/coverage_diff.cpp.o.d"
+  "coverage_diff"
+  "coverage_diff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coverage_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diff_tester.dir/diff_tester.cpp.o"
+  "CMakeFiles/diff_tester.dir/diff_tester.cpp.o.d"
+  "diff_tester"
+  "diff_tester.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diff_tester.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzzer_coverage.dir/fuzzer_coverage.cpp.o"
+  "CMakeFiles/fuzzer_coverage.dir/fuzzer_coverage.cpp.o.d"
+  "fuzzer_coverage"
+  "fuzzer_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzzer_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

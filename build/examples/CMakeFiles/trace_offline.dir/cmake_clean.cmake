@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_offline.dir/trace_offline.cpp.o"
+  "CMakeFiles/trace_offline.dir/trace_offline.cpp.o.d"
+  "trace_offline"
+  "trace_offline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/untested_finder.dir/untested_finder.cpp.o"
+  "CMakeFiles/untested_finder.dir/untested_finder.cpp.o.d"
+  "untested_finder"
+  "untested_finder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/untested_finder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

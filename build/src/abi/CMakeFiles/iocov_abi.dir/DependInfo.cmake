@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/abi/errno.cpp" "src/abi/CMakeFiles/iocov_abi.dir/errno.cpp.o" "gcc" "src/abi/CMakeFiles/iocov_abi.dir/errno.cpp.o.d"
+  "/root/repo/src/abi/fcntl.cpp" "src/abi/CMakeFiles/iocov_abi.dir/fcntl.cpp.o" "gcc" "src/abi/CMakeFiles/iocov_abi.dir/fcntl.cpp.o.d"
+  "/root/repo/src/abi/seek.cpp" "src/abi/CMakeFiles/iocov_abi.dir/seek.cpp.o" "gcc" "src/abi/CMakeFiles/iocov_abi.dir/seek.cpp.o.d"
+  "/root/repo/src/abi/stat_mode.cpp" "src/abi/CMakeFiles/iocov_abi.dir/stat_mode.cpp.o" "gcc" "src/abi/CMakeFiles/iocov_abi.dir/stat_mode.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

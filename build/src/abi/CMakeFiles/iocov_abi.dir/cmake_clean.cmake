@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iocov_abi.dir/errno.cpp.o"
+  "CMakeFiles/iocov_abi.dir/errno.cpp.o.d"
+  "CMakeFiles/iocov_abi.dir/fcntl.cpp.o"
+  "CMakeFiles/iocov_abi.dir/fcntl.cpp.o.d"
+  "CMakeFiles/iocov_abi.dir/seek.cpp.o"
+  "CMakeFiles/iocov_abi.dir/seek.cpp.o.d"
+  "CMakeFiles/iocov_abi.dir/stat_mode.cpp.o"
+  "CMakeFiles/iocov_abi.dir/stat_mode.cpp.o.d"
+  "libiocov_abi.a"
+  "libiocov_abi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iocov_abi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iocov_bugstudy.dir/bugs.cpp.o"
+  "CMakeFiles/iocov_bugstudy.dir/bugs.cpp.o.d"
+  "CMakeFiles/iocov_bugstudy.dir/coverage_tracker.cpp.o"
+  "CMakeFiles/iocov_bugstudy.dir/coverage_tracker.cpp.o.d"
+  "CMakeFiles/iocov_bugstudy.dir/study.cpp.o"
+  "CMakeFiles/iocov_bugstudy.dir/study.cpp.o.d"
+  "libiocov_bugstudy.a"
+  "libiocov_bugstudy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iocov_bugstudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

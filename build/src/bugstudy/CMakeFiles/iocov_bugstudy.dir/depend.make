@@ -1,0 +1,2 @@
+# Empty dependencies file for iocov_bugstudy.
+# This may be replaced when dependencies are built.

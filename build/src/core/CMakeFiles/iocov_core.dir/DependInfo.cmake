@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/combos.cpp" "src/core/CMakeFiles/iocov_core.dir/combos.cpp.o" "gcc" "src/core/CMakeFiles/iocov_core.dir/combos.cpp.o.d"
+  "/root/repo/src/core/coverage.cpp" "src/core/CMakeFiles/iocov_core.dir/coverage.cpp.o" "gcc" "src/core/CMakeFiles/iocov_core.dir/coverage.cpp.o.d"
+  "/root/repo/src/core/diff.cpp" "src/core/CMakeFiles/iocov_core.dir/diff.cpp.o" "gcc" "src/core/CMakeFiles/iocov_core.dir/diff.cpp.o.d"
+  "/root/repo/src/core/iocov.cpp" "src/core/CMakeFiles/iocov_core.dir/iocov.cpp.o" "gcc" "src/core/CMakeFiles/iocov_core.dir/iocov.cpp.o.d"
+  "/root/repo/src/core/partition.cpp" "src/core/CMakeFiles/iocov_core.dir/partition.cpp.o" "gcc" "src/core/CMakeFiles/iocov_core.dir/partition.cpp.o.d"
+  "/root/repo/src/core/report_io.cpp" "src/core/CMakeFiles/iocov_core.dir/report_io.cpp.o" "gcc" "src/core/CMakeFiles/iocov_core.dir/report_io.cpp.o.d"
+  "/root/repo/src/core/syscall_spec.cpp" "src/core/CMakeFiles/iocov_core.dir/syscall_spec.cpp.o" "gcc" "src/core/CMakeFiles/iocov_core.dir/syscall_spec.cpp.o.d"
+  "/root/repo/src/core/tcd.cpp" "src/core/CMakeFiles/iocov_core.dir/tcd.cpp.o" "gcc" "src/core/CMakeFiles/iocov_core.dir/tcd.cpp.o.d"
+  "/root/repo/src/core/untested.cpp" "src/core/CMakeFiles/iocov_core.dir/untested.cpp.o" "gcc" "src/core/CMakeFiles/iocov_core.dir/untested.cpp.o.d"
+  "/root/repo/src/core/variant_handler.cpp" "src/core/CMakeFiles/iocov_core.dir/variant_handler.cpp.o" "gcc" "src/core/CMakeFiles/iocov_core.dir/variant_handler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/abi/CMakeFiles/iocov_abi.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/iocov_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/iocov_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iocov_core.dir/combos.cpp.o"
+  "CMakeFiles/iocov_core.dir/combos.cpp.o.d"
+  "CMakeFiles/iocov_core.dir/coverage.cpp.o"
+  "CMakeFiles/iocov_core.dir/coverage.cpp.o.d"
+  "CMakeFiles/iocov_core.dir/diff.cpp.o"
+  "CMakeFiles/iocov_core.dir/diff.cpp.o.d"
+  "CMakeFiles/iocov_core.dir/iocov.cpp.o"
+  "CMakeFiles/iocov_core.dir/iocov.cpp.o.d"
+  "CMakeFiles/iocov_core.dir/partition.cpp.o"
+  "CMakeFiles/iocov_core.dir/partition.cpp.o.d"
+  "CMakeFiles/iocov_core.dir/report_io.cpp.o"
+  "CMakeFiles/iocov_core.dir/report_io.cpp.o.d"
+  "CMakeFiles/iocov_core.dir/syscall_spec.cpp.o"
+  "CMakeFiles/iocov_core.dir/syscall_spec.cpp.o.d"
+  "CMakeFiles/iocov_core.dir/tcd.cpp.o"
+  "CMakeFiles/iocov_core.dir/tcd.cpp.o.d"
+  "CMakeFiles/iocov_core.dir/untested.cpp.o"
+  "CMakeFiles/iocov_core.dir/untested.cpp.o.d"
+  "CMakeFiles/iocov_core.dir/variant_handler.cpp.o"
+  "CMakeFiles/iocov_core.dir/variant_handler.cpp.o.d"
+  "libiocov_core.a"
+  "libiocov_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iocov_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

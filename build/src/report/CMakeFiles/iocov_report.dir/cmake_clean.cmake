@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iocov_report.dir/table.cpp.o"
+  "CMakeFiles/iocov_report.dir/table.cpp.o.d"
+  "libiocov_report.a"
+  "libiocov_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iocov_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iocov_stats.dir/histogram.cpp.o"
+  "CMakeFiles/iocov_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/iocov_stats.dir/log_bucket.cpp.o"
+  "CMakeFiles/iocov_stats.dir/log_bucket.cpp.o.d"
+  "CMakeFiles/iocov_stats.dir/rmsd.cpp.o"
+  "CMakeFiles/iocov_stats.dir/rmsd.cpp.o.d"
+  "libiocov_stats.a"
+  "libiocov_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iocov_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

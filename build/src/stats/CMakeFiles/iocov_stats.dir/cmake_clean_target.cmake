@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libiocov_stats.a"
+)

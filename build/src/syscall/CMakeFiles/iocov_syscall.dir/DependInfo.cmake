@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/syscall/process.cpp" "src/syscall/CMakeFiles/iocov_syscall.dir/process.cpp.o" "gcc" "src/syscall/CMakeFiles/iocov_syscall.dir/process.cpp.o.d"
+  "/root/repo/src/syscall/process_io.cpp" "src/syscall/CMakeFiles/iocov_syscall.dir/process_io.cpp.o" "gcc" "src/syscall/CMakeFiles/iocov_syscall.dir/process_io.cpp.o.d"
+  "/root/repo/src/syscall/process_meta.cpp" "src/syscall/CMakeFiles/iocov_syscall.dir/process_meta.cpp.o" "gcc" "src/syscall/CMakeFiles/iocov_syscall.dir/process_meta.cpp.o.d"
+  "/root/repo/src/syscall/process_open.cpp" "src/syscall/CMakeFiles/iocov_syscall.dir/process_open.cpp.o" "gcc" "src/syscall/CMakeFiles/iocov_syscall.dir/process_open.cpp.o.d"
+  "/root/repo/src/syscall/process_xattr.cpp" "src/syscall/CMakeFiles/iocov_syscall.dir/process_xattr.cpp.o" "gcc" "src/syscall/CMakeFiles/iocov_syscall.dir/process_xattr.cpp.o.d"
+  "/root/repo/src/syscall/userbuf.cpp" "src/syscall/CMakeFiles/iocov_syscall.dir/userbuf.cpp.o" "gcc" "src/syscall/CMakeFiles/iocov_syscall.dir/userbuf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/abi/CMakeFiles/iocov_abi.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/iocov_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/iocov_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

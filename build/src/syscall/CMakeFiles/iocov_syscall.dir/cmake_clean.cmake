@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iocov_syscall.dir/process.cpp.o"
+  "CMakeFiles/iocov_syscall.dir/process.cpp.o.d"
+  "CMakeFiles/iocov_syscall.dir/process_io.cpp.o"
+  "CMakeFiles/iocov_syscall.dir/process_io.cpp.o.d"
+  "CMakeFiles/iocov_syscall.dir/process_meta.cpp.o"
+  "CMakeFiles/iocov_syscall.dir/process_meta.cpp.o.d"
+  "CMakeFiles/iocov_syscall.dir/process_open.cpp.o"
+  "CMakeFiles/iocov_syscall.dir/process_open.cpp.o.d"
+  "CMakeFiles/iocov_syscall.dir/process_xattr.cpp.o"
+  "CMakeFiles/iocov_syscall.dir/process_xattr.cpp.o.d"
+  "CMakeFiles/iocov_syscall.dir/userbuf.cpp.o"
+  "CMakeFiles/iocov_syscall.dir/userbuf.cpp.o.d"
+  "libiocov_syscall.a"
+  "libiocov_syscall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iocov_syscall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

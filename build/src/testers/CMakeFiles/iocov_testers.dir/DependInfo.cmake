@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/testers/fixtures.cpp" "src/testers/CMakeFiles/iocov_testers.dir/fixtures.cpp.o" "gcc" "src/testers/CMakeFiles/iocov_testers.dir/fixtures.cpp.o.d"
+  "/root/repo/src/testers/generator.cpp" "src/testers/CMakeFiles/iocov_testers.dir/generator.cpp.o" "gcc" "src/testers/CMakeFiles/iocov_testers.dir/generator.cpp.o.d"
+  "/root/repo/src/testers/profile.cpp" "src/testers/CMakeFiles/iocov_testers.dir/profile.cpp.o" "gcc" "src/testers/CMakeFiles/iocov_testers.dir/profile.cpp.o.d"
+  "/root/repo/src/testers/rng.cpp" "src/testers/CMakeFiles/iocov_testers.dir/rng.cpp.o" "gcc" "src/testers/CMakeFiles/iocov_testers.dir/rng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/abi/CMakeFiles/iocov_abi.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/iocov_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/syscall/CMakeFiles/iocov_syscall.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/iocov_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iocov_testers.dir/fixtures.cpp.o"
+  "CMakeFiles/iocov_testers.dir/fixtures.cpp.o.d"
+  "CMakeFiles/iocov_testers.dir/generator.cpp.o"
+  "CMakeFiles/iocov_testers.dir/generator.cpp.o.d"
+  "CMakeFiles/iocov_testers.dir/profile.cpp.o"
+  "CMakeFiles/iocov_testers.dir/profile.cpp.o.d"
+  "CMakeFiles/iocov_testers.dir/rng.cpp.o"
+  "CMakeFiles/iocov_testers.dir/rng.cpp.o.d"
+  "libiocov_testers.a"
+  "libiocov_testers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iocov_testers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/event.cpp" "src/trace/CMakeFiles/iocov_trace.dir/event.cpp.o" "gcc" "src/trace/CMakeFiles/iocov_trace.dir/event.cpp.o.d"
+  "/root/repo/src/trace/filter.cpp" "src/trace/CMakeFiles/iocov_trace.dir/filter.cpp.o" "gcc" "src/trace/CMakeFiles/iocov_trace.dir/filter.cpp.o.d"
+  "/root/repo/src/trace/sink.cpp" "src/trace/CMakeFiles/iocov_trace.dir/sink.cpp.o" "gcc" "src/trace/CMakeFiles/iocov_trace.dir/sink.cpp.o.d"
+  "/root/repo/src/trace/syz_format.cpp" "src/trace/CMakeFiles/iocov_trace.dir/syz_format.cpp.o" "gcc" "src/trace/CMakeFiles/iocov_trace.dir/syz_format.cpp.o.d"
+  "/root/repo/src/trace/text_format.cpp" "src/trace/CMakeFiles/iocov_trace.dir/text_format.cpp.o" "gcc" "src/trace/CMakeFiles/iocov_trace.dir/text_format.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

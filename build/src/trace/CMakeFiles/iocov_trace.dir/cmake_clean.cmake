@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iocov_trace.dir/event.cpp.o"
+  "CMakeFiles/iocov_trace.dir/event.cpp.o.d"
+  "CMakeFiles/iocov_trace.dir/filter.cpp.o"
+  "CMakeFiles/iocov_trace.dir/filter.cpp.o.d"
+  "CMakeFiles/iocov_trace.dir/sink.cpp.o"
+  "CMakeFiles/iocov_trace.dir/sink.cpp.o.d"
+  "CMakeFiles/iocov_trace.dir/syz_format.cpp.o"
+  "CMakeFiles/iocov_trace.dir/syz_format.cpp.o.d"
+  "CMakeFiles/iocov_trace.dir/text_format.cpp.o"
+  "CMakeFiles/iocov_trace.dir/text_format.cpp.o.d"
+  "libiocov_trace.a"
+  "libiocov_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iocov_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

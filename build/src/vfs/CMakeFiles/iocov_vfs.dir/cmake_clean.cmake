@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iocov_vfs.dir/fault.cpp.o"
+  "CMakeFiles/iocov_vfs.dir/fault.cpp.o.d"
+  "CMakeFiles/iocov_vfs.dir/file_data.cpp.o"
+  "CMakeFiles/iocov_vfs.dir/file_data.cpp.o.d"
+  "CMakeFiles/iocov_vfs.dir/filesystem.cpp.o"
+  "CMakeFiles/iocov_vfs.dir/filesystem.cpp.o.d"
+  "CMakeFiles/iocov_vfs.dir/path.cpp.o"
+  "CMakeFiles/iocov_vfs.dir/path.cpp.o.d"
+  "libiocov_vfs.a"
+  "libiocov_vfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iocov_vfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_abi.dir/test_abi.cpp.o"
+  "CMakeFiles/test_abi.dir/test_abi.cpp.o.d"
+  "test_abi"
+  "test_abi.pdb"
+  "test_abi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_abi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

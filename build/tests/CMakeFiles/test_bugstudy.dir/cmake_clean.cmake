@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bugstudy.dir/test_bugstudy.cpp.o"
+  "CMakeFiles/test_bugstudy.dir/test_bugstudy.cpp.o.d"
+  "test_bugstudy"
+  "test_bugstudy.pdb"
+  "test_bugstudy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bugstudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

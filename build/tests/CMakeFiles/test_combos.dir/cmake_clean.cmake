@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_combos.dir/test_combos.cpp.o"
+  "CMakeFiles/test_combos.dir/test_combos.cpp.o.d"
+  "test_combos"
+  "test_combos.pdb"
+  "test_combos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_combos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_coverage.dir/test_core_coverage.cpp.o"
+  "CMakeFiles/test_core_coverage.dir/test_core_coverage.cpp.o.d"
+  "test_core_coverage"
+  "test_core_coverage.pdb"
+  "test_core_coverage[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

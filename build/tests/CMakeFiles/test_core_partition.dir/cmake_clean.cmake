@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_partition.dir/test_core_partition.cpp.o"
+  "CMakeFiles/test_core_partition.dir/test_core_partition.cpp.o.d"
+  "test_core_partition"
+  "test_core_partition.pdb"
+  "test_core_partition[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

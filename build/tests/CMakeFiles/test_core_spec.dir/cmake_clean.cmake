@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_spec.dir/test_core_spec.cpp.o"
+  "CMakeFiles/test_core_spec.dir/test_core_spec.cpp.o.d"
+  "test_core_spec"
+  "test_core_spec.pdb"
+  "test_core_spec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extended_registry.dir/test_extended_registry.cpp.o"
+  "CMakeFiles/test_extended_registry.dir/test_extended_registry.cpp.o.d"
+  "test_extended_registry"
+  "test_extended_registry.pdb"
+  "test_extended_registry[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extended_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

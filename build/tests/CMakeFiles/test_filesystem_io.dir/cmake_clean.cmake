@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_filesystem_io.dir/test_filesystem_io.cpp.o"
+  "CMakeFiles/test_filesystem_io.dir/test_filesystem_io.cpp.o.d"
+  "test_filesystem_io"
+  "test_filesystem_io.pdb"
+  "test_filesystem_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_filesystem_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_iocov_pipeline.dir/test_iocov_pipeline.cpp.o"
+  "CMakeFiles/test_iocov_pipeline.dir/test_iocov_pipeline.cpp.o.d"
+  "test_iocov_pipeline"
+  "test_iocov_pipeline.pdb"
+  "test_iocov_pipeline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_iocov_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

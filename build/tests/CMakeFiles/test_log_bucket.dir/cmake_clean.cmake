@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_log_bucket.dir/test_log_bucket.cpp.o"
+  "CMakeFiles/test_log_bucket.dir/test_log_bucket.cpp.o.d"
+  "test_log_bucket"
+  "test_log_bucket.pdb"
+  "test_log_bucket[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_log_bucket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rmsd.dir/test_rmsd.cpp.o"
+  "CMakeFiles/test_rmsd.dir/test_rmsd.cpp.o.d"
+  "test_rmsd"
+  "test_rmsd.pdb"
+  "test_rmsd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rmsd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

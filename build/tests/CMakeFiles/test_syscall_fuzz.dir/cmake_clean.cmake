@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_syscall_fuzz.dir/test_syscall_fuzz.cpp.o"
+  "CMakeFiles/test_syscall_fuzz.dir/test_syscall_fuzz.cpp.o.d"
+  "test_syscall_fuzz"
+  "test_syscall_fuzz.pdb"
+  "test_syscall_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_syscall_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

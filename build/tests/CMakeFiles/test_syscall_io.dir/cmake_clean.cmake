@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_syscall_io.dir/test_syscall_io.cpp.o"
+  "CMakeFiles/test_syscall_io.dir/test_syscall_io.cpp.o.d"
+  "test_syscall_io"
+  "test_syscall_io.pdb"
+  "test_syscall_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_syscall_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

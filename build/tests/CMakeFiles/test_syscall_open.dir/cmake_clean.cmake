@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_syscall_open.dir/test_syscall_open.cpp.o"
+  "CMakeFiles/test_syscall_open.dir/test_syscall_open.cpp.o.d"
+  "test_syscall_open"
+  "test_syscall_open.pdb"
+  "test_syscall_open[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_syscall_open.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_syscall_xattr.dir/test_syscall_xattr.cpp.o"
+  "CMakeFiles/test_syscall_xattr.dir/test_syscall_xattr.cpp.o.d"
+  "test_syscall_xattr"
+  "test_syscall_xattr.pdb"
+  "test_syscall_xattr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_syscall_xattr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

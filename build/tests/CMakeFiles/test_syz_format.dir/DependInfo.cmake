@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_syz_format.cpp" "tests/CMakeFiles/test_syz_format.dir/test_syz_format.cpp.o" "gcc" "tests/CMakeFiles/test_syz_format.dir/test_syz_format.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/iocov_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/abi/CMakeFiles/iocov_abi.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/iocov_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/iocov_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/syscall/CMakeFiles/iocov_syscall.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/iocov_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/testers/CMakeFiles/iocov_testers.dir/DependInfo.cmake"
+  "/root/repo/build/src/bugstudy/CMakeFiles/iocov_bugstudy.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/iocov_report.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

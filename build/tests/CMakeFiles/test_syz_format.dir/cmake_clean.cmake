@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_syz_format.dir/test_syz_format.cpp.o"
+  "CMakeFiles/test_syz_format.dir/test_syz_format.cpp.o.d"
+  "test_syz_format"
+  "test_syz_format.pdb"
+  "test_syz_format[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_syz_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tcd_properties.dir/test_tcd_properties.cpp.o"
+  "CMakeFiles/test_tcd_properties.dir/test_tcd_properties.cpp.o.d"
+  "test_tcd_properties"
+  "test_tcd_properties.pdb"
+  "test_tcd_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tcd_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_testers.dir/test_testers.cpp.o"
+  "CMakeFiles/test_testers.dir/test_testers.cpp.o.d"
+  "test_testers"
+  "test_testers.pdb"
+  "test_testers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_testers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

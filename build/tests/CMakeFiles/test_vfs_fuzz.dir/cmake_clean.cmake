@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vfs_fuzz.dir/test_vfs_fuzz.cpp.o"
+  "CMakeFiles/test_vfs_fuzz.dir/test_vfs_fuzz.cpp.o.d"
+  "test_vfs_fuzz"
+  "test_vfs_fuzz.pdb"
+  "test_vfs_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vfs_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iocov_cli.dir/iocov_cli.cpp.o"
+  "CMakeFiles/iocov_cli.dir/iocov_cli.cpp.o.d"
+  "iocov"
+  "iocov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iocov_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
