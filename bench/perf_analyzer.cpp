@@ -8,7 +8,10 @@
 //   * TCD computation
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <sstream>
+
+#include "abi/seek.hpp"
 
 #include "core/iocov.hpp"
 #include "core/tcd.hpp"
@@ -112,6 +115,78 @@ void BM_AnalyzerThroughput(benchmark::State& state) {
                             static_cast<std::int64_t>(events.size()));
 }
 BENCHMARK(BM_AnalyzerThroughput);
+
+/// A multi-pid text trace for the consume_text benches (the built-in
+/// simulators only use two pids, which would starve most shards).
+const std::string& canned_text_trace() {
+    static const std::string kText = [] {
+        vfs::FileSystem fs(testers::recommended_fs_config());
+        auto fx = testers::prepare_environment(fs, "/mnt/test");
+        std::ostringstream os;
+        trace::TextSink sink(os);
+        syscall::Kernel kernel(fs, &sink);
+        std::vector<syscall::Process> procs;
+        for (const std::uint32_t pid : {11u, 12u, 13u, 14u, 15u, 16u})
+            procs.push_back(kernel.make_process(
+                pid, vfs::Credentials::user(1000, 1000)));
+        for (std::size_t round = 0; round < 1500; ++round) {
+            for (std::size_t p = 0; p < procs.size(); ++p) {
+                auto& proc = procs[p];
+                const auto salt = round * 31 + p * 7;
+                const std::string path = fx.scratch + "/b" +
+                                         std::to_string(p) + "_" +
+                                         std::to_string(round % 13);
+                const auto fd = static_cast<int>(proc.sys_open(
+                    path.c_str(),
+                    salt % 2 ? abi::O_RDWR | abi::O_CREAT
+                             : abi::O_WRONLY | abi::O_CREAT | abi::O_APPEND,
+                    0644));
+                proc.sys_write(fd, syscall::WriteSrc::pattern(
+                                       std::uint64_t{1} << (salt % 14),
+                                       std::byte{0x5a}));
+                proc.sys_lseek(fd, 0, abi::SEEK_SET_);
+                proc.sys_read(fd,
+                              syscall::ReadDst::discard(1u << (salt % 10)));
+                proc.sys_close(fd);
+            }
+        }
+        return os.str();
+    }();
+    return kText;
+}
+
+std::int64_t canned_text_lines() {
+    const auto& text = canned_text_trace();
+    return static_cast<std::int64_t>(
+        std::count(text.begin(), text.end(), '\n'));
+}
+
+/// Full serial pipeline: parse + filter + analyze from text.
+void BM_ConsumeTextSerial(benchmark::State& state) {
+    const auto& text = canned_text_trace();
+    for (auto _ : state) {
+        core::IOCov iocov(trace::FilterConfig::mount_point("/mnt/test"));
+        std::istringstream in(text);
+        iocov.consume_text(in);
+        benchmark::DoNotOptimize(iocov.report().events_tracked);
+    }
+    state.SetItemsProcessed(state.iterations() * canned_text_lines());
+}
+BENCHMARK(BM_ConsumeTextSerial);
+
+/// Same pipeline through the sharded path; Arg = worker threads.
+void BM_ConsumeTextParallel(benchmark::State& state) {
+    const auto& text = canned_text_trace();
+    const auto threads = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        core::IOCov iocov(trace::FilterConfig::mount_point("/mnt/test"));
+        std::istringstream in(text);
+        iocov.consume_text_parallel(in, threads);
+        benchmark::DoNotOptimize(iocov.report().events_tracked);
+    }
+    state.SetItemsProcessed(state.iterations() * canned_text_lines());
+}
+BENCHMARK(BM_ConsumeTextParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_TextRoundTrip(benchmark::State& state) {
     const auto& events = canned_trace();

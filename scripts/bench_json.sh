@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Machine-readable analyzer/pipeline benchmark run.
+#
+#   ./scripts/bench_json.sh [OUT.json]     # default BENCH_analyzer.json
+#
+# Runs the per-event analyzer bench plus the serial and sharded
+# consume_text benches (1/2/4/8 worker threads) and writes the
+# google-benchmark JSON to OUT for before/after comparisons.  Note the
+# items_per_second counter is CPU-time based; on a single-core machine
+# compare the real_time fields for the parallel rows.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_analyzer.json}"
+BENCH=build/bench/perf_analyzer
+
+if [ ! -x "$BENCH" ]; then
+  echo "error: $BENCH not built (run: cmake -B build && cmake --build build -j)" >&2
+  exit 1
+fi
+
+"$BENCH" \
+  --benchmark_filter='BM_(AnalyzerThroughput|FilterThroughput|ConsumeTextSerial|ConsumeTextParallel).*' \
+  --benchmark_repetitions="${IOCOV_BENCH_REPS:-3}" \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_format=json \
+  --benchmark_out="$OUT" \
+  --benchmark_out_format=json >/dev/null
+
+echo "wrote $OUT"
+grep -o '"name": "[^"]*_median"' "$OUT" | sed 's/"name": //' || true

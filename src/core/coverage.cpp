@@ -71,7 +71,9 @@ std::string cardinality_label(std::size_t n) {
 }  // namespace
 
 Analyzer::Analyzer(const std::vector<SyscallSpec>& registry)
-    : registry_(&registry) {
+    : table_(registry) {
+    input_parts_.reserve(table_.arg_slot_count());
+    output_parts_.reserve(registry.size());
     for (const auto& spec : registry) {
         for (const auto& arg : spec.args) {
             auto part = make_input_partitioner(spec.base, arg);
@@ -82,6 +84,7 @@ Analyzer::Analyzer(const std::vector<SyscallSpec>& registry)
             cov.hist = stats::PartitionHistogram::with_partitions(
                 part->declared());
             if (spec.base == "open" && arg.key == "flags") {
+                open_flags_slot_ = input_parts_.size();
                 cov.combo_cardinality =
                     stats::PartitionHistogram::with_partitions(
                         combo_declared());
@@ -90,7 +93,7 @@ Analyzer::Analyzer(const std::vector<SyscallSpec>& registry)
                         combo_declared());
             }
             report_.inputs.push_back(std::move(cov));
-            inputs_.emplace(spec.base + "/" + arg.key, std::move(part));
+            input_parts_.push_back(std::move(part));
         }
         OutputPartitioner opart(spec.success, spec.errors);
         OutputCoverage ocov;
@@ -99,64 +102,59 @@ Analyzer::Analyzer(const std::vector<SyscallSpec>& registry)
         ocov.hist = stats::PartitionHistogram::with_partitions(
             opart.declared());
         report_.outputs.push_back(std::move(ocov));
-        outputs_.emplace(spec.base, std::move(opart));
+        output_parts_.push_back(std::move(opart));
     }
 }
 
 void Analyzer::consume(const trace::TraceEvent& event) {
     ++report_.events_seen;
-    auto ce = canonicalize(event, *registry_);
-    if (!ce) return;
+    const auto view = table_.resolve(event);
+    if (!view) return;
     ++report_.events_tracked;
-    const SyscallSpec* spec = find_spec(ce->base, *registry_);
-    if (!spec) return;
-    consume_input(*ce, *spec);
+    consume_input(*view);
     // Declarative inputs (e.g. parsed syzkaller programs) carry no
     // observed return value; they contribute input coverage only.
-    if (!trace::is_input_only(event)) consume_output(*ce, *spec);
+    if (!trace::is_input_only(event)) consume_output(*view);
 }
 
 void Analyzer::consume_all(const std::vector<trace::TraceEvent>& events) {
     for (const auto& ev : events) consume(ev);
 }
 
-void Analyzer::consume_input(const CanonicalEvent& ce,
-                             const SyscallSpec& spec) {
-    for (const auto& arg : spec.args) {
-        auto value = ce.arg(arg.key);
+void Analyzer::consume_input(const CanonicalView& view) {
+    const auto& args = view.spec->args;
+    const std::size_t base_slot = table_.arg_offset(view.id);
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const trace::ArgValue* value = view.find(args[i].key);
         if (!value) continue;  // variant without this argument
-        auto pit = inputs_.find(spec.base + "/" + arg.key);
-        if (pit == inputs_.end()) continue;
-        ArgCoverage* cov = report_.find_input(spec.base, arg.key);
+        const std::size_t slot = base_slot + i;
+        ArgCoverage& cov = report_.inputs[slot];
 
-        const auto labels = pit->second->labels_for(*value);
-        for (const auto& label : labels) cov->hist.add(label);
+        const auto labels = input_parts_[slot]->labels_for(*value);
+        for (const auto& label : labels) cov.hist.add(label);
 
         // Bitmap combination statistics (open flags only).
-        if (spec.base == "open" && arg.key == "flags") {
-            cov->combo_cardinality.add(cardinality_label(labels.size()));
+        if (slot == open_flags_slot_) {
+            cov.combo_cardinality.add(cardinality_label(labels.size()));
             const bool has_rdonly =
                 std::find(labels.begin(), labels.end(), "O_RDONLY") !=
                 labels.end();
             if (has_rdonly)
-                cov->combo_cardinality_rdonly.add(
+                cov.combo_cardinality_rdonly.add(
                     cardinality_label(labels.size()));
-            for (std::size_t i = 0; i < labels.size(); ++i)
-                for (std::size_t j = i + 1; j < labels.size(); ++j) {
-                    const auto& a = std::min(labels[i], labels[j]);
-                    const auto& b = std::max(labels[i], labels[j]);
-                    cov->pairs.add(a + "+" + b);
+            for (std::size_t i2 = 0; i2 < labels.size(); ++i2)
+                for (std::size_t j = i2 + 1; j < labels.size(); ++j) {
+                    const auto& a = std::min(labels[i2], labels[j]);
+                    const auto& b = std::max(labels[i2], labels[j]);
+                    cov.pairs.add(a + "+" + b);
                 }
         }
     }
 }
 
-void Analyzer::consume_output(const CanonicalEvent& ce,
-                              const SyscallSpec& spec) {
-    auto oit = outputs_.find(spec.base);
-    if (oit == outputs_.end()) return;
-    OutputCoverage* cov = report_.find_output(spec.base);
-    cov->hist.add(oit->second.label_for(ce.event.ret));
+void Analyzer::consume_output(const CanonicalView& view) {
+    report_.outputs[view.id].hist.add(
+        output_parts_[view.id].label_for(view.event->ret));
 }
 
 }  // namespace iocov::core

@@ -2,13 +2,13 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/partition.hpp"
 #include "core/syscall_spec.hpp"
+#include "core/syscall_table.hpp"
 #include "core/variant_handler.hpp"
 #include "stats/histogram.hpp"
 #include "trace/event.hpp"
@@ -32,6 +32,8 @@ struct ArgCoverage {
     /// Unordered flag pairs seen together ("O_CREAT+O_TRUNC") — the
     /// paper's future-work "bit combinations" extension.
     stats::PartitionHistogram pairs;
+
+    friend bool operator==(const ArgCoverage&, const ArgCoverage&) = default;
 };
 
 /// Output coverage for one base syscall (Fig. 4).
@@ -39,6 +41,9 @@ struct OutputCoverage {
     std::string base;
     SuccessKind success = SuccessKind::Unit;
     stats::PartitionHistogram hist;
+
+    friend bool operator==(const OutputCoverage&,
+                           const OutputCoverage&) = default;
 };
 
 /// Everything IOCov measured over one trace.
@@ -55,7 +60,13 @@ struct CoverageReport {
     const OutputCoverage* find_output(std::string_view base) const;
 
     /// Merges another report (e.g. per-process shards) into this one.
+    /// Histogram row order is canonical (see PartitionHistogram), so
+    /// merging the same shard set in any order yields bit-identical
+    /// reports — the property the parallel pipeline relies on.
     void merge(const CoverageReport& other);
+
+    friend bool operator==(const CoverageReport&,
+                           const CoverageReport&) = default;
 };
 
 /// Streams trace events into a CoverageReport.
@@ -72,18 +83,28 @@ class Analyzer {
     /// Convenience over a whole buffer.
     void consume_all(const std::vector<trace::TraceEvent>& events);
 
+    /// Folds a shard's report into this analyzer's (used by the parallel
+    /// pipeline after per-worker analysis).
+    void merge_report(const CoverageReport& shard) { report_.merge(shard); }
+
     const CoverageReport& report() const { return report_; }
     CoverageReport take_report() { return std::move(report_); }
 
   private:
-    void consume_input(const CanonicalEvent& ce, const SyscallSpec& spec);
-    void consume_output(const CanonicalEvent& ce, const SyscallSpec& spec);
+    void consume_input(const CanonicalView& view);
+    void consume_output(const CanonicalView& view);
 
     CoverageReport report_;
-    const std::vector<SyscallSpec>* registry_;
-    /// Partitioners keyed by "base/key".
-    std::map<std::string, std::unique_ptr<InputPartitioner>> inputs_;
-    std::map<std::string, OutputPartitioner> outputs_;
+    /// Variant names resolved once into dense indices; per event the
+    /// analyzer does one hash lookup and then plain vector indexing
+    /// (report_.inputs, input_parts_ and report_.outputs, output_parts_
+    /// share the table's arg-slot / SyscallId numbering).
+    SyscallTable table_;
+    std::vector<std::unique_ptr<InputPartitioner>> input_parts_;
+    std::vector<OutputPartitioner> output_parts_;
+    /// Flat slot of open/flags, whose bitmap combination statistics are
+    /// tracked beyond the plain histogram; npos if not in the registry.
+    std::size_t open_flags_slot_ = SyscallTable::npos;
 };
 
 }  // namespace iocov::core

@@ -1,5 +1,8 @@
 #include "core/iocov.hpp"
 
+#include <iterator>
+
+#include "exec/thread_pool.hpp"
 #include "trace/syz_format.hpp"
 #include "trace/text_format.hpp"
 
@@ -7,7 +10,9 @@ namespace iocov::core {
 
 IOCov::IOCov(trace::FilterConfig filter_config,
              const std::vector<SyscallSpec>& registry)
-    : filter_(filter_config),
+    : filter_config_(std::move(filter_config)),
+      registry_(&registry),
+      filter_(filter_config_),
       analyzer_(registry),
       live_sink_([this](const trace::TraceEvent& ev) { consume(ev); }) {}
 
@@ -32,6 +37,60 @@ std::size_t IOCov::consume_text(std::istream& in) {
     auto events = trace::parse_stream(in, &dropped);
     consume_all(events);
     return dropped;
+}
+
+std::size_t IOCov::consume_text_parallel(std::istream& in,
+                                         unsigned n_threads) {
+    if (n_threads == 0) n_threads = exec::ThreadPool::default_thread_count();
+    if (n_threads <= 1) return consume_text(in);
+
+    // Chunking needs random access to line boundaries, so slurp the
+    // stream once (the serial path also materializes every event).
+    const std::string text{std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>()};
+    // More chunks than workers so one expensive chunk can't serialize
+    // the tail of the parse stage.
+    const auto chunks = trace::split_line_chunks(text, n_threads * 4);
+
+    exec::ThreadPool pool(n_threads);
+    std::vector<std::vector<trace::TraceEvent>> parsed(chunks.size());
+    std::vector<std::size_t> dropped(chunks.size(), 0);
+    exec::parallel_for(pool, chunks.size(), [&](std::size_t i) {
+        parsed[i] = trace::parse_chunk(chunks[i], &dropped[i]);
+    });
+
+    // Re-shard by pid.  Scanning the chunks in order preserves each
+    // pid's trace order, which is the only ordering the stateful filter
+    // (per-pid fd watches and cwd) depends on.
+    std::vector<std::vector<trace::TraceEvent>> shards(n_threads);
+    std::size_t total_events = 0;
+    for (const auto& chunk_events : parsed) total_events += chunk_events.size();
+    for (auto& shard : shards) shard.reserve(total_events / n_threads + 1);
+    for (auto& chunk_events : parsed) {
+        for (auto& ev : chunk_events)
+            shards[ev.pid % n_threads].push_back(std::move(ev));
+        chunk_events.clear();
+    }
+
+    std::vector<CoverageReport> reports(shards.size());
+    std::vector<std::uint64_t> shard_filtered(shards.size(), 0);
+    exec::parallel_for(pool, shards.size(), [&](std::size_t s) {
+        trace::TraceFilter filter(filter_config_);
+        Analyzer analyzer(*registry_);
+        for (const auto& ev : shards[s]) {
+            if (filter.admit(ev)) analyzer.consume(ev);
+            else ++shard_filtered[s];
+        }
+        reports[s] = analyzer.take_report();
+    });
+
+    // Shard-merge order is irrelevant to the result (histogram row order
+    // is canonical), but iterate in shard order anyway for clarity.
+    for (const auto& r : reports) analyzer_.merge_report(r);
+    for (const auto f : shard_filtered) filtered_out_ += f;
+    std::size_t total_dropped = 0;
+    for (const auto d : dropped) total_dropped += d;
+    return total_dropped;
 }
 
 }  // namespace iocov::core

@@ -45,6 +45,20 @@ class IOCov {
     /// Returns the number of malformed lines skipped.
     std::size_t consume_text(std::istream& in);
 
+    /// Parallel consume_text: the trace is split into line chunks and
+    /// parsed on a thread pool, events are re-sharded by pid, and each
+    /// shard runs filter+analyze in its own worker before the shard
+    /// reports merge back here.  The trace filter's state (watched fds,
+    /// cwd) is keyed strictly by pid, so per-pid order — which sharding
+    /// preserves — is all that determinism needs: on a fresh IOCov this
+    /// produces a report bit-identical to consume_text.  Unlike the
+    /// serial path, filter state does not carry across calls; analyze
+    /// related traces in one call (or serially) if fds span files.
+    /// `n_threads` 0 means hardware concurrency; 1 falls back to the
+    /// serial path.  Returns the number of malformed lines skipped.
+    std::size_t consume_text_parallel(std::istream& in,
+                                      unsigned n_threads = 0);
+
     /// Parses a syzkaller program/log and analyzes its *input* coverage
     /// (declarative programs carry no return values, so output coverage
     /// is unaffected).  Fuzzer programs run confined to their sandbox,
@@ -60,6 +74,10 @@ class IOCov {
     std::uint64_t events_filtered_out() const { return filtered_out_; }
 
   private:
+    /// Kept beyond construction so the parallel path can build one
+    /// fresh filter per shard from the same configuration.
+    trace::FilterConfig filter_config_;
+    const std::vector<SyscallSpec>* registry_;
     trace::TraceFilter filter_;
     Analyzer analyzer_;
     trace::CallbackSink live_sink_;

@@ -110,7 +110,9 @@ std::optional<CoverageReport> load_report(std::istream& in) {
                          : tok == "@combo_rdonly"
                              ? cur_in->combo_cardinality_rdonly
                              : cur_in->pairs;
-            hist.add(label, 0);  // declare even when count is 0
+            // declare() reproduces the saved row order exactly (add()
+            // would re-sort labels into the canonical dynamic tail).
+            hist.declare(label);
             if (count) hist.add(label, count);
         } else {
             // A partition row: "<label> <count>" for the current block.
@@ -119,7 +121,7 @@ std::optional<CoverageReport> load_report(std::istream& in) {
             stats::PartitionHistogram* hist =
                 cur_in ? &cur_in->hist : cur_out ? &cur_out->hist : nullptr;
             if (!hist) return std::nullopt;
-            hist->add(tok, 0);
+            hist->declare(tok);
             if (count) hist->add(tok, count);
         }
     }

@@ -1,0 +1,34 @@
+#include "core/syscall_table.hpp"
+
+namespace iocov::core {
+
+SyscallTable::SyscallTable(const std::vector<SyscallSpec>& registry)
+    : registry_(&registry) {
+    arg_offset_.reserve(registry.size() + 1);
+    std::size_t slot = 0;
+    std::size_t variant_count = 0;
+    for (const auto& spec : registry) variant_count += spec.variants.size();
+    variants_.reserve(variant_count);
+    for (SyscallId id = 0; id < registry.size(); ++id) {
+        const auto& spec = registry[id];
+        arg_offset_.push_back(slot);
+        slot += spec.args.size();
+        for (const auto& variant : spec.variants)
+            variants_.emplace(variant,
+                              VariantEntry{id, implied_variant_arg(variant)});
+    }
+    arg_offset_.push_back(slot);
+}
+
+std::size_t SyscallTable::arg_slot(std::string_view base,
+                                   std::string_view key) const {
+    for (SyscallId id = 0; id < registry_->size(); ++id) {
+        const auto& spec = (*registry_)[id];
+        if (spec.base != base) continue;
+        for (std::size_t i = 0; i < spec.args.size(); ++i)
+            if (spec.args[i].key == key) return arg_offset_[id] + i;
+    }
+    return npos;
+}
+
+}  // namespace iocov::core

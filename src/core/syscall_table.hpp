@@ -1,0 +1,74 @@
+// Interned syscall registry lookup for the analyzer hot path.
+//
+// The registry is a vector of specs whose natural lookups are linear
+// scans over strings (base_of_variant, find_spec) — fine for tooling,
+// too slow to run once per traced event.  A SyscallTable resolves the
+// registry once into dense indices:
+//
+//   * every base syscall gets a SyscallId (its registry index),
+//   * every tracked argument gets a flat "arg slot" (bases contribute
+//     their args in registry order, matching CoverageReport::inputs),
+//   * every variant name maps, via one hash lookup, to its base's spec,
+//     id, and implied argument.
+//
+// The Analyzer then indexes plain std::vectors per event instead of
+// building "base/key" strings and probing std::maps.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/syscall_spec.hpp"
+#include "core/variant_handler.hpp"
+#include "trace/event.hpp"
+
+namespace iocov::core {
+
+/// Dense index of a base syscall within its registry.
+using SyscallId = std::size_t;
+
+class SyscallTable {
+  public:
+    /// `registry` must outlive the table (registries are static in
+    /// practice; a custom one must outlive any Analyzer built on it).
+    explicit SyscallTable(const std::vector<SyscallSpec>& registry);
+
+    const std::vector<SyscallSpec>& registry() const { return *registry_; }
+    std::size_t base_count() const { return registry_->size(); }
+
+    /// First flat arg slot of base `id`; its args occupy
+    /// [arg_offset(id), arg_offset(id) + spec.args.size()).
+    std::size_t arg_offset(SyscallId id) const { return arg_offset_[id]; }
+
+    /// Total tracked arguments across the registry (== the size of
+    /// CoverageReport::inputs built from it).
+    std::size_t arg_slot_count() const { return arg_offset_.back(); }
+
+    /// Flat slot of (base, key); npos when the base has no such arg.
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+    std::size_t arg_slot(std::string_view base, std::string_view key) const;
+
+    /// Resolves one event onto its base syscall without copying it;
+    /// nullopt for untracked syscalls.  One hash lookup per event.
+    std::optional<CanonicalView> resolve(const trace::TraceEvent& event) const {
+        auto it = variants_.find(event.syscall);
+        if (it == variants_.end()) return std::nullopt;
+        const VariantEntry& ve = it->second;
+        return CanonicalView{&(*registry_)[ve.id], ve.id, &event, ve.implied};
+    }
+
+  private:
+    struct VariantEntry {
+        SyscallId id = 0;
+        const trace::Arg* implied = nullptr;  // static storage
+    };
+
+    const std::vector<SyscallSpec>* registry_;
+    std::unordered_map<std::string, VariantEntry> variants_;
+    std::vector<std::size_t> arg_offset_;  // base_count() + 1 entries
+};
+
+}  // namespace iocov::core

@@ -12,6 +12,20 @@ std::optional<trace::ArgValue> CanonicalEvent::arg(
     return a->value;
 }
 
+const trace::Arg* implied_variant_arg(std::string_view variant) {
+    // creat(path, mode) == open(path, O_CREAT|O_WRONLY|O_TRUNC, mode).
+    static const trace::Arg kCreatFlags{
+        "flags", trace::ArgValue{std::uint64_t{abi::O_CREAT | abi::O_WRONLY |
+                                               abi::O_TRUNC}}};
+    // fchdir's directory identifier arrives as an fd, not a pathname.
+    static const trace::Arg kFchdirPath{
+        "pathname", trace::ArgValue{std::string("<via-fd>")}};
+    if (variant == "creat") return &kCreatFlags;
+    if (variant == "fchdir") return &kFchdirPath;
+    // openat2: mode/flags already present under the canonical names.
+    return nullptr;
+}
+
 std::optional<CanonicalEvent> canonicalize(
     const trace::TraceEvent& event,
     const std::vector<SyscallSpec>& registry) {
@@ -22,19 +36,8 @@ std::optional<CanonicalEvent> canonicalize(
     out.base = *base;
     out.variant = event.syscall;
     out.event = event;
-
-    if (event.syscall == "creat") {
-        // creat(path, mode) == open(path, O_CREAT|O_WRONLY|O_TRUNC, mode).
-        out.event.args.push_back(
-            {"flags", trace::ArgValue{std::uint64_t{
-                          abi::O_CREAT | abi::O_WRONLY | abi::O_TRUNC}}});
-    } else if (event.syscall == "fchdir") {
-        // The directory identifier arrives as an fd, not a pathname.
-        out.event.args.push_back(
-            {"pathname", trace::ArgValue{std::string("<via-fd>")}});
-    } else if (event.syscall == "openat2") {
-        // mode/flags already present under the canonical names.
-    }
+    if (const trace::Arg* implied = implied_variant_arg(event.syscall))
+        out.event.args.push_back(*implied);
     return out;
 }
 

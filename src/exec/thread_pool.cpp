@@ -1,0 +1,94 @@
+#include "exec/thread_pool.hpp"
+
+#include <exception>
+#include <utility>
+
+namespace iocov::exec {
+
+unsigned ThreadPool::default_thread_count() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned n_threads) {
+    if (n_threads == 0) n_threads = 1;
+    workers_.reserve(n_threads);
+    for (unsigned i = 0; i < n_threads; ++i)
+        workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        queue_.push_back(std::move(job));
+    }
+    work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty()) return;  // stop_ and drained
+            job = std::move(queue_.front());
+            queue_.pop_front();
+            ++active_;
+        }
+        job();
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            --active_;
+            if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+        }
+    }
+}
+
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn) {
+    if (n == 0) return;
+    struct Latch {
+        std::mutex mu;
+        std::condition_variable cv;
+        std::size_t remaining;
+        std::exception_ptr first_error;
+    };
+    // Shared, not stack-referenced: submit() callers may outlive scopes
+    // in odd shutdown paths, and shared_ptr keeps the contract simple.
+    auto latch = std::make_shared<Latch>();
+    latch->remaining = n;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        pool.submit([latch, &fn, i] {
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(latch->mu);
+                if (!latch->first_error)
+                    latch->first_error = std::current_exception();
+            }
+            std::lock_guard<std::mutex> lock(latch->mu);
+            if (--latch->remaining == 0) latch->cv.notify_all();
+        });
+    }
+    std::unique_lock<std::mutex> lock(latch->mu);
+    latch->cv.wait(lock, [&] { return latch->remaining == 0; });
+    if (latch->first_error) std::rethrow_exception(latch->first_error);
+}
+
+}  // namespace iocov::exec

@@ -1,0 +1,58 @@
+// Minimal fixed-size thread pool used by the parallel analysis pipeline.
+//
+// Deliberately small: a FIFO of std::function jobs, N worker threads,
+// and a wait_idle() barrier.  Pools are cheap enough to create per
+// parallel operation (thread spawn is microseconds next to parsing a
+// multi-megabyte trace), which keeps thread ownership obvious and
+// avoids global executor state.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace iocov::exec {
+
+class ThreadPool {
+  public:
+    /// Spawns `n_threads` workers (at least one).
+    explicit ThreadPool(unsigned n_threads = default_thread_count());
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Enqueues a job; runs on some worker in FIFO order.
+    void submit(std::function<void()> job);
+
+    /// Blocks until the queue is empty and no job is running.
+    void wait_idle();
+
+    unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+    /// hardware_concurrency(), floored at 1 (the standard allows 0).
+    static unsigned default_thread_count();
+
+  private:
+    void worker_loop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mu_;
+    std::condition_variable work_cv_;   // workers wait for jobs / stop
+    std::condition_variable idle_cv_;   // wait_idle waits for quiescence
+    std::size_t active_ = 0;            // jobs currently executing
+    bool stop_ = false;
+};
+
+/// Runs fn(0), ..., fn(n-1) on the pool and blocks until all complete.
+/// If any invocation throws, the first exception is rethrown here after
+/// the remaining iterations finish (no job is cancelled mid-flight).
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace iocov::exec

@@ -11,7 +11,15 @@ PartitionHistogram PartitionHistogram::with_partitions(
     for (auto& l : labels) {
         if (!h.has_partition(l)) h.rows_.push_back({std::move(l), 0});
     }
+    h.declared_ = h.rows_.size();
     return h;
+}
+
+void PartitionHistogram::declare(std::string label) {
+    if (has_partition(label)) return;
+    rows_.insert(rows_.begin() + static_cast<std::ptrdiff_t>(declared_),
+                 {std::move(label), 0});
+    ++declared_;
 }
 
 void PartitionHistogram::add(std::string_view label, std::uint64_t n) {
@@ -21,7 +29,15 @@ void PartitionHistogram::add(std::string_view label, std::uint64_t n) {
             return;
         }
     }
-    rows_.push_back({std::string(label), n});
+    // New dynamic label: keep the tail after the declared block sorted so
+    // the row order never depends on event or shard-merge order.
+    const auto tail = rows_.begin() + static_cast<std::ptrdiff_t>(declared_);
+    const auto pos = std::lower_bound(
+        tail, rows_.end(), label,
+        [](const PartitionCount& row, std::string_view l) {
+            return row.label < l;
+        });
+    rows_.insert(pos, {std::string(label), n});
 }
 
 std::uint64_t PartitionHistogram::count(std::string_view label) const {
@@ -63,10 +79,11 @@ double PartitionHistogram::coverage_fraction() const {
 
 void PartitionHistogram::merge(const PartitionHistogram& other) {
     for (const auto& row : other.rows_) {
-        // add() with n==0 still declares the partition, preserving the
-        // union of declared (possibly untested) labels.
-        if (!has_partition(row.label)) rows_.push_back(row);
-        else if (row.count) add(row.label, row.count);
+        // add() with n==0 still creates the partition, preserving the
+        // union of declared (possibly untested) labels; labels new to
+        // this histogram land in the canonical sorted tail, so merge is
+        // commutative over row order as well as counts.
+        add(row.label, row.count);
     }
 }
 

@@ -25,9 +25,12 @@ struct PartitionCount {
 
 /// Frequency histogram keyed by partition label.
 ///
-/// Labels keep their insertion order unless the histogram was built from
-/// a declared partition list (see with_partitions), in which case the
-/// declared order is preserved and undeclared labels append at the end.
+/// Declared labels (with_partitions / declare) keep their declaration
+/// order; labels first seen via add() slot into a sorted tail after the
+/// declared block.  Row order is therefore a canonical function of the
+/// label set alone — analyzing a trace serially, shard-by-shard, or in
+/// any merge order yields bit-identical histograms, which is what lets
+/// the parallel pipeline assert report equality against the serial one.
 /// Lookup is linear-probe over a small vector: partition spaces here are
 /// tens of entries (flags, log2 buckets, errno values), so a flat vector
 /// beats a node-based map and keeps deterministic iteration for reports.
@@ -39,7 +42,14 @@ class PartitionHistogram {
     /// untested partitions appear explicitly in reports.
     static PartitionHistogram with_partitions(std::vector<std::string> labels);
 
-    /// Adds `n` observations of `label`, creating the partition if new.
+    /// Declares one label (count zero) at the end of the declared block,
+    /// preserving call order.  Used by report loading to reproduce a
+    /// saved row order exactly.  No-op if the label already exists.
+    void declare(std::string label);
+
+    /// Adds `n` observations of `label`.  A new label is created in its
+    /// canonical (sorted) position after the declared block; n == 0
+    /// still creates it.
     void add(std::string_view label, std::uint64_t n = 1);
 
     /// Count for `label`; zero if the partition was never declared/seen.
@@ -72,10 +82,18 @@ class PartitionHistogram {
     /// Row with the maximum count (nullopt when empty).
     std::optional<PartitionCount> max_row() const;
 
-    friend bool operator==(const PartitionHistogram&, const PartitionHistogram&) = default;
+    /// Equality is over the rows (labels, order, counts); how many of
+    /// them were declared vs dynamically added is presentation state.
+    friend bool operator==(const PartitionHistogram& a,
+                           const PartitionHistogram& b) {
+        return a.rows_ == b.rows_;
+    }
 
   private:
     std::vector<PartitionCount> rows_;
+    /// rows_[0..declared_) is the declared block; the rest is the sorted
+    /// dynamic tail.
+    std::size_t declared_ = 0;
 };
 
 }  // namespace iocov::stats

@@ -32,7 +32,32 @@ class TraceBuffer final : public TraceSink {
   public:
     void emit(const TraceEvent& event) override { events_.push_back(event); }
 
+    /// Move-emit for callers that are done with the event (a TraceEvent
+    /// carries a syscall name, pathname strings, and an arg vector —
+    /// copying all of that per event is the single biggest cost of
+    /// buffering a trace).
+    void emit(TraceEvent&& event) { events_.push_back(std::move(event)); }
+
+    /// Pre-sizes the buffer ahead of a bulk append of ~n events.
+    void reserve(std::size_t n) { events_.reserve(events_.size() + n); }
+
+    /// Appends a whole batch by move (the batch is consumed).
+    void append(std::vector<TraceEvent>&& batch) {
+        reserve(batch.size());
+        for (auto& ev : batch) events_.push_back(std::move(ev));
+        batch.clear();
+    }
+
     const std::vector<TraceEvent>& events() const { return events_; }
+
+    /// Moves the buffered events out, leaving the buffer empty; use when
+    /// the buffer is discarded afterwards to skip a full trace copy.
+    std::vector<TraceEvent> take_events() {
+        auto out = std::move(events_);
+        events_.clear();
+        return out;
+    }
+
     std::size_t size() const { return events_.size(); }
     bool empty() const { return events_.empty(); }
     void clear() { events_.clear(); }

@@ -187,6 +187,48 @@ std::optional<TraceEvent> parse_event(std::string_view line) {
     return ev;
 }
 
+std::vector<std::string_view> split_line_chunks(std::string_view text,
+                                                std::size_t n_chunks) {
+    std::vector<std::string_view> chunks;
+    if (text.empty() || n_chunks == 0) return chunks;
+    chunks.reserve(n_chunks);
+    const std::size_t target = text.size() / n_chunks + 1;
+    std::size_t begin = 0;
+    while (begin < text.size() && chunks.size() + 1 < n_chunks) {
+        std::size_t end = begin + target;
+        if (end >= text.size()) break;
+        // Extend to the end of the current line.
+        end = text.find('\n', end);
+        if (end == std::string_view::npos) break;
+        chunks.push_back(text.substr(begin, end + 1 - begin));
+        begin = end + 1;
+    }
+    if (begin < text.size()) chunks.push_back(text.substr(begin));
+    return chunks;
+}
+
+std::vector<TraceEvent> parse_chunk(std::string_view chunk,
+                                    std::size_t* dropped) {
+    std::vector<TraceEvent> out;
+    if (dropped) *dropped = 0;
+    // Lines average ~80 bytes in this format; reserve a conservative
+    // estimate to avoid repeated growth during the parallel parse.
+    out.reserve(chunk.size() / 96 + 1);
+    while (!chunk.empty()) {
+        std::size_t eol = chunk.find('\n');
+        std::string_view line = chunk.substr(0, eol);
+        chunk.remove_prefix(eol == std::string_view::npos ? chunk.size()
+                                                          : eol + 1);
+        if (line.empty() || line[0] == '#') continue;
+        if (auto ev = parse_event(line)) {
+            out.push_back(std::move(*ev));
+        } else if (dropped) {
+            ++*dropped;
+        }
+    }
+    return out;
+}
+
 std::vector<TraceEvent> parse_stream(std::istream& in, std::size_t* dropped) {
     std::vector<TraceEvent> out;
     if (dropped) *dropped = 0;

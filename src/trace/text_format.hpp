@@ -34,6 +34,18 @@ std::optional<TraceEvent> parse_event(std::string_view line);
 std::vector<TraceEvent> parse_stream(std::istream& in,
                                      std::size_t* dropped = nullptr);
 
+/// Splits `text` into at most `n_chunks` byte ranges cut at line
+/// boundaries (a line never straddles two chunks), sized as evenly as
+/// the line structure allows.  The views alias `text`; concatenating
+/// them in order reproduces it.  Building block of the parallel parse.
+std::vector<std::string_view> split_line_chunks(std::string_view text,
+                                                std::size_t n_chunks);
+
+/// parse_stream over one in-memory chunk: same blank/'#'/malformed-line
+/// handling, no istream.  Each parallel worker runs this on its chunk.
+std::vector<TraceEvent> parse_chunk(std::string_view chunk,
+                                    std::size_t* dropped = nullptr);
+
 /// Escapes a string for quoting inside a trace line.
 std::string escape_string(std::string_view s);
 

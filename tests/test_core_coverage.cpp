@@ -200,8 +200,10 @@ TEST(Tcd, PerPartitionTargetsViaBuilder) {
     const auto targets = TargetBuilder(h, 10.0).boost("O_SYNC", 100.0)
                              .build();
     ASSERT_EQ(targets.size(), 2u);
-    EXPECT_DOUBLE_EQ(targets[0], 1000.0);
-    EXPECT_DOUBLE_EQ(targets[1], 10.0);
+    // Dynamic labels sit in canonical (sorted) row order, so O_RDONLY
+    // precedes O_SYNC regardless of add() order.
+    EXPECT_DOUBLE_EQ(targets[0], 10.0);
+    EXPECT_DOUBLE_EQ(targets[1], 1000.0);
     // With the boosted target, O_SYNC is exactly on target.
     EXPECT_LT(tcd(h, targets), tcd_uniform(h, 10.0));
 }

@@ -97,5 +97,69 @@ TEST(PartitionHistogram, LookupOfUnknownLabelIsZeroNotError) {
     EXPECT_FALSE(h.has_partition("nope"));
 }
 
+// Canonical row order: dynamic labels sit sorted after the declared
+// block, so the rows are a function of the label *set*, never of the
+// order add() happened to encounter them.  This is what makes a merge
+// of per-shard histograms bit-identical to the serial histogram.
+TEST(PartitionHistogram, DynamicLabelsKeepSortedOrderRegardlessOfArrival) {
+    auto h = PartitionHistogram::with_partitions({"z", "m"});
+    h.add("delta");
+    h.add("alpha");
+    h.add("charlie");
+    ASSERT_EQ(h.rows().size(), 5u);
+    EXPECT_EQ(h.rows()[0].label, "z");      // declared block untouched
+    EXPECT_EQ(h.rows()[1].label, "m");
+    EXPECT_EQ(h.rows()[2].label, "alpha");  // dynamic tail sorted
+    EXPECT_EQ(h.rows()[3].label, "charlie");
+    EXPECT_EQ(h.rows()[4].label, "delta");
+}
+
+TEST(PartitionHistogram, RowOrderIsAFunctionOfTheLabelSet) {
+    PartitionHistogram a, b;
+    for (const char* l : {"x", "b", "q", "a"}) a.add(l);
+    for (const char* l : {"a", "q", "b", "x"}) b.add(l);
+    EXPECT_EQ(a, b);
+    for (std::size_t i = 0; i < a.rows().size(); ++i)
+        EXPECT_EQ(a.rows()[i].label, b.rows()[i].label);
+}
+
+TEST(PartitionHistogram, DeclareAppendsToDeclaredBlock) {
+    // declare() reproduces a saved histogram's exact row order on load:
+    // later declares go after earlier ones, before nothing is sorted.
+    PartitionHistogram h;
+    h.declare("z");
+    h.declare("a");
+    h.declare("m");
+    h.add("k", 3);  // dynamic, sorts into the (single-element) tail
+    ASSERT_EQ(h.rows().size(), 4u);
+    EXPECT_EQ(h.rows()[0].label, "z");
+    EXPECT_EQ(h.rows()[1].label, "a");
+    EXPECT_EQ(h.rows()[2].label, "m");
+    EXPECT_EQ(h.rows()[3].label, "k");
+}
+
+TEST(PartitionHistogram, MergeOrderCannotChangeTheResult) {
+    const std::vector<std::string> declared = {"O_RDONLY", "O_WRONLY"};
+    auto serial = PartitionHistogram::with_partitions(declared);
+    serial.add("O_SYNC", 2);
+    serial.add("O_APPEND", 1);
+    serial.add("O_RDONLY", 5);
+
+    auto shard1 = PartitionHistogram::with_partitions(declared);
+    shard1.add("O_SYNC", 2);
+    auto shard2 = PartitionHistogram::with_partitions(declared);
+    shard2.add("O_APPEND", 1);
+    shard2.add("O_RDONLY", 5);
+
+    auto m12 = PartitionHistogram::with_partitions(declared);
+    m12.merge(shard1);
+    m12.merge(shard2);
+    auto m21 = PartitionHistogram::with_partitions(declared);
+    m21.merge(shard2);
+    m21.merge(shard1);
+    EXPECT_EQ(m12, serial);
+    EXPECT_EQ(m21, serial);
+}
+
 }  // namespace
 }  // namespace iocov::stats

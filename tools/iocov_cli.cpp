@@ -40,7 +40,8 @@ int usage() {
     std::fprintf(
         stderr,
         "usage:\n"
-        "  iocov analyze [--mount RE] [--syz] [--extended] [--save FILE] TRACE...\n"
+        "  iocov analyze [--mount RE] [--syz] [--extended] [--threads N]\n"
+        "                [--save FILE] TRACE...\n"
         "  iocov report  [--untested] [--under N] FILE\n"
         "  iocov diff    BEFORE AFTER\n"
         "  iocov tcd     [--target N] [--arg BASE.KEY] FILE\n"
@@ -89,6 +90,7 @@ int cmd_analyze(int argc, char** argv) {
     std::string mount = "/mnt/test";
     bool syz = false;
     bool extended = false;
+    unsigned threads = 1;
     const char* save_path = nullptr;
     std::vector<const char*> traces;
     for (int i = 0; i < argc; ++i) {
@@ -98,6 +100,10 @@ int cmd_analyze(int argc, char** argv) {
             syz = true;
         } else if (!std::strcmp(argv[i], "--extended")) {
             extended = true;
+        } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
+            // 0 = auto (hardware concurrency); 1 = serial.
+            threads = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
         } else if (!std::strcmp(argv[i], "--save") && i + 1 < argc) {
             save_path = argv[++i];
         } else {
@@ -120,7 +126,12 @@ int cmd_analyze(int argc, char** argv) {
             std::printf("%s: %zu syscalls parsed (input coverage only)\n",
                         path, parsed);
         } else {
-            const auto dropped = iocov.consume_text(in);
+            // --threads only shards text traces; pid-sharded analysis
+            // is bit-identical to serial for a fresh IOCov per run.
+            const auto dropped = threads == 1
+                                     ? iocov.consume_text(in)
+                                     : iocov.consume_text_parallel(in,
+                                                                   threads);
             std::printf("%s: analyzed (%zu malformed lines skipped)\n",
                         path, dropped);
         }
