@@ -4,11 +4,15 @@
 //   * syscall dispatch with tracing off vs on (tracing overhead)
 //   * trace filter throughput (regex + fd tracking)
 //   * analyzer throughput (variant merge + partitioning)
+//   * ingest throughput: text parse vs IOCT binary decode, and the full
+//     pipeline from both formats (serial, sharded, mmap vs read copy)
 //   * text round-trip (serialize + parse)
 //   * TCD computation
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "abi/seek.hpp"
@@ -19,6 +23,7 @@
 #include "syscall/kernel.hpp"
 #include "testers/fixtures.hpp"
 #include "testers/generator.hpp"
+#include "trace/binary_format.hpp"
 #include "trace/text_format.hpp"
 #include "vfs/filesystem.hpp"
 
@@ -116,50 +121,66 @@ void BM_AnalyzerThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_AnalyzerThroughput);
 
-/// A multi-pid text trace for the consume_text benches (the built-in
-/// simulators only use two pids, which would starve most shards).
-const std::string& canned_text_trace() {
-    static const std::string kText = [] {
+/// A multi-pid trace for the ingest benches (the built-in simulators
+/// only use two pids, which would starve most shards), captured once
+/// through a TeeSink as both text and IOCT binary so the text-vs-binary
+/// comparisons measure the exact same event stream.
+struct CannedTraces {
+    std::string text;
+    std::string binary;
+    std::int64_t events = 0;
+};
+
+const CannedTraces& canned_twin_traces() {
+    static const CannedTraces kTraces = [] {
         vfs::FileSystem fs(testers::recommended_fs_config());
         auto fx = testers::prepare_environment(fs, "/mnt/test");
-        std::ostringstream os;
-        trace::TextSink sink(os);
-        syscall::Kernel kernel(fs, &sink);
-        std::vector<syscall::Process> procs;
-        for (const std::uint32_t pid : {11u, 12u, 13u, 14u, 15u, 16u})
-            procs.push_back(kernel.make_process(
-                pid, vfs::Credentials::user(1000, 1000)));
-        for (std::size_t round = 0; round < 1500; ++round) {
-            for (std::size_t p = 0; p < procs.size(); ++p) {
-                auto& proc = procs[p];
-                const auto salt = round * 31 + p * 7;
-                const std::string path = fx.scratch + "/b" +
-                                         std::to_string(p) + "_" +
-                                         std::to_string(round % 13);
-                const auto fd = static_cast<int>(proc.sys_open(
-                    path.c_str(),
-                    salt % 2 ? abi::O_RDWR | abi::O_CREAT
-                             : abi::O_WRONLY | abi::O_CREAT | abi::O_APPEND,
-                    0644));
-                proc.sys_write(fd, syscall::WriteSrc::pattern(
-                                       std::uint64_t{1} << (salt % 14),
-                                       std::byte{0x5a}));
-                proc.sys_lseek(fd, 0, abi::SEEK_SET_);
-                proc.sys_read(fd,
-                              syscall::ReadDst::discard(1u << (salt % 10)));
-                proc.sys_close(fd);
+        std::ostringstream text_os, binary_os;
+        trace::TextSink text_sink(text_os);
+        {
+            trace::BinarySink binary_sink(binary_os);
+            trace::TeeSink tee(text_sink, binary_sink);
+            syscall::Kernel kernel(fs, &tee);
+            std::vector<syscall::Process> procs;
+            for (const std::uint32_t pid : {11u, 12u, 13u, 14u, 15u, 16u})
+                procs.push_back(kernel.make_process(
+                    pid, vfs::Credentials::user(1000, 1000)));
+            for (std::size_t round = 0; round < 1500; ++round) {
+                for (std::size_t p = 0; p < procs.size(); ++p) {
+                    auto& proc = procs[p];
+                    const auto salt = round * 31 + p * 7;
+                    const std::string path = fx.scratch + "/b" +
+                                             std::to_string(p) + "_" +
+                                             std::to_string(round % 13);
+                    const auto fd = static_cast<int>(proc.sys_open(
+                        path.c_str(),
+                        salt % 2
+                            ? abi::O_RDWR | abi::O_CREAT
+                            : abi::O_WRONLY | abi::O_CREAT | abi::O_APPEND,
+                        0644));
+                    proc.sys_write(fd, syscall::WriteSrc::pattern(
+                                           std::uint64_t{1} << (salt % 14),
+                                           std::byte{0x5a}));
+                    proc.sys_lseek(fd, 0, abi::SEEK_SET_);
+                    proc.sys_read(
+                        fd, syscall::ReadDst::discard(1u << (salt % 10)));
+                    proc.sys_close(fd);
+                }
             }
-        }
-        return os.str();
+        }  // BinarySink flushes + writes the footer
+        CannedTraces traces;
+        traces.text = text_os.str();
+        traces.binary = binary_os.str();
+        traces.events = static_cast<std::int64_t>(
+            std::count(traces.text.begin(), traces.text.end(), '\n'));
+        return traces;
     }();
-    return kText;
+    return kTraces;
 }
 
-std::int64_t canned_text_lines() {
-    const auto& text = canned_text_trace();
-    return static_cast<std::int64_t>(
-        std::count(text.begin(), text.end(), '\n'));
-}
+const std::string& canned_text_trace() { return canned_twin_traces().text; }
+
+std::int64_t canned_text_lines() { return canned_twin_traces().events; }
 
 /// Full serial pipeline: parse + filter + analyze from text.
 void BM_ConsumeTextSerial(benchmark::State& state) {
@@ -187,6 +208,133 @@ void BM_ConsumeTextParallel(benchmark::State& state) {
     state.SetItemsProcessed(state.iterations() * canned_text_lines());
 }
 BENCHMARK(BM_ConsumeTextParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// --- ingest: trace bytes -> events, text vs IOCT binary ---------------------
+
+/// Text ingest, parse only (the stage IOCT removes): one line-parse per
+/// event, materializing every string.
+void BM_IngestTextSerial(benchmark::State& state) {
+    const auto& text = canned_text_trace();
+    for (auto _ : state) {
+        const auto events = trace::parse_chunk(text);
+        benchmark::DoNotOptimize(events.size());
+    }
+    state.SetItemsProcessed(state.iterations() * canned_text_lines());
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_IngestTextSerial);
+
+/// Binary ingest: structural scan + zero-copy decode into one reused
+/// scratch event (the analyzer-facing hot path — no per-event
+/// materialization).
+void BM_IngestBinarySerial(benchmark::State& state) {
+    const auto& binary = canned_twin_traces().binary;
+    for (auto _ : state) {
+        const auto scan = trace::scan_ioct(binary);
+        trace::TraceEvent scratch;
+        std::size_t decoded = 0;
+        for (const auto& ref : scan.events)
+            if (trace::decode_event(
+                    std::string_view(binary).substr(ref.offset, ref.length),
+                    scan.strings, scratch))
+                ++decoded;
+        benchmark::DoNotOptimize(decoded);
+    }
+    state.SetItemsProcessed(state.iterations() * canned_text_lines());
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<std::int64_t>(binary.size()));
+}
+BENCHMARK(BM_IngestBinarySerial);
+
+/// Binary ingest materializing owned TraceEvents (apples-to-apples with
+/// BM_IngestTextSerial, which also builds a vector).
+void BM_IngestBinaryMaterialized(benchmark::State& state) {
+    const auto& binary = canned_twin_traces().binary;
+    for (auto _ : state) {
+        const auto events = trace::decode_trace(binary);
+        benchmark::DoNotOptimize(events.size());
+    }
+    state.SetItemsProcessed(state.iterations() * canned_text_lines());
+}
+BENCHMARK(BM_IngestBinaryMaterialized);
+
+// --- full pipeline from binary: decode + filter + analyze -------------------
+
+void BM_ConsumeBinarySerial(benchmark::State& state) {
+    const auto& binary = canned_twin_traces().binary;
+    for (auto _ : state) {
+        core::IOCov iocov(trace::FilterConfig::mount_point("/mnt/test"));
+        iocov.consume_binary(binary);
+        benchmark::DoNotOptimize(iocov.report().events_tracked);
+    }
+    state.SetItemsProcessed(state.iterations() * canned_text_lines());
+}
+BENCHMARK(BM_ConsumeBinarySerial);
+
+void BM_ConsumeBinaryParallel(benchmark::State& state) {
+    const auto& binary = canned_twin_traces().binary;
+    const auto threads = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        core::IOCov iocov(trace::FilterConfig::mount_point("/mnt/test"));
+        iocov.consume_binary_parallel(binary, threads);
+        benchmark::DoNotOptimize(iocov.report().events_tracked);
+    }
+    state.SetItemsProcessed(state.iterations() * canned_text_lines());
+}
+BENCHMARK(BM_ConsumeBinaryParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// --- file-backed ingestion: mmap vs read() copy -----------------------------
+
+const std::string& canned_binary_file() {
+    static const std::string kPath = [] {
+        const auto path = std::filesystem::temp_directory_path() /
+                          "iocov_bench_trace.ioct";
+        std::ofstream out(path, std::ios::binary);
+        const auto& binary = canned_twin_traces().binary;
+        out.write(binary.data(),
+                  static_cast<std::streamsize>(binary.size()));
+        return path.string();
+    }();
+    return kPath;
+}
+
+void BM_ConsumeBinaryFileMmap(benchmark::State& state) {
+    const auto& path = canned_binary_file();
+    for (auto _ : state) {
+        auto mapped = trace::MappedFile::open(
+            path, trace::MappedFile::Mode::Auto);
+        core::IOCov iocov(trace::FilterConfig::mount_point("/mnt/test"));
+        iocov.consume_binary(mapped->data());
+        benchmark::DoNotOptimize(iocov.report().events_tracked);
+    }
+    state.SetItemsProcessed(state.iterations() * canned_text_lines());
+}
+BENCHMARK(BM_ConsumeBinaryFileMmap);
+
+void BM_ConsumeBinaryFileReadCopy(benchmark::State& state) {
+    const auto& path = canned_binary_file();
+    for (auto _ : state) {
+        auto copied = trace::MappedFile::open(
+            path, trace::MappedFile::Mode::ReadCopy);
+        core::IOCov iocov(trace::FilterConfig::mount_point("/mnt/test"));
+        iocov.consume_binary(copied->data());
+        benchmark::DoNotOptimize(iocov.report().events_tracked);
+    }
+    state.SetItemsProcessed(state.iterations() * canned_text_lines());
+}
+BENCHMARK(BM_ConsumeBinaryFileReadCopy);
+
+void BM_BinaryEncode(benchmark::State& state) {
+    const auto& events = canned_trace();
+    for (auto _ : state) {
+        const auto bytes = trace::encode_trace(events);
+        benchmark::DoNotOptimize(bytes.size());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(events.size()));
+}
+BENCHMARK(BM_BinaryEncode);
 
 void BM_TextRoundTrip(benchmark::State& state) {
     const auto& events = canned_trace();

@@ -3,11 +3,13 @@
 #
 #   ./scripts/bench_json.sh [OUT.json]     # default BENCH_analyzer.json
 #
-# Runs the per-event analyzer bench plus the serial and sharded
-# consume_text benches (1/2/4/8 worker threads) and writes the
-# google-benchmark JSON to OUT for before/after comparisons.  Note the
-# items_per_second counter is CPU-time based; on a single-core machine
-# compare the real_time fields for the parallel rows.
+# Runs the per-event analyzer bench, the serial and sharded
+# consume_text benches (1/2/4/8 worker threads), and the text-vs-IOCT
+# ingest comparison (BM_IngestTextSerial vs BM_IngestBinarySerial plus
+# the full consume_binary pipeline, serial/sharded/mmap/read-copy) and
+# writes the google-benchmark JSON to OUT for before/after comparisons.
+# Note the items_per_second counter is CPU-time based; on a single-core
+# machine compare the real_time fields for the parallel rows.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,7 +22,7 @@ if [ ! -x "$BENCH" ]; then
 fi
 
 "$BENCH" \
-  --benchmark_filter='BM_(AnalyzerThroughput|FilterThroughput|ConsumeTextSerial|ConsumeTextParallel).*' \
+  --benchmark_filter='BM_(AnalyzerThroughput|FilterThroughput|ConsumeTextSerial|ConsumeTextParallel|IngestTextSerial|IngestBinary|ConsumeBinary).*' \
   --benchmark_repetitions="${IOCOV_BENCH_REPS:-3}" \
   --benchmark_report_aggregates_only=true \
   --benchmark_format=json \

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# AddressSanitizer gate for the IOCT binary decoder.
+#
+#   ./scripts/check_asan.sh [BUILD_DIR]     # default build-asan
+#
+# The decoder reads varints and string-table views straight out of an
+# mmap'd file, so any bounds slip is an out-of-mapping read — exactly
+# what ASan catches and plain ctest may not.  This configures a full
+# IOCOV_SANITIZE=address tree and runs the decoder-facing suites
+# (binary format, binary pipeline, text format) under it.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build-asan}"
+
+cmake -B "$BUILD" -G Ninja -DIOCOV_SANITIZE=address >/dev/null
+cmake --build "$BUILD" -j --target \
+  test_binary_format test_binary_pipeline test_text_format
+ctest --test-dir "$BUILD" -R 'Binary|TextFormat|MappedFile' \
+  --output-on-failure -j "$(nproc)"

@@ -117,6 +117,16 @@ void Analyzer::consume(const trace::TraceEvent& event) {
     if (!trace::is_input_only(event)) consume_output(*view);
 }
 
+void Analyzer::consume(const trace::TraceEvent& event,
+                       const SyscallTable::Binding& binding) {
+    ++report_.events_seen;
+    if (!binding.tracked) return;
+    ++report_.events_tracked;
+    const auto view = SyscallTable::view(binding, event);
+    consume_input(view);
+    if (!trace::is_input_only(event)) consume_output(view);
+}
+
 void Analyzer::consume_all(const std::vector<trace::TraceEvent>& events) {
     for (const auto& ev : events) consume(ev);
 }

@@ -80,8 +80,19 @@ class Analyzer {
     /// Consumes one (already filtered) trace event.
     void consume(const trace::TraceEvent& event);
 
+    /// Hot-path consume for callers that pre-resolved the event's
+    /// syscall name via table().bind() (the binary pipeline resolves
+    /// each interned name once per file instead of hashing per event).
+    /// Must behave exactly like consume(); `binding` must be
+    /// `table().bind(event.syscall)`.
+    void consume(const trace::TraceEvent& event,
+                 const SyscallTable::Binding& binding);
+
     /// Convenience over a whole buffer.
     void consume_all(const std::vector<trace::TraceEvent>& events);
+
+    /// The name-interning table (for pre-binding via bind()).
+    const SyscallTable& table() const { return table_; }
 
     /// Folds a shard's report into this analyzer's (used by the parallel
     /// pipeline after per-worker analysis).

@@ -3,10 +3,29 @@
 #include <iterator>
 
 #include "exec/thread_pool.hpp"
+#include "trace/binary_format.hpp"
 #include "trace/syz_format.hpp"
 #include "trace/text_format.hpp"
 
 namespace iocov::core {
+namespace {
+
+/// Pre-binds every string-table entry that could name a syscall: one
+/// SyscallTable hash lookup per *unique name* in the trace instead of
+/// one per event.  Bindings carry registry indices and pointers into
+/// the (shared, static) registry, so they are valid for any analyzer
+/// built on the same registry — including the parallel path's
+/// per-shard analyzers.
+std::vector<SyscallTable::Binding> bind_strings(
+    const SyscallTable& table,
+    const std::vector<std::string_view>& strings) {
+    std::vector<SyscallTable::Binding> bindings;
+    bindings.reserve(strings.size());
+    for (const auto sv : strings) bindings.push_back(table.bind(sv));
+    return bindings;
+}
+
+}  // namespace
 
 IOCov::IOCov(trace::FilterConfig filter_config,
              const std::vector<SyscallSpec>& registry)
@@ -37,6 +56,90 @@ std::size_t IOCov::consume_text(std::istream& in) {
     auto events = trace::parse_stream(in, &dropped);
     consume_all(events);
     return dropped;
+}
+
+std::size_t IOCov::consume_binary(std::string_view data) {
+    const auto scan = trace::scan_ioct(data);
+    const auto bindings = bind_strings(analyzer_.table(), scan.strings);
+    std::size_t dropped = scan.dropped;
+    trace::TraceEvent scratch;
+    for (const auto& ref : scan.events) {
+        std::uint32_t name_id = 0;
+        if (!trace::decode_event(data.substr(ref.offset, ref.length),
+                                 scan.strings, scratch, &name_id)) {
+            ++dropped;
+            continue;
+        }
+        if (filter_.admit(scratch))
+            analyzer_.consume(scratch, bindings[name_id]);
+        else
+            ++filtered_out_;
+    }
+    return dropped;
+}
+
+std::size_t IOCov::consume_binary_parallel(std::string_view data,
+                                           unsigned n_threads) {
+    if (n_threads == 0) n_threads = exec::ThreadPool::default_thread_count();
+    if (n_threads <= 1) return consume_binary(data);
+
+    const auto scan = trace::scan_ioct(data);
+    const auto bindings = bind_strings(analyzer_.table(), scan.strings);
+
+    // Shard record references (not events) by pid.  Scan order is file
+    // order, so each pid's event order — the only ordering the stateful
+    // filter depends on — is preserved inside its shard.
+    std::vector<std::vector<trace::EventRef>> shards(n_threads);
+    if (scan.footer) {
+        // The footer's per-pid counts size each shard exactly.
+        std::vector<std::size_t> sizes(n_threads, 0);
+        for (const auto& [pid, count] : scan.footer->pid_events)
+            sizes[pid % n_threads] += count;
+        for (unsigned s = 0; s < n_threads; ++s) shards[s].reserve(sizes[s]);
+    } else {
+        for (auto& shard : shards)
+            shard.reserve(scan.events.size() / n_threads + 1);
+    }
+    for (const auto& ref : scan.events)
+        shards[ref.pid % n_threads].push_back(ref);
+
+    exec::ThreadPool pool(n_threads);
+    std::vector<CoverageReport> reports(shards.size());
+    std::vector<std::uint64_t> shard_filtered(shards.size(), 0);
+    std::vector<std::size_t> shard_dropped(shards.size(), 0);
+    exec::parallel_for(pool, shards.size(), [&](std::size_t s) {
+        trace::TraceFilter filter(filter_config_);
+        Analyzer analyzer(*registry_);
+        trace::TraceEvent scratch;
+        for (const auto& ref : shards[s]) {
+            std::uint32_t name_id = 0;
+            if (!trace::decode_event(data.substr(ref.offset, ref.length),
+                                     scan.strings, scratch, &name_id)) {
+                ++shard_dropped[s];
+                continue;
+            }
+            if (filter.admit(scratch))
+                analyzer.consume(scratch, bindings[name_id]);
+            else
+                ++shard_filtered[s];
+        }
+        reports[s] = analyzer.take_report();
+    });
+
+    for (const auto& r : reports) analyzer_.merge_report(r);
+    for (const auto f : shard_filtered) filtered_out_ += f;
+    std::size_t total_dropped = scan.dropped;
+    for (const auto d : shard_dropped) total_dropped += d;
+    return total_dropped;
+}
+
+std::optional<std::size_t> IOCov::consume_binary_file(const std::string& path,
+                                                      unsigned n_threads) {
+    auto mapped = trace::MappedFile::open(path);
+    if (!mapped) return std::nullopt;
+    return n_threads == 1 ? consume_binary(mapped->data())
+                          : consume_binary_parallel(mapped->data(),
+                                                    n_threads);
 }
 
 std::size_t IOCov::consume_text_parallel(std::istream& in,

@@ -14,7 +14,9 @@
 #pragma once
 
 #include <istream>
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "core/coverage.hpp"
 #include "core/tcd.hpp"
@@ -58,6 +60,35 @@ class IOCov {
     /// serial path.  Returns the number of malformed lines skipped.
     std::size_t consume_text_parallel(std::istream& in,
                                       unsigned n_threads = 0);
+
+    /// Analyzes an IOCT binary trace held in memory (typically an
+    /// mmap'd file; see trace::MappedFile).  Events are decoded into a
+    /// reusable scratch event — no per-event string materialization —
+    /// and fed through the same filter + analyzer as consume_text, so
+    /// the report is bit-identical to analyzing the equivalent text
+    /// trace.  Returns the number of undecodable records dropped
+    /// (torn tails and corrupt payloads), mirroring consume_text's
+    /// malformed-line count.  A buffer that is not an IOCT file (bad
+    /// magic/version) analyzes as empty with 0 dropped — callers that
+    /// need to distinguish should sniff with trace::is_ioct first.
+    std::size_t consume_binary(std::string_view data);
+
+    /// Parallel consume_binary, mirroring consume_text_parallel: one
+    /// structural scan locates record boundaries and pre-decodes pids,
+    /// events are sharded by pid (the footer's per-pid counts pre-size
+    /// the shards), and each shard decodes + filters + analyzes on its
+    /// own worker before the reports merge.  Bit-identical to
+    /// consume_binary on a fresh IOCov, with the same caveat as the
+    /// text path: filter state does not carry across calls.
+    std::size_t consume_binary_parallel(std::string_view data,
+                                        unsigned n_threads = 0);
+
+    /// Opens `path` (mmap with a read() fallback) and runs
+    /// consume_binary / consume_binary_parallel on it.  `n_threads` 1
+    /// is serial, 0 auto-detects hardware concurrency.  Returns nullopt
+    /// when the file cannot be opened.
+    std::optional<std::size_t> consume_binary_file(const std::string& path,
+                                                   unsigned n_threads = 1);
 
     /// Parses a syzkaller program/log and analyzes its *input* coverage
     /// (declarative programs carry no return values, so output coverage

@@ -60,14 +60,51 @@ class SyscallTable {
         return CanonicalView{&(*registry_)[ve.id], ve.id, &event, ve.implied};
     }
 
+    /// A variant name resolved ahead of time.  The binary pipeline
+    /// interns syscall names in its string table, so it resolves each
+    /// *name* once per trace file (bind) instead of hashing once per
+    /// event (resolve); `tracked == false` marks untracked names.
+    struct Binding {
+        bool tracked = false;
+        SyscallId id = 0;
+        const SyscallSpec* spec = nullptr;
+        const trace::Arg* implied = nullptr;
+    };
+
+    Binding bind(std::string_view variant_name) const {
+        auto it = variants_.find(variant_name);
+        if (it == variants_.end()) return {};
+        const VariantEntry& ve = it->second;
+        return {true, ve.id, &(*registry_)[ve.id], ve.implied};
+    }
+
+    /// The view `resolve(event)` would produce, given the event's name
+    /// was pre-bound.  `binding` must be tracked and come from this
+    /// table; `event.syscall` must equal the bound name.
+    static CanonicalView view(const Binding& binding,
+                              const trace::TraceEvent& event) {
+        return CanonicalView{binding.spec, binding.id, &event,
+                             binding.implied};
+    }
+
   private:
     struct VariantEntry {
         SyscallId id = 0;
         const trace::Arg* implied = nullptr;  // static storage
     };
 
+    /// Transparent hash so bind() takes string_views (string-table
+    /// entries aliasing an mmap) without a temporary std::string.
+    struct NameHash {
+        using is_transparent = void;
+        std::size_t operator()(std::string_view s) const {
+            return std::hash<std::string_view>{}(s);
+        }
+    };
+
     const std::vector<SyscallSpec>* registry_;
-    std::unordered_map<std::string, VariantEntry> variants_;
+    std::unordered_map<std::string, VariantEntry, NameHash, std::equal_to<>>
+        variants_;
     std::vector<std::size_t> arg_offset_;  // base_count() + 1 entries
 };
 

@@ -1,0 +1,411 @@
+#include "trace/binary_format.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+
+namespace iocov::trace {
+namespace {
+
+// Arg-value type bytes inside an EVT record.
+constexpr std::uint8_t kTypeInt = 0;
+constexpr std::uint8_t kTypeUint = 1;
+constexpr std::uint8_t kTypeStr = 2;
+
+// A writer-produced event never exceeds a handful of args; anything
+// past this in a file is corruption, not a trace.
+constexpr std::uint64_t kMaxArgs = 64;
+
+constexpr std::size_t kSinkFlushBytes = 64 * 1024;
+
+// --- varints (LEB128; zigzag for signed) ------------------------------------
+
+void put_varint(std::string& out, std::uint64_t v) {
+    while (v >= 0x80) {
+        out.push_back(static_cast<char>(v | 0x80));
+        v >>= 7;
+    }
+    out.push_back(static_cast<char>(v));
+}
+
+std::uint64_t zigzag(std::int64_t v) {
+    return (static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t unzigzag(std::uint64_t v) {
+    return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+void put_u32le(std::string& out, std::uint32_t v) {
+    out.push_back(static_cast<char>(v & 0xff));
+    out.push_back(static_cast<char>((v >> 8) & 0xff));
+    out.push_back(static_cast<char>((v >> 16) & 0xff));
+    out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+/// Bounds-checked forward reader over a payload.
+struct ByteCursor {
+    const unsigned char* p;
+    const unsigned char* end;
+
+    explicit ByteCursor(std::string_view s)
+        : p(reinterpret_cast<const unsigned char*>(s.data())),
+          end(p + s.size()) {}
+
+    bool done() const { return p == end; }
+
+    bool read_u8(std::uint8_t& out) {
+        if (p == end) return false;
+        out = *p++;
+        return true;
+    }
+
+    bool read_varint(std::uint64_t& out) {
+        std::uint64_t v = 0;
+        for (unsigned shift = 0; shift < 64; shift += 7) {
+            if (p == end) return false;
+            const unsigned char byte = *p++;
+            v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+            if (!(byte & 0x80)) {
+                // The 10th byte may only carry the top bit of a u64.
+                if (shift == 63 && (byte & 0x7e)) return false;
+                out = v;
+                return true;
+            }
+        }
+        return false;  // unterminated varint
+    }
+};
+
+std::uint32_t read_u32le(const char* p) {
+    const auto* u = reinterpret_cast<const unsigned char*>(p);
+    return static_cast<std::uint32_t>(u[0]) |
+           static_cast<std::uint32_t>(u[1]) << 8 |
+           static_cast<std::uint32_t>(u[2]) << 16 |
+           static_cast<std::uint32_t>(u[3]) << 24;
+}
+
+}  // namespace
+
+bool is_ioct(std::string_view data) {
+    return data.size() > 4 &&
+           std::memcmp(data.data(), kIoctMagic, sizeof kIoctMagic) == 0 &&
+           static_cast<std::uint8_t>(data[4]) == kIoctVersion;
+}
+
+std::string ioct_header() {
+    std::string h(kIoctHeaderSize, '\0');
+    std::memcpy(h.data(), kIoctMagic, sizeof kIoctMagic);
+    h[4] = static_cast<char>(kIoctVersion);
+    return h;
+}
+
+// ---- BinaryWriter ----------------------------------------------------------
+
+BinaryWriter::BinaryWriter() : buffer_(ioct_header()) {}
+
+std::uint32_t BinaryWriter::intern(std::string_view s) {
+    auto it = string_ids_.find(s);
+    if (it != string_ids_.end()) return it->second;
+    const auto id = static_cast<std::uint32_t>(string_ids_.size());
+    string_ids_.emplace(std::string(s), id);
+    put_u32le(buffer_, static_cast<std::uint32_t>(1 + s.size()));
+    buffer_.push_back(static_cast<char>(IoctTag::Str));
+    buffer_.append(s);
+    return id;
+}
+
+void BinaryWriter::write_event(const TraceEvent& event) {
+    // Intern first: STR records must precede the EVT referencing them.
+    const std::uint32_t name_id = intern(event.syscall);
+
+    std::string payload;
+    payload.push_back(static_cast<char>(IoctTag::Event));
+    put_varint(payload, event.seq);
+    put_varint(payload, event.pid);
+    put_varint(payload, event.tid);
+    put_varint(payload, name_id);
+    put_varint(payload, zigzag(event.ret));
+    put_varint(payload, event.args.size());
+    for (const auto& arg : event.args) {
+        put_varint(payload, intern(arg.name));
+        if (const auto* i = std::get_if<std::int64_t>(&arg.value)) {
+            payload.push_back(static_cast<char>(kTypeInt));
+            put_varint(payload, zigzag(*i));
+        } else if (const auto* u = std::get_if<std::uint64_t>(&arg.value)) {
+            payload.push_back(static_cast<char>(kTypeUint));
+            put_varint(payload, *u);
+        } else {
+            payload.push_back(static_cast<char>(kTypeStr));
+            put_varint(payload,
+                       intern(std::get<std::string>(arg.value)));
+        }
+    }
+    put_u32le(buffer_, static_cast<std::uint32_t>(payload.size()));
+    buffer_.append(payload);
+
+    ++total_events_;
+    ++pid_counts_[event.pid];
+}
+
+void BinaryWriter::finish() {
+    if (finished_) return;
+    finished_ = true;
+    // Deterministic footer: identical traces encode identically.
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> counts(
+        pid_counts_.begin(), pid_counts_.end());
+    std::sort(counts.begin(), counts.end());
+    std::string payload;
+    payload.push_back(static_cast<char>(IoctTag::Footer));
+    put_varint(payload, counts.size());
+    for (const auto& [pid, count] : counts) {
+        put_varint(payload, pid);
+        put_varint(payload, count);
+    }
+    put_varint(payload, total_events_);
+    put_u32le(buffer_, static_cast<std::uint32_t>(payload.size()));
+    buffer_.append(payload);
+}
+
+std::string encode_trace(const std::vector<TraceEvent>& events) {
+    BinaryWriter w;
+    for (const auto& ev : events) w.write_event(ev);
+    w.finish();
+    return w.take_buffer();
+}
+
+// ---- BinarySink ------------------------------------------------------------
+
+BinarySink::BinarySink(std::ostream& os) : os_(os) {}
+
+BinarySink::~BinarySink() { finish(); }
+
+void BinarySink::emit(const TraceEvent& event) {
+    writer_.write_event(event);
+    if (writer_.buffer().size() >= kSinkFlushBytes) flush_buffer();
+}
+
+void BinarySink::finish() {
+    if (finished_) return;
+    finished_ = true;
+    writer_.finish();
+    flush_buffer();
+    os_.flush();
+}
+
+void BinarySink::flush_buffer() {
+    const auto& buf = writer_.buffer();
+    os_.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+    writer_.drain_buffer();
+}
+
+// ---- decoding --------------------------------------------------------------
+
+IoctScan scan_ioct(std::string_view data) {
+    IoctScan scan;
+    if (!is_ioct(data) || data.size() < kIoctHeaderSize) return scan;
+    scan.header_ok = true;
+
+    std::size_t pos = kIoctHeaderSize;
+    while (pos < data.size()) {
+        if (data.size() - pos < 4) {
+            ++scan.dropped;  // torn length prefix
+            break;
+        }
+        const std::uint32_t len = read_u32le(data.data() + pos);
+        pos += 4;
+        if (len == 0 || len > data.size() - pos) {
+            ++scan.dropped;  // torn or corrupt record; extent unknown
+            break;
+        }
+        const std::string_view payload = data.substr(pos, len);
+        pos += len;
+        switch (static_cast<IoctTag>(payload[0])) {
+            case IoctTag::Str:
+                scan.strings.push_back(payload.substr(1));
+                break;
+            case IoctTag::Event: {
+                ByteCursor c(payload.substr(1));
+                std::uint64_t seq = 0, pid = 0;
+                if (!c.read_varint(seq) || !c.read_varint(pid) ||
+                    pid > UINT32_MAX) {
+                    ++scan.dropped;
+                    break;
+                }
+                scan.events.push_back(
+                    {static_cast<std::uint64_t>(payload.data() -
+                                                data.data()),
+                     len, static_cast<std::uint32_t>(pid)});
+                break;
+            }
+            case IoctTag::Footer: {
+                ByteCursor c(payload.substr(1));
+                IoctFooter footer;
+                std::uint64_t n = 0;
+                bool ok = c.read_varint(n) && n <= UINT32_MAX;
+                for (std::uint64_t i = 0; ok && i < n; ++i) {
+                    std::uint64_t pid = 0, count = 0;
+                    ok = c.read_varint(pid) && pid <= UINT32_MAX &&
+                         c.read_varint(count);
+                    if (ok)
+                        footer.pid_events.emplace_back(
+                            static_cast<std::uint32_t>(pid), count);
+                }
+                ok = ok && c.read_varint(footer.total_events) && c.done();
+                if (ok)
+                    scan.footer = std::move(footer);
+                else
+                    ++scan.dropped;
+                break;
+            }
+            default:
+                ++scan.dropped;  // unknown tag; length lets us resync
+                break;
+        }
+    }
+    return scan;
+}
+
+bool decode_event(std::string_view payload,
+                  const std::vector<std::string_view>& strings,
+                  TraceEvent& out, std::uint32_t* name_id_out) {
+    if (payload.empty() ||
+        static_cast<IoctTag>(payload[0]) != IoctTag::Event)
+        return false;
+    ByteCursor c(payload.substr(1));
+
+    std::uint64_t seq = 0, pid = 0, tid = 0, name_id = 0, ret = 0, argc = 0;
+    if (!c.read_varint(seq) || !c.read_varint(pid) || pid > UINT32_MAX ||
+        !c.read_varint(tid) || tid > UINT32_MAX ||
+        !c.read_varint(name_id) || name_id >= strings.size() ||
+        !c.read_varint(ret) || !c.read_varint(argc) || argc > kMaxArgs)
+        return false;
+
+    out.seq = seq;
+    out.pid = static_cast<std::uint32_t>(pid);
+    out.tid = static_cast<std::uint32_t>(tid);
+    out.syscall.assign(strings[name_id]);
+    out.ret = unzigzag(ret);
+    if (name_id_out) *name_id_out = static_cast<std::uint32_t>(name_id);
+
+    out.args.resize(argc);
+    for (auto& arg : out.args) {
+        std::uint64_t arg_name = 0, v = 0;
+        std::uint8_t type = 0;
+        if (!c.read_varint(arg_name) || arg_name >= strings.size() ||
+            !c.read_u8(type) || !c.read_varint(v))
+            return false;
+        arg.name.assign(strings[arg_name]);
+        switch (type) {
+            case kTypeInt:
+                arg.value = unzigzag(v);
+                break;
+            case kTypeUint:
+                arg.value = v;
+                break;
+            case kTypeStr: {
+                if (v >= strings.size()) return false;
+                // Reuse the scratch string's capacity when possible
+                // (the variant may currently hold a number).
+                if (auto* s = std::get_if<std::string>(&arg.value))
+                    s->assign(strings[v]);
+                else
+                    arg.value.emplace<std::string>(strings[v]);
+                break;
+            }
+            default:
+                return false;
+        }
+    }
+    return c.done();  // trailing bytes mean a corrupt record
+}
+
+std::vector<TraceEvent> decode_trace(std::string_view data,
+                                     std::size_t* dropped) {
+    const auto scan = scan_ioct(data);
+    std::vector<TraceEvent> out;
+    out.reserve(scan.events.size());
+    std::size_t bad = scan.dropped;
+    for (const auto& ref : scan.events) {
+        TraceEvent ev;
+        if (decode_event(data.substr(ref.offset, ref.length), scan.strings,
+                         ev))
+            out.push_back(std::move(ev));
+        else
+            ++bad;
+    }
+    if (dropped) *dropped = bad;
+    return out;
+}
+
+// ---- MappedFile ------------------------------------------------------------
+
+std::optional<MappedFile> MappedFile::open(const std::string& path,
+                                           Mode mode) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return std::nullopt;
+    struct stat st{};
+    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+        ::close(fd);
+        return std::nullopt;
+    }
+    const auto size = static_cast<std::size_t>(st.st_size);
+
+    MappedFile mf;
+    if (mode == Mode::Auto && size > 0) {
+        void* p = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+        if (p != MAP_FAILED) {
+            mf.mapped_ = p;
+            mf.size_ = size;
+            ::close(fd);
+            return mf;
+        }
+    }
+    // read() fallback (and the ReadCopy benchmark mode).
+    mf.copy_.resize(size);
+    std::size_t got = 0;
+    while (got < size) {
+        const ssize_t n =
+            ::read(fd, mf.copy_.data() + got, size - got);
+        if (n < 0) {
+            ::close(fd);
+            return std::nullopt;
+        }
+        if (n == 0) break;  // shrank mid-read; keep what we have
+        got += static_cast<std::size_t>(n);
+    }
+    mf.copy_.resize(got);
+    ::close(fd);
+    return mf;
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : mapped_(other.mapped_),
+      size_(other.size_),
+      copy_(std::move(other.copy_)) {
+    other.mapped_ = nullptr;
+    other.size_ = 0;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+    if (this != &other) {
+        if (mapped_) ::munmap(mapped_, size_);
+        mapped_ = other.mapped_;
+        size_ = other.size_;
+        copy_ = std::move(other.copy_);
+        other.mapped_ = nullptr;
+        other.size_ = 0;
+    }
+    return *this;
+}
+
+MappedFile::~MappedFile() {
+    if (mapped_) ::munmap(mapped_, size_);
+}
+
+}  // namespace iocov::trace

@@ -1,0 +1,230 @@
+// IOCT — the compact binary trace format.
+//
+// Text traces (text_format.hpp) are the compatibility format; IOCT is
+// the throughput format.  Parsing a text line costs a per-event burst
+// of small allocations (syscall name, arg names, unescaped strings) and
+// dominates the analysis pipeline now that the analyzer itself runs at
+// millions of events per second.  IOCT removes that cost structurally:
+// every string (syscall names, arg names, pathnames, xattr keys) is
+// interned once into a string table, and an event record is a handful
+// of varints referencing it — decodable into a reusable scratch
+// TraceEvent with no per-event allocation after warm-up.
+//
+// File layout (all integers little-endian; full spec in DESIGN.md §6):
+//
+//   header   16 bytes: "IOCT" magic, version, flags, reserved
+//   records  a sequence of length-prefixed records:
+//              u32 LE payload length, then payload = tag byte + body
+//       0x01 STR     string-table entry; ids are implicit (0, 1, 2, ...
+//                    in order of appearance), always defined before use
+//       0x02 EVT     one TraceEvent: varint seq/pid/tid/name-id,
+//                    zigzag ret, varint argc, then per arg a name-id,
+//                    a type byte, and a varint/zigzag/string-id value
+//       0x03 FOOTER  per-pid record counts (shard pre-sizing) + total;
+//                    written last by BinarySink::finish()
+//
+// Because string definitions precede their first use and the footer is
+// optional on read, a torn file (crashed tracer, truncated copy) still
+// yields every intact prefix record; the reader drops the torn tail and
+// reports it via `dropped`, mirroring parse_stream's semantics for
+// malformed text lines.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/event.hpp"
+#include "trace/sink.hpp"
+
+namespace iocov::trace {
+
+// ---- format constants ------------------------------------------------------
+
+inline constexpr char kIoctMagic[4] = {'I', 'O', 'C', 'T'};
+inline constexpr std::uint8_t kIoctVersion = 1;
+inline constexpr std::size_t kIoctHeaderSize = 16;
+
+enum class IoctTag : std::uint8_t {
+    Str = 0x01,     ///< string-table entry (implicit sequential id)
+    Event = 0x02,   ///< one trace event
+    Footer = 0x03,  ///< per-pid record counts; must be the last record
+};
+
+/// True if `data` begins with an IOCT header (magic + known version).
+/// The 4-byte magic alone is what `iocov analyze` sniffs to autodetect
+/// the format; version is checked so future majors are not misread.
+bool is_ioct(std::string_view data);
+
+/// Serializes the 16-byte header.
+std::string ioct_header();
+
+// ---- encoding --------------------------------------------------------------
+
+/// Streaming IOCT encoder over an in-memory buffer.  Interns strings on
+/// first use (emitting STR records inline) and appends EVT records;
+/// `finish()` appends the footer.  BinarySink adapts this to a sink
+/// with buffered ostream writes; tests and `iocov convert` use it
+/// directly via encode_trace().
+class BinaryWriter {
+  public:
+    BinaryWriter();
+
+    /// Appends one event record (plus STR records for any new strings).
+    void write_event(const TraceEvent& event);
+
+    /// Appends the footer (per-pid event counts + total event count).
+    /// Call exactly once, after the last event.
+    void finish();
+
+    /// The encoded bytes so far (header included from construction).
+    const std::string& buffer() const { return buffer_; }
+    std::string take_buffer() { return std::move(buffer_); }
+
+    /// Clears the buffer (e.g. after flushing it to an ostream) without
+    /// resetting the string table — subsequent records keep referencing
+    /// previously emitted STR entries.
+    void drain_buffer() { buffer_.clear(); }
+
+    std::uint64_t events_written() const { return total_events_; }
+
+  private:
+    /// Transparent hash so intern() can probe with a string_view
+    /// without materializing a std::string per lookup.
+    struct StringHash {
+        using is_transparent = void;
+        std::size_t operator()(std::string_view s) const {
+            return std::hash<std::string_view>{}(s);
+        }
+    };
+
+    std::uint32_t intern(std::string_view s);
+
+    std::string buffer_;
+    std::unordered_map<std::string, std::uint32_t, StringHash,
+                       std::equal_to<>>
+        string_ids_;
+    /// pid -> event-record count, for the footer's shard-pre-sizing
+    /// index (sorted into the footer so identical traces encode
+    /// identically).
+    std::unordered_map<std::uint32_t, std::uint64_t> pid_counts_;
+    std::uint64_t total_events_ = 0;
+    bool finished_ = false;
+};
+
+/// One-shot convenience: encodes a whole trace (header + records +
+/// footer) into a byte string.
+std::string encode_trace(const std::vector<TraceEvent>& events);
+
+/// TraceSink writing IOCT to an ostream with buffered writes (records
+/// are accumulated and flushed in ~64 KiB slabs, not per event).  Call
+/// finish() — or let the destructor — to flush and append the footer.
+class BinarySink final : public TraceSink {
+  public:
+    explicit BinarySink(std::ostream& os);
+    ~BinarySink() override;
+
+    void emit(const TraceEvent& event) override;
+
+    /// Flushes buffered records and writes the footer; idempotent.
+    void finish();
+
+  private:
+    void flush_buffer();
+
+    std::ostream& os_;
+    BinaryWriter writer_;
+    bool finished_ = false;
+};
+
+// ---- decoding --------------------------------------------------------------
+
+/// Footer contents, when the file has one (a torn file may not).
+struct IoctFooter {
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> pid_events;
+    std::uint64_t total_events = 0;
+};
+
+/// Byte range of one EVT payload inside a scanned buffer, plus the pid
+/// pre-decoded for sharding.  The offsets alias the scanned data.
+struct EventRef {
+    std::uint64_t offset = 0;  ///< payload start (after length prefix)
+    std::uint32_t length = 0;  ///< payload length (tag byte included)
+    std::uint32_t pid = 0;
+};
+
+/// Structural scan of a whole IOCT buffer: builds the string table
+/// (views aliasing `data`), locates every EVT payload, and pre-decodes
+/// each event's pid — everything the parallel pipeline needs to cut the
+/// file into record-aligned shards without materializing any event.
+/// Undecodable records (bad tag, torn tail, truncated varints) are
+/// counted into `dropped` and skipped, like parse_stream's torn lines.
+struct IoctScan {
+    std::vector<std::string_view> strings;
+    std::vector<EventRef> events;
+    std::optional<IoctFooter> footer;
+    std::size_t dropped = 0;
+    bool header_ok = false;
+};
+
+IoctScan scan_ioct(std::string_view data);
+
+/// Decodes one EVT payload (tag byte included) into `out`, resolving
+/// string ids against `strings`.  Reuses `out`'s capacity — the decode
+/// hot path allocates only when a string outgrows what the scratch
+/// event already holds.  Returns false (leaving `out` unspecified) on
+/// any malformed byte.  `name_id`, when non-null, receives the syscall
+/// name's string-table id, letting callers pre-bind names (one
+/// SyscallTable lookup per table entry instead of per event).
+bool decode_event(std::string_view payload,
+                  const std::vector<std::string_view>& strings,
+                  TraceEvent& out, std::uint32_t* name_id = nullptr);
+
+/// One-shot convenience mirroring parse_stream(): decodes every intact
+/// event record, counting undecodable ones into *dropped.
+std::vector<TraceEvent> decode_trace(std::string_view data,
+                                     std::size_t* dropped = nullptr);
+
+// ---- file mapping ----------------------------------------------------------
+
+/// Read-only view of a file, preferring mmap (zero-copy: the decoder's
+/// string table aliases the page cache) with a plain read() fallback
+/// for file systems that cannot map.  Move-only; unmaps on destruction.
+class MappedFile {
+  public:
+    enum class Mode {
+        Auto,      ///< mmap, falling back to read() on failure
+        ReadCopy,  ///< force the read() path (benchmarks, odd fs)
+    };
+
+    /// Opens and maps `path`; nullopt if the file cannot be opened.
+    static std::optional<MappedFile> open(const std::string& path,
+                                          Mode mode = Mode::Auto);
+
+    MappedFile(MappedFile&& other) noexcept;
+    MappedFile& operator=(MappedFile&& other) noexcept;
+    MappedFile(const MappedFile&) = delete;
+    MappedFile& operator=(const MappedFile&) = delete;
+    ~MappedFile();
+
+    std::string_view data() const {
+        return mapped_ ? std::string_view(static_cast<const char*>(mapped_),
+                                          size_)
+                       : std::string_view(copy_);
+    }
+    bool mmapped() const { return mapped_ != nullptr; }
+
+  private:
+    MappedFile() = default;
+
+    void* mapped_ = nullptr;  ///< non-null when backed by mmap
+    std::size_t size_ = 0;
+    std::string copy_;        ///< read() fallback storage
+};
+
+}  // namespace iocov::trace

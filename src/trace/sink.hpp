@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <iterator>
 #include <ostream>
 #include <vector>
 
@@ -30,7 +31,9 @@ class NullSink final : public TraceSink {
 /// Buffers events in memory; the standard analyzer input.
 class TraceBuffer final : public TraceSink {
   public:
-    void emit(const TraceEvent& event) override { events_.push_back(event); }
+    /// Delegates to the move overload so the two emit paths cannot
+    /// diverge: every event lands via exactly one push.
+    void emit(const TraceEvent& event) override { emit(TraceEvent(event)); }
 
     /// Move-emit for callers that are done with the event (a TraceEvent
     /// carries a syscall name, pathname strings, and an arg vector —
@@ -43,8 +46,9 @@ class TraceBuffer final : public TraceSink {
 
     /// Appends a whole batch by move (the batch is consumed).
     void append(std::vector<TraceEvent>&& batch) {
-        reserve(batch.size());
-        for (auto& ev : batch) events_.push_back(std::move(ev));
+        events_.insert(events_.end(),
+                       std::make_move_iterator(batch.begin()),
+                       std::make_move_iterator(batch.end()));
         batch.clear();
     }
 

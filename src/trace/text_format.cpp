@@ -36,6 +36,10 @@ template <typename T>
 std::optional<T> parse_number(std::string_view s, int base = 10) {
     T value{};
     auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value, base);
+    // Both failure modes drop the line: result_out_of_range for fields
+    // that overflow T (an over-long number in a torn trace must never
+    // wrap into a plausible value), invalid_argument / trailing bytes
+    // for non-numeric garbage.
     if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
     return value;
 }

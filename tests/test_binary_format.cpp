@@ -1,0 +1,292 @@
+// IOCT binary format: encode/decode round-trips (property-tested over
+// randomized events), torn-file semantics, footer bookkeeping, record
+// resync, BinarySink framing, and MappedFile.
+#include "trace/binary_format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <random>
+#include <sstream>
+
+#include "trace/text_format.hpp"
+
+namespace iocov::trace {
+namespace {
+
+TraceEvent sample_event() {
+    TraceEvent ev;
+    ev.seq = 17;
+    ev.pid = 1201;
+    ev.tid = 1201;
+    ev.syscall = "openat";
+    ev.args = {{"dfd", ArgValue{std::int64_t{-100}}},
+               {"pathname", ArgValue{std::string("/mnt/test/f0")}},
+               {"flags", ArgValue{std::uint64_t{0241}}},
+               {"mode", ArgValue{std::uint64_t{0644}}}};
+    ev.ret = 3;
+    return ev;
+}
+
+// All 27 tracked variants plus untracked noise the filter sees.
+const char* const kSyscallNames[] = {
+    "open",     "openat",   "creat",     "openat2",  "read",
+    "pread64",  "readv",    "write",     "pwrite64", "writev",
+    "lseek",    "truncate", "ftruncate", "mkdir",    "mkdirat",
+    "chmod",    "fchmod",   "fchmodat",  "close",    "chdir",
+    "fchdir",   "setxattr", "lsetxattr", "fsetxattr", "getxattr",
+    "lgetxattr", "fgetxattr", "fsync",   "unlink",   "rename"};
+
+/// Deterministic random event covering the encoder's whole value
+/// space: extreme numerics, empty strings, and raw bytes (embedded
+/// NUL/newline) that the text format cannot even represent.
+TraceEvent random_event(std::mt19937_64& rng) {
+    TraceEvent ev;
+    ev.seq = rng();
+    ev.pid = static_cast<std::uint32_t>(rng());
+    ev.tid = static_cast<std::uint32_t>(rng());
+    ev.syscall = kSyscallNames[rng() % std::size(kSyscallNames)];
+    ev.ret = static_cast<std::int64_t>(rng());
+    const std::size_t argc = rng() % 5;
+    for (std::size_t i = 0; i < argc; ++i) {
+        Arg arg;
+        arg.name = "a" + std::to_string(rng() % 6);
+        switch (rng() % 7) {
+            case 0: arg.value = std::int64_t{0}; break;
+            case 1:
+                arg.value = std::numeric_limits<std::int64_t>::min();
+                break;
+            case 2:
+                arg.value = std::numeric_limits<std::uint64_t>::max();
+                break;
+            case 3: arg.value = std::uint64_t{rng()}; break;
+            case 4: arg.value = std::string(); break;
+            case 5:
+                arg.value = std::string("/mnt/test/p") +
+                            std::to_string(rng() % 1000);
+                break;
+            default: {
+                std::string raw;
+                const std::size_t len = rng() % 40;
+                for (std::size_t b = 0; b < len; ++b)
+                    raw.push_back(static_cast<char>(rng() & 0xff));
+                arg.value = std::move(raw);
+            }
+        }
+        ev.args.push_back(std::move(arg));
+    }
+    return ev;
+}
+
+TEST(BinaryFormat, RoundTripsSampleEvent) {
+    const std::vector<TraceEvent> events{sample_event()};
+    std::size_t dropped = 1;
+    const auto decoded = decode_trace(encode_trace(events), &dropped);
+    EXPECT_EQ(dropped, 0u);
+    EXPECT_EQ(decoded, events);
+}
+
+TEST(BinaryFormat, RoundTripsEmptyTrace) {
+    const auto bytes = encode_trace({});
+    EXPECT_TRUE(is_ioct(bytes));
+    std::size_t dropped = 1;
+    const auto decoded = decode_trace(bytes, &dropped);
+    EXPECT_EQ(dropped, 0u);
+    EXPECT_TRUE(decoded.empty());
+    const auto scan = scan_ioct(bytes);
+    ASSERT_TRUE(scan.footer.has_value());
+    EXPECT_EQ(scan.footer->total_events, 0u);
+}
+
+TEST(BinaryFormat, PropertyRandomizedEventsRoundTrip) {
+    std::mt19937_64 rng(20230731);
+    std::vector<TraceEvent> events;
+    for (int i = 0; i < 2000; ++i) events.push_back(random_event(rng));
+    // Every tracked syscall appears at least once across 2000 draws.
+    std::size_t dropped = 1;
+    const auto decoded = decode_trace(encode_trace(events), &dropped);
+    EXPECT_EQ(dropped, 0u);
+    ASSERT_EQ(decoded.size(), events.size());
+    for (std::size_t i = 0; i < events.size(); ++i)
+        EXPECT_EQ(decoded[i], events[i]) << "event " << i;
+}
+
+TEST(BinaryFormat, RoundTripsRawBytesTextCannotRepresent) {
+    TraceEvent ev = sample_event();
+    ev.args.push_back(
+        {"name", ArgValue{std::string("x\0y\nz", 5)}});  // NUL + newline
+    const auto decoded = decode_trace(encode_trace({ev}));
+    ASSERT_EQ(decoded.size(), 1u);
+    EXPECT_EQ(decoded[0], ev);
+}
+
+TEST(BinaryFormat, FooterCountsEventsPerPid) {
+    std::mt19937_64 rng(7);
+    std::vector<TraceEvent> events;
+    std::size_t pid3 = 0, pid9 = 0;
+    for (int i = 0; i < 500; ++i) {
+        auto ev = random_event(rng);
+        ev.pid = rng() % 2 ? 3 : 9;
+        (ev.pid == 3 ? pid3 : pid9) += 1;
+        events.push_back(std::move(ev));
+    }
+    const auto scan = scan_ioct(encode_trace(events));
+    ASSERT_TRUE(scan.header_ok);
+    ASSERT_TRUE(scan.footer.has_value());
+    EXPECT_EQ(scan.footer->total_events, events.size());
+    ASSERT_EQ(scan.footer->pid_events.size(), 2u);  // sorted by pid
+    EXPECT_EQ(scan.footer->pid_events[0],
+              (std::pair<std::uint32_t, std::uint64_t>{3, pid3}));
+    EXPECT_EQ(scan.footer->pid_events[1],
+              (std::pair<std::uint32_t, std::uint64_t>{9, pid9}));
+}
+
+TEST(BinaryFormat, TruncatedFileYieldsIntactPrefixAndCountsTail) {
+    std::mt19937_64 rng(99);
+    std::vector<TraceEvent> events;
+    for (int i = 0; i < 200; ++i) events.push_back(random_event(rng));
+    const auto bytes = encode_trace(events);
+
+    // Cut mid-payload of chosen records: every event before the torn
+    // one must round-trip, and the tear itself must count as exactly
+    // one dropped record — parse_stream's torn-line semantics.
+    const auto scan = scan_ioct(bytes);
+    ASSERT_EQ(scan.events.size(), events.size());
+    for (const std::size_t idx : {std::size_t{0}, std::size_t{50},
+                                  std::size_t{150}, std::size_t{199}}) {
+        const auto& ref = scan.events[idx];
+        const std::size_t cut = ref.offset + ref.length / 2;
+        std::size_t dropped = 0;
+        const auto decoded =
+            decode_trace(std::string_view(bytes).substr(0, cut), &dropped);
+        ASSERT_EQ(decoded.size(), idx) << "cut at " << cut;
+        for (std::size_t i = 0; i < decoded.size(); ++i)
+            EXPECT_EQ(decoded[i], events[i]);
+        EXPECT_EQ(dropped, 1u) << "cut at " << cut;
+    }
+}
+
+TEST(BinaryFormat, TruncationAtEveryByteNeverCrashesOrInventsEvents) {
+    std::mt19937_64 rng(5);
+    std::vector<TraceEvent> events;
+    for (int i = 0; i < 20; ++i) events.push_back(random_event(rng));
+    const auto bytes = encode_trace(events);
+    for (std::size_t cut = 0; cut <= bytes.size(); ++cut) {
+        std::size_t dropped = 0;
+        const auto decoded =
+            decode_trace(std::string_view(bytes).substr(0, cut), &dropped);
+        ASSERT_LE(decoded.size(), events.size());
+        for (std::size_t i = 0; i < decoded.size(); ++i)
+            ASSERT_EQ(decoded[i], events[i]) << "cut at " << cut;
+    }
+}
+
+TEST(BinaryFormat, UnknownTagIsSkippedAndDecodingResyncs) {
+    const std::vector<TraceEvent> events{sample_event(), sample_event()};
+    auto bytes = encode_trace(events);
+    // Splice an unknown-tag record right after the header: the length
+    // prefix lets the scanner resync past it.
+    std::string alien;
+    alien.push_back(4);  // u32 LE length = 4
+    alien.push_back(0);
+    alien.push_back(0);
+    alien.push_back(0);
+    alien.push_back(0x7f);  // unknown tag
+    alien.append("abc");
+    bytes.insert(kIoctHeaderSize, alien);
+    std::size_t dropped = 0;
+    const auto decoded = decode_trace(bytes, &dropped);
+    EXPECT_EQ(dropped, 1u);
+    EXPECT_EQ(decoded, events);
+}
+
+TEST(BinaryFormat, RejectsNonIoctBuffers) {
+    EXPECT_FALSE(is_ioct(""));
+    EXPECT_FALSE(is_ioct("[000000017] pid=1 tid=1 open: = 0"));
+    EXPECT_FALSE(is_ioct("IOC"));
+    auto wrong_version = ioct_header();
+    wrong_version[4] = 9;
+    EXPECT_FALSE(is_ioct(wrong_version));
+    const auto scan = scan_ioct("not a trace at all");
+    EXPECT_FALSE(scan.header_ok);
+    EXPECT_TRUE(scan.events.empty());
+}
+
+TEST(BinaryFormat, BinarySinkMatchesOneShotEncoder) {
+    std::mt19937_64 rng(11);
+    std::vector<TraceEvent> events;
+    // Enough volume to force several interim buffer flushes.
+    for (int i = 0; i < 5000; ++i) events.push_back(random_event(rng));
+
+    std::ostringstream os;
+    {
+        BinarySink sink(os);
+        for (const auto& ev : events) sink.emit(ev);
+    }  // destructor finishes
+    EXPECT_EQ(os.str(), encode_trace(events));
+}
+
+TEST(BinaryFormat, ScratchDecodeReusesEventAcrossRecords) {
+    std::mt19937_64 rng(3);
+    std::vector<TraceEvent> events;
+    for (int i = 0; i < 50; ++i) events.push_back(random_event(rng));
+    const auto bytes = encode_trace(events);
+    const auto scan = scan_ioct(bytes);
+    ASSERT_EQ(scan.events.size(), events.size());
+    TraceEvent scratch;  // one event reused for every record
+    for (std::size_t i = 0; i < scan.events.size(); ++i) {
+        const auto& ref = scan.events[i];
+        ASSERT_TRUE(decode_event(
+            std::string_view(bytes).substr(ref.offset, ref.length),
+            scan.strings, scratch));
+        EXPECT_EQ(scratch, events[i]);
+        EXPECT_EQ(ref.pid, events[i].pid);  // scan pre-decoded the pid
+    }
+}
+
+TEST(MappedFileTest, MmapAndReadCopyAgree) {
+    std::mt19937_64 rng(23);
+    std::vector<TraceEvent> events;
+    for (int i = 0; i < 100; ++i) events.push_back(random_event(rng));
+    const auto bytes = encode_trace(events);
+
+    const auto path = std::filesystem::temp_directory_path() /
+                      "iocov_test_mapped_file.ioct";
+    {
+        std::ofstream out(path, std::ios::binary);
+        out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    }
+    auto mapped = MappedFile::open(path.string(), MappedFile::Mode::Auto);
+    auto copied = MappedFile::open(path.string(),
+                                   MappedFile::Mode::ReadCopy);
+    ASSERT_TRUE(mapped.has_value());
+    ASSERT_TRUE(copied.has_value());
+    EXPECT_TRUE(mapped->mmapped());
+    EXPECT_FALSE(copied->mmapped());
+    EXPECT_EQ(mapped->data(), std::string_view(bytes));
+    EXPECT_EQ(copied->data(), std::string_view(bytes));
+    // Decoding straight out of the mapping (string table aliases it).
+    EXPECT_EQ(decode_trace(mapped->data()), events);
+    std::filesystem::remove(path);
+}
+
+TEST(MappedFileTest, MissingFileIsNullopt) {
+    EXPECT_FALSE(
+        MappedFile::open("/nonexistent/iocov/trace.ioct").has_value());
+}
+
+TEST(MappedFileTest, EmptyFileMapsAsEmptyView) {
+    const auto path = std::filesystem::temp_directory_path() /
+                      "iocov_test_empty.ioct";
+    { std::ofstream out(path, std::ios::binary); }
+    auto mf = MappedFile::open(path.string());
+    ASSERT_TRUE(mf.has_value());
+    EXPECT_TRUE(mf->data().empty());
+    std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace iocov::trace

@@ -1,0 +1,192 @@
+// Binary (IOCT) ingestion end-to-end: consume_binary and
+// consume_binary_parallel must produce reports bit-identical to
+// consume_text over the same trace.  One simulated workload is emitted
+// through a TeeSink into a TextSink and a BinarySink simultaneously,
+// so both representations describe the exact same event stream.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "abi/fcntl.hpp"
+#include "abi/seek.hpp"
+#include "core/iocov.hpp"
+#include "syscall/kernel.hpp"
+#include "syscall/process.hpp"
+#include "testers/fixtures.hpp"
+#include "testers/generator.hpp"
+#include "trace/binary_format.hpp"
+#include "trace/sink.hpp"
+#include "vfs/filesystem.hpp"
+
+namespace iocov::core {
+namespace {
+
+struct TwinTraces {
+    std::string text;
+    std::string binary;
+};
+
+// Same multi-pid workload shape as the text-pipeline tests: several
+// processes interleaved round-robin, with out-of-scope opens and
+// failing calls so the stateful filter has real decisions to make.
+TwinTraces twin_traces(std::size_t min_events) {
+    vfs::FileSystem fs(testers::recommended_fs_config());
+    auto fx = testers::prepare_environment(fs, "/mnt/test");
+    std::ostringstream text_os;
+    std::ostringstream binary_os;
+    trace::TextSink text_sink(text_os);
+    {
+        trace::BinarySink binary_sink(binary_os);
+        trace::TeeSink tee(text_sink, binary_sink);
+        syscall::Kernel kernel(fs, &tee);
+
+        std::vector<syscall::Process> procs;
+        for (const std::uint32_t pid : {11u, 12u, 13u, 14u, 15u, 16u, 17u})
+            procs.push_back(
+                kernel.make_process(pid, vfs::Credentials::user(1000, 1000)));
+
+        std::size_t emitted = 0;
+        for (std::size_t round = 0; emitted < min_events; ++round) {
+            for (std::size_t p = 0; p < procs.size(); ++p) {
+                auto& proc = procs[p];
+                const auto salt = round * 31 + p * 7;
+                const std::string path = fx.scratch + "/f" +
+                                         std::to_string(p) + "_" +
+                                         std::to_string(round % 13);
+                const std::uint32_t flags =
+                    salt % 3 == 0 ? abi::O_RDWR | abi::O_CREAT
+                    : salt % 3 == 1
+                        ? abi::O_WRONLY | abi::O_CREAT | abi::O_APPEND
+                        : abi::O_RDONLY | abi::O_CREAT;
+                const auto fd = static_cast<int>(
+                    proc.sys_open(path.c_str(), flags, 0644));
+                proc.sys_write(fd, syscall::WriteSrc::pattern(
+                                       std::uint64_t{1} << (salt % 14),
+                                       std::byte{0x5a}));
+                proc.sys_lseek(fd, 0, salt % 4 == 0 ? abi::SEEK_END_
+                                                    : abi::SEEK_SET_);
+                proc.sys_read(fd,
+                              syscall::ReadDst::discard(1u << (salt % 10)));
+                proc.sys_close(fd);
+                emitted += 5;
+                if (salt % 5 == 0) {
+                    proc.sys_open("/outside/the/mount", abi::O_RDONLY);
+                    ++emitted;
+                }
+                if (salt % 11 == 0) {
+                    proc.sys_mkdir((path + ".d").c_str(), 0755);
+                    proc.sys_chmod(path.c_str(), salt % 2 ? 0600 : 0444);
+                    emitted += 2;
+                }
+            }
+        }
+    }  // BinarySink finishes (footer) here
+    return {text_os.str(), binary_os.str()};
+}
+
+TEST(BinaryPipeline, BinaryMatchesTextBitIdenticallyOn100kEvents) {
+    const auto traces = twin_traces(100000);
+    ASSERT_TRUE(trace::is_ioct(traces.binary));
+    ASSERT_FALSE(trace::is_ioct(traces.text));
+    // Binary beats text on size too; the 3x is throughput, this is tape.
+    EXPECT_LT(traces.binary.size(), traces.text.size());
+
+    const auto config = trace::FilterConfig::mount_point("/mnt/test");
+    IOCov from_text(config);
+    std::istringstream text_in(traces.text);
+    const auto text_dropped = from_text.consume_text(text_in);
+
+    IOCov serial(config);
+    const auto serial_dropped = serial.consume_binary(traces.binary);
+
+    IOCov parallel(config);
+    const auto parallel_dropped =
+        parallel.consume_binary_parallel(traces.binary, 4);
+
+    EXPECT_EQ(text_dropped, 0u);
+    EXPECT_EQ(serial_dropped, 0u);
+    EXPECT_EQ(parallel_dropped, 0u);
+    EXPECT_GT(from_text.events_filtered_out(), 0u);  // filter really ran
+    EXPECT_EQ(serial.events_filtered_out(), from_text.events_filtered_out());
+    EXPECT_EQ(parallel.events_filtered_out(),
+              from_text.events_filtered_out());
+    // The headline guarantee, both ways: binary serial == text serial,
+    // and the sharded binary path == both.
+    EXPECT_EQ(serial.report(), from_text.report());
+    EXPECT_EQ(parallel.report(), from_text.report());
+}
+
+TEST(BinaryPipeline, ThreadCountDoesNotChangeTheReport) {
+    const auto traces = twin_traces(5000);
+    const auto config = trace::FilterConfig::mount_point("/mnt/test");
+    IOCov serial(config);
+    serial.consume_binary(traces.binary);
+    for (const unsigned n : {2u, 3u, 8u}) {
+        IOCov parallel(config);
+        parallel.consume_binary_parallel(traces.binary, n);
+        EXPECT_EQ(parallel.report(), serial.report()) << n << " threads";
+    }
+}
+
+TEST(BinaryPipeline, OneThreadFallsBackToSerialPath) {
+    const auto traces = twin_traces(2000);
+    const auto config = trace::FilterConfig::mount_point("/mnt/test");
+    IOCov serial(config), one(config);
+    EXPECT_EQ(serial.consume_binary(traces.binary),
+              one.consume_binary_parallel(traces.binary, 1));
+    EXPECT_EQ(one.report(), serial.report());
+}
+
+TEST(BinaryPipeline, TruncatedTraceDropsTailIdenticallyOnBothPaths) {
+    const auto traces = twin_traces(5000);
+    // Tear the file mid-record (guaranteed by cutting inside a scanned
+    // payload): both paths must agree on the surviving report and on
+    // the number of dropped records.
+    const auto scan = trace::scan_ioct(traces.binary);
+    const auto& tear = scan.events[scan.events.size() * 2 / 3];
+    const std::string_view torn =
+        std::string_view(traces.binary)
+            .substr(0, tear.offset + tear.length / 2);
+    const auto config = trace::FilterConfig::mount_point("/mnt/test");
+    IOCov serial(config), parallel(config);
+    const auto d1 = serial.consume_binary(torn);
+    const auto d2 = parallel.consume_binary_parallel(torn, 4);
+    EXPECT_EQ(d1, d2);
+    EXPECT_GE(d1, 1u);
+    EXPECT_GT(serial.report().events_seen, 0u);
+    EXPECT_EQ(parallel.report(), serial.report());
+}
+
+TEST(BinaryPipeline, MmappedFileMatchesInMemoryBuffer) {
+    const auto traces = twin_traces(3000);
+    const auto path = std::filesystem::temp_directory_path() /
+                      "iocov_test_pipeline.ioct";
+    {
+        std::ofstream out(path, std::ios::binary);
+        out.write(traces.binary.data(),
+                  static_cast<std::streamsize>(traces.binary.size()));
+    }
+    const auto config = trace::FilterConfig::mount_point("/mnt/test");
+    IOCov in_memory(config), from_file(config), from_file_parallel(config);
+    in_memory.consume_binary(traces.binary);
+    const auto d1 = from_file.consume_binary_file(path.string());
+    const auto d4 = from_file_parallel.consume_binary_file(path.string(), 4);
+    ASSERT_TRUE(d1.has_value());
+    ASSERT_TRUE(d4.has_value());
+    EXPECT_EQ(*d1, 0u);
+    EXPECT_EQ(*d4, 0u);
+    EXPECT_EQ(from_file.report(), in_memory.report());
+    EXPECT_EQ(from_file_parallel.report(), in_memory.report());
+    std::filesystem::remove(path);
+
+    EXPECT_FALSE(
+        IOCov(config).consume_binary_file("/no/such/file").has_value());
+}
+
+}  // namespace
+}  // namespace iocov::core

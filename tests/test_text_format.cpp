@@ -87,6 +87,36 @@ TEST(TextFormat, ParserRejectsMalformedLines) {
         parse_event("[1] pid=1 tid=1 open: = 0 trailing"));   // junk tail
 }
 
+TEST(TextFormat, ParserRejectsOverflowingNumericFields) {
+    // Over-long numbers in a torn trace must drop the line, never wrap
+    // into a plausible value.  2^64 and 2^64-flavored hex overflows:
+    EXPECT_FALSE(
+        parse_event("[18446744073709551616] pid=1 tid=1 open: = 0"));
+    EXPECT_FALSE(parse_event("[1] pid=4294967296 tid=1 open: = 0"));
+    EXPECT_FALSE(parse_event("[1] pid=1 tid=4294967296 open: = 0"));
+    EXPECT_FALSE(parse_event(
+        "[1] pid=1 tid=1 open: flags=0xffffffffffffffff1 = 0"));
+    EXPECT_FALSE(parse_event(
+        "[1] pid=1 tid=1 open: size=99999999999999999999999999 = 0"));
+    EXPECT_FALSE(
+        parse_event("[1] pid=1 tid=1 open: = 99999999999999999999"));
+    // The extremes themselves still parse (no off-by-one rejection).
+    const auto max_ok = parse_event(
+        "[18446744073709551615] pid=4294967295 tid=4294967295 open: "
+        "flags=0xffffffffffffffff = 0");
+    ASSERT_TRUE(max_ok.has_value());
+    EXPECT_EQ(max_ok->seq, std::numeric_limits<std::uint64_t>::max());
+    EXPECT_EQ(*max_ok->uint_arg("flags"),
+              std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(TextFormat, EveryTruncationOfAValidLineIsRejected) {
+    const auto line = format_event(sample_event());
+    for (std::size_t cut = 0; cut < line.size(); ++cut)
+        EXPECT_FALSE(parse_event(line.substr(0, cut)))
+            << "prefix of length " << cut << " parsed";
+}
+
 TEST(TextFormat, ParserRejectsUnterminatedString) {
     EXPECT_FALSE(
         parse_event("[1] pid=1 tid=1 open: pathname=\"/mnt = 0"));

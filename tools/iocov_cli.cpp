@@ -1,17 +1,21 @@
 // iocov — command-line front end for the library.
 //
 //   iocov analyze  [--mount RE] [--syz] [--save FILE] TRACE...
+//   iocov convert  IN OUT                       (text <-> IOCT binary)
 //   iocov report   [--untested] [--under N] [--summary] FILE
 //   iocov diff     BEFORE AFTER
 //   iocov tcd      [--target N] [--arg BASE.KEY] FILE
 //   iocov demo     [--suite NAME] [--scale S]   (run a simulator)
 //   iocov bugstudy [--scale S] [--export]       (Section 2 study/dataset)
 //
-// `analyze` consumes one or more LTTng-style text traces (or, with
-// --syz, syzkaller programs) and prints the coverage summary; --save
-// writes the report in the persistent format `report`/`diff`/`tcd`
-// consume.  `demo` exists so the tool is explorable without captured
-// traces: it runs one of the built-in suite simulators end to end.
+// `analyze` consumes one or more traces — LTTng-style text or IOCT
+// binary, autodetected per file by the "IOCT" magic (or, with --syz,
+// syzkaller programs) — and prints the coverage summary; --save writes
+// the report in the persistent format `report`/`diff`/`tcd` consume.
+// `convert` transcodes between the two trace formats (direction is
+// inferred from the input's magic).  `demo` exists so the tool is
+// explorable without captured traces: it runs one of the built-in
+// suite simulators end to end.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -21,6 +25,8 @@
 
 #include "bugstudy/study.hpp"
 #include "core/combos.hpp"
+#include "trace/binary_format.hpp"
+#include "trace/text_format.hpp"
 #include "core/diff.hpp"
 #include "core/iocov.hpp"
 #include "core/report_io.hpp"
@@ -42,12 +48,27 @@ int usage() {
         "usage:\n"
         "  iocov analyze [--mount RE] [--syz] [--extended] [--threads N]\n"
         "                [--save FILE] TRACE...\n"
+        "      TRACE format is autodetected per file: IOCT binary (by\n"
+        "      its \"IOCT\" magic) or LTTng-style text.\n"
+        "  iocov convert IN OUT\n"
+        "      transcode text -> IOCT binary or IOCT binary -> text\n"
+        "      (direction inferred from IN's magic)\n"
         "  iocov report  [--untested] [--under N] FILE\n"
         "  iocov diff    BEFORE AFTER\n"
         "  iocov tcd     [--target N] [--arg BASE.KEY] FILE\n"
         "  iocov demo    [--suite crashmonkey|xfstests|ltp] [--scale S]\n"
         "  iocov bugstudy [--scale S] [--export]\n");
     return 2;
+}
+
+/// Sniffs the IOCT magic without reading the whole file.
+bool file_is_ioct(const char* path) {
+    std::ifstream in(path, std::ios::binary);
+    char head[8] = {};
+    in.read(head, sizeof head);
+    return in.gcount() > 0 &&
+           trace::is_ioct(std::string_view(
+               head, static_cast<std::size_t>(in.gcount())));
 }
 
 std::optional<core::CoverageReport> load(const char* path) {
@@ -116,6 +137,17 @@ int cmd_analyze(int argc, char** argv) {
                       extended ? core::extended_syscall_registry()
                                : core::syscall_registry());
     for (const char* path : traces) {
+        if (!syz && file_is_ioct(path)) {
+            // IOCT binary trace: mmap'd zero-copy ingestion.
+            const auto dropped = iocov.consume_binary_file(path, threads);
+            if (!dropped) {
+                std::fprintf(stderr, "iocov: cannot open %s\n", path);
+                return 1;
+            }
+            std::printf("%s: analyzed [IOCT] (%zu torn records skipped)\n",
+                        path, *dropped);
+            continue;
+        }
         std::ifstream in(path);
         if (!in) {
             std::fprintf(stderr, "iocov: cannot open %s\n", path);
@@ -126,8 +158,8 @@ int cmd_analyze(int argc, char** argv) {
             std::printf("%s: %zu syscalls parsed (input coverage only)\n",
                         path, parsed);
         } else {
-            // --threads only shards text traces; pid-sharded analysis
-            // is bit-identical to serial for a fresh IOCov per run.
+            // --threads shards by pid; pid-sharded analysis is
+            // bit-identical to serial for a fresh IOCov per run.
             const auto dropped = threads == 1
                                      ? iocov.consume_text(in)
                                      : iocov.consume_text_parallel(in,
@@ -143,6 +175,57 @@ int cmd_analyze(int argc, char** argv) {
         core::save_report(out, iocov.report());
         std::printf("\nreport saved to %s\n", save_path);
     }
+    return 0;
+}
+
+int cmd_convert(int argc, char** argv) {
+    if (argc != 2) return usage();
+    const char* in_path = argv[0];
+    const char* out_path = argv[1];
+
+    if (file_is_ioct(in_path)) {
+        // IOCT binary -> text.
+        auto mapped = trace::MappedFile::open(in_path);
+        if (!mapped) {
+            std::fprintf(stderr, "iocov: cannot open %s\n", in_path);
+            return 1;
+        }
+        std::size_t dropped = 0;
+        const auto events = trace::decode_trace(mapped->data(), &dropped);
+        std::ofstream out(out_path);
+        if (!out) {
+            std::fprintf(stderr, "iocov: cannot write %s\n", out_path);
+            return 1;
+        }
+        for (const auto& ev : events)
+            out << trace::format_event(ev) << '\n';
+        std::printf("%s -> %s: %zu events to text (%zu torn records "
+                    "dropped)\n",
+                    in_path, out_path, events.size(), dropped);
+        return 0;
+    }
+
+    // Text -> IOCT binary.
+    std::ifstream in(in_path);
+    if (!in) {
+        std::fprintf(stderr, "iocov: cannot open %s\n", in_path);
+        return 1;
+    }
+    std::size_t dropped = 0;
+    const auto events = trace::parse_stream(in, &dropped);
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out) {
+        std::fprintf(stderr, "iocov: cannot write %s\n", out_path);
+        return 1;
+    }
+    {
+        trace::BinarySink sink(out);
+        for (const auto& ev : events) sink.emit(ev);
+        sink.finish();
+    }
+    std::printf("%s -> %s: %zu events to IOCT (%zu malformed lines "
+                "dropped)\n",
+                in_path, out_path, events.size(), dropped);
     return 0;
 }
 
@@ -295,6 +378,7 @@ int main(int argc, char** argv) {
     if (argc < 2) return usage();
     const std::string cmd = argv[1];
     if (cmd == "analyze") return cmd_analyze(argc - 2, argv + 2);
+    if (cmd == "convert") return cmd_convert(argc - 2, argv + 2);
     if (cmd == "report") return cmd_report(argc - 2, argv + 2);
     if (cmd == "diff") return cmd_diff(argc - 2, argv + 2);
     if (cmd == "tcd") return cmd_tcd(argc - 2, argv + 2);
