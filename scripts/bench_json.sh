@@ -10,8 +10,19 @@
 # writes the google-benchmark JSON to OUT for before/after comparisons.
 # Note the items_per_second counter is CPU-time based; on a single-core
 # machine compare the real_time fields for the parallel rows.
+#
+# Preflight: the ASan and UBSan gates run first so a benchmark number
+# is never published off a build with a latent memory or UB bug.
+# Set IOCOV_SKIP_SANITIZERS=1 to skip them (e.g. quick local re-runs).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [ "${IOCOV_SKIP_SANITIZERS:-0}" != "1" ]; then
+  echo "preflight: ASan gate (IOCOV_SKIP_SANITIZERS=1 to skip)"
+  ./scripts/check_asan.sh
+  echo "preflight: UBSan gate"
+  ./scripts/check_ubsan.sh
+fi
 
 OUT="${1:-BENCH_analyzer.json}"
 BENCH=build/bench/perf_analyzer

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# UndefinedBehaviorSanitizer gate for the fault-handling surface.
+#
+#   ./scripts/check_ubsan.sh [BUILD_DIR]    # default build-ubsan
+#
+# Fault campaigns steer the kernel model down its rarest error paths,
+# and the decoders chew on deliberately corrupted bytes — both are
+# where latent UB (signed overflow in varint math, bad shifts, invalid
+# enum loads) would hide.  This configures a full
+# IOCOV_SANITIZE=undefined tree (recovery disabled, so any report is a
+# hard failure) and runs the fsck, fault, campaign, and decoder suites
+# under it.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build-ubsan}"
+
+cmake -B "$BUILD" -G Ninja -DIOCOV_SANITIZE=undefined >/dev/null
+cmake --build "$BUILD" -j --target \
+  test_fsck test_fault test_campaign test_ingest_faults \
+  test_binary_format test_text_format
+ctest --test-dir "$BUILD" \
+  -R 'Fsck|Fault|ScopedFault|Campaign|IngestFaults|Binary|TextFormat' \
+  --output-on-failure -j "$(nproc)"

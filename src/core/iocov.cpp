@@ -1,5 +1,6 @@
 #include "core/iocov.hpp"
 
+#include <algorithm>
 #include <iterator>
 
 #include "exec/thread_pool.hpp"
@@ -53,7 +54,7 @@ std::size_t IOCov::consume_syz(std::istream& in) {
 
 std::size_t IOCov::consume_text(std::istream& in) {
     std::size_t dropped = 0;
-    auto events = trace::parse_stream(in, &dropped);
+    auto events = trace::parse_stream(in, &dropped, &diagnostics_);
     consume_all(events);
     return dropped;
 }
@@ -62,12 +63,15 @@ std::size_t IOCov::consume_binary(std::string_view data) {
     const auto scan = trace::scan_ioct(data);
     const auto bindings = bind_strings(analyzer_.table(), scan.strings);
     std::size_t dropped = scan.dropped;
+    trace::ParseDiagnostics decode_diags;
     trace::TraceEvent scratch;
     for (const auto& ref : scan.events) {
         std::uint32_t name_id = 0;
+        const char* reason = "corrupt event record";
         if (!trace::decode_event(data.substr(ref.offset, ref.length),
-                                 scan.strings, scratch, &name_id)) {
+                                 scan.strings, scratch, &name_id, &reason)) {
             ++dropped;
+            decode_diags.record(0, ref.offset, reason);
             continue;
         }
         if (filter_.admit(scratch))
@@ -75,6 +79,8 @@ std::size_t IOCov::consume_binary(std::string_view data) {
         else
             ++filtered_out_;
     }
+    diagnostics_.merge(scan.diags);
+    diagnostics_.merge(decode_diags);
     return dropped;
 }
 
@@ -107,27 +113,50 @@ std::size_t IOCov::consume_binary_parallel(std::string_view data,
     std::vector<CoverageReport> reports(shards.size());
     std::vector<std::uint64_t> shard_filtered(shards.size(), 0);
     std::vector<std::size_t> shard_dropped(shards.size(), 0);
+    std::vector<trace::ParseDiagnostics> shard_diags(shards.size());
+    std::vector<std::uint8_t> shard_ok(shards.size(), 1);
     exec::parallel_for(pool, shards.size(), [&](std::size_t s) {
-        trace::TraceFilter filter(filter_config_);
-        Analyzer analyzer(*registry_);
-        trace::TraceEvent scratch;
-        for (const auto& ref : shards[s]) {
-            std::uint32_t name_id = 0;
-            if (!trace::decode_event(data.substr(ref.offset, ref.length),
-                                     scan.strings, scratch, &name_id)) {
-                ++shard_dropped[s];
-                continue;
+        // Error isolation: a shard that fails outright (the catch below;
+        // corrupt records are handled per-record and never throw) is
+        // degraded to a counted loss instead of poisoning the analysis.
+        try {
+            trace::TraceFilter filter(filter_config_);
+            Analyzer analyzer(*registry_);
+            trace::TraceEvent scratch;
+            for (const auto& ref : shards[s]) {
+                std::uint32_t name_id = 0;
+                const char* reason = "corrupt event record";
+                if (!trace::decode_event(data.substr(ref.offset, ref.length),
+                                         scan.strings, scratch, &name_id,
+                                         &reason)) {
+                    ++shard_dropped[s];
+                    shard_diags[s].record(0, ref.offset, reason);
+                    continue;
+                }
+                if (filter.admit(scratch))
+                    analyzer.consume(scratch, bindings[name_id]);
+                else
+                    ++shard_filtered[s];
             }
-            if (filter.admit(scratch))
-                analyzer.consume(scratch, bindings[name_id]);
-            else
-                ++shard_filtered[s];
+            reports[s] = analyzer.take_report();
+        } catch (const std::exception& e) {
+            shard_ok[s] = 0;
+            shard_dropped[s] = shards[s].size();
+            shard_filtered[s] = 0;
+            shard_diags[s].clear();
+            shard_diags[s].record(
+                0, shards[s].empty() ? 0 : shards[s].front().offset,
+                std::string("shard lost: ") + e.what());
         }
-        reports[s] = analyzer.take_report();
     });
 
-    for (const auto& r : reports) analyzer_.merge_report(r);
-    for (const auto f : shard_filtered) filtered_out_ += f;
+    for (std::size_t s = 0; s < shards.size(); ++s) {
+        if (shard_ok[s]) analyzer_.merge_report(reports[s]);
+        else ++shards_lost_;
+        filtered_out_ += shard_filtered[s];
+        diagnostics_.merge(shard_diags[s]);
+    }
+    diagnostics_.merge(scan.diags);
     std::size_t total_dropped = scan.dropped;
     for (const auto d : shard_dropped) total_dropped += d;
     return total_dropped;
@@ -155,12 +184,47 @@ std::size_t IOCov::consume_text_parallel(std::istream& in,
     // the tail of the parse stage.
     const auto chunks = trace::split_line_chunks(text, n_threads * 4);
 
+    // Position each chunk within the whole input so diagnostics carry
+    // file-absolute line numbers and byte offsets.
+    std::vector<std::uint64_t> first_line(chunks.size(), 1);
+    std::vector<std::uint64_t> base_offset(chunks.size(), 0);
+    std::vector<std::uint64_t> line_count(chunks.size(), 0);
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
+        base_offset[i] =
+            static_cast<std::uint64_t>(chunks[i].data() - text.data());
+        line_count[i] = static_cast<std::uint64_t>(
+            std::count(chunks[i].begin(), chunks[i].end(), '\n'));
+        if (!chunks[i].empty() && chunks[i].back() != '\n') ++line_count[i];
+        if (i + 1 < chunks.size())
+            first_line[i + 1] = first_line[i] + line_count[i];
+    }
+
     exec::ThreadPool pool(n_threads);
     std::vector<std::vector<trace::TraceEvent>> parsed(chunks.size());
     std::vector<std::size_t> dropped(chunks.size(), 0);
+    std::vector<trace::ParseDiagnostics> chunk_diags(chunks.size());
+    std::vector<std::uint8_t> chunk_ok(chunks.size(), 1);
     exec::parallel_for(pool, chunks.size(), [&](std::size_t i) {
-        parsed[i] = trace::parse_chunk(chunks[i], &dropped[i]);
+        // Error isolation: a chunk whose parse fails outright degrades
+        // to "every line dropped", not a poisoned analysis.  Malformed
+        // lines never throw — this guards worker failures.
+        try {
+            parsed[i] = trace::parse_chunk(chunks[i], &dropped[i],
+                                           &chunk_diags[i], first_line[i],
+                                           base_offset[i]);
+        } catch (const std::exception& e) {
+            chunk_ok[i] = 0;
+            parsed[i].clear();
+            dropped[i] = line_count[i];
+            chunk_diags[i].clear();
+            chunk_diags[i].record(first_line[i], base_offset[i],
+                                  std::string("chunk lost: ") + e.what());
+        }
     });
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
+        if (!chunk_ok[i]) ++shards_lost_;
+        diagnostics_.merge(chunk_diags[i]);
+    }
 
     // Re-shard by pid.  Scanning the chunks in order preserves each
     // pid's trace order, which is the only ordering the stateful filter
@@ -177,22 +241,38 @@ std::size_t IOCov::consume_text_parallel(std::istream& in,
 
     std::vector<CoverageReport> reports(shards.size());
     std::vector<std::uint64_t> shard_filtered(shards.size(), 0);
+    std::vector<std::size_t> shard_lost_events(shards.size(), 0);
+    std::vector<trace::ParseDiagnostics> shard_diags(shards.size());
+    std::vector<std::uint8_t> shard_ok(shards.size(), 1);
     exec::parallel_for(pool, shards.size(), [&](std::size_t s) {
-        trace::TraceFilter filter(filter_config_);
-        Analyzer analyzer(*registry_);
-        for (const auto& ev : shards[s]) {
-            if (filter.admit(ev)) analyzer.consume(ev);
-            else ++shard_filtered[s];
+        try {
+            trace::TraceFilter filter(filter_config_);
+            Analyzer analyzer(*registry_);
+            for (const auto& ev : shards[s]) {
+                if (filter.admit(ev)) analyzer.consume(ev);
+                else ++shard_filtered[s];
+            }
+            reports[s] = analyzer.take_report();
+        } catch (const std::exception& e) {
+            shard_ok[s] = 0;
+            shard_filtered[s] = 0;
+            shard_lost_events[s] = shards[s].size();
+            shard_diags[s].record(0, 0,
+                                  std::string("shard lost: ") + e.what());
         }
-        reports[s] = analyzer.take_report();
     });
 
     // Shard-merge order is irrelevant to the result (histogram row order
     // is canonical), but iterate in shard order anyway for clarity.
-    for (const auto& r : reports) analyzer_.merge_report(r);
-    for (const auto f : shard_filtered) filtered_out_ += f;
+    for (std::size_t s = 0; s < shards.size(); ++s) {
+        if (shard_ok[s]) analyzer_.merge_report(reports[s]);
+        else ++shards_lost_;
+        filtered_out_ += shard_filtered[s];
+        diagnostics_.merge(shard_diags[s]);
+    }
     std::size_t total_dropped = 0;
     for (const auto d : dropped) total_dropped += d;
+    for (const auto d : shard_lost_events) total_dropped += d;
     return total_dropped;
 }
 

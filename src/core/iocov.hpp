@@ -21,6 +21,7 @@
 #include "core/coverage.hpp"
 #include "core/tcd.hpp"
 #include "core/untested.hpp"
+#include "trace/diagnostics.hpp"
 #include "trace/filter.hpp"
 #include "trace/sink.hpp"
 
@@ -104,6 +105,20 @@ class IOCov {
 
     std::uint64_t events_filtered_out() const { return filtered_out_; }
 
+    /// Where and why input was dropped, accumulated across every
+    /// consume_* call: malformed text lines, corrupt IOCT records, and
+    /// parallel chunks/shards lost to worker failures.  total() is the
+    /// number the --max-errors budget is checked against.
+    const trace::ParseDiagnostics& diagnostics() const {
+        return diagnostics_;
+    }
+
+    /// Parallel chunks/shards whose worker failed outright (the events
+    /// they held are counted into the dropped totals and diagnostics).
+    /// A corrupt record never fails a shard — this counts isolation
+    /// events, not parse errors.
+    std::uint64_t shards_lost() const { return shards_lost_; }
+
   private:
     /// Kept beyond construction so the parallel path can build one
     /// fresh filter per shard from the same configuration.
@@ -113,6 +128,8 @@ class IOCov {
     Analyzer analyzer_;
     trace::CallbackSink live_sink_;
     std::uint64_t filtered_out_ = 0;
+    trace::ParseDiagnostics diagnostics_;
+    std::uint64_t shards_lost_ = 0;
 };
 
 }  // namespace iocov::core

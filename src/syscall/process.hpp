@@ -143,6 +143,16 @@ class Process {
     std::size_t open_fd_count() const { return fds_.size(); }
     const FileDescription* fd_entry(int fd) const;
 
+    /// Inodes pinned by this process's open fds (fsck uses these to
+    /// excuse O_TMPFILE anonymous inodes from orphan checks and to
+    /// verify every fd references a live inode).
+    std::vector<vfs::InodeId> fd_inodes() const {
+        std::vector<vfs::InodeId> out;
+        out.reserve(fds_.size());
+        for (const auto& [fd, desc] : fds_) out.push_back(desc.ino);
+        return out;
+    }
+
   private:
     struct OpenOutcome {
         std::int64_t ret;  // fd or -errno

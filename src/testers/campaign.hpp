@@ -1,0 +1,122 @@
+// Fault-space exploration campaigns.
+//
+// The paper observes that environmental errnos (EIO, ENOMEM, EINTR,
+// ENOSPC) are the output partitions file-system testers reach least:
+// argument validation alone cannot produce them, so a fault-free replay
+// of any suite leaves those buckets empty.  A campaign closes that gap
+// systematically: it replays one generated workload many times, arming
+// exactly one (op, errno, k-th occurrence) fault point per run, and
+// verifies three properties after every injected run —
+//
+//   1. the injector actually fired (the k-th occurrence exists, which
+//      the fault-free baseline's per-op counts guarantee by
+//      construction);
+//   2. the syscall layer surfaced the injected errno faithfully (the
+//      trace contains at least as many `op -> -errno` events as the
+//      injector reports fired);
+//   3. the file system still satisfies every fsck invariant — an
+//      injected fault must make a syscall fail, never corrupt state.
+//
+// Coverage flows through the ordinary IOCov report path: each run's
+// trace is analyzed live, the per-run reports merge into one aggregate
+// CoverageReport, and the campaign diffs its errno output partitions
+// against the fault-free baseline to name exactly which buckets fault
+// injection newly reached.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "abi/errno.hpp"
+#include "core/coverage.hpp"
+
+namespace iocov::testers {
+
+struct CampaignConfig {
+    /// Suite profile to replay: "crashmonkey", "xfstests", or "ltp".
+    std::string suite = "crashmonkey";
+    /// Workload scale per run.  Campaigns run the workload dozens of
+    /// times, so the default is much lighter than demo/bench scales.
+    double scale = 0.002;
+    /// Workload seed.  Every run replays the same seed; runs differ
+    /// only in which fault is armed.
+    std::uint64_t seed = 42;
+    /// Errnos to inject at every fault point.  The default is the
+    /// paper's hard-to-reach environmental set.
+    std::vector<abi::Err> errors = {abi::Err::EIO_, abi::Err::ENOMEM_,
+                                    abi::Err::EINTR_, abi::Err::ENOSPC_};
+    /// Occurrences sampled per (op, errno): k-th occurrence targets are
+    /// spaced evenly across the op's baseline call count.
+    unsigned occurrences_per_point = 1;
+    /// Probabilistic chaos runs appended after the systematic sweep.
+    /// Each arms a seeded "*" fault per configured errno.
+    unsigned chaos_runs = 2;
+    /// Per-call fault probability (in 1/1000) for chaos runs.
+    unsigned chaos_permille = 5;
+    /// Bounded sweep: 0 runs every planned point; otherwise at most
+    /// this many injected runs, subsampled evenly across the plan.
+    std::size_t max_runs = 0;
+    std::string mount = "/mnt/test";
+    /// Analyze with extended_syscall_registry() instead of the paper's
+    /// 27-variant registry.
+    bool extended_registry = false;
+};
+
+/// One armed fault: fail op's (skip+1)-th occurrence with err.
+struct FaultPoint {
+    std::string op;  ///< syscall variant name as traced ("pwrite64")
+    abi::Err err = abi::Err::EIO_;
+    unsigned skip = 0;
+};
+
+/// Outcome of one injected run.
+struct CampaignRun {
+    FaultPoint point;            ///< armed point ("*" op for chaos runs)
+    bool probabilistic = false;  ///< chaos run (seeded probabilistic arm)
+    std::uint64_t fired = 0;     ///< faults the injector reports fired
+    /// Fired faults whose errno the trace does NOT surface at least as
+    /// often as the injector fired it (must be 0: property 2 above).
+    std::uint64_t unsurfaced = 0;
+    std::size_t fsck_violations = 0;
+
+    bool faithful() const { return unsurfaced == 0; }
+};
+
+struct CampaignResult {
+    core::CoverageReport baseline;   ///< fault-free run
+    core::CoverageReport aggregate;  ///< baseline + every injected run
+    std::vector<CampaignRun> runs;
+
+    std::size_t points_planned = 0;  ///< before max_runs subsampling
+    std::size_t sweep_runs = 0;      ///< systematic one-shot runs executed
+    std::size_t chaos_runs = 0;      ///< probabilistic runs executed
+    std::uint64_t faults_fired = 0;
+    /// Runs violating property 2 (injected errno not surfaced) and the
+    /// total fsck violations across every run (property 3).  Both stay
+    /// 0 on a healthy kernel model.
+    std::size_t unfaithful_runs = 0;
+    std::size_t fsck_violations = 0;
+    std::size_t baseline_fsck_violations = 0;
+    /// First few fsck violation strings, for diagnosis.
+    std::vector<std::string> fsck_details;
+    /// Errno output partitions ("base:ERRNO") with a nonzero count in
+    /// the aggregate but zero in the baseline — the coverage the
+    /// campaign bought.
+    std::vector<std::string> new_output_partitions;
+
+    bool clean() const {
+        return unfaithful_runs == 0 && fsck_violations == 0 &&
+               baseline_fsck_violations == 0;
+    }
+
+    /// Human-readable campaign summary (verdict, run counts, newly
+    /// reached partitions).
+    std::string summary() const;
+};
+
+/// Runs a full campaign: baseline, systematic (op, errno, occurrence)
+/// sweep, then chaos runs.  Deterministic for a fixed config.
+CampaignResult run_campaign(const CampaignConfig& config);
+
+}  // namespace iocov::testers

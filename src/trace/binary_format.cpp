@@ -208,19 +208,31 @@ void BinarySink::flush_buffer() {
 
 IoctScan scan_ioct(std::string_view data) {
     IoctScan scan;
-    if (!is_ioct(data) || data.size() < kIoctHeaderSize) return scan;
+    if (!is_ioct(data) || data.size() < kIoctHeaderSize) {
+        if (!data.empty())
+            scan.diags.record(0, 0, "not an IOCT file (bad magic/version)");
+        return scan;
+    }
     scan.header_ok = true;
+
+    auto drop = [&scan](std::size_t offset, const char* reason) {
+        ++scan.dropped;
+        scan.diags.record(0, offset, reason);
+    };
 
     std::size_t pos = kIoctHeaderSize;
     while (pos < data.size()) {
+        const std::size_t record_start = pos;
         if (data.size() - pos < 4) {
-            ++scan.dropped;  // torn length prefix
+            drop(record_start, "torn record length prefix");
             break;
         }
         const std::uint32_t len = read_u32le(data.data() + pos);
         pos += 4;
         if (len == 0 || len > data.size() - pos) {
-            ++scan.dropped;  // torn or corrupt record; extent unknown
+            drop(record_start,
+                 len == 0 ? "zero-length record"
+                          : "record length exceeds remaining bytes");
             break;
         }
         const std::string_view payload = data.substr(pos, len);
@@ -234,7 +246,7 @@ IoctScan scan_ioct(std::string_view data) {
                 std::uint64_t seq = 0, pid = 0;
                 if (!c.read_varint(seq) || !c.read_varint(pid) ||
                     pid > UINT32_MAX) {
-                    ++scan.dropped;
+                    drop(record_start, "truncated event header");
                     break;
                 }
                 scan.events.push_back(
@@ -260,11 +272,12 @@ IoctScan scan_ioct(std::string_view data) {
                 if (ok)
                     scan.footer = std::move(footer);
                 else
-                    ++scan.dropped;
+                    drop(record_start, "malformed footer");
                 break;
             }
             default:
-                ++scan.dropped;  // unknown tag; length lets us resync
+                // Unknown tag; the length prefix lets us resync.
+                drop(record_start, "unknown record tag");
                 break;
         }
     }
@@ -273,18 +286,27 @@ IoctScan scan_ioct(std::string_view data) {
 
 bool decode_event(std::string_view payload,
                   const std::vector<std::string_view>& strings,
-                  TraceEvent& out, std::uint32_t* name_id_out) {
+                  TraceEvent& out, std::uint32_t* name_id_out,
+                  const char** reason) {
+    auto fail = [&](const char* r) {
+        if (reason) *reason = r;
+        return false;
+    };
     if (payload.empty() ||
         static_cast<IoctTag>(payload[0]) != IoctTag::Event)
-        return false;
+        return fail("not an event record");
     ByteCursor c(payload.substr(1));
 
     std::uint64_t seq = 0, pid = 0, tid = 0, name_id = 0, ret = 0, argc = 0;
     if (!c.read_varint(seq) || !c.read_varint(pid) || pid > UINT32_MAX ||
-        !c.read_varint(tid) || tid > UINT32_MAX ||
-        !c.read_varint(name_id) || name_id >= strings.size() ||
-        !c.read_varint(ret) || !c.read_varint(argc) || argc > kMaxArgs)
-        return false;
+        !c.read_varint(tid) || tid > UINT32_MAX)
+        return fail("truncated event header");
+    if (!c.read_varint(name_id) || name_id >= strings.size())
+        return fail("syscall name id out of range");
+    if (!c.read_varint(ret))
+        return fail("truncated return value");
+    if (!c.read_varint(argc) || argc > kMaxArgs)
+        return fail("argument count out of range");
 
     out.seq = seq;
     out.pid = static_cast<std::uint32_t>(pid);
@@ -299,7 +321,7 @@ bool decode_event(std::string_view payload,
         std::uint8_t type = 0;
         if (!c.read_varint(arg_name) || arg_name >= strings.size() ||
             !c.read_u8(type) || !c.read_varint(v))
-            return false;
+            return fail("truncated or out-of-range argument");
         arg.name.assign(strings[arg_name]);
         switch (type) {
             case kTypeInt:
@@ -309,7 +331,8 @@ bool decode_event(std::string_view payload,
                 arg.value = v;
                 break;
             case kTypeStr: {
-                if (v >= strings.size()) return false;
+                if (v >= strings.size())
+                    return fail("argument string id out of range");
                 // Reuse the scratch string's capacity when possible
                 // (the variant may currently hold a number).
                 if (auto* s = std::get_if<std::string>(&arg.value))
@@ -319,25 +342,37 @@ bool decode_event(std::string_view payload,
                 break;
             }
             default:
-                return false;
+                return fail("unknown argument type byte");
         }
     }
-    return c.done();  // trailing bytes mean a corrupt record
+    if (!c.done()) return fail("trailing bytes after last argument");
+    return true;
 }
 
 std::vector<TraceEvent> decode_trace(std::string_view data,
-                                     std::size_t* dropped) {
+                                     std::size_t* dropped,
+                                     ParseDiagnostics* diags) {
     const auto scan = scan_ioct(data);
     std::vector<TraceEvent> out;
     out.reserve(scan.events.size());
     std::size_t bad = scan.dropped;
+    ParseDiagnostics decode_diags;
     for (const auto& ref : scan.events) {
         TraceEvent ev;
+        const char* reason = "corrupt event record";
         if (decode_event(data.substr(ref.offset, ref.length), scan.strings,
-                         ev))
+                         ev, nullptr, &reason)) {
             out.push_back(std::move(ev));
-        else
+        } else {
             ++bad;
+            decode_diags.record(0, ref.offset, reason);
+        }
+    }
+    if (diags) {
+        // Merge (rather than record in place) so scan- and decode-stage
+        // diagnostics interleave in offset order.
+        diags->merge(scan.diags);
+        diags->merge(decode_diags);
     }
     if (dropped) *dropped = bad;
     return out;

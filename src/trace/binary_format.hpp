@@ -39,6 +39,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "trace/diagnostics.hpp"
 #include "trace/event.hpp"
 #include "trace/sink.hpp"
 
@@ -163,13 +164,16 @@ struct EventRef {
 /// each event's pid — everything the parallel pipeline needs to cut the
 /// file into record-aligned shards without materializing any event.
 /// Undecodable records (bad tag, torn tail, truncated varints) are
-/// counted into `dropped` and skipped, like parse_stream's torn lines.
+/// counted into `dropped` and skipped, like parse_stream's torn lines;
+/// each drop is also recorded into `diags` with its byte offset and a
+/// stable reason.
 struct IoctScan {
     std::vector<std::string_view> strings;
     std::vector<EventRef> events;
     std::optional<IoctFooter> footer;
     std::size_t dropped = 0;
     bool header_ok = false;
+    ParseDiagnostics diags;
 };
 
 IoctScan scan_ioct(std::string_view data);
@@ -180,15 +184,20 @@ IoctScan scan_ioct(std::string_view data);
 /// event already holds.  Returns false (leaving `out` unspecified) on
 /// any malformed byte.  `name_id`, when non-null, receives the syscall
 /// name's string-table id, letting callers pre-bind names (one
-/// SyscallTable lookup per table entry instead of per event).
+/// SyscallTable lookup per table entry instead of per event).  On
+/// failure, `*reason` (when non-null) names the malformed field as a
+/// static string — no allocation on the reject path.
 bool decode_event(std::string_view payload,
                   const std::vector<std::string_view>& strings,
-                  TraceEvent& out, std::uint32_t* name_id = nullptr);
+                  TraceEvent& out, std::uint32_t* name_id = nullptr,
+                  const char** reason = nullptr);
 
 /// One-shot convenience mirroring parse_stream(): decodes every intact
-/// event record, counting undecodable ones into *dropped.
+/// event record, counting undecodable ones into *dropped and recording
+/// each into `diags` (when non-null) with its byte offset.
 std::vector<TraceEvent> decode_trace(std::string_view data,
-                                     std::size_t* dropped = nullptr);
+                                     std::size_t* dropped = nullptr,
+                                     ParseDiagnostics* diags = nullptr);
 
 // ---- file mapping ----------------------------------------------------------
 

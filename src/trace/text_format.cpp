@@ -44,14 +44,19 @@ std::optional<T> parse_number(std::string_view s, int base = 10) {
     return value;
 }
 
-std::optional<ArgValue> parse_value(Cursor& c) {
-    if (c.rest.empty()) return std::nullopt;
+std::optional<ArgValue> parse_value(Cursor& c, const char** reason) {
+    auto fail = [&](const char* r) -> std::nullopt_t {
+        if (reason) *reason = r;
+        return std::nullopt;
+    };
+    if (c.rest.empty()) return fail("missing argument value");
     if (c.rest.front() == '"') {
         c.rest.remove_prefix(1);
         std::string raw;
         while (!c.rest.empty() && c.rest.front() != '"') {
             if (c.rest.front() == '\\') {
-                if (c.rest.size() < 2) return std::nullopt;
+                if (c.rest.size() < 2)
+                    return fail("truncated escape sequence");
                 raw += c.rest.substr(0, 2);
                 c.rest.remove_prefix(2);
             } else {
@@ -59,19 +64,19 @@ std::optional<ArgValue> parse_value(Cursor& c) {
                 c.rest.remove_prefix(1);
             }
         }
-        if (!c.consume("\"")) return std::nullopt;
+        if (!c.consume("\"")) return fail("unterminated string value");
         auto unescaped = unescape_string(raw);
-        if (!unescaped) return std::nullopt;
+        if (!unescaped) return fail("invalid escape sequence");
         return ArgValue{std::move(*unescaped)};
     }
     auto token = c.take_until(", =");
     if (token.starts_with("0x")) {
         auto u = parse_number<std::uint64_t>(token.substr(2), 16);
-        if (!u) return std::nullopt;
+        if (!u) return fail("bad hex argument value");
         return ArgValue{*u};
     }
     auto i = parse_number<std::int64_t>(token);
-    if (!i) return std::nullopt;
+    if (!i) return fail("bad numeric argument value");
     return ArgValue{*i};
 }
 
@@ -142,30 +147,35 @@ std::string format_event(const TraceEvent& event) {
     return out;
 }
 
-std::optional<TraceEvent> parse_event(std::string_view line) {
+std::optional<TraceEvent> parse_event(std::string_view line,
+                                      const char** reason) {
     Cursor c{line};
     TraceEvent ev;
+    auto fail = [&](const char* r) -> std::nullopt_t {
+        if (reason) *reason = r;
+        return std::nullopt;
+    };
 
-    if (!c.consume("[")) return std::nullopt;
+    if (!c.consume("[")) return fail("missing '[seq]' header");
     auto seq = parse_number<std::uint64_t>(c.take_until("]"));
-    if (!seq || !c.consume("]")) return std::nullopt;
+    if (!seq || !c.consume("]")) return fail("bad sequence number");
     ev.seq = *seq;
 
     c.skip_spaces();
-    if (!c.consume("pid=")) return std::nullopt;
+    if (!c.consume("pid=")) return fail("missing pid field");
     auto pid = parse_number<std::uint32_t>(c.take_until(" "));
-    if (!pid) return std::nullopt;
+    if (!pid) return fail("bad pid");
     ev.pid = *pid;
 
     c.skip_spaces();
-    if (!c.consume("tid=")) return std::nullopt;
+    if (!c.consume("tid=")) return fail("missing tid field");
     auto tid = parse_number<std::uint32_t>(c.take_until(" "));
-    if (!tid) return std::nullopt;
+    if (!tid) return fail("bad tid");
     ev.tid = *tid;
 
     c.skip_spaces();
     auto name = c.take_until(":");
-    if (name.empty() || !c.consume(":")) return std::nullopt;
+    if (name.empty() || !c.consume(":")) return fail("missing syscall name");
     ev.syscall = std::string(name);
 
     // Arguments until the " = ret" tail.
@@ -173,21 +183,22 @@ std::optional<TraceEvent> parse_event(std::string_view line) {
         c.skip_spaces();
         if (c.rest.starts_with("= ")) break;  // no more args
         auto arg_name = c.take_until("=");
-        if (arg_name.empty() || !c.consume("=")) return std::nullopt;
-        auto value = parse_value(c);
-        if (!value) return std::nullopt;
+        if (arg_name.empty() || !c.consume("="))
+            return fail("missing argument name");
+        auto value = parse_value(c, reason);
+        if (!value) return std::nullopt;  // parse_value set the reason
         ev.args.push_back({std::string(arg_name), std::move(*value)});
         c.skip_spaces();
         if (c.consume(",")) continue;
         if (c.rest.starts_with("= ")) break;
-        return std::nullopt;
+        return fail("malformed argument separator");
     }
-    if (!c.consume("= ")) return std::nullopt;
+    if (!c.consume("= ")) return fail("missing '= ret' tail");
     auto ret = parse_number<std::int64_t>(c.take_until(" "));
-    if (!ret) return std::nullopt;
+    if (!ret) return fail("bad return value");
     ev.ret = *ret;
     c.skip_spaces();
-    if (!c.rest.empty()) return std::nullopt;
+    if (!c.rest.empty()) return fail("trailing bytes after return value");
     return ev;
 }
 
@@ -212,37 +223,56 @@ std::vector<std::string_view> split_line_chunks(std::string_view text,
 }
 
 std::vector<TraceEvent> parse_chunk(std::string_view chunk,
-                                    std::size_t* dropped) {
+                                    std::size_t* dropped,
+                                    ParseDiagnostics* diags,
+                                    std::uint64_t first_line,
+                                    std::uint64_t base_offset) {
     std::vector<TraceEvent> out;
     if (dropped) *dropped = 0;
     // Lines average ~80 bytes in this format; reserve a conservative
     // estimate to avoid repeated growth during the parallel parse.
     out.reserve(chunk.size() / 96 + 1);
+    std::uint64_t line_no = first_line;
+    std::uint64_t offset = base_offset;
     while (!chunk.empty()) {
         std::size_t eol = chunk.find('\n');
         std::string_view line = chunk.substr(0, eol);
-        chunk.remove_prefix(eol == std::string_view::npos ? chunk.size()
-                                                          : eol + 1);
+        const std::size_t consumed =
+            eol == std::string_view::npos ? chunk.size() : eol + 1;
+        chunk.remove_prefix(consumed);
+        const std::uint64_t line_offset = offset;
+        offset += consumed;
+        const std::uint64_t this_line = line_no++;
         if (line.empty() || line[0] == '#') continue;
-        if (auto ev = parse_event(line)) {
+        const char* reason = "malformed line";
+        if (auto ev = parse_event(line, &reason)) {
             out.push_back(std::move(*ev));
-        } else if (dropped) {
-            ++*dropped;
+        } else {
+            if (dropped) ++*dropped;
+            if (diags) diags->record(this_line, line_offset, reason, line);
         }
     }
     return out;
 }
 
-std::vector<TraceEvent> parse_stream(std::istream& in, std::size_t* dropped) {
+std::vector<TraceEvent> parse_stream(std::istream& in, std::size_t* dropped,
+                                     ParseDiagnostics* diags) {
     std::vector<TraceEvent> out;
     if (dropped) *dropped = 0;
     std::string line;
+    std::uint64_t line_no = 0;
+    std::uint64_t offset = 0;
     while (std::getline(in, line)) {
+        ++line_no;
+        const std::uint64_t line_offset = offset;
+        offset += line.size() + 1;  // getline consumed the '\n'
         if (line.empty() || line[0] == '#') continue;
-        if (auto ev = parse_event(line)) {
+        const char* reason = "malformed line";
+        if (auto ev = parse_event(line, &reason)) {
             out.push_back(std::move(*ev));
-        } else if (dropped) {
-            ++*dropped;
+        } else {
+            if (dropped) ++*dropped;
+            if (diags) diags->record(line_no, line_offset, reason, line);
         }
     }
     return out;

@@ -17,6 +17,7 @@
 #include <string_view>
 #include <vector>
 
+#include "trace/diagnostics.hpp"
 #include "trace/event.hpp"
 
 namespace iocov::trace {
@@ -25,14 +26,20 @@ namespace iocov::trace {
 std::string format_event(const TraceEvent& event);
 
 /// Parses a line produced by format_event. Returns nullopt on malformed
-/// input (never throws; trace files may be truncated mid-line).
-std::optional<TraceEvent> parse_event(std::string_view line);
+/// input (never throws; trace files may be truncated mid-line).  On
+/// failure, `*reason` (when non-null) names the first malformed field
+/// as a static string — no allocation on the reject path.
+std::optional<TraceEvent> parse_event(std::string_view line,
+                                      const char** reason = nullptr);
 
 /// Parses an entire stream, skipping blank lines and '#' comments.
 /// Malformed lines are counted into *dropped (if non-null) and skipped,
-/// mirroring how the real analyzer tolerates torn LTTng buffers.
+/// mirroring how the real analyzer tolerates torn LTTng buffers; each
+/// is also recorded into `diags` (when non-null) with its line number,
+/// byte offset, and parse_event's reason.
 std::vector<TraceEvent> parse_stream(std::istream& in,
-                                     std::size_t* dropped = nullptr);
+                                     std::size_t* dropped = nullptr,
+                                     ParseDiagnostics* diags = nullptr);
 
 /// Splits `text` into at most `n_chunks` byte ranges cut at line
 /// boundaries (a line never straddles two chunks), sized as evenly as
@@ -43,8 +50,13 @@ std::vector<std::string_view> split_line_chunks(std::string_view text,
 
 /// parse_stream over one in-memory chunk: same blank/'#'/malformed-line
 /// handling, no istream.  Each parallel worker runs this on its chunk.
+/// `first_line`/`base_offset` position the chunk within the whole
+/// input so diagnostics carry file-absolute line numbers and offsets.
 std::vector<TraceEvent> parse_chunk(std::string_view chunk,
-                                    std::size_t* dropped = nullptr);
+                                    std::size_t* dropped = nullptr,
+                                    ParseDiagnostics* diags = nullptr,
+                                    std::uint64_t first_line = 1,
+                                    std::uint64_t base_offset = 0);
 
 /// Escapes a string for quoting inside a trace line.
 std::string escape_string(std::string_view s);

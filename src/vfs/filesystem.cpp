@@ -628,6 +628,22 @@ Status FileSystem::chown(InodeId ino, std::uint32_t uid, std::uint32_t gid,
         if (change_gid && (cred.uid != node->uid || gid != cred.gid))
             return Err::EPERM_;
     }
+    // Ownership change moves the inode's charged blocks to the new
+    // owner's quota (the kernel's dquot_transfer); uid 0 is never
+    // charged.  chown does not fail with EDQUOT here — the blocks are
+    // already allocated, only the ledger entry moves.
+    if (change_uid && config_.quota_blocks_per_uid > 0) {
+        const std::uint64_t blocks =
+            node->data.allocated_blocks(config_.block_size);
+        if (blocks) {
+            if (node->uid != 0) {
+                auto q = quota_used_.find(node->uid);
+                if (q != quota_used_.end())
+                    q->second -= std::min(q->second, blocks);
+            }
+            if (uid != 0) quota_used_[uid] += blocks;
+        }
+    }
     node->uid = uid;
     node->gid = gid;
     // Clear set-id bits on ownership change, as the kernel does.

@@ -214,6 +214,16 @@ class FileSystem {
     Inode* find_mutable(InodeId ino);
     std::uint64_t inode_count() const { return inodes_.size(); }
 
+    /// Whole inode table, for invariant checkers (fsck) that must walk
+    /// every inode, not just the reachable namespace.
+    const std::map<InodeId, Inode>& inodes() const { return inodes_; }
+
+    /// Per-uid quota charges (uid -> blocks).  Empty when quotas are
+    /// disabled; fsck cross-checks the sums against per-inode usage.
+    const std::map<std::uint32_t, std::uint64_t>& quota_snapshot() const {
+        return quota_used_;
+    }
+
     /// Logical clock (bumped once per mutating operation).
     std::uint64_t now() const { return clock_; }
 

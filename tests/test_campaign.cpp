@@ -1,0 +1,128 @@
+// Fault-space exploration campaigns: errno output partitions a
+// fault-free run provably cannot reach, faithfulness of injected
+// errnos, fsck after every run, and bounded-sweep semantics.
+#include "testers/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "abi/errno.hpp"
+
+namespace iocov::testers {
+namespace {
+
+using abi::Err;
+
+CampaignConfig small_config() {
+    CampaignConfig cfg;
+    cfg.suite = "crashmonkey";
+    cfg.scale = 0.002;
+    cfg.chaos_runs = 1;
+    return cfg;
+}
+
+const char* const kEnvironmental[] = {"EIO", "ENOMEM", "EINTR", "ENOSPC"};
+
+std::uint64_t errno_partition_hits(const core::CoverageReport& report,
+                                   const char* label) {
+    std::uint64_t hits = 0;
+    for (const auto& out : report.outputs) hits += out.hist.count(label);
+    return hits;
+}
+
+TEST(Campaign, EnvironmentalErrnosUnreachableWithoutFaults) {
+    // The regression half of the paper's argument: no amount of
+    // argument construction produces EIO/ENOMEM/EINTR — the baseline
+    // run must leave those output partitions completely empty.
+    const auto result = run_campaign(small_config());
+    for (const char* label : kEnvironmental)
+        EXPECT_EQ(errno_partition_hits(result.baseline, label), 0u)
+            << label << " reached without fault injection";
+}
+
+TEST(Campaign, SweepReachesEveryEnvironmentalErrnoAndStaysClean) {
+    const auto result = run_campaign(small_config());
+
+    // Every systematic point fired: skip targets are drawn from the
+    // baseline's own occurrence counts, so the k-th occurrence always
+    // exists in the (deterministic) replay.
+    for (const auto& run : result.runs) {
+        if (run.probabilistic) continue;
+        EXPECT_GE(run.fired, 1u) << run.point.op;
+    }
+
+    // Properties 2 and 3: injected errnos surfaced faithfully, and no
+    // injected fault corrupted file-system metadata.
+    EXPECT_EQ(result.unfaithful_runs, 0u);
+    EXPECT_EQ(result.fsck_violations, 0u) << result.summary();
+    EXPECT_EQ(result.baseline_fsck_violations, 0u);
+    EXPECT_TRUE(result.clean());
+
+    // The campaign's purpose: the aggregate reaches all four
+    // environmental errnos the baseline provably cannot.
+    for (const char* label : kEnvironmental)
+        EXPECT_GT(errno_partition_hits(result.aggregate, label), 0u)
+            << label << " never reached by the sweep";
+    EXPECT_FALSE(result.new_output_partitions.empty());
+    const auto& fresh = result.new_output_partitions;
+    EXPECT_NE(std::find(fresh.begin(), fresh.end(), "open:EIO"),
+              fresh.end());
+
+    // Aggregate = baseline + injected runs, so it strictly dominates.
+    EXPECT_GT(result.aggregate.events_seen, result.baseline.events_seen);
+}
+
+TEST(Campaign, DeterministicForAFixedConfig) {
+    const auto a = run_campaign(small_config());
+    const auto b = run_campaign(small_config());
+    EXPECT_EQ(a.aggregate, b.aggregate);
+    EXPECT_EQ(a.new_output_partitions, b.new_output_partitions);
+    ASSERT_EQ(a.runs.size(), b.runs.size());
+    for (std::size_t i = 0; i < a.runs.size(); ++i)
+        EXPECT_EQ(a.runs[i].fired, b.runs[i].fired);
+}
+
+TEST(Campaign, BoundedSweepSubsamplesEvenly) {
+    auto cfg = small_config();
+    cfg.chaos_runs = 0;
+    cfg.max_runs = 5;
+    const auto result = run_campaign(cfg);
+    EXPECT_GT(result.points_planned, 5u);
+    EXPECT_EQ(result.sweep_runs, 5u);
+    EXPECT_EQ(result.runs.size(), 5u);
+    // Even subsampling spans distinct ops, not a prefix of one op.
+    EXPECT_NE(result.runs.front().point.op, result.runs.back().point.op);
+}
+
+TEST(Campaign, ChaosRunsAreSeededAndAccounted) {
+    auto cfg = small_config();
+    cfg.max_runs = 1;  // keep the systematic part minimal
+    cfg.chaos_runs = 2;
+    cfg.chaos_permille = 100;
+    const auto result = run_campaign(cfg);
+    EXPECT_EQ(result.chaos_runs, 2u);
+    std::uint64_t chaos_fired = 0;
+    for (const auto& run : result.runs)
+        if (run.probabilistic) chaos_fired += run.fired;
+    EXPECT_GT(chaos_fired, 0u);  // 10% per call over thousands of calls
+    EXPECT_EQ(result.unfaithful_runs, 0u);
+    EXPECT_EQ(result.fsck_violations, 0u) << result.summary();
+}
+
+TEST(Campaign, UnknownSuiteThrows) {
+    auto cfg = small_config();
+    cfg.suite = "nonesuch";
+    EXPECT_THROW(run_campaign(cfg), std::invalid_argument);
+}
+
+TEST(Campaign, SummaryNamesVerdictAndNewPartitions) {
+    const auto result = run_campaign(small_config());
+    const auto text = result.summary();
+    EXPECT_NE(text.find("CLEAN"), std::string::npos) << text;
+    EXPECT_NE(text.find("open:EIO"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace iocov::testers

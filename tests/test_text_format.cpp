@@ -135,6 +135,83 @@ TEST(TextFormat, StreamParsingSkipsCommentsAndCountsDrops) {
     EXPECT_EQ(dropped, 1u);
 }
 
+TEST(TextFormat, DiagnosticsCarryLinePositionAndReason) {
+    std::stringstream ss;
+    ss << format_event(sample_event()) << "\n";    // line 1, ok
+    ss << "# comment\n";                           // line 2, not a drop
+    ss << "[x] broken\n";                          // line 3, drop
+    ss << format_event(sample_event()) << "\n";    // line 4, ok
+    ss << "another bad line\n";                    // line 5, drop
+    const std::string text = ss.str();
+    std::size_t dropped = 0;
+    ParseDiagnostics diags;
+    parse_stream(ss, &dropped, &diags);
+    EXPECT_EQ(dropped, 2u);
+    ASSERT_EQ(diags.entries().size(), 2u);
+    EXPECT_EQ(diags.entries()[0].line, 3u);
+    EXPECT_EQ(diags.entries()[0].excerpt, "[x] broken");
+    EXPECT_EQ(diags.entries()[0].reason, "bad sequence number");
+    EXPECT_EQ(diags.entries()[1].line, 5u);
+    EXPECT_EQ(text.substr(static_cast<std::size_t>(
+                              diags.entries()[1].offset),
+                          16),
+              "another bad line");
+}
+
+TEST(TextFormat, DiagnosticsRetainFirstKVerbatimAndCountTheRest) {
+    std::stringstream ss;
+    const std::size_t kBad = ParseDiagnostics::kDefaultMaxRetained + 4;
+    for (std::size_t i = 0; i < kBad; ++i)
+        ss << "bad line number " << i << "\n";
+    std::size_t dropped = 0;
+    ParseDiagnostics diags;
+    parse_stream(ss, &dropped, &diags);
+    EXPECT_EQ(dropped, kBad);
+    EXPECT_EQ(diags.total(), kBad);
+    ASSERT_EQ(diags.entries().size(), ParseDiagnostics::kDefaultMaxRetained);
+    for (std::size_t i = 0; i < diags.entries().size(); ++i) {
+        EXPECT_EQ(diags.entries()[i].line, i + 1);
+        EXPECT_EQ(diags.entries()[i].excerpt,
+                  "bad line number " + std::to_string(i));
+    }
+    EXPECT_NE(diags.to_string().find("and 4 more"), std::string::npos);
+}
+
+TEST(TextFormat, DiagnosticsClipLongExcerpts) {
+    ParseDiagnostics diags;
+    diags.record(1, 0, "why", std::string(1000, 'x'));
+    ASSERT_EQ(diags.entries().size(), 1u);
+    EXPECT_EQ(diags.entries()[0].excerpt.size(),
+              ParseDiagnostics::kExcerptBytes);
+}
+
+TEST(TextFormat, DiagnosticsMergeRestoresInputOrder) {
+    ParseDiagnostics a, b;
+    a.record(10, 100, "r10");
+    a.record(30, 300, "r30");
+    b.record(20, 200, "r20");
+    a.merge(b);
+    EXPECT_EQ(a.total(), 3u);
+    ASSERT_EQ(a.entries().size(), 3u);
+    EXPECT_EQ(a.entries()[0].reason, "r10");
+    EXPECT_EQ(a.entries()[1].reason, "r20");
+    EXPECT_EQ(a.entries()[2].reason, "r30");
+}
+
+TEST(TextFormat, ParseChunkPositionsDiagnosticsAbsolutely) {
+    const std::string chunk = "bad one\nbad two\n";
+    std::size_t dropped = 0;
+    ParseDiagnostics diags;
+    parse_chunk(chunk, &dropped, &diags, /*first_line=*/41,
+                /*base_offset=*/5000);
+    EXPECT_EQ(dropped, 2u);
+    ASSERT_EQ(diags.entries().size(), 2u);
+    EXPECT_EQ(diags.entries()[0].line, 41u);
+    EXPECT_EQ(diags.entries()[0].offset, 5000u);
+    EXPECT_EQ(diags.entries()[1].line, 42u);
+    EXPECT_EQ(diags.entries()[1].offset, 5008u);
+}
+
 TEST(EscapeString, InverseOfUnescape) {
     const std::string raw = "a\"b\\c\nd\te";
     const auto unescaped = unescape_string(escape_string(raw));

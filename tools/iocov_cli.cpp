@@ -1,11 +1,14 @@
 // iocov — command-line front end for the library.
 //
-//   iocov analyze  [--mount RE] [--syz] [--save FILE] TRACE...
+//   iocov analyze  [--mount RE] [--syz] [--strict] [--max-errors N]
+//                  [--save FILE] TRACE...
 //   iocov convert  IN OUT                       (text <-> IOCT binary)
 //   iocov report   [--untested] [--under N] [--summary] FILE
 //   iocov diff     BEFORE AFTER
 //   iocov tcd      [--target N] [--arg BASE.KEY] FILE
 //   iocov demo     [--suite NAME] [--scale S]   (run a simulator)
+//   iocov campaign [--suite NAME] [--scale S] [--seed N] [--runs N]
+//                  [--save FILE]               (fault-space exploration)
 //   iocov bugstudy [--scale S] [--export]       (Section 2 study/dataset)
 //
 // `analyze` consumes one or more traces — LTTng-style text or IOCT
@@ -34,6 +37,7 @@
 #include "core/untested.hpp"
 #include "report/table.hpp"
 #include "syscall/kernel.hpp"
+#include "testers/campaign.hpp"
 #include "testers/fixtures.hpp"
 #include "testers/generator.hpp"
 #include "vfs/filesystem.hpp"
@@ -47,9 +51,12 @@ int usage() {
         stderr,
         "usage:\n"
         "  iocov analyze [--mount RE] [--syz] [--extended] [--threads N]\n"
-        "                [--save FILE] TRACE...\n"
+        "                [--strict] [--max-errors N] [--save FILE] TRACE...\n"
         "      TRACE format is autodetected per file: IOCT binary (by\n"
-        "      its \"IOCT\" magic) or LTTng-style text.\n"
+        "      its \"IOCT\" magic) or LTTng-style text.  Malformed input\n"
+        "      is skipped and diagnosed; --max-errors N fails the run\n"
+        "      when more than N inputs were dropped, --strict is\n"
+        "      --max-errors 0.\n"
         "  iocov convert IN OUT\n"
         "      transcode text -> IOCT binary or IOCT binary -> text\n"
         "      (direction inferred from IN's magic)\n"
@@ -57,6 +64,15 @@ int usage() {
         "  iocov diff    BEFORE AFTER\n"
         "  iocov tcd     [--target N] [--arg BASE.KEY] FILE\n"
         "  iocov demo    [--suite crashmonkey|xfstests|ltp] [--scale S]\n"
+        "  iocov campaign [--suite crashmonkey|xfstests|ltp] [--scale S]\n"
+        "                 [--seed N] [--samples N] [--runs N] [--chaos N]\n"
+        "                 [--permille N] [--extended] [--save FILE]\n"
+        "      replay the suite once fault-free, then once per (op,\n"
+        "      errno, k-th occurrence) fault point (EIO/ENOMEM/EINTR/\n"
+        "      ENOSPC), fsck'ing the file system and checking errno\n"
+        "      surfacing after every run; --runs bounds the sweep,\n"
+        "      --chaos adds seeded probabilistic runs.  Exits 1 on any\n"
+        "      fsck or faithfulness violation.\n"
         "  iocov bugstudy [--scale S] [--export]\n");
     return 2;
 }
@@ -113,6 +129,10 @@ int cmd_analyze(int argc, char** argv) {
     bool extended = false;
     unsigned threads = 1;
     const char* save_path = nullptr;
+    // Error budget: how many dropped inputs (malformed lines, corrupt
+    // records, lost shards) the run tolerates before failing.  Default
+    // is unbounded, matching the historical skip-and-continue behavior.
+    std::optional<std::uint64_t> max_errors;
     std::vector<const char*> traces;
     for (int i = 0; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--mount") && i + 1 < argc) {
@@ -125,6 +145,10 @@ int cmd_analyze(int argc, char** argv) {
             // 0 = auto (hardware concurrency); 1 = serial.
             threads = static_cast<unsigned>(
                 std::strtoul(argv[++i], nullptr, 10));
+        } else if (!std::strcmp(argv[i], "--strict")) {
+            max_errors = 0;
+        } else if (!std::strcmp(argv[i], "--max-errors") && i + 1 < argc) {
+            max_errors = std::strtoull(argv[++i], nullptr, 10);
         } else if (!std::strcmp(argv[i], "--save") && i + 1 < argc) {
             save_path = argv[++i];
         } else {
@@ -168,6 +192,18 @@ int cmd_analyze(int argc, char** argv) {
                         path, dropped);
         }
     }
+    const auto& diags = iocov.diagnostics();
+    if (max_errors && diags.total() > *max_errors) {
+        std::fprintf(stderr,
+                     "iocov: error budget exceeded (%llu dropped > "
+                     "--max-errors %llu)\n%s",
+                     static_cast<unsigned long long>(diags.total()),
+                     static_cast<unsigned long long>(*max_errors),
+                     diags.to_string().c_str());
+        return 1;
+    }
+    if (diags.total() > 0)
+        std::fprintf(stderr, "%s", diags.to_string().c_str());
     std::printf("\n");
     print_summary(iocov.report());
     if (save_path) {
@@ -333,6 +369,55 @@ int cmd_demo(int argc, char** argv) {
     return 0;
 }
 
+int cmd_campaign(int argc, char** argv) {
+    testers::CampaignConfig cfg;
+    const char* save_path = nullptr;
+    for (int i = 0; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--suite") && i + 1 < argc)
+            cfg.suite = argv[++i];
+        else if (!std::strcmp(argv[i], "--scale") && i + 1 < argc)
+            cfg.scale = std::atof(argv[++i]);
+        else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc)
+            cfg.seed = std::strtoull(argv[++i], nullptr, 10);
+        else if (!std::strcmp(argv[i], "--samples") && i + 1 < argc)
+            cfg.occurrences_per_point = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        else if (!std::strcmp(argv[i], "--runs") && i + 1 < argc)
+            cfg.max_runs = std::strtoull(argv[++i], nullptr, 10);
+        else if (!std::strcmp(argv[i], "--chaos") && i + 1 < argc)
+            cfg.chaos_runs = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        else if (!std::strcmp(argv[i], "--permille") && i + 1 < argc)
+            cfg.chaos_permille = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        else if (!std::strcmp(argv[i], "--mount") && i + 1 < argc)
+            cfg.mount = argv[++i];
+        else if (!std::strcmp(argv[i], "--extended"))
+            cfg.extended_registry = true;
+        else if (!std::strcmp(argv[i], "--save") && i + 1 < argc)
+            save_path = argv[++i];
+        else
+            return usage();
+    }
+    if (cfg.suite != "crashmonkey" && cfg.suite != "xfstests" &&
+        cfg.suite != "ltp") {
+        std::fprintf(stderr, "iocov: unknown suite %s\n", cfg.suite.c_str());
+        return 2;
+    }
+    const auto result = testers::run_campaign(cfg);
+    std::printf("suite: %s at scale %g, seed %llu\n\n", cfg.suite.c_str(),
+                cfg.scale,
+                static_cast<unsigned long long>(cfg.seed));
+    std::printf("%s\n", result.summary().c_str());
+    print_summary(result.aggregate);
+    if (save_path) {
+        std::ofstream out(save_path);
+        core::save_report(out, result.aggregate);
+        std::printf("\naggregate report saved to %s\n", save_path);
+    }
+    return result.clean() ? 0 : 1;
+}
+
 int cmd_bugstudy(int argc, char** argv) {
     double scale = 0.01;
     bool export_dataset = false;
@@ -383,6 +468,7 @@ int main(int argc, char** argv) {
     if (cmd == "diff") return cmd_diff(argc - 2, argv + 2);
     if (cmd == "tcd") return cmd_tcd(argc - 2, argv + 2);
     if (cmd == "demo") return cmd_demo(argc - 2, argv + 2);
+    if (cmd == "campaign") return cmd_campaign(argc - 2, argv + 2);
     if (cmd == "bugstudy") return cmd_bugstudy(argc - 2, argv + 2);
     return usage();
 }
