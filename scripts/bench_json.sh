@@ -12,7 +12,9 @@
 # machine compare the real_time fields for the parallel rows.
 #
 # Preflight: the ASan and UBSan gates run first so a benchmark number
-# is never published off a build with a latent memory or UB bug.
+# is never published off a build with a latent memory or UB bug, and a
+# Release (NDEBUG) build-and-test pass keeps the throwing size
+# contracts honest where asserts would vanish.
 # Set IOCOV_SKIP_SANITIZERS=1 to skip them (e.g. quick local re-runs).
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -22,6 +24,8 @@ if [ "${IOCOV_SKIP_SANITIZERS:-0}" != "1" ]; then
   ./scripts/check_asan.sh
   echo "preflight: UBSan gate"
   ./scripts/check_ubsan.sh
+  echo "preflight: Release (NDEBUG) gate"
+  ./scripts/check_release.sh
 fi
 
 OUT="${1:-BENCH_analyzer.json}"
@@ -42,3 +46,9 @@ fi
 
 echo "wrote $OUT"
 grep -o '"name": "[^"]*_median"' "$OUT" | sed 's/"name": //' || true
+
+# Smoke the guided synthesizer end to end: a tiny crashmonkey baseline
+# must still converge (exit 0) and print its before/after table.
+echo "smoke: iocov guide"
+build/tools/iocov guide --suite crashmonkey --scale 0.002 --seed 42 \
+  --rounds 2 | tail -4

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Release (NDEBUG) gate: build and run the full test suite with asserts
+# compiled out.
+#
+#   ./scripts/check_release.sh [BUILD_DIR]     # default build-release
+#
+# Several size contracts (core::tcd, core::tcd_linear, stats::rmsd) used
+# to be plain asserts, i.e. out-of-bounds reads in any NDEBUG build.
+# They throw now, and this gate keeps it that way: the regression tests
+# exercise the throwing paths in a configuration where an assert would
+# have been compiled to nothing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build-release}"
+
+cmake -B "$BUILD" -G Ninja -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD" -j
+ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"

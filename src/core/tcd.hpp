@@ -10,14 +10,16 @@
 // means every partition is tested exactly the target number of times.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "stats/histogram.hpp"
 
 namespace iocov::core {
 
-/// TCD with a per-partition target array. target.size() must equal
-/// hist.partition_count(); targets below 1 are floored at 1.
+/// TCD with a per-partition target array.  Throws std::invalid_argument
+/// unless target.size() == hist.partition_count(); targets below 1 are
+/// floored at 1.
 double tcd(const stats::PartitionHistogram& hist,
            const std::vector<double>& target);
 
@@ -26,11 +28,34 @@ double tcd_uniform(const stats::PartitionHistogram& hist, double target);
 
 /// Linear-domain RMSD between frequencies and targets — the ablation
 /// baseline showing why the paper computes TCD in log space (a single
-/// over-tested partition otherwise dominates the metric).
+/// over-tested partition otherwise dominates the metric).  Same size
+/// contract as tcd().
 double tcd_linear(const stats::PartitionHistogram& hist,
                   const std::vector<double>& target);
 double tcd_linear_uniform(const stats::PartitionHistogram& hist,
                           double target);
+
+/// One partition's share of the squared deviation behind a TCD value.
+struct TcdContribution {
+    std::string label;       ///< partition label
+    std::uint64_t observed;  ///< frequency F_i
+    double target;           ///< target T_i
+    /// (log10 F_i - log10 T_i)^2 / N — contributions sum to TCD^2.
+    double deviation;
+
+    bool untested() const { return observed == 0; }
+};
+
+/// Ranks partitions by how much deviation they contribute to tcd(hist,
+/// target), most-deviant first (ties broken by label, so the order is
+/// deterministic).  sum(deviation) == tcd^2 up to rounding.  Same size
+/// contract as tcd().
+std::vector<TcdContribution> tcd_attribution(
+    const stats::PartitionHistogram& hist, const std::vector<double>& target);
+
+/// Attribution against a uniform target.
+std::vector<TcdContribution> tcd_attribution_uniform(
+    const stats::PartitionHistogram& hist, double target);
 
 /// Builder for non-uniform targets (the paper's future-work extension):
 /// start from a uniform base and boost selected partitions, e.g. weight
@@ -40,17 +65,27 @@ class TargetBuilder {
   public:
     TargetBuilder(const stats::PartitionHistogram& hist, double base);
 
-    /// Sets the target for one partition label (no-op if absent).
+    /// Sets the target for one partition label.  A label matching no
+    /// partition is recorded in unknown_labels() — a typo'd label must
+    /// not silently leave the target at its base value.
     TargetBuilder& set(std::string_view label, double target);
 
-    /// Multiplies the target for one partition label.
+    /// Multiplies the target for one partition label; unmatched labels
+    /// are recorded like set().
     TargetBuilder& boost(std::string_view label, double factor);
 
     std::vector<double> build() const { return targets_; }
 
+    /// Labels passed to set()/boost() that matched no partition, in
+    /// call order.  Empty means every adjustment landed.
+    const std::vector<std::string>& unknown_labels() const {
+        return unknown_labels_;
+    }
+
   private:
     const stats::PartitionHistogram& hist_;
     std::vector<double> targets_;
+    std::vector<std::string> unknown_labels_;
 };
 
 }  // namespace iocov::core

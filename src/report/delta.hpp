@@ -1,0 +1,41 @@
+// Before/after coverage deltas: the guide loop's headline artifact.
+//
+// Compares two CoverageReports space by space (every tracked input
+// argument and output space) and renders the change in tested-partition
+// counts and per-space TCD as a fixed-width table — the "what did the
+// synthesized workload buy" view the paper's Section 5 argues coverage
+// tools owe their users.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/coverage.hpp"
+
+namespace iocov::report {
+
+/// One input-argument or output space's before/after movement.
+struct SpaceDelta {
+    std::string space;  ///< "open.flags" for inputs, "write (out)" for outputs
+    std::size_t declared = 0;
+    std::size_t tested_before = 0;
+    std::size_t tested_after = 0;
+    double tcd_before = 0.0;
+    double tcd_after = 0.0;
+
+    std::size_t closed() const { return tested_after - tested_before; }
+};
+
+/// Deltas for every space of `after`, in report order, with per-space
+/// TCD computed against a uniform `target`.  `before` spaces are
+/// matched by (base, arg); a space absent from `before` counts as fully
+/// untested there.
+std::vector<SpaceDelta> coverage_deltas(const core::CoverageReport& before,
+                                        const core::CoverageReport& after,
+                                        double target);
+
+/// Renders the deltas plus a totals row.
+std::string render_coverage_delta(const std::vector<SpaceDelta>& deltas);
+
+}  // namespace iocov::report

@@ -23,7 +23,11 @@ std::int64_t bucket_lower_bound(const LogBucket& b) {
         case LogBucket::Kind::Zero:
             return 0;
         case LogBucket::Kind::Pow2:
-            return static_cast<std::int64_t>(std::int64_t{1} << b.exponent);
+            // 1 << 63 is signed overflow; no int64 value lives in that
+            // bucket anyway, so saturate (parse rejects exp >= 63 too).
+            if (b.exponent >= 63)
+                return std::numeric_limits<std::int64_t>::max();
+            return std::int64_t{1} << b.exponent;
     }
     return 0;
 }
@@ -69,21 +73,22 @@ std::string human_size(std::uint64_t bytes) {
     static constexpr std::array<const char*, 7> kUnits = {
         "B", "KiB", "MiB", "GiB", "TiB", "PiB", "EiB"};
     std::size_t unit = 0;
-    std::uint64_t whole = bytes;
-    std::uint64_t rem = 0;
-    while (whole >= 1024 && unit + 1 < kUnits.size()) {
-        rem = whole % 1024;
-        whole /= 1024;
+    std::uint64_t scale = 1;
+    while (bytes / scale >= 1024 && unit + 1 < kUnits.size()) {
+        scale <<= 10;
         ++unit;
     }
     char buf[64];
-    if (rem == 0) {
+    if (bytes % scale == 0) {
         std::snprintf(buf, sizeof buf, "%llu%s",
-                      static_cast<unsigned long long>(whole), kUnits[unit]);
+                      static_cast<unsigned long long>(bytes / scale),
+                      kUnits[unit]);
     } else {
+        // Fraction from the full byte count, not just the last division's
+        // remainder: 1,520,500 B is 1.45 MiB, not 1.4-something from the
+        // KiB-level leftovers alone.
         std::snprintf(buf, sizeof buf, "%.1f%s",
-                      static_cast<double>(whole) +
-                          static_cast<double>(rem) / 1024.0,
+                      static_cast<double>(bytes) / static_cast<double>(scale),
                       kUnits[unit]);
     }
     return buf;
@@ -97,7 +102,9 @@ std::optional<LogBucket> parse_bucket_label(const std::string& label) {
         const char* first = label.data() + 2;
         const char* last = label.data() + label.size();
         auto [ptr, ec] = std::from_chars(first, last, exp);
-        if (ec == std::errc{} && ptr == last && exp < 64)
+        // exp 63 is rejected: no positive int64 reaches it, and the
+        // bucket's lower bound would not be representable.
+        if (ec == std::errc{} && ptr == last && exp < 63)
             return LogBucket{LogBucket::Kind::Pow2, exp};
     }
     return std::nullopt;

@@ -1,12 +1,16 @@
 #include "stats/rmsd.hpp"
 
-#include <cassert>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 namespace iocov::stats {
 
 double rmsd(std::span<const double> a, std::span<const double> b) {
-    assert(a.size() == b.size());
+    if (a.size() != b.size())
+        throw std::invalid_argument(
+            "rmsd: series length mismatch (" + std::to_string(a.size()) +
+            " vs " + std::to_string(b.size()) + ")");
     if (a.empty()) return 0.0;
     double sum = 0.0;
     for (std::size_t i = 0; i < a.size(); ++i) {

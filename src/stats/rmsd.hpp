@@ -11,7 +11,9 @@
 namespace iocov::stats {
 
 /// RMSD between two equal-length series: sqrt(mean((a[i]-b[i])^2)).
-/// Returns 0.0 for empty input. Precondition: a.size() == b.size().
+/// Returns 0.0 for empty input; throws std::invalid_argument on a
+/// length mismatch (a real check, not an assert — a short series must
+/// fail loudly in release builds too, not read out of bounds).
 double rmsd(std::span<const double> a, std::span<const double> b);
 
 /// log10 that tolerates zero counts: log10(max(x, floor)).

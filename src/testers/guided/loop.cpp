@@ -1,0 +1,151 @@
+#include "testers/guided/loop.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "core/iocov.hpp"
+#include "core/syscall_spec.hpp"
+#include "syscall/kernel.hpp"
+#include "testers/fixtures.hpp"
+#include "testers/generator.hpp"
+#include "testers/guided/synthesizer.hpp"
+#include "testers/profile.hpp"
+#include "trace/filter.hpp"
+#include "vfs/filesystem.hpp"
+
+namespace iocov::testers::guided {
+namespace {
+
+TesterProfile profile_for_suite(const std::string& suite) {
+    if (suite == "crashmonkey") return crashmonkey_profile();
+    if (suite == "xfstests") return xfstests_profile();
+    if (suite == "ltp") return ltp_profile();
+    throw std::invalid_argument("unknown suite: " + suite);
+}
+
+const std::vector<core::SyscallSpec>& registry_for(const GuideConfig& cfg) {
+    return cfg.extended_registry ? core::extended_syscall_registry()
+                                 : core::syscall_registry();
+}
+
+/// One isolated run (baseline replay or synthesis round): fresh
+/// FileSystem/Kernel/IOCov, live-analyzed, report returned.
+template <typename WorkFn>
+core::CoverageReport execute_isolated(const GuideConfig& cfg,
+                                      WorkFn&& work) {
+    vfs::FileSystem fs(recommended_fs_config());
+    Fixtures fx = prepare_environment(fs, cfg.mount);
+    core::IOCov iocov(trace::FilterConfig::mount_point(cfg.mount),
+                      registry_for(cfg));
+    syscall::Kernel kernel(fs, &iocov.live_sink());
+    work(kernel, fx);
+    return iocov.report();
+}
+
+}  // namespace
+
+GuideResult run_guide(const GuideConfig& config) {
+    const TesterProfile profile = profile_for_suite(config.suite);
+    const core::CoverageReport baseline = execute_isolated(
+        config, [&](syscall::Kernel& kernel, const Fixtures& fx) {
+            TesterSim sim(profile, {config.scale, config.seed});
+            sim.run(kernel, fx);
+        });
+    return run_guide_on_baseline(baseline, config);
+}
+
+GuideResult run_guide_on_baseline(const core::CoverageReport& baseline,
+                                  const GuideConfig& config) {
+    GuideResult result;
+    result.target = config.target;
+    result.baseline = baseline;
+    result.final_report = baseline;
+    result.gaps_before = core::extract_gaps(baseline, config.target);
+
+    core::GapReport gaps = result.gaps_before;
+    for (unsigned round = 0; round < config.max_rounds; ++round) {
+        if (config.call_budget != 0 &&
+            result.total_planned_calls >= config.call_budget)
+            break;
+        const std::uint64_t budget_left =
+            config.call_budget == 0
+                ? 0  // plan_gaps treats 0 as unbounded
+                : config.call_budget - result.total_planned_calls;
+        GapPlan plan =
+            plan_gaps(gaps, config.calls_per_gap, budget_left);
+        if (plan.empty()) {
+            result.unaddressed = std::move(plan.unaddressed);
+            break;
+        }
+
+        SynthesisOutcome outcome;
+        const core::CoverageReport round_report = execute_isolated(
+            config, [&](syscall::Kernel& kernel, const Fixtures& fx) {
+                outcome = synthesize(plan, kernel, fx,
+                                     config.seed + round + 1);
+            });
+        result.final_report.merge(round_report);
+        core::GapReport after =
+            core::extract_gaps(result.final_report, config.target);
+
+        GuideRound r;
+        r.gaps_before = gaps.total_gaps();
+        r.gaps_after = after.total_gaps();
+        r.gaps_addressed = plan.gaps_addressed;
+        r.gaps_unaddressed = plan.unaddressed.size();
+        r.planned_calls = plan.planned_calls;
+        r.faults_fired = outcome.faults_fired;
+        r.tcd_before = gaps.aggregate_tcd;
+        r.tcd_after = after.aggregate_tcd;
+        result.rounds.push_back(r);
+        result.total_planned_calls += plan.planned_calls;
+        result.unaddressed = std::move(plan.unaddressed);
+
+        gaps = std::move(after);
+        if (r.gain() < config.min_tcd_gain) break;
+    }
+
+    result.gaps_after = std::move(gaps);
+    result.deltas = report::coverage_deltas(result.baseline,
+                                            result.final_report,
+                                            config.target);
+    return result;
+}
+
+std::string GuideResult::table() const {
+    return report::render_coverage_delta(deltas);
+}
+
+std::string GuideResult::summary() const {
+    std::ostringstream os;
+    os << "guide: " << rounds.size() << " round(s), "
+       << total_planned_calls << " synthesized calls planned\n";
+    for (std::size_t i = 0; i < rounds.size(); ++i) {
+        const GuideRound& r = rounds[i];
+        os << "  round " << (i + 1) << ": gaps " << r.gaps_before << " -> "
+           << r.gaps_after << " (addressed " << r.gaps_addressed
+           << ", unaddressed " << r.gaps_unaddressed << ", faults fired "
+           << r.faults_fired << "), TCD " << r.tcd_before << " -> "
+           << r.tcd_after << "\n";
+    }
+    os << "partitions closed: " << partitions_closed() << " of "
+       << gaps_before.total_gaps() << " (remaining "
+       << gaps_after.total_gaps() << ")\n";
+    os << "aggregate TCD (target " << target
+       << "): " << gaps_before.aggregate_tcd << " -> "
+       << gaps_after.aggregate_tcd << "\n";
+    if (!unaddressed.empty()) {
+        os << "unaddressed (" << unaddressed.size() << "):\n";
+        std::size_t shown = 0;
+        for (const UnaddressedGap& u : unaddressed) {
+            if (++shown > 12) {
+                os << "  ... " << (unaddressed.size() - 12) << " more\n";
+                break;
+            }
+            os << "  " << u.gap.id() << ": " << u.reason << "\n";
+        }
+    }
+    return os.str();
+}
+
+}  // namespace iocov::testers::guided

@@ -1,0 +1,94 @@
+// The guide loop: measure → synthesize → re-measure until TCD
+// improvement plateaus or the call budget runs out.
+//
+// Round structure mirrors the campaign runner (PR 3): every synthesis
+// round gets a fresh FileSystem/Kernel/IOCov (no fd table, filter
+// state, or quota ledger carries over), and its report merges into a
+// cumulative report that only ever grows — so partitions close
+// monotonically and the loop's TCD sequence is non-increasing in
+// expectation.  Everything is seeded and deterministic: the same
+// config and baseline produce bit-identical reports and tables.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/coverage.hpp"
+#include "core/gap.hpp"
+#include "report/delta.hpp"
+#include "testers/guided/recipes.hpp"
+
+namespace iocov::testers::guided {
+
+struct GuideConfig {
+    /// Baseline suite to replay when no external baseline is given:
+    /// "crashmonkey", "xfstests", or "ltp".
+    std::string suite = "crashmonkey";
+    /// Baseline workload scale (campaign-style light default).
+    double scale = 0.002;
+    std::uint64_t seed = 42;
+    /// Uniform per-partition TCD target.  Small-scale baselines sit in
+    /// the tens of calls per partition, so 10 keeps the metric honest.
+    double target = 10.0;
+    unsigned max_rounds = 4;
+    /// Synthesized calls per gap per round.
+    std::uint64_t calls_per_gap = 2;
+    /// Total planned synthesized calls across all rounds (0 = unbounded).
+    std::uint64_t call_budget = 50000;
+    /// Stop when a round improves aggregate TCD by less than this.
+    double min_tcd_gain = 1e-4;
+    std::string mount = "/mnt/test";
+    bool extended_registry = false;
+};
+
+/// One measure→synthesize→re-measure iteration.
+struct GuideRound {
+    std::size_t gaps_before = 0;
+    std::size_t gaps_after = 0;
+    std::size_t gaps_addressed = 0;
+    std::size_t gaps_unaddressed = 0;
+    std::uint64_t planned_calls = 0;
+    std::uint64_t faults_fired = 0;
+    double tcd_before = 0.0;
+    double tcd_after = 0.0;
+
+    std::size_t closed() const { return gaps_before - gaps_after; }
+    double gain() const { return tcd_before - tcd_after; }
+};
+
+struct GuideResult {
+    core::CoverageReport baseline;
+    core::CoverageReport final_report;  ///< baseline + every round, merged
+    core::GapReport gaps_before;
+    core::GapReport gaps_after;
+    std::vector<GuideRound> rounds;
+    /// Per-space before/after movement (baseline vs final).
+    std::vector<report::SpaceDelta> deltas;
+    /// Gaps the last executed plan could not address, with reasons.
+    std::vector<UnaddressedGap> unaddressed;
+    std::uint64_t total_planned_calls = 0;
+    double target = 0.0;
+
+    /// Previously-untested partitions the loop reached.
+    std::size_t partitions_closed() const {
+        return gaps_before.total_gaps() - gaps_after.total_gaps();
+    }
+    double tcd_improvement() const {
+        return gaps_before.aggregate_tcd - gaps_after.aggregate_tcd;
+    }
+
+    /// Fixed-width before/after table over every coverage space.
+    std::string table() const;
+    /// Round-by-round narrative plus the headline numbers.
+    std::string summary() const;
+};
+
+/// Runs the baseline suite at the configured scale, then guides.
+GuideResult run_guide(const GuideConfig& config);
+
+/// Guides from an existing baseline report (e.g. an ingested trace).
+GuideResult run_guide_on_baseline(const core::CoverageReport& baseline,
+                                  const GuideConfig& config);
+
+}  // namespace iocov::testers::guided

@@ -1,0 +1,308 @@
+#include "testers/guided/recipes.hpp"
+
+#include <array>
+#include <map>
+#include <optional>
+#include <set>
+#include <utility>
+
+#include "abi/fcntl.hpp"
+#include "abi/seek.hpp"
+#include "abi/stat_mode.hpp"
+#include "stats/log_bucket.hpp"
+
+namespace iocov::testers::guided {
+namespace {
+
+using abi::Err;
+using namespace iocov::abi;  // NOLINT: flag constants read better unqualified
+
+/// Errnos run_error_scenario() can construct per base syscall *and*
+/// whose failing events survive TraceFilter admission (in-scope path,
+/// or a watched fd).  Notably absent: every EBADF — bad-fd calls are
+/// dropped by the filter (the fd was never returned by an admitted
+/// open), so EBADF goes through fault injection on a watched fd.
+const std::map<std::string, std::set<Err>>& scenario_errors() {
+    static const std::map<std::string, std::set<Err>> table = {
+        {"open",
+         {Err::ENOENT_, Err::EEXIST_, Err::EISDIR_, Err::ENOTDIR_,
+          Err::EACCES_, Err::EINVAL_, Err::ENAMETOOLONG_, Err::ELOOP_,
+          Err::EROFS_, Err::EPERM_, Err::ETXTBSY_, Err::ENXIO_, Err::EBUSY_,
+          Err::ENODEV_, Err::EFAULT_, Err::EMFILE_}},
+        {"write", {Err::EFAULT_, Err::EFBIG_, Err::ENOSPC_}},
+        {"read", {Err::EFAULT_, Err::EISDIR_}},
+        {"lseek", {Err::EINVAL_, Err::ENXIO_}},
+        {"truncate",
+         {Err::ENOENT_, Err::EISDIR_, Err::EACCES_, Err::EINVAL_,
+          Err::EFBIG_}},
+        {"mkdir",
+         {Err::EEXIST_, Err::ENOENT_, Err::EACCES_, Err::ENAMETOOLONG_}},
+        {"chmod", {Err::ENOENT_, Err::EPERM_}},
+        {"chdir", {Err::ENOENT_, Err::ENOTDIR_, Err::EACCES_}},
+        {"setxattr",
+         {Err::ENODATA_, Err::EEXIST_, Err::E2BIG_, Err::ERANGE_,
+          Err::EOPNOTSUPP_, Err::ENOSPC_}},
+        {"getxattr", {Err::ENODATA_, Err::ERANGE_}},
+    };
+    return table;
+}
+
+std::optional<std::uint32_t> mode_bit_by_name(const std::string& name) {
+    static constexpr std::array<std::pair<std::uint32_t, const char*>, 13>
+        kBits = {{
+            {S_ISUID, "S_ISUID"},
+            {S_ISGID, "S_ISGID"},
+            {S_ISVTX, "S_ISVTX"},
+            {S_IRUSR, "S_IRUSR"},
+            {S_IWUSR, "S_IWUSR"},
+            {S_IXUSR, "S_IXUSR"},
+            {S_IRGRP, "S_IRGRP"},
+            {S_IWGRP, "S_IWGRP"},
+            {S_IXGRP, "S_IXGRP"},
+            {S_IROTH, "S_IROTH"},
+            {S_IWOTH, "S_IWOTH"},
+            {S_IXOTH, "S_IXOTH"},
+            {0, "none"},
+        }};
+    for (const auto& [bits, n] : kBits)
+        if (name == n) return bits;
+    return std::nullopt;
+}
+
+/// Open-flag combo that exercises the named flag partition.  The bare
+/// flag usually suffices (input coverage counts flag bits regardless of
+/// the call's outcome); a few flags only make sense in combination.
+std::optional<std::uint32_t> combo_for_flag(const std::string& name) {
+    if (name == "O_RDONLY") return static_cast<std::uint32_t>(O_RDONLY);
+    if (name == "O_WRONLY") return static_cast<std::uint32_t>(O_WRONLY);
+    if (name == "O_RDWR") return static_cast<std::uint32_t>(O_RDWR);
+    if (name == "O_EXCL")
+        return static_cast<std::uint32_t>(O_CREAT | O_EXCL | O_WRONLY);
+    if (name == "O_TMPFILE")
+        return static_cast<std::uint32_t>(O_TMPFILE | O_RDWR);
+    for (const auto& info : abi::open_flag_table())
+        if (name == info.name)
+            return static_cast<std::uint32_t>(info.bits);
+    return std::nullopt;
+}
+
+std::optional<int> whence_by_name(const std::string& name) {
+    for (int w : abi::seek_whence_values())
+        if (abi::seek_whence_name(w) == name) return w;
+    if (name == "INVALID") return 99;
+    return std::nullopt;
+}
+
+/// "2^k" → k; nullopt for non-power labels.
+std::optional<unsigned> exp_of(const std::string& partition) {
+    const auto b = stats::parse_bucket_label(partition);
+    if (b && b->kind == stats::LogBucket::Kind::Pow2) return b->exponent;
+    return std::nullopt;
+}
+
+bool is_numeric_label(const std::string& partition) {
+    return stats::parse_bucket_label(partition).has_value();
+}
+
+class Planner {
+  public:
+    Planner(std::uint64_t calls_per_gap, std::uint64_t max_calls)
+        : calls_(calls_per_gap ? calls_per_gap : 1), max_calls_(max_calls) {}
+
+    GapPlan take() && {
+        finalize();
+        return std::move(plan_);
+    }
+
+    void consider(const core::Gap& gap) {
+        static const std::set<std::string> kKnownBases = {
+            "open",  "read",  "write", "lseek", "truncate", "mkdir",
+            "chmod", "close", "chdir", "setxattr", "getxattr"};
+        if (!kKnownBases.count(gap.base)) {
+            skip(gap, "outside the guided 11-syscall registry");
+            return;
+        }
+        if (max_calls_ != 0 && plan_.planned_calls >= max_calls_) {
+            skip(gap, "call budget exhausted");
+            return;
+        }
+        if (gap.kind == core::Gap::Kind::Input)
+            plan_input(gap);
+        else
+            plan_output(gap);
+    }
+
+  private:
+    void address(std::uint64_t n) {
+        ++plan_.gaps_addressed;
+        plan_.planned_calls += n;
+    }
+    void skip(const core::Gap& gap, std::string reason) {
+        plan_.unaddressed.push_back({gap, std::move(reason)});
+    }
+    void direct(const core::Gap& gap) {
+        plan_.direct.push_back({gap.base, gap.arg, gap.partition, calls_});
+        address(calls_);
+    }
+
+    void plan_input(const core::Gap& gap) {
+        const std::string& p = gap.partition;
+        if (gap.base == "open" && gap.arg == "flags") {
+            if (const auto combo = combo_for_flag(p)) {
+                open_combos_[*combo] += calls_;
+                address(calls_);
+            } else {
+                skip(gap, "unknown open flag");
+            }
+            return;
+        }
+        if (gap.arg == "mode") {  // open.mode / mkdir.mode / chmod.mode
+            if (!mode_bit_by_name(p)) {
+                skip(gap, "unknown mode bit");
+                return;
+            }
+            if (gap.base == "mkdir")
+                mkdir_modes_[*mode_bit_by_name(p)] += calls_;
+            else if (gap.base == "chmod")
+                chmod_modes_[*mode_bit_by_name(p)] += calls_;
+            else
+                direct(gap);  // open.mode: O_CREAT open with this mode
+            if (gap.base != "open") address(calls_);
+            return;
+        }
+        if (gap.base == "lseek" && gap.arg == "whence") {
+            const auto w = whence_by_name(p);
+            if (!w) {
+                skip(gap, "unknown whence");
+            } else if (p == "INVALID") {
+                direct(gap);
+            } else {
+                whences_[*w] += calls_;
+                address(calls_);
+            }
+            return;
+        }
+        if (gap.base == "setxattr" && gap.arg == "flags") {
+            direct(gap);
+            return;
+        }
+        if (gap.base == "close" && gap.arg == "fd") {
+            // Only fds returned by an admitted open pass the trace
+            // filter; negative / huge / AT_FDCWD close events are
+            // structurally invisible to the analyzer.
+            if (p == "stdio(0-2)" || p == "valid(>=3)")
+                direct(gap);
+            else
+                skip(gap, "filter drops events on unwatched fds");
+            return;
+        }
+        if (gap.base == "chdir" && gap.arg == "pathname") {
+            if (p == "contains-symlinkish")
+                skip(gap, "partitioner never emits this label");
+            else
+                direct(gap);
+            return;
+        }
+        // Numeric size/offset/length arguments.
+        if (is_numeric_label(p)) {
+            if (p == "<0" && gap.base != "truncate" && gap.base != "lseek") {
+                skip(gap, "argument is unsigned at the syscall boundary");
+                return;
+            }
+            if (gap.base == "setxattr") {
+                const auto e = exp_of(p);
+                if (e && *e > kMaxSetxattrExp) {
+                    skip(gap, "value buffer too large to materialize");
+                    return;
+                }
+            }
+            direct(gap);
+            return;
+        }
+        skip(gap, "no construction for this partition");
+    }
+
+    void plan_output(const core::Gap& gap) {
+        const std::string& p = gap.partition;
+        if (p == "OK" || p == "OK:=0") {
+            direct(gap);
+            return;
+        }
+        if (p.rfind("OK:2^", 0) == 0) {
+            const auto e = exp_of(p.substr(3));
+            if (!e) {
+                skip(gap, "unparseable output size bucket");
+                return;
+            }
+            if (gap.base == "getxattr" && *e > 16) {
+                skip(gap, "xattr values cap at XATTR_SIZE_MAX (2^16)");
+                return;
+            }
+            if ((gap.base == "write" || gap.base == "read" ||
+                 gap.base == "lseek") &&
+                *e > 32) {
+                skip(gap, "beyond the declared numeric range");
+                return;
+            }
+            direct(gap);
+            return;
+        }
+        // Errno partition: scenario if the generator knows a real
+        // argument/state construction for it, fault injection otherwise.
+        const auto err = abi::err_from_name(p);
+        if (!err) {
+            skip(gap, "unknown errno label");
+            return;
+        }
+        const auto it = scenario_errors().find(gap.base);
+        if (it != scenario_errors().end() && it->second.count(*err)) {
+            error_targets_[gap.base][*err] += calls_;
+            address(calls_);
+            return;
+        }
+        plan_.faults.push_back({gap.base, *err, calls_});
+        address(calls_);
+    }
+
+    void finalize() {
+        TesterProfile& prof = plan_.profile;
+        prof.name = "guided-synthesis";
+        for (const auto& [flags, count] : open_combos_)
+            prof.open_combos.push_back({flags, count});
+        for (const auto& [w, count] : whences_)
+            prof.lseek_whences.push_back({w, count});
+        for (const auto& [m, count] : mkdir_modes_)
+            prof.mkdir_modes.push_back({m, count});
+        for (const auto& [m, count] : chmod_modes_)
+            prof.chmod_modes.push_back({m, count});
+        prof.error_targets = error_targets_;
+        // The open-EFAULT scenario issues a relative "<fault>" path:
+        // the filter only admits it once the workload's cwd is inside
+        // the mount, which phase_chdir (running before phase_errors)
+        // guarantees.
+        if (!prof.error_targets.empty()) prof.chdir_count = 1;
+    }
+
+    static constexpr unsigned kMaxSetxattrExp = 20;  // 1 MiB value buffer
+
+    std::uint64_t calls_;
+    std::uint64_t max_calls_;
+    GapPlan plan_;
+    std::map<std::uint32_t, std::uint64_t> open_combos_;
+    std::map<int, std::uint64_t> whences_;
+    std::map<std::uint32_t, std::uint64_t> mkdir_modes_;
+    std::map<std::uint32_t, std::uint64_t> chmod_modes_;
+    std::map<std::string, std::map<Err, std::uint64_t>> error_targets_;
+};
+
+}  // namespace
+
+GapPlan plan_gaps(const core::GapReport& gaps, std::uint64_t calls_per_gap,
+                  std::uint64_t max_calls) {
+    Planner planner(calls_per_gap, max_calls);
+    for (const core::Gap& g : gaps.input_gaps) planner.consider(g);
+    for (const core::Gap& g : gaps.output_gaps) planner.consider(g);
+    return std::move(planner).take();
+}
+
+}  // namespace iocov::testers::guided

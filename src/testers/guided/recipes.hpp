@@ -1,0 +1,73 @@
+// Gap → syscall-recipe planning: the synthesize half of the guide loop.
+//
+// plan_gaps() turns a structured GapReport (core/gap) into three kinds
+// of executable work:
+//
+//   1. a synthetic TesterProfile — open-flag combos, lseek whences,
+//      mkdir/chmod modes, and error-scenario targets that TesterSim's
+//      existing phases know how to drive (reuse, not reimplementation);
+//   2. DirectRecipes — single-call argument constructions the profile
+//      machinery has no phase for (exact numeric buckets, path shapes,
+//      xattr flag values, output-size probes);
+//   3. FaultRecipes — errno output partitions no argument construction
+//      can reach (EIO, ENOMEM, EINTR, ...): arm a one-shot
+//      FaultInjector point on the base variant and issue a benign call.
+//
+// Gaps nothing can address are returned with a reason instead of being
+// silently dropped; the guide loop reports them.  Everything here is a
+// pure function of the gap list — determinism comes for free.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "abi/errno.hpp"
+#include "core/gap.hpp"
+#include "testers/profile.hpp"
+
+namespace iocov::testers::guided {
+
+/// One hand-constructed call pattern, interpreted by the synthesizer.
+/// `arg` empty means the recipe targets an output partition.
+struct DirectRecipe {
+    std::string base;
+    std::string arg;
+    std::string partition;
+    std::uint64_t calls = 1;
+};
+
+/// Arm `err` on the base variant `op` and issue a benign call of it,
+/// `calls` times (one one-shot arm per call).
+struct FaultRecipe {
+    std::string op;
+    abi::Err err = abi::Err::EIO_;
+    std::uint64_t calls = 1;
+};
+
+/// A gap the planner cannot (or chose not to) address, with why.
+struct UnaddressedGap {
+    core::Gap gap;
+    std::string reason;
+};
+
+/// Everything one synthesis round will execute.
+struct GapPlan {
+    TesterProfile profile;  ///< counts are absolute (run at scale 1.0)
+    std::vector<DirectRecipe> direct;
+    std::vector<FaultRecipe> faults;
+    std::vector<UnaddressedGap> unaddressed;
+    std::size_t gaps_addressed = 0;
+    std::uint64_t planned_calls = 0;
+
+    bool empty() const { return gaps_addressed == 0; }
+};
+
+/// Maps every gap in `gaps` (inputs first, then outputs — each already
+/// deviation-ranked within its space) to a recipe, spending at most
+/// `max_calls` planned calls at `calls_per_gap` calls each.  Gaps past
+/// the budget or with no known construction land in `unaddressed`.
+GapPlan plan_gaps(const core::GapReport& gaps, std::uint64_t calls_per_gap,
+                  std::uint64_t max_calls);
+
+}  // namespace iocov::testers::guided

@@ -1,0 +1,387 @@
+#include "testers/guided/synthesizer.hpp"
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "abi/fcntl.hpp"
+#include "abi/limits.hpp"
+#include "abi/seek.hpp"
+#include "abi/stat_mode.hpp"
+#include "abi/xattr.hpp"
+#include "stats/log_bucket.hpp"
+#include "syscall/process.hpp"
+#include "vfs/fault.hpp"
+
+namespace iocov::testers::guided {
+namespace {
+
+using namespace iocov::abi;  // NOLINT: flag constants read better unqualified
+using syscall::Process;
+using syscall::ReadDst;
+using syscall::WriteSrc;
+
+constexpr std::byte kFill{0x5a};
+constexpr std::uint64_t kBigFileSize = 1ULL << 32;  // sparse read source
+
+std::optional<unsigned> exp_of(const std::string& partition) {
+    const auto b = stats::parse_bucket_label(partition);
+    if (b && b->kind == stats::LogBucket::Kind::Pow2) return b->exponent;
+    return std::nullopt;
+}
+
+/// Driver-side state for direct and fault recipes.  All paths live
+/// under <scratch>/guided so recipe traffic never collides with the
+/// profile phases' scratch files.
+struct Env {
+    syscall::Kernel& kernel;
+    const Fixtures& fx;
+    Process user;
+    std::string gdir, wpath, bigpath, cpath, tpath, xpath;
+    int wfd = -1;  ///< O_RDWR fd on wpath (watched, reusable)
+    int rfd = -1;  ///< O_RDONLY fd on the sparse big file
+    std::uint64_t uniq = 0;
+    SynthesisOutcome& out;
+
+    Env(syscall::Kernel& k, const Fixtures& f, SynthesisOutcome& o)
+        : kernel(k),
+          fx(f),
+          user(k.make_process(2000, vfs::Credentials::user(1000, 1000))),
+          out(o) {
+        gdir = fx.scratch + "/guided";
+        wpath = gdir + "/w";
+        bigpath = gdir + "/big";
+        cpath = gdir + "/c";
+        tpath = gdir + "/t";
+        xpath = gdir + "/x";
+
+        user.sys_chdir(fx.scratch.c_str());
+        user.sys_mkdir(gdir.c_str(), 0755);
+        // Hold three fds so the driver's fd numbering mimics a real
+        // process (0-2 = stdio); recipe fds then land at >= 3, keeping
+        // the "valid(>=3)" identifier partition honest.
+        const auto w0 = user.sys_open(wpath.c_str(), O_CREAT | O_RDWR, 0644);
+        user.sys_open(wpath.c_str(), O_RDONLY);
+        user.sys_open(wpath.c_str(), O_RDONLY);
+        (void)w0;
+        wfd = static_cast<int>(
+            user.sys_open(wpath.c_str(), O_RDWR));
+        const auto bfd =
+            user.sys_open(bigpath.c_str(), O_CREAT | O_WRONLY, 0644);
+        if (bfd >= 0) {
+            user.sys_ftruncate(static_cast<int>(bfd),
+                               static_cast<std::int64_t>(kBigFileSize));
+            user.sys_close(static_cast<int>(bfd));
+        }
+        rfd = static_cast<int>(user.sys_open(bigpath.c_str(), O_RDONLY));
+        touch(cpath);
+        touch(tpath);
+        touch(xpath);
+        user.sys_setxattr(xpath.c_str(), "user.g", small_value(), 0);
+        user.sys_setxattr(xpath.c_str(), "user.empty", {}, 0);
+    }
+
+    void touch(const std::string& path) {
+        const auto fd = user.sys_open(path.c_str(), O_CREAT | O_WRONLY, 0644);
+        if (fd >= 0) user.sys_close(static_cast<int>(fd));
+    }
+
+    static std::span<const std::byte> small_value() {
+        static const std::vector<std::byte> v(32, kFill);
+        return v;
+    }
+
+    std::string unique(const char* stem) {
+        return gdir + "/" + stem + std::to_string(uniq++);
+    }
+};
+
+// ---- direct recipes -------------------------------------------------------
+
+void direct_open_mode(Env& e, std::uint32_t mode, std::uint64_t calls) {
+    for (std::uint64_t i = 0; i < calls; ++i) {
+        const std::string path = e.unique("om");
+        const auto fd =
+            e.user.sys_open(path.c_str(), O_CREAT | O_WRONLY, mode);
+        if (fd >= 0) e.user.sys_close(static_cast<int>(fd));
+    }
+}
+
+std::optional<std::uint32_t> mode_bits(const std::string& name) {
+    static constexpr std::pair<std::uint32_t, const char*> kBits[] = {
+        {S_ISUID, "S_ISUID"}, {S_ISGID, "S_ISGID"}, {S_ISVTX, "S_ISVTX"},
+        {S_IRUSR, "S_IRUSR"}, {S_IWUSR, "S_IWUSR"}, {S_IXUSR, "S_IXUSR"},
+        {S_IRGRP, "S_IRGRP"}, {S_IWGRP, "S_IWGRP"}, {S_IXGRP, "S_IXGRP"},
+        {S_IROTH, "S_IROTH"}, {S_IWOTH, "S_IWOTH"}, {S_IXOTH, "S_IXOTH"},
+        {0, "none"}};
+    for (const auto& [bits, n] : kBits)
+        if (name == n) return bits;
+    return std::nullopt;
+}
+
+/// One pwrite of `size` at offset 0, releasing the blocks afterwards so
+/// a sweep of large buckets cannot exhaust the 8 GiB volume.
+void sized_write(Env& e, std::uint64_t size) {
+    e.user.sys_pwrite64(e.wfd, WriteSrc::pattern(size, kFill), 0);
+    if (size >= (1ULL << 26)) e.user.sys_ftruncate(e.wfd, 0);
+}
+
+void chdir_recipe(Env& e, const std::string& partition) {
+    const std::string& scratch = e.fx.scratch;
+    if (partition == "absolute") {
+        e.user.sys_chdir(scratch.c_str());
+        return;  // cwd unchanged; no restore needed
+    }
+    if (partition == "relative") {
+        e.user.sys_chdir("guided");
+    } else if (partition == "dot") {
+        e.user.sys_chdir(".");
+    } else if (partition == "dotdot") {
+        e.user.sys_chdir("..");  // scratch -> mount, still in scope
+    } else if (partition == "trailing-slash") {
+        e.user.sys_chdir((e.gdir + "/").c_str());
+    } else if (partition == "name-max") {
+        const std::string jam = scratch + "/" + std::string(300, 'n');
+        e.user.sys_chdir(jam.c_str());
+    } else if (partition == "path-max") {
+        // Many short components, so only the whole-path boundary trips.
+        std::string deep = scratch;
+        while (deep.size() < PATH_MAX_ + 8) deep += "/pathmax8";
+        e.user.sys_chdir(deep.c_str());
+    } else if (partition == "via-fd") {
+        const auto dirfd =
+            e.user.sys_open(scratch.c_str(), O_DIRECTORY | O_RDONLY);
+        if (dirfd >= 0) {
+            e.user.sys_fchdir(static_cast<int>(dirfd));
+            e.user.sys_close(static_cast<int>(dirfd));
+        }
+    } else if (partition == "faulting") {
+        e.user.sys_chdir(nullptr);
+    } else if (partition == "empty") {
+        e.user.sys_chdir("");
+    }
+    e.user.sys_chdir(scratch.c_str());  // restore the cwd invariant
+}
+
+void input_recipe(Env& e, const DirectRecipe& r) {
+    const auto exp = exp_of(r.partition);
+    for (std::uint64_t i = 0; i < r.calls; ++i) {
+        if (r.base == "open" && r.arg == "mode") {
+            if (const auto m = mode_bits(r.partition))
+                direct_open_mode(e, *m, 1);
+        } else if (r.base == "write" && r.arg == "count") {
+            if (r.partition == "=0")
+                e.user.sys_write(e.wfd, WriteSrc::pattern(0, kFill));
+            else if (exp)
+                sized_write(e, 1ULL << *exp);
+        } else if (r.base == "read" && r.arg == "count") {
+            if (r.partition == "=0")
+                e.user.sys_read(e.rfd, ReadDst::discard(0));
+            else if (exp)
+                e.user.sys_pread64(e.rfd, ReadDst::discard(1ULL << *exp), 0);
+        } else if (r.base == "truncate" && r.arg == "length") {
+            if (r.partition == "<0")
+                e.user.sys_truncate(e.tpath.c_str(), -1);
+            else if (r.partition == "=0")
+                e.user.sys_truncate(e.tpath.c_str(), 0);
+            else if (exp)
+                e.user.sys_truncate(e.tpath.c_str(),
+                                    std::int64_t{1} << *exp);
+        } else if (r.base == "lseek" && r.arg == "offset") {
+            if (r.partition == "<0")
+                e.user.sys_lseek(e.wfd, -1, SEEK_SET_);
+            else if (r.partition == "=0")
+                e.user.sys_lseek(e.wfd, 0, SEEK_SET_);
+            else if (exp)
+                e.user.sys_lseek(e.wfd, std::int64_t{1} << *exp, SEEK_SET_);
+        } else if (r.base == "lseek" && r.arg == "whence") {
+            e.user.sys_lseek(e.wfd, 0, 99);  // only INVALID lands here
+        } else if (r.base == "setxattr" && r.arg == "flags") {
+            if (r.partition == "0") {
+                e.user.sys_setxattr(e.xpath.c_str(), "user.f0",
+                                    Env::small_value(), 0);
+            } else if (r.partition == "XATTR_CREATE") {
+                const std::string name = "user.fc" + std::to_string(e.uniq++);
+                e.user.sys_setxattr(e.xpath.c_str(), name.c_str(),
+                                    Env::small_value(), XATTR_CREATE_);
+            } else if (r.partition == "XATTR_REPLACE") {
+                e.user.sys_setxattr(e.xpath.c_str(), "user.g",
+                                    Env::small_value(), XATTR_REPLACE_);
+            } else {  // INVALID
+                e.user.sys_setxattr(e.xpath.c_str(), "user.fi",
+                                    Env::small_value(), 7);
+            }
+        } else if (r.base == "setxattr" && r.arg == "size") {
+            if (r.partition == "=0") {
+                e.user.sys_setxattr(e.xpath.c_str(), "user.sz", {}, 0);
+            } else if (exp) {
+                std::vector<std::byte> buf(1ULL << *exp, kFill);
+                e.user.sys_setxattr(e.xpath.c_str(), "user.sz", buf, 0);
+                e.user.sys_removexattr(e.xpath.c_str(), "user.sz");
+            }
+        } else if (r.base == "getxattr" && r.arg == "size") {
+            if (r.partition == "=0")
+                e.user.sys_getxattr(e.xpath.c_str(), "user.g", 0);
+            else if (exp)
+                e.user.sys_getxattr(e.xpath.c_str(), "user.g",
+                                    1ULL << *exp);
+        } else if (r.base == "close" && r.arg == "fd") {
+            if (r.partition == "stdio(0-2)") {
+                // A fresh process has an empty fd table, so its first
+                // open lands on fd 0 — the only admissible way to close
+                // a stdio-range fd (the filter needs a watched fd).
+                Process p = e.kernel.make_process(
+                    2100 + static_cast<int>(i),
+                    vfs::Credentials::user(1000, 1000));
+                const auto fd = p.sys_open(e.wpath.c_str(), O_RDONLY);
+                if (fd >= 0) p.sys_close(static_cast<int>(fd));
+            } else {  // valid(>=3)
+                const auto fd = e.user.sys_open(e.wpath.c_str(), O_RDONLY);
+                if (fd >= 0) e.user.sys_close(static_cast<int>(fd));
+            }
+        } else if (r.base == "chdir" && r.arg == "pathname") {
+            chdir_recipe(e, r.partition);
+        }
+        ++e.out.direct_calls;
+    }
+}
+
+void output_recipe(Env& e, const DirectRecipe& r) {
+    const auto exp =
+        r.partition.rfind("OK:2^", 0) == 0 ? exp_of(r.partition.substr(3))
+                                           : std::nullopt;
+    for (std::uint64_t i = 0; i < r.calls; ++i) {
+        if (r.partition == "OK") {
+            if (r.base == "open" || r.base == "close") {
+                const auto fd = e.user.sys_open(e.wpath.c_str(), O_RDONLY);
+                if (fd >= 0) e.user.sys_close(static_cast<int>(fd));
+            } else if (r.base == "truncate") {
+                e.user.sys_truncate(e.tpath.c_str(), 0);
+            } else if (r.base == "mkdir") {
+                e.user.sys_mkdir(e.unique("ok").c_str(), 0755);
+            } else if (r.base == "chmod") {
+                e.user.sys_chmod(e.cpath.c_str(), 0644);
+            } else if (r.base == "chdir") {
+                e.user.sys_chdir(e.fx.scratch.c_str());
+            } else if (r.base == "setxattr") {
+                e.user.sys_setxattr(e.xpath.c_str(), "user.g",
+                                    Env::small_value(), 0);
+            }
+        } else if (r.partition == "OK:=0") {
+            if (r.base == "write")
+                e.user.sys_pwrite64(e.wfd, WriteSrc::pattern(0, kFill), 0);
+            else if (r.base == "read")
+                e.user.sys_pread64(e.rfd, ReadDst::discard(0), 0);
+            else if (r.base == "lseek")
+                e.user.sys_lseek(e.wfd, 0, SEEK_SET_);
+            else if (r.base == "getxattr")
+                e.user.sys_getxattr(e.xpath.c_str(), "user.empty", 256);
+        } else if (exp) {
+            const std::uint64_t size = 1ULL << *exp;
+            if (r.base == "write") {
+                sized_write(e, size);
+            } else if (r.base == "read") {
+                e.user.sys_pread64(e.rfd, ReadDst::discard(size), 0);
+            } else if (r.base == "lseek") {
+                e.user.sys_lseek(e.wfd, static_cast<std::int64_t>(size),
+                                 SEEK_SET_);
+            } else if (r.base == "getxattr") {
+                std::vector<std::byte> buf(size, kFill);
+                e.user.sys_setxattr(e.xpath.c_str(), "user.p", buf, 0);
+                e.user.sys_getxattr(e.xpath.c_str(), "user.p", size);
+                e.user.sys_removexattr(e.xpath.c_str(), "user.p");
+            }
+        }
+        ++e.out.direct_calls;
+    }
+}
+
+// ---- fault recipes --------------------------------------------------------
+
+/// Issues one call of `base` that the filter admits (in-scope path or
+/// watched fd), so an armed fault's errno surfaces in the report.
+void benign_call(Env& e, const std::string& base) {
+    if (base == "open") {
+        const auto fd = e.user.sys_open(e.wpath.c_str(), O_RDONLY);
+        if (fd >= 0) e.user.sys_close(static_cast<int>(fd));
+    } else if (base == "read") {
+        e.user.sys_read(e.rfd, ReadDst::discard(16));
+    } else if (base == "write") {
+        e.user.sys_pwrite64(e.wfd, WriteSrc::pattern(16, kFill), 0);
+    } else if (base == "lseek") {
+        e.user.sys_lseek(e.wfd, 0, SEEK_CUR_);
+    } else if (base == "truncate") {
+        e.user.sys_truncate(e.tpath.c_str(), 0);
+    } else if (base == "mkdir") {
+        e.user.sys_mkdir(e.unique("fj").c_str(), 0755);
+    } else if (base == "chmod") {
+        e.user.sys_chmod(e.cpath.c_str(), 0644);
+    } else if (base == "chdir") {
+        e.user.sys_chdir(e.fx.scratch.c_str());
+    } else if (base == "setxattr") {
+        e.user.sys_setxattr(e.xpath.c_str(), "user.g", Env::small_value(),
+                            0);
+    } else if (base == "getxattr") {
+        e.user.sys_getxattr(e.xpath.c_str(), "user.g", 256);
+    }
+}
+
+void fault_recipe(Env& e, const FaultRecipe& r) {
+    for (std::uint64_t i = 0; i < r.calls; ++i) {
+        if (r.op == "close") {
+            // The fd must exist (and be watched) before the armed fault
+            // can fail its close; the clean retry releases it.
+            const auto fd = e.user.sys_open(e.wpath.c_str(), O_RDONLY);
+            e.kernel.faults().arm(r.op, r.err, 0);
+            if (fd >= 0) {
+                e.user.sys_close(static_cast<int>(fd));  // fails with err
+                e.user.sys_close(static_cast<int>(fd));  // clean release
+            } else {
+                e.kernel.faults().disarm(r.op, r.err);
+            }
+        } else {
+            // The benign driver uses pwrite64 for write (stable offset),
+            // so arm the variant the driver actually issues.
+            const std::string op = r.op == "write" ? "pwrite64" : r.op;
+            e.kernel.faults().arm(op, r.err, 0);
+            benign_call(e, r.op);
+        }
+        ++e.out.fault_calls;
+    }
+}
+
+bool profile_active(const TesterProfile& p) {
+    return !p.open_combos.empty() || !p.write_sizes.empty() ||
+           !p.read_sizes.empty() || !p.truncate_lengths.empty() ||
+           !p.xattr_set_sizes.empty() || !p.xattr_get_sizes.empty() ||
+           !p.lseek_whences.empty() || !p.mkdir_modes.empty() ||
+           !p.chmod_modes.empty() || p.chdir_count != 0 ||
+           !p.error_targets.empty();
+}
+
+}  // namespace
+
+SynthesisOutcome synthesize(const GapPlan& plan, syscall::Kernel& kernel,
+                            const Fixtures& fx, std::uint64_t seed) {
+    SynthesisOutcome out;
+    if (profile_active(plan.profile)) {
+        TesterSim sim(plan.profile, {1.0, seed});
+        out.sim_stats = sim.run(kernel, fx);
+    }
+    {
+        Env env(kernel, fx, out);
+        for (const DirectRecipe& r : plan.direct) {
+            if (r.arg.empty())
+                output_recipe(env, r);
+            else
+                input_recipe(env, r);
+        }
+        const std::uint64_t fired_before = kernel.faults().fired_total();
+        for (const FaultRecipe& r : plan.faults) fault_recipe(env, r);
+        out.faults_fired = kernel.faults().fired_total() - fired_before;
+    }
+    return out;
+}
+
+}  // namespace iocov::testers::guided

@@ -1,0 +1,35 @@
+// Executes a GapPlan against a kernel: the workload half of a guide
+// round.
+//
+// Three stages, in order: the synthetic-profile portion replays through
+// TesterSim (reusing its phases and error scenarios at scale 1.0),
+// then the direct recipes run through a dedicated driver process, then
+// the fault recipes arm one-shot FaultInjector points and issue benign
+// calls to surface each errno through an admitted event.  Ordering
+// matters: faults arm last so the injector cannot perturb the
+// profile/direct traffic.
+#pragma once
+
+#include <cstdint>
+
+#include "syscall/kernel.hpp"
+#include "testers/fixtures.hpp"
+#include "testers/generator.hpp"
+#include "testers/guided/recipes.hpp"
+
+namespace iocov::testers::guided {
+
+struct SynthesisOutcome {
+    RunStats sim_stats;  ///< profile-driven portion (if any)
+    std::uint64_t direct_calls = 0;
+    std::uint64_t fault_calls = 0;
+    std::uint64_t faults_fired = 0;  ///< injector-confirmed firings
+};
+
+/// Runs `plan` on `kernel` (whose sink should already feed an
+/// analyzer).  `fx` must be prepared on the kernel's file system.
+/// Deterministic for a fixed (plan, seed).
+SynthesisOutcome synthesize(const GapPlan& plan, syscall::Kernel& kernel,
+                            const Fixtures& fx, std::uint64_t seed);
+
+}  // namespace iocov::testers::guided

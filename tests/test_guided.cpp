@@ -1,0 +1,136 @@
+// The guide loop end to end: gap planning, synthesis, determinism, and
+// the before/after coverage movement ISSUE acceptance demands.
+#include "testers/guided/loop.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "testers/guided/recipes.hpp"
+
+namespace iocov::testers::guided {
+namespace {
+
+GuideConfig small_config() {
+    GuideConfig cfg;
+    cfg.suite = "crashmonkey";
+    cfg.scale = 0.002;
+    cfg.seed = 42;
+    return cfg;
+}
+
+// The headline acceptance criterion: starting from a small crashmonkey
+// baseline, the loop reaches >= 20 previously-untested partitions and
+// reduces the aggregate TCD.
+TEST(GuideLoop, ClosesGapsAndReducesTcdOnCrashmonkeyBaseline) {
+    const auto result = run_guide(small_config());
+    EXPECT_GE(result.partitions_closed(), 20u);
+    EXPECT_GT(result.tcd_improvement(), 0.0);
+    EXPECT_LT(result.gaps_after.aggregate_tcd,
+              result.gaps_before.aggregate_tcd);
+    EXPECT_FALSE(result.rounds.empty());
+    EXPECT_GT(result.total_planned_calls, 0u);
+}
+
+TEST(GuideLoop, SameConfigIsBitIdentical) {
+    const auto a = run_guide(small_config());
+    const auto b = run_guide(small_config());
+    EXPECT_EQ(a.baseline, b.baseline);
+    EXPECT_EQ(a.final_report, b.final_report);
+    EXPECT_EQ(a.rounds.size(), b.rounds.size());
+    EXPECT_EQ(a.total_planned_calls, b.total_planned_calls);
+    EXPECT_EQ(a.table(), b.table());
+    EXPECT_EQ(a.summary(), b.summary());
+}
+
+TEST(GuideLoop, BeforeAfterTableTracksEverySpace) {
+    const auto result = run_guide(small_config());
+    ASSERT_FALSE(result.deltas.empty());
+    // Coverage only ever merges, so no space can lose tested partitions,
+    // and at least one previously-dark space must light up.
+    bool some_space_lit_up = false;
+    for (const auto& d : result.deltas) {
+        EXPECT_GE(d.tested_after, d.tested_before) << d.space;
+        EXPECT_LE(d.tested_after, d.declared) << d.space;
+        if (d.closed() > 0) some_space_lit_up = true;
+    }
+    EXPECT_TRUE(some_space_lit_up);
+    const auto table = result.table();
+    EXPECT_NE(table.find("TOTAL"), std::string::npos);
+    const auto summary = result.summary();
+    EXPECT_NE(summary.find("partitions closed"), std::string::npos);
+}
+
+TEST(GuideLoop, RoundAccountingIsConsistent) {
+    const auto result = run_guide(small_config());
+    std::uint64_t planned = 0;
+    for (const auto& r : result.rounds) {
+        EXPECT_LE(r.gaps_after, r.gaps_before);
+        planned += r.planned_calls;
+    }
+    EXPECT_EQ(planned, result.total_planned_calls);
+    EXPECT_LE(result.rounds.size(), small_config().max_rounds);
+}
+
+TEST(GuideLoop, RespectsTheCallBudget) {
+    auto cfg = small_config();
+    cfg.call_budget = 40;
+    const auto result = run_guide(cfg);
+    EXPECT_LE(result.total_planned_calls, cfg.call_budget);
+}
+
+TEST(GuideLoop, PlateauStopsTheLoopEarly) {
+    auto cfg = small_config();
+    cfg.max_rounds = 10;
+    cfg.min_tcd_gain = 1e9;  // no round can gain this much
+    const auto result = run_guide(cfg);
+    EXPECT_EQ(result.rounds.size(), 1u);
+}
+
+TEST(GuideLoop, EmptyBaselineHasNothingToGuide) {
+    const auto result =
+        run_guide_on_baseline(core::CoverageReport{}, small_config());
+    EXPECT_EQ(result.partitions_closed(), 0u);
+    EXPECT_EQ(result.total_planned_calls, 0u);
+    EXPECT_TRUE(result.rounds.empty());
+}
+
+TEST(GuideLoop, UnaddressedGapsCarryReasons) {
+    const auto result = run_guide(small_config());
+    for (const auto& u : result.unaddressed)
+        EXPECT_FALSE(u.reason.empty()) << u.gap.id();
+}
+
+// Planner unit properties, independent of any simulated run.
+TEST(PlanGaps, EveryGapIsAddressedOrExplained) {
+    const auto result = run_guide(small_config());
+    const auto plan = plan_gaps(result.gaps_before, 2, 0);
+    EXPECT_EQ(plan.gaps_addressed + plan.unaddressed.size(),
+              result.gaps_before.total_gaps());
+    for (const auto& u : plan.unaddressed)
+        EXPECT_FALSE(u.reason.empty()) << u.gap.id();
+}
+
+TEST(PlanGaps, BudgetZeroMeansUnboundedAndTinyBudgetMeansTiny) {
+    const auto result = run_guide(small_config());
+    const auto unbounded = plan_gaps(result.gaps_before, 2, 0);
+    const auto capped = plan_gaps(result.gaps_before, 2, 6);
+    EXPECT_GE(unbounded.planned_calls, capped.planned_calls);
+    EXPECT_LE(capped.planned_calls, 6u);
+    EXPECT_GT(unbounded.gaps_addressed, capped.gaps_addressed);
+}
+
+TEST(PlanGaps, IsAPureFunctionOfTheGapReport) {
+    const auto result = run_guide(small_config());
+    const auto a = plan_gaps(result.gaps_before, 2, 100);
+    const auto b = plan_gaps(result.gaps_before, 2, 100);
+    EXPECT_EQ(a.planned_calls, b.planned_calls);
+    EXPECT_EQ(a.gaps_addressed, b.gaps_addressed);
+    EXPECT_EQ(a.direct.size(), b.direct.size());
+    EXPECT_EQ(a.faults.size(), b.faults.size());
+    EXPECT_EQ(a.unaddressed.size(), b.unaddressed.size());
+}
+
+}  // namespace
+}  // namespace iocov::testers::guided

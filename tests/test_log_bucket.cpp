@@ -99,6 +99,41 @@ TEST(ParseBucketLabel, RejectsGarbage) {
     EXPECT_FALSE(parse_bucket_label("2^10trailing"));
 }
 
+TEST(ParseBucketLabel, RoundTripsEveryRepresentableExponent) {
+    for (unsigned e = 0; e < 63; ++e) {
+        const auto label = "2^" + std::to_string(e);
+        const auto parsed = parse_bucket_label(label);
+        ASSERT_TRUE(parsed.has_value()) << label;
+        EXPECT_EQ(parsed->kind, LogBucket::Kind::Pow2);
+        EXPECT_EQ(parsed->exponent, e);
+        EXPECT_EQ(bucket_label(*parsed), label);
+        // Every parseable bucket must have a representable lower bound.
+        EXPECT_GT(bucket_lower_bound(*parsed), 0);
+    }
+}
+
+TEST(ParseBucketLabel, RejectsExponent63) {
+    // No positive int64 lives in [2^63, 2^64); before the fix the parser
+    // accepted this label and bucket_lower_bound computed 1 << 63
+    // (signed overflow).
+    EXPECT_FALSE(parse_bucket_label("2^63"));
+}
+
+TEST(LogBucket, LowerBoundSaturatesAtUnrepresentableExponent) {
+    // A hand-built exponent-63 bucket must not overflow either.
+    const LogBucket b{LogBucket::Kind::Pow2, 63};
+    EXPECT_EQ(bucket_lower_bound(b),
+              std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(HumanSize, FractionComesFromFullByteCount) {
+    // 1,520,500 B = 1.45 MiB.  The old remainder-only formula dropped
+    // the KiB-level leftovers and printed 1.4MiB.
+    EXPECT_EQ(human_size(1520500), "1.5MiB");
+    EXPECT_EQ(human_size(1610612736ULL), "1.5GiB");
+    EXPECT_EQ(human_size(1023), "1023B");
+}
+
 // Property sweep: every value maps into a bucket whose bounds contain it.
 class LogBucketProperty : public ::testing::TestWithParam<std::int64_t> {};
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 #include <vector>
 
 namespace iocov::stats {
@@ -22,6 +23,15 @@ TEST(Rmsd, MatchesHandComputedValue) {
     const std::vector<double> b{3, 4};
     // sqrt((9 + 16) / 2) = sqrt(12.5)
     EXPECT_DOUBLE_EQ(rmsd(a, b), std::sqrt(12.5));
+}
+
+TEST(Rmsd, ThrowsOnLengthMismatch) {
+    // Used to be an assert, i.e. a silent out-of-bounds read in
+    // NDEBUG builds (the default RelWithDebInfo config defines it).
+    const std::vector<double> a{1, 2, 3};
+    const std::vector<double> b{1, 2};
+    EXPECT_THROW(rmsd(a, b), std::invalid_argument);
+    EXPECT_THROW(rmsd(b, a), std::invalid_argument);
 }
 
 TEST(Rmsd, SymmetricInArguments) {

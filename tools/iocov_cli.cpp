@@ -9,6 +9,10 @@
 //   iocov demo     [--suite NAME] [--scale S]   (run a simulator)
 //   iocov campaign [--suite NAME] [--scale S] [--seed N] [--runs N]
 //                  [--save FILE]               (fault-space exploration)
+//   iocov guide    [--suite NAME] [--scale S] [--seed N] [--rounds N]
+//                  [--budget N] [--per-gap N] [--target N]
+//                  [--baseline FILE] [--save FILE]
+//                                              (gap-driven synthesis)
 //   iocov bugstudy [--scale S] [--export]       (Section 2 study/dataset)
 //
 // `analyze` consumes one or more traces — LTTng-style text or IOCT
@@ -40,6 +44,7 @@
 #include "testers/campaign.hpp"
 #include "testers/fixtures.hpp"
 #include "testers/generator.hpp"
+#include "testers/guided/loop.hpp"
 #include "vfs/filesystem.hpp"
 
 namespace {
@@ -73,6 +78,17 @@ int usage() {
         "      surfacing after every run; --runs bounds the sweep,\n"
         "      --chaos adds seeded probabilistic runs.  Exits 1 on any\n"
         "      fsck or faithfulness violation.\n"
+        "  iocov guide   [--suite crashmonkey|xfstests|ltp] [--scale S]\n"
+        "                [--seed N] [--rounds N] [--budget N] [--per-gap N]\n"
+        "                [--target N] [--extended] [--baseline FILE]\n"
+        "                [--save FILE]\n"
+        "      close the coverage loop: measure the baseline's untested\n"
+        "      partitions (TCD-ranked), synthesize syscalls + fault\n"
+        "      injections aimed at each gap, re-measure, and iterate\n"
+        "      until the TCD plateaus or the call budget runs out.\n"
+        "      --baseline guides from a saved report instead of\n"
+        "      replaying a suite; --save writes the merged final report.\n"
+        "      Prints a before/after table per coverage space.\n"
         "  iocov bugstudy [--scale S] [--export]\n");
     return 2;
 }
@@ -418,6 +434,60 @@ int cmd_campaign(int argc, char** argv) {
     return result.clean() ? 0 : 1;
 }
 
+int cmd_guide(int argc, char** argv) {
+    testers::guided::GuideConfig cfg;
+    const char* baseline_path = nullptr;
+    const char* save_path = nullptr;
+    for (int i = 0; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--suite") && i + 1 < argc)
+            cfg.suite = argv[++i];
+        else if (!std::strcmp(argv[i], "--scale") && i + 1 < argc)
+            cfg.scale = std::atof(argv[++i]);
+        else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc)
+            cfg.seed = std::strtoull(argv[++i], nullptr, 10);
+        else if (!std::strcmp(argv[i], "--rounds") && i + 1 < argc)
+            cfg.max_rounds = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        else if (!std::strcmp(argv[i], "--budget") && i + 1 < argc)
+            cfg.call_budget = std::strtoull(argv[++i], nullptr, 10);
+        else if (!std::strcmp(argv[i], "--per-gap") && i + 1 < argc)
+            cfg.calls_per_gap = std::strtoull(argv[++i], nullptr, 10);
+        else if (!std::strcmp(argv[i], "--target") && i + 1 < argc)
+            cfg.target = std::atof(argv[++i]);
+        else if (!std::strcmp(argv[i], "--mount") && i + 1 < argc)
+            cfg.mount = argv[++i];
+        else if (!std::strcmp(argv[i], "--extended"))
+            cfg.extended_registry = true;
+        else if (!std::strcmp(argv[i], "--baseline") && i + 1 < argc)
+            baseline_path = argv[++i];
+        else if (!std::strcmp(argv[i], "--save") && i + 1 < argc)
+            save_path = argv[++i];
+        else
+            return usage();
+    }
+    if (cfg.suite != "crashmonkey" && cfg.suite != "xfstests" &&
+        cfg.suite != "ltp") {
+        std::fprintf(stderr, "iocov: unknown suite %s\n", cfg.suite.c_str());
+        return 2;
+    }
+    testers::guided::GuideResult result;
+    if (baseline_path) {
+        auto baseline = load(baseline_path);
+        if (!baseline) return 1;
+        result = testers::guided::run_guide_on_baseline(*baseline, cfg);
+    } else {
+        result = testers::guided::run_guide(cfg);
+    }
+    std::printf("%s\n", result.summary().c_str());
+    std::printf("%s", result.table().c_str());
+    if (save_path) {
+        std::ofstream out(save_path);
+        core::save_report(out, result.final_report);
+        std::printf("\nmerged report saved to %s\n", save_path);
+    }
+    return 0;
+}
+
 int cmd_bugstudy(int argc, char** argv) {
     double scale = 0.01;
     bool export_dataset = false;
@@ -469,6 +539,7 @@ int main(int argc, char** argv) {
     if (cmd == "tcd") return cmd_tcd(argc - 2, argv + 2);
     if (cmd == "demo") return cmd_demo(argc - 2, argv + 2);
     if (cmd == "campaign") return cmd_campaign(argc - 2, argv + 2);
+    if (cmd == "guide") return cmd_guide(argc - 2, argv + 2);
     if (cmd == "bugstudy") return cmd_bugstudy(argc - 2, argv + 2);
     return usage();
 }
