@@ -28,36 +28,47 @@ const std::vector<OpenFlagInfo>& open_flag_table() {
     return kTable;
 }
 
-std::vector<std::string> decompose_open_flags(std::uint32_t flags) {
-    std::vector<std::string> out;
+std::size_t decompose_open_flags(std::uint32_t flags, std::string_view* out,
+                                 std::size_t cap) {
+    std::size_t n = 0;
+    auto emit = [&](std::string_view name) {
+        if (n < cap) out[n++] = name;
+    };
     // Access mode: exactly one of O_RDONLY / O_WRONLY / O_RDWR.  The
     // kernel treats mode 3 as invalid; we report it as O_RDWR for
     // coverage purposes (the syscall layer rejects it with EINVAL).
     switch (flags & O_ACCMODE) {
-        case O_WRONLY: out.emplace_back("O_WRONLY"); break;
-        case O_RDONLY: out.emplace_back("O_RDONLY"); break;
-        default: out.emplace_back("O_RDWR"); break;
+        case O_WRONLY: emit("O_WRONLY"); break;
+        case O_RDONLY: emit("O_RDONLY"); break;
+        default: emit("O_RDWR"); break;
     }
     std::uint32_t rest = flags & ~O_ACCMODE;
     // Composite flags first so O_SYNC absorbs O_DSYNC and O_TMPFILE
     // absorbs O_DIRECTORY, matching how the kernel distinguishes them.
     if ((rest & O_SYNC) == O_SYNC) {
-        out.emplace_back("O_SYNC");
+        emit("O_SYNC");
         rest &= ~static_cast<std::uint32_t>(O_SYNC);
     }
     if ((rest & O_TMPFILE) == O_TMPFILE) {
-        out.emplace_back("O_TMPFILE");
+        emit("O_TMPFILE");
         rest &= ~static_cast<std::uint32_t>(O_TMPFILE);
     }
     for (const auto& info : open_flag_table()) {
         if (info.access_mode || info.bits == O_SYNC || info.bits == O_TMPFILE)
             continue;
         if ((rest & info.bits) == info.bits) {
-            out.emplace_back(info.name);
+            emit(info.name);
             rest &= ~info.bits;
         }
     }
-    return out;
+    return n;
+}
+
+std::vector<std::string> decompose_open_flags(std::uint32_t flags) {
+    std::string_view names[kMaxOpenFlagLabels];
+    const std::size_t n =
+        decompose_open_flags(flags, names, kMaxOpenFlagLabels);
+    return std::vector<std::string>(names, names + n);
 }
 
 unsigned open_flag_cardinality(std::uint32_t flags) {

@@ -2,8 +2,10 @@
 // (Linux x86-64 numbering, octal as in the kernel headers).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 // Drop the host <fcntl.h> macros: these constants are the library's own
@@ -83,6 +85,17 @@ const std::vector<OpenFlagInfo>& open_flag_table();
 /// mode contributes exactly one name; composite flags (O_SYNC, O_TMPFILE)
 /// absorb their contained bits so O_SYNC does not also report O_DSYNC.
 std::vector<std::string> decompose_open_flags(std::uint32_t flags);
+
+/// Upper bound on the labels one flags word can decompose into (one
+/// access mode + every OR-able flag, rounded up for headroom).
+inline constexpr std::size_t kMaxOpenFlagLabels = 24;
+
+/// Allocation-free decomposition: writes up to `cap` flag names (all
+/// static storage) into `out`, returning the count.  Same names and
+/// order as the vector overload; cap >= kMaxOpenFlagLabels never
+/// truncates.  This is the analyzer's per-event path.
+std::size_t decompose_open_flags(std::uint32_t flags, std::string_view* out,
+                                 std::size_t cap);
 
 /// Number of distinct flags in the word (the paper's Table 1 statistic:
 /// "how many flags were combined in open", where a lone O_RDONLY counts

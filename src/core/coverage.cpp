@@ -135,28 +135,40 @@ void Analyzer::consume_input(const CanonicalView& view) {
     const auto& args = view.spec->args;
     const std::size_t base_slot = table_.arg_offset(view.id);
     for (std::size_t i = 0; i < args.size(); ++i) {
-        const trace::ArgValue* value = view.find(args[i].key);
+        // Args arrive in prototype order, so slot i is the first place
+        // to look — the hint turns the common case into one compare.
+        const trace::ArgValue* value = view.find_hinted(args[i].key, i);
         if (!value) continue;  // variant without this argument
         const std::size_t slot = base_slot + i;
         ArgCoverage& cov = report_.inputs[slot];
 
-        const auto labels = input_parts_[slot]->labels_for(*value);
-        for (const auto& label : labels) cov.hist.add(label);
+        // Labels land in a member scratch and histogram bumps go
+        // through string_views: after the histograms have seen each
+        // label once, this whole path performs zero heap allocations.
+        label_scratch_.clear();
+        input_parts_[slot]->labels_into(*value, label_scratch_);
+        const std::size_t n_labels = label_scratch_.size();
+        for (std::size_t l = 0; l < n_labels; ++l)
+            cov.hist.add(label_scratch_[l]);
 
         // Bitmap combination statistics (open flags only).
         if (slot == open_flags_slot_) {
-            cov.combo_cardinality.add(cardinality_label(labels.size()));
-            const bool has_rdonly =
-                std::find(labels.begin(), labels.end(), "O_RDONLY") !=
-                labels.end();
+            cov.combo_cardinality.add(cardinality_label(n_labels));
+            bool has_rdonly = false;
+            for (std::size_t l = 0; l < n_labels && !has_rdonly; ++l)
+                has_rdonly = label_scratch_[l] == "O_RDONLY";
             if (has_rdonly)
-                cov.combo_cardinality_rdonly.add(
-                    cardinality_label(labels.size()));
-            for (std::size_t i2 = 0; i2 < labels.size(); ++i2)
-                for (std::size_t j = i2 + 1; j < labels.size(); ++j) {
-                    const auto& a = std::min(labels[i2], labels[j]);
-                    const auto& b = std::max(labels[i2], labels[j]);
-                    cov.pairs.add(a + "+" + b);
+                cov.combo_cardinality_rdonly.add(cardinality_label(n_labels));
+            for (std::size_t i2 = 0; i2 < n_labels; ++i2)
+                for (std::size_t j = i2 + 1; j < n_labels; ++j) {
+                    const auto& a =
+                        std::min(label_scratch_[i2], label_scratch_[j]);
+                    const auto& b =
+                        std::max(label_scratch_[i2], label_scratch_[j]);
+                    pair_label_.assign(a);
+                    pair_label_ += '+';
+                    pair_label_ += b;
+                    cov.pairs.add(pair_label_);
                 }
         }
     }

@@ -116,6 +116,11 @@ class Analyzer {
     /// Flat slot of open/flags, whose bitmap combination statistics are
     /// tracked beyond the plain histogram; npos if not in the registry.
     std::size_t open_flags_slot_ = SyscallTable::npos;
+    /// Per-event scratch (labels and the "A+B" pair rendering) reused
+    /// across consume() calls so the steady-state input path performs
+    /// no heap allocation.
+    LabelScratch label_scratch_;
+    std::string pair_label_;
 };
 
 }  // namespace iocov::core

@@ -1,29 +1,68 @@
 #include "core/iocov.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <filesystem>
 #include <iterator>
 
+#include "exec/alloc_hook.hpp"
 #include "exec/thread_pool.hpp"
-#include "trace/binary_format.hpp"
 #include "trace/syz_format.hpp"
 #include "trace/text_format.hpp"
 
 namespace iocov::core {
 namespace {
 
-/// Pre-binds every string-table entry that could name a syscall: one
-/// SyscallTable hash lookup per *unique name* in the trace instead of
-/// one per event.  Bindings carry registry indices and pointers into
-/// the (shared, static) registry, so they are valid for any analyzer
-/// built on the same registry — including the parallel path's
-/// per-shard analyzers.
-std::vector<SyscallTable::Binding> bind_strings(
-    const SyscallTable& table,
-    const std::vector<std::string_view>& strings) {
-    std::vector<SyscallTable::Binding> bindings;
-    bindings.reserve(strings.size());
-    for (const auto sv : strings) bindings.push_back(table.bind(sv));
-    return bindings;
+/// Rows decoded per decode_batch() chunk: large enough to amortize the
+/// loop setup, small enough that the SoA scratch stays cache-resident.
+constexpr std::size_t kBatchRows = 512;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+}
+
+/// The shared decode -> filter -> analyze inner loop over a span of
+/// scan refs.  Chunked through the reusable EventBatch/EventScratch so
+/// steady state performs zero heap allocations (tracked per thread via
+/// the exec allocation hook).  Bindings pre-resolve interned syscall
+/// names — bindings[name_id] replaces a per-event hash lookup with a
+/// vector index.
+struct IngestOutcome {
+    std::size_t dropped = 0;
+    std::uint64_t events = 0;    // rows decoded (pre-filter)
+    std::uint64_t filtered = 0;  // rows rejected by the trace filter
+    std::uint64_t allocs = 0;    // heap allocations inside the loop
+};
+
+IngestOutcome ingest_refs(std::string_view data,
+                          const std::vector<std::string_view>& strings,
+                          const trace::EventRef* refs, std::size_t n,
+                          const std::vector<SyscallTable::Binding>& bindings,
+                          trace::TraceFilter& filter, Analyzer& analyzer,
+                          trace::EventBatch& batch,
+                          trace::EventScratch& scratch,
+                          trace::ParseDiagnostics& diags) {
+    IngestOutcome out;
+    const std::uint64_t allocs0 = exec::thread_allocation_count();
+    for (std::size_t i = 0; i < n; i += kBatchRows) {
+        const std::size_t chunk = std::min(kBatchRows, n - i);
+        batch.clear();
+        trace::decode_batch(data, strings, refs + i, chunk, batch,
+                            &out.dropped, &diags);
+        for (std::size_t r = 0; r < batch.rows.size(); ++r) {
+            const trace::TraceEvent& ev =
+                scratch.materialize(batch, r, strings);
+            if (filter.admit(ev))
+                analyzer.consume(ev, bindings[batch.rows[r].name_id]);
+            else
+                ++out.filtered;
+        }
+        out.events += batch.rows.size();
+    }
+    out.allocs = exec::thread_allocation_count() - allocs0;
+    return out;
 }
 
 }  // namespace
@@ -60,28 +99,23 @@ std::size_t IOCov::consume_text(std::istream& in) {
 }
 
 std::size_t IOCov::consume_binary(std::string_view data) {
+    const auto t0 = std::chrono::steady_clock::now();
     const auto scan = trace::scan_ioct(data);
-    const auto bindings = bind_strings(analyzer_.table(), scan.strings);
-    std::size_t dropped = scan.dropped;
+    const auto bindings = analyzer_.table().bind_all(scan.strings);
     trace::ParseDiagnostics decode_diags;
-    trace::TraceEvent scratch;
-    for (const auto& ref : scan.events) {
-        std::uint32_t name_id = 0;
-        const char* reason = "corrupt event record";
-        if (!trace::decode_event(data.substr(ref.offset, ref.length),
-                                 scan.strings, scratch, &name_id, &reason)) {
-            ++dropped;
-            decode_diags.record(0, ref.offset, reason);
-            continue;
-        }
-        if (filter_.admit(scratch))
-            analyzer_.consume(scratch, bindings[name_id]);
-        else
-            ++filtered_out_;
-    }
+    const IngestOutcome outcome =
+        ingest_refs(data, scan.strings, scan.events.data(),
+                    scan.events.size(), bindings, filter_, analyzer_, batch_,
+                    scratch_, decode_diags);
+    filtered_out_ += outcome.filtered;
     diagnostics_.merge(scan.diags);
     diagnostics_.merge(decode_diags);
-    return dropped;
+
+    ingest_stats_.events += outcome.events;
+    ingest_stats_.bytes += data.size();
+    ingest_stats_.hot_loop_allocs += outcome.allocs;
+    ingest_stats_.seconds += seconds_since(t0);
+    return scan.dropped + outcome.dropped;
 }
 
 std::size_t IOCov::consume_binary_parallel(std::string_view data,
@@ -89,8 +123,9 @@ std::size_t IOCov::consume_binary_parallel(std::string_view data,
     if (n_threads == 0) n_threads = exec::ThreadPool::default_thread_count();
     if (n_threads <= 1) return consume_binary(data);
 
+    const auto t0 = std::chrono::steady_clock::now();
     const auto scan = trace::scan_ioct(data);
-    const auto bindings = bind_strings(analyzer_.table(), scan.strings);
+    const auto bindings = analyzer_.table().bind_all(scan.strings);
 
     // Shard record references (not events) by pid.  Scan order is file
     // order, so each pid's event order — the only ordering the stateful
@@ -111,8 +146,7 @@ std::size_t IOCov::consume_binary_parallel(std::string_view data,
 
     exec::ThreadPool pool(n_threads);
     std::vector<CoverageReport> reports(shards.size());
-    std::vector<std::uint64_t> shard_filtered(shards.size(), 0);
-    std::vector<std::size_t> shard_dropped(shards.size(), 0);
+    std::vector<IngestOutcome> outcomes(shards.size());
     std::vector<trace::ParseDiagnostics> shard_diags(shards.size());
     std::vector<std::uint8_t> shard_ok(shards.size(), 1);
     exec::parallel_for(pool, shards.size(), [&](std::size_t s) {
@@ -122,27 +156,17 @@ std::size_t IOCov::consume_binary_parallel(std::string_view data,
         try {
             trace::TraceFilter filter(filter_config_);
             Analyzer analyzer(*registry_);
-            trace::TraceEvent scratch;
-            for (const auto& ref : shards[s]) {
-                std::uint32_t name_id = 0;
-                const char* reason = "corrupt event record";
-                if (!trace::decode_event(data.substr(ref.offset, ref.length),
-                                         scan.strings, scratch, &name_id,
-                                         &reason)) {
-                    ++shard_dropped[s];
-                    shard_diags[s].record(0, ref.offset, reason);
-                    continue;
-                }
-                if (filter.admit(scratch))
-                    analyzer.consume(scratch, bindings[name_id]);
-                else
-                    ++shard_filtered[s];
-            }
+            trace::EventBatch batch;
+            trace::EventScratch scratch;
+            outcomes[s] = ingest_refs(data, scan.strings, shards[s].data(),
+                                      shards[s].size(), bindings, filter,
+                                      analyzer, batch, scratch,
+                                      shard_diags[s]);
             reports[s] = analyzer.take_report();
         } catch (const std::exception& e) {
             shard_ok[s] = 0;
-            shard_dropped[s] = shards[s].size();
-            shard_filtered[s] = 0;
+            outcomes[s] = IngestOutcome{};
+            outcomes[s].dropped = shards[s].size();
             shard_diags[s].clear();
             shard_diags[s].record(
                 0, shards[s].empty() ? 0 : shards[s].front().offset,
@@ -150,15 +174,20 @@ std::size_t IOCov::consume_binary_parallel(std::string_view data,
         }
     });
 
+    std::size_t total_dropped = scan.dropped;
     for (std::size_t s = 0; s < shards.size(); ++s) {
         if (shard_ok[s]) analyzer_.merge_report(reports[s]);
         else ++shards_lost_;
-        filtered_out_ += shard_filtered[s];
+        filtered_out_ += outcomes[s].filtered;
         diagnostics_.merge(shard_diags[s]);
+        total_dropped += outcomes[s].dropped;
+        ingest_stats_.events += outcomes[s].events;
+        ingest_stats_.hot_loop_allocs += outcomes[s].allocs;
     }
     diagnostics_.merge(scan.diags);
-    std::size_t total_dropped = scan.dropped;
-    for (const auto d : shard_dropped) total_dropped += d;
+    ingest_stats_.bytes += data.size();
+    ingest_stats_.threads = std::max(ingest_stats_.threads, n_threads);
+    ingest_stats_.seconds += seconds_since(t0);
     return total_dropped;
 }
 
@@ -166,9 +195,144 @@ std::optional<std::size_t> IOCov::consume_binary_file(const std::string& path,
                                                       unsigned n_threads) {
     auto mapped = trace::MappedFile::open(path);
     if (!mapped) return std::nullopt;
+    ++ingest_stats_.files;
     return n_threads == 1 ? consume_binary(mapped->data())
                           : consume_binary_parallel(mapped->data(),
                                                     n_threads);
+}
+
+std::optional<IOCov::DirIngest> IOCov::consume_binary_dir(
+    const std::string& dir, unsigned n_threads) {
+    namespace fs = std::filesystem;
+    const auto t0 = std::chrono::steady_clock::now();
+
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec) || ec) return std::nullopt;
+    struct FileEntry {
+        std::string path;
+        std::string name;
+        std::uint64_t bytes = 0;
+    };
+    std::vector<FileEntry> files;
+    for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+         it.increment(ec)) {
+        std::error_code fec;
+        if (!it->is_regular_file(fec) || fec) continue;
+        FileEntry fe;
+        fe.path = it->path().string();
+        fe.name = it->path().filename().string();
+        const auto size = it->file_size(fec);
+        fe.bytes = fec ? 0 : static_cast<std::uint64_t>(size);
+        files.push_back(std::move(fe));
+    }
+    if (ec) return std::nullopt;
+    // Name order fixes the merge order (and therefore which diagnostics
+    // survive retention) independent of directory-entry order.
+    std::sort(files.begin(), files.end(),
+              [](const FileEntry& a, const FileEntry& b) {
+                  return a.name < b.name;
+              });
+
+    // Per-file slots, filled by workers in any order and folded in name
+    // order afterwards so the result is independent of scheduling.
+    struct FileResult {
+        enum class Status { Unreadable, NotIoct, Failed, Analyzed };
+        Status status = Status::Unreadable;
+        std::string fail_reason;
+        CoverageReport report;
+        trace::ParseDiagnostics diags;
+        IngestOutcome outcome;
+        std::uint64_t bytes = 0;
+    };
+    std::vector<FileResult> slots(files.size());
+
+    auto run_file = [&](std::size_t i) {
+        FileResult& slot = slots[i];
+        try {
+            auto mapped = trace::MappedFile::open(files[i].path);
+            if (!mapped) return;  // stays Unreadable
+            const std::string_view data = mapped->data();
+            if (!trace::is_ioct(data)) {
+                slot.status = FileResult::Status::NotIoct;
+                return;
+            }
+            const auto scan = trace::scan_ioct(data);
+            const auto bindings = analyzer_.table().bind_all(scan.strings);
+            trace::TraceFilter filter(filter_config_);
+            Analyzer analyzer(*registry_);
+            trace::EventBatch batch;
+            trace::EventScratch scratch;
+            slot.diags.merge(scan.diags);
+            slot.outcome = ingest_refs(data, scan.strings,
+                                       scan.events.data(),
+                                       scan.events.size(), bindings, filter,
+                                       analyzer, batch, scratch, slot.diags);
+            slot.outcome.dropped += scan.dropped;
+            slot.report = analyzer.take_report();
+            slot.bytes = data.size();
+            slot.status = FileResult::Status::Analyzed;
+        } catch (const std::exception& e) {
+            slot.status = FileResult::Status::Failed;
+            slot.fail_reason = e.what();
+        }
+    };
+
+    if (n_threads == 0) n_threads = exec::ThreadPool::default_thread_count();
+    const unsigned lanes = static_cast<unsigned>(
+        std::min<std::size_t>(n_threads, files.size() ? files.size() : 1));
+    if (lanes <= 1) {
+        for (std::size_t i = 0; i < files.size(); ++i) run_file(i);
+    } else {
+        exec::ThreadPool pool(lanes);
+        std::vector<std::uint64_t> weights(files.size());
+        for (std::size_t i = 0; i < files.size(); ++i)
+            weights[i] = files[i].bytes;
+        exec::parallel_for_stealing(pool, weights, run_file);
+    }
+
+    DirIngest result;
+    for (std::size_t i = 0; i < files.size(); ++i) {
+        FileResult& slot = slots[i];
+        const std::string& name = files[i].name;
+        switch (slot.status) {
+            case FileResult::Status::Unreadable:
+                ++result.rejected;
+                diagnostics_.record(0, 0, name + ": cannot open file");
+                break;
+            case FileResult::Status::NotIoct:
+                ++result.rejected;
+                diagnostics_.record(
+                    0, 0, name + ": not an IOCT file (bad magic/version)");
+                break;
+            case FileResult::Status::Failed:
+                ++shards_lost_;
+                diagnostics_.record(
+                    0, 0, name + ": file analysis lost: " + slot.fail_reason);
+                break;
+            case FileResult::Status::Analyzed: {
+                analyzer_.merge_report(slot.report);
+                filtered_out_ += slot.outcome.filtered;
+                ++result.files;
+                result.dropped += slot.outcome.dropped;
+                result.bytes += slot.bytes;
+                // Re-key the file's diagnostics by file name; entries
+                // beyond its retention cap fold into the count.
+                for (const auto& d : slot.diags.entries())
+                    diagnostics_.record(d.line, d.offset,
+                                        name + ": " + d.reason, d.excerpt);
+                diagnostics_.count_only(slot.diags.total() -
+                                        slot.diags.entries().size());
+                ingest_stats_.events += slot.outcome.events;
+                ingest_stats_.hot_loop_allocs += slot.outcome.allocs;
+                break;
+            }
+        }
+    }
+    ingest_stats_.files += result.files;
+    ingest_stats_.bytes += result.bytes;
+    ingest_stats_.threads = std::max(ingest_stats_.threads, lanes);
+    ingest_stats_.seconds += seconds_since(t0);
+    return result;
 }
 
 std::size_t IOCov::consume_text_parallel(std::istream& in,

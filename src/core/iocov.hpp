@@ -21,11 +21,26 @@
 #include "core/coverage.hpp"
 #include "core/tcd.hpp"
 #include "core/untested.hpp"
+#include "trace/binary_format.hpp"
 #include "trace/diagnostics.hpp"
 #include "trace/filter.hpp"
 #include "trace/sink.hpp"
 
 namespace iocov::core {
+
+/// Cumulative binary-ingest statistics across every consume_binary*
+/// call on one IOCov (surfaced by `iocov analyze --stats`).
+struct IngestStats {
+    std::uint64_t events = 0;  ///< event records decoded (pre-filter)
+    std::uint64_t bytes = 0;   ///< trace bytes ingested
+    std::uint64_t files = 0;   ///< files analyzed (file/dir entry points)
+    unsigned threads = 1;      ///< widest thread count used
+    /// Heap allocations inside the steady-state decode -> filter ->
+    /// analyze loops (stays 0 once histograms and scratch are warm;
+    /// always 0 when exec::has_allocation_counting() is false).
+    std::uint64_t hot_loop_allocs = 0;
+    double seconds = 0;        ///< wall time spent in binary ingestion
+};
 
 class IOCov {
   public:
@@ -91,6 +106,29 @@ class IOCov {
     std::optional<std::size_t> consume_binary_file(const std::string& path,
                                                    unsigned n_threads = 1);
 
+    /// Result of a directory ingestion (consume_binary_dir).
+    struct DirIngest {
+        std::size_t files = 0;     ///< IOCT files analyzed
+        std::size_t rejected = 0;  ///< entries skipped (not IOCT / unreadable)
+        std::size_t dropped = 0;   ///< undecodable records across all files
+        std::uint64_t bytes = 0;   ///< bytes analyzed
+    };
+
+    /// Analyzes every regular file in `dir` (sorted by name; not
+    /// recursive).  Non-IOCT files are rejected with a per-file
+    /// diagnostic, not an error — a trace directory routinely holds a
+    /// README or checksum file.  Files are scheduled onto a
+    /// work-stealing pool weighted by file size (`n_threads` 0 =
+    /// hardware concurrency, 1 = serial); each file gets its own
+    /// filter + analyzer — fd state never crosses files, exactly as if
+    /// each file were a separate `iocov analyze` — and the per-file
+    /// reports merge in name order, so the result is bit-identical to
+    /// ingesting the files sequentially into per-file IOCovs and
+    /// merging, regardless of thread count.  Returns nullopt when
+    /// `dir` cannot be enumerated.
+    std::optional<DirIngest> consume_binary_dir(const std::string& dir,
+                                                unsigned n_threads = 1);
+
     /// Parses a syzkaller program/log and analyzes its *input* coverage
     /// (declarative programs carry no return values, so output coverage
     /// is unaffected).  Fuzzer programs run confined to their sandbox,
@@ -119,6 +157,9 @@ class IOCov {
     /// events, not parse errors.
     std::uint64_t shards_lost() const { return shards_lost_; }
 
+    /// Cumulative binary-ingest throughput/allocation statistics.
+    const IngestStats& ingest_stats() const { return ingest_stats_; }
+
   private:
     /// Kept beyond construction so the parallel path can build one
     /// fresh filter per shard from the same configuration.
@@ -130,6 +171,12 @@ class IOCov {
     std::uint64_t filtered_out_ = 0;
     trace::ParseDiagnostics diagnostics_;
     std::uint64_t shards_lost_ = 0;
+    /// Serial-path decode scratch, persistent across consume_binary
+    /// calls so repeated ingestion reuses warm capacity (the parallel
+    /// paths keep per-shard/per-file locals instead).
+    trace::EventBatch batch_;
+    trace::EventScratch scratch_;
+    IngestStats ingest_stats_;
 };
 
 }  // namespace iocov::core

@@ -39,10 +39,13 @@ class OpenFlagsPartitioner final : public InputPartitioner {
             out.emplace_back(info.name);
         return out;
     }
-    std::vector<std::string> labels_for(
-        const trace::ArgValue& value) const override {
-        return abi::decompose_open_flags(
-            static_cast<std::uint32_t>(as_uint(value)));
+    void labels_into(const trace::ArgValue& value,
+                     LabelScratch& out) const override {
+        std::string_view names[abi::kMaxOpenFlagLabels];
+        const std::size_t n = abi::decompose_open_flags(
+            static_cast<std::uint32_t>(as_uint(value)), names,
+            abi::kMaxOpenFlagLabels);
+        for (std::size_t i = 0; i < n; ++i) out.push(names[i]);
     }
 };
 
@@ -56,15 +59,14 @@ class ModeBitsPartitioner final : public InputPartitioner {
         out.emplace_back("none");
         return out;
     }
-    std::vector<std::string> labels_for(
-        const trace::ArgValue& value) const override {
+    void labels_into(const trace::ArgValue& value,
+                     LabelScratch& out) const override {
         const auto mode =
             static_cast<abi::mode_t_>(as_uint(value)) & abi::MODE_PERM_MASK;
-        std::vector<std::string> out;
+        const std::size_t before = out.size();
         for (const auto& [bits, name] : kBits)
-            if (mode & bits) out.emplace_back(name);
-        if (out.empty()) out.emplace_back("none");
-        return out;
+            if (mode & bits) out.push(name);
+        if (out.size() == before) out.push("none");
     }
 
   private:
@@ -97,9 +99,10 @@ class NumericPartitioner final : public InputPartitioner {
             out.push_back("2^" + std::to_string(e));
         return out;
     }
-    std::vector<std::string> labels_for(
-        const trace::ArgValue& value) const override {
-        return {bucket_label(log_bucket_of(as_int(value)))};
+    void labels_into(const trace::ArgValue& value,
+                     LabelScratch& out) const override {
+        // bucket_label renders at most "2^63" — SSO, no allocation.
+        out.push(bucket_label(log_bucket_of(as_int(value))));
     }
 };
 
@@ -114,10 +117,11 @@ class WhencePartitioner final : public InputPartitioner {
         out.emplace_back("INVALID");
         return out;
     }
-    std::vector<std::string> labels_for(
-        const trace::ArgValue& value) const override {
+    void labels_into(const trace::ArgValue& value,
+                     LabelScratch& out) const override {
         auto name = abi::seek_whence_name(static_cast<int>(as_int(value)));
-        return {name ? *name : std::string("INVALID")};
+        out.push(name ? std::string_view(*name)
+                      : std::string_view("INVALID"));
     }
 };
 
@@ -126,13 +130,13 @@ class XattrFlagsPartitioner final : public InputPartitioner {
     std::vector<std::string> declared() const override {
         return {"0", "XATTR_CREATE", "XATTR_REPLACE", "INVALID"};
     }
-    std::vector<std::string> labels_for(
-        const trace::ArgValue& value) const override {
+    void labels_into(const trace::ArgValue& value,
+                     LabelScratch& out) const override {
         switch (as_int(value)) {
-            case 0: return {"0"};
-            case abi::XATTR_CREATE_: return {"XATTR_CREATE"};
-            case abi::XATTR_REPLACE_: return {"XATTR_REPLACE"};
-            default: return {"INVALID"};
+            case 0: out.push("0"); break;
+            case abi::XATTR_CREATE_: out.push("XATTR_CREATE"); break;
+            case abi::XATTR_REPLACE_: out.push("XATTR_REPLACE"); break;
+            default: out.push("INVALID"); break;
         }
     }
 };
@@ -145,15 +149,15 @@ class FdPartitioner final : public InputPartitioner {
         return {"stdio(0-2)", "valid(>=3)",   "large(>=1024)",
                 "minus-one",  "AT_FDCWD",     "other-negative"};
     }
-    std::vector<std::string> labels_for(
-        const trace::ArgValue& value) const override {
+    void labels_into(const trace::ArgValue& value,
+                     LabelScratch& out) const override {
         const std::int64_t fd = as_int(value);
-        if (fd >= 0 && fd <= 2) return {"stdio(0-2)"};
-        if (fd >= 1024) return {"large(>=1024)"};
-        if (fd >= 3) return {"valid(>=3)"};
-        if (fd == -1) return {"minus-one"};
-        if (fd == abi::AT_FDCWD) return {"AT_FDCWD"};
-        return {"other-negative"};
+        if (fd >= 0 && fd <= 2) out.push("stdio(0-2)");
+        else if (fd >= 1024) out.push("large(>=1024)");
+        else if (fd >= 3) out.push("valid(>=3)");
+        else if (fd == -1) out.push("minus-one");
+        else if (fd == abi::AT_FDCWD) out.push("AT_FDCWD");
+        else out.push("other-negative");
     }
 };
 
@@ -165,20 +169,30 @@ class PathPartitioner final : public InputPartitioner {
                 "name-max",  "path-max",       "via-fd",
                 "faulting",  "empty"};
     }
-    std::vector<std::string> labels_for(
-        const trace::ArgValue& value) const override {
+    void labels_into(const trace::ArgValue& value,
+                     LabelScratch& out) const override {
         const auto* s = std::get_if<std::string>(&value);
-        if (!s) return {"faulting"};
+        if (!s) {
+            out.push("faulting");
+            return;
+        }
         const std::string& p = *s;
-        std::vector<std::string> out;
-        if (p == "<fault>") return {"faulting"};
-        if (p == "<via-fd>") return {"via-fd"};
-        if (p.empty()) return {"empty"};
-        if (p == "." || p.starts_with("./")) out.emplace_back("dot");
-        if (p == ".." || p.starts_with("../")) out.emplace_back("dotdot");
-        out.emplace_back(p.front() == '/' ? "absolute" : "relative");
-        if (p.size() > 1 && p.back() == '/')
-            out.emplace_back("trailing-slash");
+        if (p == "<fault>") {
+            out.push("faulting");
+            return;
+        }
+        if (p == "<via-fd>") {
+            out.push("via-fd");
+            return;
+        }
+        if (p.empty()) {
+            out.push("empty");
+            return;
+        }
+        if (p == "." || p.starts_with("./")) out.push("dot");
+        if (p == ".." || p.starts_with("../")) out.push("dotdot");
+        out.push(p.front() == '/' ? "absolute" : "relative");
+        if (p.size() > 1 && p.back() == '/') out.push("trailing-slash");
         // Longest component length and whole-path length boundaries.
         std::size_t comp = 0, longest = 0;
         for (char ch : p) {
@@ -190,9 +204,8 @@ class PathPartitioner final : public InputPartitioner {
             }
         }
         longest = std::max(longest, comp);
-        if (longest > abi::NAME_MAX_) out.emplace_back("name-max");
-        if (p.size() >= abi::PATH_MAX_) out.emplace_back("path-max");
-        return out;
+        if (longest > abi::NAME_MAX_) out.push("name-max");
+        if (p.size() >= abi::PATH_MAX_) out.push("path-max");
     }
 };
 

@@ -11,14 +11,36 @@
 // side is further split by powers of two.
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/syscall_spec.hpp"
 #include "trace/event.hpp"
 
 namespace iocov::core {
+
+/// Reusable label buffer for InputPartitioner::labels_into().  The
+/// logical size resets per event while every slot keeps its heap
+/// capacity, so appending a label copies bytes into existing storage —
+/// the analyzer's per-event labeling allocates nothing in steady state.
+class LabelScratch {
+  public:
+    void clear() { size_ = 0; }
+    std::size_t size() const { return size_; }
+    const std::string& operator[](std::size_t i) const { return slots_[i]; }
+
+    void push(std::string_view label) {
+        if (size_ == slots_.size()) slots_.emplace_back();
+        slots_[size_++].assign(label);
+    }
+
+  private:
+    std::vector<std::string> slots_;
+    std::size_t size_ = 0;
+};
 
 /// Maps one argument value to the partition label(s) it occupies.
 /// Bitmaps map to several labels (one per contained flag); the other
@@ -30,9 +52,24 @@ class InputPartitioner {
     /// All partitions declared up front, so untested ones are visible.
     virtual std::vector<std::string> declared() const = 0;
 
-    /// Labels exercised by this concrete value.
-    virtual std::vector<std::string> labels_for(
-        const trace::ArgValue& value) const = 0;
+    /// Appends the labels exercised by this concrete value to `out`
+    /// (caller clears).  This is the hot-path primitive: every
+    /// partitioner labels via static names or SSO-sized renderings, so
+    /// no implementation heap-allocates.
+    virtual void labels_into(const trace::ArgValue& value,
+                             LabelScratch& out) const = 0;
+
+    /// Convenience wrapper over labels_into() for tests and one-off
+    /// callers that want owning strings.
+    std::vector<std::string> labels_for(const trace::ArgValue& value) const {
+        LabelScratch scratch;
+        labels_into(value, scratch);
+        std::vector<std::string> out;
+        out.reserve(scratch.size());
+        for (std::size_t i = 0; i < scratch.size(); ++i)
+            out.push_back(scratch[i]);
+        return out;
+    }
 };
 
 /// Builds the partitioner for a base syscall's tracked argument.

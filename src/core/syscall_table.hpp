@@ -78,6 +78,18 @@ class SyscallTable {
         return {true, ve.id, &(*registry_)[ve.id], ve.implied};
     }
 
+    /// Dense binding for a whole IOCT string table: out[i] ==
+    /// bind(strings[i]).  The batched decoder then resolves each event
+    /// by plain vector index on its interned name id — zero hashing per
+    /// event.
+    std::vector<Binding> bind_all(
+        const std::vector<std::string_view>& strings) const {
+        std::vector<Binding> out;
+        out.reserve(strings.size());
+        for (const auto sv : strings) out.push_back(bind(sv));
+        return out;
+    }
+
     /// The view `resolve(event)` would produce, given the event's name
     /// was pre-bound.  `binding` must be tracked and come from this
     /// table; `event.syscall` must equal the bound name.

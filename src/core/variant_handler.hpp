@@ -64,6 +64,16 @@ struct CanonicalView {
         if (implied && implied->name == key) return &implied->value;
         return nullptr;
     }
+
+    /// find() with a positional hint: traced args arrive in prototype
+    /// order, so checking event->args[hint] first turns the common case
+    /// into a single string compare instead of a scan.
+    const trace::ArgValue* find_hinted(std::string_view key,
+                                       std::size_t hint) const {
+        if (hint < event->args.size() && event->args[hint].name == key)
+            return &event->args[hint].value;
+        return find(key);
+    }
 };
 
 }  // namespace iocov::core

@@ -55,4 +55,17 @@ class ThreadPool {
 void parallel_for(ThreadPool& pool, std::size_t n,
                   const std::function<void(std::size_t)>& fn);
 
+/// Weighted work-stealing variant for unevenly sized items (e.g. trace
+/// files scheduled by byte count).  Items are dealt longest-processing-
+/// time-first onto one deque per worker lane; each lane drains its own
+/// deque from the front and, when empty, steals from the back of the
+/// most-loaded lane, so one huge file cannot serialize the tail of the
+/// run.  Every item is attempted exactly once; the first exception is
+/// rethrown after all items finish.  Items are coarse (whole files), so
+/// a single mutex over the deques is plenty — this is scheduling
+/// policy, not a lock-free queue exercise.
+void parallel_for_stealing(ThreadPool& pool,
+                           const std::vector<std::uint64_t>& weights,
+                           const std::function<void(std::size_t)>& fn);
+
 }  // namespace iocov::exec

@@ -6,19 +6,20 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
+
+#include "trace/detail/varint_decode.hpp"
 
 namespace iocov::trace {
 namespace {
 
-// Arg-value type bytes inside an EVT record.
-constexpr std::uint8_t kTypeInt = 0;
-constexpr std::uint8_t kTypeUint = 1;
-constexpr std::uint8_t kTypeStr = 2;
+// Arg-value type bytes inside an EVT record (wire values of ArgType).
+constexpr std::uint8_t kTypeInt = static_cast<std::uint8_t>(ArgType::Int);
+constexpr std::uint8_t kTypeUint = static_cast<std::uint8_t>(ArgType::Uint);
+constexpr std::uint8_t kTypeStr = static_cast<std::uint8_t>(ArgType::Str);
 
-// A writer-produced event never exceeds a handful of args; anything
-// past this in a file is corruption, not a trace.
-constexpr std::uint64_t kMaxArgs = 64;
+using detail::kMaxArgs;
 
 constexpr std::size_t kSinkFlushBytes = 64 * 1024;
 
@@ -37,9 +38,7 @@ std::uint64_t zigzag(std::int64_t v) {
            static_cast<std::uint64_t>(v >> 63);
 }
 
-std::int64_t unzigzag(std::uint64_t v) {
-    return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
-}
+std::int64_t unzigzag(std::uint64_t v) { return detail::unzigzag64(v); }
 
 void put_u32le(std::string& out, std::uint32_t v) {
     out.push_back(static_cast<char>(v & 0xff));
@@ -66,19 +65,9 @@ struct ByteCursor {
     }
 
     bool read_varint(std::uint64_t& out) {
-        std::uint64_t v = 0;
-        for (unsigned shift = 0; shift < 64; shift += 7) {
-            if (p == end) return false;
-            const unsigned char byte = *p++;
-            v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
-            if (!(byte & 0x80)) {
-                // The 10th byte may only carry the top bit of a u64.
-                if (shift == 63 && (byte & 0x7e)) return false;
-                out = v;
-                return true;
-            }
-        }
-        return false;  // unterminated varint
+        // One definition of the varint grammar: the batched decoders
+        // share this exact routine as their scalar reference/fallback.
+        return detail::ScalarVarintReader::read(p, end, end, out);
     }
 };
 
@@ -214,10 +203,31 @@ IoctScan scan_ioct(std::string_view data) {
         return scan;
     }
     scan.header_ok = true;
+    // ~20 bytes/record in practice; one up-front reserve beats a dozen
+    // doubling copies on a multi-megabyte trace (over-estimate is freed
+    // with the scan).
+    scan.events.reserve(data.size() / 20 + 1);
 
     auto drop = [&scan](std::size_t offset, const char* reason) {
         ++scan.dropped;
         scan.diags.record(0, offset, reason);
+    };
+
+    // The event-header sniff below only needs seq/pid; the SWAR reader
+    // is bit-identical to the scalar one, so use it whenever the target
+    // is little-endian.  buf_end bounds the raw wide load (it may peek
+    // past the record, never past the buffer).
+    const auto* const scan_buf_end =
+        reinterpret_cast<const unsigned char*>(data.data()) + data.size();
+    auto read_header_varint = [scan_buf_end](const unsigned char*& p,
+                                             const unsigned char* rec_end,
+                                             std::uint64_t& out) {
+        if constexpr (std::endian::native == std::endian::little)
+            return detail::SwarVarintReader::read(p, rec_end, scan_buf_end,
+                                                  out);
+        else
+            return detail::ScalarVarintReader::read(p, rec_end, scan_buf_end,
+                                                    out);
     };
 
     std::size_t pos = kIoctHeaderSize;
@@ -242,9 +252,15 @@ IoctScan scan_ioct(std::string_view data) {
                 scan.strings.push_back(payload.substr(1));
                 break;
             case IoctTag::Event: {
-                ByteCursor c(payload.substr(1));
+                const auto* p = reinterpret_cast<const unsigned char*>(
+                                    payload.data()) +
+                                1;
+                const auto* const rec_end =
+                    reinterpret_cast<const unsigned char*>(payload.data()) +
+                    payload.size();
                 std::uint64_t seq = 0, pid = 0;
-                if (!c.read_varint(seq) || !c.read_varint(pid) ||
+                if (!read_header_varint(p, rec_end, seq) ||
+                    !read_header_varint(p, rec_end, pid) ||
                     pid > UINT32_MAX) {
                     drop(record_start, "truncated event header");
                     break;
@@ -376,6 +392,146 @@ std::vector<TraceEvent> decode_trace(std::string_view data,
     }
     if (dropped) *dropped = bad;
     return out;
+}
+
+// ---- batched decoding ------------------------------------------------------
+
+const char* decode_isa_name(DecodeIsa isa) {
+    switch (isa) {
+        case DecodeIsa::Scalar: return "scalar";
+        case DecodeIsa::Swar: return "swar";
+        case DecodeIsa::Bmi2: return "bmi2";
+    }
+    return "unknown";
+}
+
+bool decode_isa_available(DecodeIsa isa) {
+    switch (isa) {
+        case DecodeIsa::Scalar:
+            return true;
+        case DecodeIsa::Swar:
+            // The 8-byte load + mask trick assumes little-endian byte
+            // order; big-endian targets get the scalar path.
+            return std::endian::native == std::endian::little;
+        case DecodeIsa::Bmi2:
+#if defined(IOCOV_HAVE_BMI2_TU)
+            return __builtin_cpu_supports("bmi2") != 0;
+#else
+            return false;
+#endif
+    }
+    return false;
+}
+
+DecodeIsa active_decode_isa() {
+    static const DecodeIsa kActive = [] {
+        if (decode_isa_available(DecodeIsa::Bmi2)) return DecodeIsa::Bmi2;
+        if (decode_isa_available(DecodeIsa::Swar)) return DecodeIsa::Swar;
+        return DecodeIsa::Scalar;
+    }();
+    return kActive;
+}
+
+std::size_t decode_batch_with(DecodeIsa isa, std::string_view data,
+                              const std::vector<std::string_view>& strings,
+                              const EventRef* refs, std::size_t n,
+                              EventBatch& out, std::size_t* dropped,
+                              ParseDiagnostics* diags) {
+    if (!decode_isa_available(isa)) isa = DecodeIsa::Scalar;
+    switch (isa) {
+        case DecodeIsa::Swar:
+            return detail::decode_refs<detail::SwarVarintReader>(
+                data, strings.size(), refs, n, out, dropped, diags);
+        case DecodeIsa::Bmi2:
+#if defined(IOCOV_HAVE_BMI2_TU)
+            return detail::decode_refs_bmi2(data, strings.size(), refs, n,
+                                            out, dropped, diags);
+#else
+            break;
+#endif
+        case DecodeIsa::Scalar:
+            break;
+    }
+    return detail::decode_refs<detail::ScalarVarintReader>(
+        data, strings.size(), refs, n, out, dropped, diags);
+}
+
+std::size_t decode_batch(std::string_view data,
+                         const std::vector<std::string_view>& strings,
+                         const EventRef* refs, std::size_t n, EventBatch& out,
+                         std::size_t* dropped, ParseDiagnostics* diags) {
+    return decode_batch_with(active_decode_isa(), data, strings, refs, n,
+                             out, dropped, diags);
+}
+
+// ---- EventScratch ----------------------------------------------------------
+
+void EventScratch::park(std::string& s) {
+    // Only heap capacity is worth recycling; SSO strings cost nothing
+    // to recreate.  The pool is bounded — past that, freeing is fine
+    // because a workload cycling that many distinct string slots is
+    // re-growing anyway.
+    static const std::size_t kSsoCapacity = std::string().capacity();
+    if (s.capacity() > kSsoCapacity && spare_.size() < 64)
+        spare_.push_back(std::move(s));
+}
+
+const TraceEvent& EventScratch::materialize(
+    const EventBatch& batch, std::size_t row,
+    const std::vector<std::string_view>& strings) {
+    const BatchRow& r = batch.rows[row];
+    event_.seq = r.seq;
+    event_.pid = r.pid;
+    event_.tid = r.tid;
+    event_.ret = r.ret;
+    event_.syscall.assign(strings[r.name_id]);
+
+    if (event_.args.size() > r.arg_count) {
+        // Shrinking destroys slots; salvage their heap capacity first.
+        for (std::size_t i = r.arg_count; i < event_.args.size(); ++i) {
+            park(event_.args[i].name);
+            if (auto* s = std::get_if<std::string>(&event_.args[i].value))
+                park(*s);
+        }
+        event_.args.resize(r.arg_count);
+    } else if (event_.args.size() < r.arg_count) {
+        event_.args.resize(r.arg_count);
+    }
+
+    for (std::size_t i = 0; i < r.arg_count; ++i) {
+        const BatchArg& ba = batch.args[r.arg_begin + i];
+        Arg& arg = event_.args[i];
+        arg.name.assign(strings[ba.name_id]);
+        switch (ba.type) {
+            case ArgType::Int:
+                if (auto* s = std::get_if<std::string>(&arg.value))
+                    park(*s);
+                arg.value.emplace<std::int64_t>(
+                    static_cast<std::int64_t>(ba.raw));
+                break;
+            case ArgType::Uint:
+                if (auto* s = std::get_if<std::string>(&arg.value))
+                    park(*s);
+                arg.value.emplace<std::uint64_t>(ba.raw);
+                break;
+            case ArgType::Str: {
+                const std::string_view sv =
+                    strings[static_cast<std::size_t>(ba.raw)];
+                if (auto* s = std::get_if<std::string>(&arg.value)) {
+                    s->assign(sv);
+                } else if (!spare_.empty()) {
+                    std::string recycled = std::move(spare_.back());
+                    spare_.pop_back();
+                    recycled.assign(sv);
+                    arg.value.emplace<std::string>(std::move(recycled));
+                } else {
+                    arg.value.emplace<std::string>(sv);
+                }
+                break;
+            }
+        }
+    }
+    return event_;
 }
 
 // ---- MappedFile ------------------------------------------------------------

@@ -199,6 +199,111 @@ std::vector<TraceEvent> decode_trace(std::string_view data,
                                      std::size_t* dropped = nullptr,
                                      ParseDiagnostics* diags = nullptr);
 
+// ---- batched decoding ------------------------------------------------------
+//
+// The per-event decode_event() path pays a virtual-free but still
+// per-field-branchy cost per record.  The batched path decodes a span
+// of records into a structure-of-arrays scratch (EventBatch) in one
+// tight loop — tag and bounds checks hoisted, varints read via 8-byte
+// SWAR/PEXT loads where the CPU allows — and defers all string
+// materialization to EventScratch, which recycles heap capacity so the
+// steady-state decode -> analyze loop performs zero allocations.
+
+/// Arg-value type byte inside an EVT record (wire values).
+enum class ArgType : std::uint8_t {
+    Int = 0,   ///< zigzag varint
+    Uint = 1,  ///< plain varint
+    Str = 2,   ///< string-table id
+};
+
+/// One decoded argument: `raw` is the already-unzigzagged i64 bit
+/// pattern (Int), the plain value (Uint), or a string-table id (Str).
+struct BatchArg {
+    std::uint64_t raw = 0;
+    std::uint32_t name_id = 0;
+    ArgType type = ArgType::Int;
+};
+
+/// One decoded event; args live at [arg_begin, arg_begin + arg_count)
+/// in the owning EventBatch's `args`.
+struct BatchRow {
+    std::uint64_t seq = 0;
+    std::int64_t ret = 0;
+    std::size_t arg_begin = 0;
+    std::uint32_t pid = 0;
+    std::uint32_t tid = 0;
+    std::uint32_t name_id = 0;
+    std::uint32_t arg_count = 0;
+};
+
+/// Reusable SoA scratch for decode_batch(); clear() keeps capacity so a
+/// chunked decode loop allocates only while the high-water mark grows.
+struct EventBatch {
+    std::vector<BatchRow> rows;
+    std::vector<BatchArg> args;
+
+    void clear() {
+        rows.clear();
+        args.clear();
+    }
+};
+
+/// Instruction-set variants of the batched decoder.  All are
+/// bit-identical in accepted inputs, outputs, and diagnostics; Swar
+/// (8-byte SWAR loads, any little-endian 64-bit target) and Bmi2
+/// (x86-64 PEXT, selected by a runtime CPU check) are fast paths over
+/// Scalar, the byte-at-a-time reference.
+enum class DecodeIsa { Scalar, Swar, Bmi2 };
+
+const char* decode_isa_name(DecodeIsa isa);
+bool decode_isa_available(DecodeIsa isa);
+
+/// The fastest ISA available on this machine — what decode_batch uses.
+DecodeIsa active_decode_isa();
+
+/// Batched decode of EVT payloads located by scan_ioct(): appends one
+/// BatchRow per intact record to `out`, leaving every string as a
+/// table id — no per-event materialization at all.  Undecodable refs
+/// are counted into *dropped and recorded into `diags` with byte
+/// offset and reason, matching decode_event()'s reason strings and
+/// scan order exactly.  Returns the number of rows appended.  Callers
+/// chunk large ref spans (and clear() the batch between chunks) to
+/// bound scratch memory.
+std::size_t decode_batch(std::string_view data,
+                         const std::vector<std::string_view>& strings,
+                         const EventRef* refs, std::size_t n,
+                         EventBatch& out, std::size_t* dropped = nullptr,
+                         ParseDiagnostics* diags = nullptr);
+
+/// decode_batch pinned to one ISA (equivalence tests); an unavailable
+/// ISA silently falls back to Scalar.
+std::size_t decode_batch_with(DecodeIsa isa, std::string_view data,
+                              const std::vector<std::string_view>& strings,
+                              const EventRef* refs, std::size_t n,
+                              EventBatch& out, std::size_t* dropped = nullptr,
+                              ParseDiagnostics* diags = nullptr);
+
+/// Materializes EventBatch rows into a reusable TraceEvent with
+/// steady-state-zero allocation: arg-slot strings keep their heap
+/// capacity across rows, and capacity displaced when a slot changes
+/// type or the arg count shrinks is parked in a spare pool instead of
+/// freed.  After warm-up (the high-water mark of arg counts and string
+/// lengths) materialize() performs no heap allocation — asserted by
+/// tests/test_batch_decode.cpp via the exec allocation-counting hook.
+class EventScratch {
+  public:
+    /// Rebuilds the scratch event from `batch.rows[row]`.  The returned
+    /// reference is valid until the next materialize() call.
+    const TraceEvent& materialize(const EventBatch& batch, std::size_t row,
+                                  const std::vector<std::string_view>& strings);
+
+  private:
+    void park(std::string& s);
+
+    TraceEvent event_;
+    std::vector<std::string> spare_;  ///< recycled heap capacities
+};
+
 // ---- file mapping ----------------------------------------------------------
 
 /// Read-only view of a file, preferring mmap (zero-copy: the decoder's

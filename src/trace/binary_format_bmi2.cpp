@@ -1,0 +1,65 @@
+// BMI2 (PEXT) instantiation of the batched varint decoder.
+//
+// This lives in its own translation unit compiled with -mbmi2 (see
+// CMakeLists.txt) instead of using per-function target("bmi2")
+// attributes: GCC will not inline a target-attributed callee into a
+// plain caller, which would put a call instruction inside the
+// innermost varint loop and erase the point of the exercise.  The TU
+// is only ever entered through decode_batch_with() after a runtime
+// __builtin_cpu_supports("bmi2") check, so the -mbmi2 code here cannot
+// execute on a CPU without the instruction.
+#include "trace/binary_format.hpp"
+
+#if defined(IOCOV_HAVE_BMI2_TU)
+
+#include <immintrin.h>
+
+#include "trace/detail/varint_decode.hpp"
+
+namespace iocov::trace::detail {
+namespace {
+
+struct Bmi2VarintReader {
+    static bool read(const unsigned char*& p, const unsigned char* rec_end,
+                     const unsigned char* buf_end, std::uint64_t& out) {
+        // Same single-byte fast path as SwarVarintReader: the common
+        // 7-bit varint skips the wide load entirely.
+        if (p != rec_end && !(*p & 0x80)) {
+            out = *p++;
+            return true;
+        }
+        if (buf_end - p >= 8) {
+            std::uint64_t chunk;
+            std::memcpy(&chunk, p, 8);
+            const std::uint64_t stop = ~chunk & 0x8080808080808080ULL;
+            if (stop != 0) {
+                const unsigned len =
+                    (static_cast<unsigned>(std::countr_zero(stop)) >> 3) + 1;
+                if (rec_end - p < static_cast<std::ptrdiff_t>(len))
+                    return false;
+                const std::uint64_t masked =
+                    (chunk << (64 - 8 * len)) >> (64 - 8 * len);
+                // PEXT gathers the 7 payload bits of each byte in one
+                // instruction — the whole SWAR fold collapses.
+                out = _pext_u64(masked, 0x7f7f7f7f7f7f7f7fULL);
+                p += len;
+                return true;
+            }
+        }
+        return ScalarVarintReader::read(p, rec_end, buf_end, out);
+    }
+};
+
+}  // namespace
+
+std::size_t decode_refs_bmi2(std::string_view data, std::size_t string_count,
+                             const EventRef* refs, std::size_t n,
+                             EventBatch& out, std::size_t* dropped,
+                             ParseDiagnostics* diags) {
+    return decode_refs<Bmi2VarintReader>(data, string_count, refs, n, out,
+                                         dropped, diags);
+}
+
+}  // namespace iocov::trace::detail
+
+#endif  // IOCOV_HAVE_BMI2_TU

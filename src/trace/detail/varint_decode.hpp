@@ -1,0 +1,220 @@
+// Shared core of the batched IOCT event decoder.
+//
+// The per-record decode loop is a template over a *varint reader
+// policy* so one definition of the field order, bounds checks, and
+// failure-reason strings serves every instruction-set variant:
+//
+//   ScalarVarintReader  byte-at-a-time LEB128, the reference semantics
+//   SwarVarintReader    8-byte SWAR load + bit compaction (any
+//                       little-endian 64-bit target)
+//   (pext, bmi2 TU)     binary_format_bmi2.cpp instantiates the same
+//                       core with a PEXT-based reader; it lives in its
+//                       own translation unit compiled with -mbmi2
+//                       because GCC refuses to inline target("bmi2")
+//                       functions into plain callers
+//
+// Every reader must be bit-identical to the scalar one — same accepted
+// inputs, same values, same rejects — so fast paths fall back to scalar
+// near buffer boundaries and for >8-byte varints rather than duplicate
+// the truncation and 10th-byte rules.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+
+#include "trace/binary_format.hpp"
+#include "trace/diagnostics.hpp"
+
+namespace iocov::trace::detail {
+
+// A writer-produced event never exceeds a handful of args; anything
+// past this in a file is corruption, not a trace.
+inline constexpr std::uint64_t kMaxArgs = 64;
+
+inline std::int64_t unzigzag64(std::uint64_t v) {
+    return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+// Reader contract: advance `p` past one varint and set `out`, or return
+// false with `p` unspecified (decode aborts the record).  `rec_end`
+// bounds the *record* (truncation semantics); `buf_end` bounds the
+// whole mapped buffer (raw-load memory safety) — a wide load may peek
+// past the record into the next one, but never past the buffer.
+
+struct ScalarVarintReader {
+    static bool read(const unsigned char*& p, const unsigned char* rec_end,
+                     const unsigned char* /*buf_end*/, std::uint64_t& out) {
+        std::uint64_t v = 0;
+        for (unsigned shift = 0; shift < 64; shift += 7) {
+            if (p == rec_end) return false;
+            const unsigned char byte = *p++;
+            v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+            if (!(byte & 0x80)) {
+                // The 10th byte may only carry the top bit of a u64.
+                if (shift == 63 && (byte & 0x7e)) return false;
+                out = v;
+                return true;
+            }
+        }
+        return false;  // unterminated varint
+    }
+};
+
+struct SwarVarintReader {
+    static bool read(const unsigned char*& p, const unsigned char* rec_end,
+                     const unsigned char* buf_end, std::uint64_t& out) {
+        // Single-byte fast path: most trace varints (pids, fds, string
+        // ids, arg counts) fit in 7 bits, and the wide path's load +
+        // fold is pure overhead for them.  p != rec_end implies
+        // p < buf_end, so the byte load is in bounds.
+        if (p != rec_end && !(*p & 0x80)) {
+            out = *p++;
+            return true;
+        }
+        if (buf_end - p >= 8) {
+            std::uint64_t chunk;
+            std::memcpy(&chunk, p, 8);
+            // A clear top bit marks the last byte of a varint; stop has
+            // 0x80 at the position of the first such byte.
+            const std::uint64_t stop = ~chunk & 0x8080808080808080ULL;
+            if (stop != 0) {
+                const unsigned len =
+                    (static_cast<unsigned>(std::countr_zero(stop)) >> 3) + 1;
+                if (rec_end - p < static_cast<std::ptrdiff_t>(len))
+                    return false;  // terminator lies beyond the record
+                // Keep the low `len` bytes, strip continuation bits,
+                // then fold the 7-bit groups together.
+                std::uint64_t x = (chunk << (64 - 8 * len)) >> (64 - 8 * len);
+                x &= 0x7f7f7f7f7f7f7f7fULL;
+                x = (x & 0x007f007f007f007fULL) |
+                    ((x & 0x7f007f007f007f00ULL) >> 1);
+                x = (x & 0x00003fff00003fffULL) |
+                    ((x & 0x3fff00003fff0000ULL) >> 2);
+                x = (x & 0x000000000fffffffULL) |
+                    ((x & 0x0fffffff00000000ULL) >> 4);
+                out = x;
+                p += len;
+                return true;
+            }
+            // 9- and 10-byte varints: scalar enforces the final-byte rules.
+        }
+        return ScalarVarintReader::read(p, rec_end, buf_end, out);
+    }
+};
+
+/// Decodes one EVT payload into `out` (SoA append).  Returns nullptr on
+/// success; on failure appends nothing (partially appended args are
+/// rolled back) and returns the exact static reason string
+/// decode_event() produces for the same payload.
+template <class Reader>
+inline const char* decode_ref(const unsigned char* base,
+                              const unsigned char* buf_end,
+                              const EventRef& ref, std::size_t string_count,
+                              EventBatch& out) {
+    if (ref.length == 0) return "not an event record";
+    const unsigned char* p = base + ref.offset;
+    const unsigned char* const rec_end = p + ref.length;
+    if (static_cast<IoctTag>(*p) != IoctTag::Event)
+        return "not an event record";
+    ++p;
+
+    std::uint64_t seq = 0, pid = 0, tid = 0, name_id = 0, ret = 0, argc = 0;
+    if (!Reader::read(p, rec_end, buf_end, seq) ||
+        !Reader::read(p, rec_end, buf_end, pid) || pid > UINT32_MAX ||
+        !Reader::read(p, rec_end, buf_end, tid) || tid > UINT32_MAX)
+        return "truncated event header";
+    if (!Reader::read(p, rec_end, buf_end, name_id) ||
+        name_id >= string_count)
+        return "syscall name id out of range";
+    if (!Reader::read(p, rec_end, buf_end, ret))
+        return "truncated return value";
+    if (!Reader::read(p, rec_end, buf_end, argc) || argc > kMaxArgs)
+        return "argument count out of range";
+
+    const std::size_t arg_begin = out.args.size();
+    auto fail = [&](const char* r) {
+        out.args.resize(arg_begin);
+        return r;
+    };
+    for (std::uint64_t i = 0; i < argc; ++i) {
+        std::uint64_t arg_name = 0, v = 0;
+        if (!Reader::read(p, rec_end, buf_end, arg_name) ||
+            arg_name >= string_count || p == rec_end)
+            return fail("truncated or out-of-range argument");
+        const std::uint8_t type = *p++;
+        if (!Reader::read(p, rec_end, buf_end, v))
+            return fail("truncated or out-of-range argument");
+        std::uint64_t raw = v;
+        switch (static_cast<ArgType>(type)) {
+            case ArgType::Int:
+                raw = static_cast<std::uint64_t>(unzigzag64(v));
+                break;
+            case ArgType::Uint:
+                break;
+            case ArgType::Str:
+                if (v >= string_count)
+                    return fail("argument string id out of range");
+                break;
+            default:
+                return fail("unknown argument type byte");
+        }
+        out.args.push_back({raw, static_cast<std::uint32_t>(arg_name),
+                            static_cast<ArgType>(type)});
+    }
+    if (p != rec_end) return fail("trailing bytes after last argument");
+
+    out.rows.push_back({seq, unzigzag64(ret), arg_begin,
+                        static_cast<std::uint32_t>(pid),
+                        static_cast<std::uint32_t>(tid),
+                        static_cast<std::uint32_t>(name_id),
+                        static_cast<std::uint32_t>(argc)});
+    return nullptr;
+}
+
+/// Decode loop over a span of scan-produced refs.  Appends intact rows
+/// to `out`, counts failures into *dropped and records them into
+/// `diags` keyed by byte offset — the same bookkeeping decode_trace()
+/// keeps, in the same order.  Returns rows appended.
+template <class Reader>
+inline std::size_t decode_refs(std::string_view data,
+                               std::size_t string_count,
+                               const EventRef* refs, std::size_t n,
+                               EventBatch& out, std::size_t* dropped,
+                               ParseDiagnostics* diags) {
+    const auto* base = reinterpret_cast<const unsigned char*>(data.data());
+    const unsigned char* const buf_end = base + data.size();
+    out.rows.reserve(out.rows.size() + n);
+    std::size_t decoded = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const EventRef& ref = refs[i];
+        // scan_ioct never emits an out-of-bounds ref; guard anyway so a
+        // hand-built ref cannot walk off the buffer.
+        if (ref.offset > data.size() ||
+            ref.length > data.size() - ref.offset) {
+            if (dropped) ++*dropped;
+            if (diags) diags->record(0, ref.offset, "not an event record");
+            continue;
+        }
+        const char* reason =
+            decode_ref<Reader>(base, buf_end, ref, string_count, out);
+        if (reason == nullptr) {
+            ++decoded;
+        } else {
+            if (dropped) ++*dropped;
+            if (diags) diags->record(0, ref.offset, reason);
+        }
+    }
+    return decoded;
+}
+
+#if defined(IOCOV_HAVE_BMI2_TU)
+// Implemented in binary_format_bmi2.cpp (compiled with -mbmi2); call
+// only when __builtin_cpu_supports("bmi2").
+std::size_t decode_refs_bmi2(std::string_view data, std::size_t string_count,
+                             const EventRef* refs, std::size_t n,
+                             EventBatch& out, std::size_t* dropped,
+                             ParseDiagnostics* diags);
+#endif
+
+}  // namespace iocov::trace::detail

@@ -56,6 +56,11 @@ class ParseDiagnostics {
     /// Total drops recorded, including those beyond the retention cap.
     std::uint64_t total() const { return total_; }
 
+    /// Counts `n` additional drops without retaining entries.  Used
+    /// when folding a per-file accumulator whose overflow beyond its
+    /// own retention cap has no entries left to re-record.
+    void count_only(std::uint64_t n) { total_ += n; }
+
     /// First-K retained diagnostics, in input order.
     const std::vector<ParseDiagnostic>& entries() const { return entries_; }
 

@@ -69,32 +69,37 @@ bool TraceFilter::admit(const TraceEvent& event) {
     const auto pid = event.pid;
     auto& watched = watched_[pid];
 
+    // Pointer into the event, not a str_arg() copy: admit() sits on the
+    // ingest hot path and must not allocate per event.
+    const std::string* path = nullptr;
+    if (const Arg* a = event.find_arg("pathname"))
+        path = std::get_if<std::string>(&a->value);
+
     // Resolve whether a (dfd, pathname) pair is in scope.
-    auto lookup_in_scope = [&](std::optional<std::string> path,
+    auto lookup_in_scope = [&](const std::string* p,
                                std::optional<std::int64_t> dfd) {
-        if (path && !path->empty() && path->front() == '/')
-            return path_in_scope(*path);
+        if (p && !p->empty() && p->front() == '/')
+            return path_in_scope(*p);
         // Relative path: scope comes from the directory it resolves
         // against — a watched dfd, or the pid's cwd for AT_FDCWD.
-        if (dfd && *dfd != kAtFdCwd) return watched.count(*dfd) > 0;
+        if (dfd && *dfd != kAtFdCwd) return watched.contains(*dfd);
         auto it = cwd_in_scope_.find(pid);
         return it != cwd_in_scope_.end() && it->second;
     };
 
     bool in_scope = false;
-    if (auto path = event.str_arg("pathname")) {
+    if (path) {
         in_scope = lookup_in_scope(path, event.int_arg("dfd"));
     } else if (auto fd = event.int_arg("fd")) {
-        in_scope = watched.count(*fd) > 0;
+        in_scope = watched.contains(*fd);
     }
 
     // State updates, in trace order.
     if (event.syscall == "chdir" && event.ok()) {
-        if (auto path = event.str_arg("pathname"))
-            cwd_in_scope_[pid] = lookup_in_scope(path, std::nullopt);
+        if (path) cwd_in_scope_[pid] = lookup_in_scope(path, std::nullopt);
     } else if (event.syscall == "fchdir" && event.ok()) {
         if (auto fd = event.int_arg("fd"))
-            cwd_in_scope_[pid] = watched.count(*fd) > 0;
+            cwd_in_scope_[pid] = watched.contains(*fd);
     } else if (returns_watchable_fd(event)) {
         if (in_scope) watched.insert(event.ret);
     } else if (event.syscall == "close" && event.ok()) {

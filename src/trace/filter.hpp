@@ -9,10 +9,10 @@
 // This mirrors how one reconstructs fd provenance from an LTTng trace.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <regex>
-#include <set>
 #include <string>
 #include <vector>
 
@@ -60,13 +60,38 @@ class TraceFilter {
     std::size_t watched_fd_count() const;
 
   private:
+    /// Sorted-vector fd set.  A process keeps a handful of fds open, so
+    /// binary search beats a node-based std::set and — the point for
+    /// the ingest hot path — insert/erase reuse the vector's capacity
+    /// instead of allocating a node per open (steady-state admit()
+    /// performs zero heap allocations; tests/test_batch_decode.cpp
+    /// asserts it through the exec allocation hook).
+    class FdSet {
+      public:
+        bool contains(std::int64_t fd) const {
+            return std::binary_search(fds_.begin(), fds_.end(), fd);
+        }
+        void insert(std::int64_t fd) {
+            auto it = std::lower_bound(fds_.begin(), fds_.end(), fd);
+            if (it == fds_.end() || *it != fd) fds_.insert(it, fd);
+        }
+        void erase(std::int64_t fd) {
+            auto it = std::lower_bound(fds_.begin(), fds_.end(), fd);
+            if (it != fds_.end() && *it == fd) fds_.erase(it);
+        }
+        std::size_t size() const { return fds_.size(); }
+
+      private:
+        std::vector<std::int64_t> fds_;
+    };
+
     bool path_in_scope(const std::string& path) const;
 
     std::vector<std::regex> include_;
     std::vector<std::regex> exclude_;
     std::vector<std::string> prefixes_;
     /// pid -> set of fds opened within the mount point.
-    std::map<std::uint32_t, std::set<std::int64_t>> watched_;
+    std::map<std::uint32_t, FdSet> watched_;
     /// pid -> whether its cwd is inside the mount point (tracked via
     /// chdir/fchdir so relative paths resolve correctly).
     std::map<std::uint32_t, bool> cwd_in_scope_;

@@ -1,0 +1,252 @@
+// Batched IOCT decode: ISA equivalence (scalar vs SWAR vs BMI2),
+// round-trips through EventBatch + EventScratch materialization,
+// diagnostics parity with the scalar reference on truncated and
+// corrupted input, and the zero-allocation steady state.
+#include "trace/binary_format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "exec/alloc_hook.hpp"
+
+namespace iocov::trace {
+namespace {
+
+const char* const kSyscallNames[] = {"open",  "openat", "read",  "write",
+                                     "lseek", "close",  "chdir", "mkdir"};
+
+/// Deterministic random event spanning the varint value space: 1-byte
+/// varints (the fast path), mid-size values (the SWAR wide path), and
+/// 9/10-byte extremes (the scalar fallback).
+TraceEvent random_event(std::mt19937_64& rng) {
+    TraceEvent ev;
+    ev.seq = rng() % 3 ? rng() % 100 : rng();
+    ev.pid = static_cast<std::uint32_t>(rng() % 200);
+    ev.tid = ev.pid;
+    ev.syscall = kSyscallNames[rng() % std::size(kSyscallNames)];
+    ev.ret = rng() % 3 ? static_cast<std::int64_t>(rng() % 128) - 64
+                       : static_cast<std::int64_t>(rng());
+    const std::size_t argc = rng() % 5;
+    for (std::size_t i = 0; i < argc; ++i) {
+        Arg arg;
+        arg.name = "a" + std::to_string(rng() % 6);
+        switch (rng() % 6) {
+            case 0: arg.value = std::int64_t{-1}; break;
+            case 1:
+                arg.value = std::numeric_limits<std::int64_t>::min();
+                break;
+            case 2:
+                arg.value = std::numeric_limits<std::uint64_t>::max();
+                break;
+            case 3: arg.value = std::uint64_t{rng() % 5000}; break;
+            case 4: arg.value = std::string(); break;
+            default:
+                arg.value = std::string("/mnt/test/p") +
+                            std::to_string(rng() % 100);
+                break;
+        }
+        ev.args.push_back(std::move(arg));
+    }
+    return ev;
+}
+
+std::vector<TraceEvent> random_events(std::uint64_t seed, int n) {
+    std::mt19937_64 rng(seed);
+    std::vector<TraceEvent> events;
+    for (int i = 0; i < n; ++i) events.push_back(random_event(rng));
+    return events;
+}
+
+std::vector<DecodeIsa> available_isas() {
+    std::vector<DecodeIsa> isas;
+    for (const auto isa :
+         {DecodeIsa::Scalar, DecodeIsa::Swar, DecodeIsa::Bmi2})
+        if (decode_isa_available(isa)) isas.push_back(isa);
+    return isas;
+}
+
+/// Scan + chunked batched decode + materialization, pinned to one ISA.
+/// The odd chunk size forces several batch boundaries in every test.
+std::vector<TraceEvent> batch_decode_all(std::string_view data,
+                                         DecodeIsa isa,
+                                         std::size_t* dropped = nullptr,
+                                         ParseDiagnostics* diags = nullptr) {
+    constexpr std::size_t kChunk = 97;
+    const auto scan = scan_ioct(data);
+    std::vector<TraceEvent> out;
+    EventBatch batch;
+    EventScratch scratch;
+    for (std::size_t i = 0; i < scan.events.size(); i += kChunk) {
+        const std::size_t n = std::min(kChunk, scan.events.size() - i);
+        batch.clear();
+        const auto rows = decode_batch_with(isa, data, scan.strings,
+                                            scan.events.data() + i, n,
+                                            batch, dropped, diags);
+        for (std::size_t r = 0; r < rows; ++r)
+            out.push_back(scratch.materialize(batch, r, scan.strings));
+    }
+    return out;
+}
+
+void expect_diags_equal(const ParseDiagnostics& a, const ParseDiagnostics& b,
+                        const char* what) {
+    EXPECT_EQ(a.total(), b.total()) << what;
+    ASSERT_EQ(a.entries().size(), b.entries().size()) << what;
+    for (std::size_t i = 0; i < a.entries().size(); ++i) {
+        EXPECT_EQ(a.entries()[i].line, b.entries()[i].line) << what;
+        EXPECT_EQ(a.entries()[i].offset, b.entries()[i].offset) << what;
+        EXPECT_EQ(a.entries()[i].reason, b.entries()[i].reason) << what;
+        EXPECT_EQ(a.entries()[i].excerpt, b.entries()[i].excerpt) << what;
+    }
+}
+
+TEST(BatchDecode, ScalarIsAlwaysAvailable) {
+    EXPECT_TRUE(decode_isa_available(DecodeIsa::Scalar));
+    EXPECT_TRUE(decode_isa_available(active_decode_isa()));
+    EXPECT_STREQ(decode_isa_name(DecodeIsa::Scalar), "scalar");
+}
+
+TEST(BatchDecode, RoundTripsRandomizedEventsOnEveryIsa) {
+    const auto events = random_events(20260808, 2000);
+    const auto data = encode_trace(events);
+    for (const auto isa : available_isas()) {
+        // decode_batch accumulates into *dropped (callers chunk), so
+        // start from zero — unlike decode_trace, which assigns.
+        std::size_t dropped = 0;
+        const auto decoded = batch_decode_all(data, isa, &dropped);
+        EXPECT_EQ(dropped, 0u) << decode_isa_name(isa);
+        ASSERT_EQ(decoded.size(), events.size()) << decode_isa_name(isa);
+        for (std::size_t i = 0; i < events.size(); ++i)
+            ASSERT_EQ(decoded[i], events[i])
+                << decode_isa_name(isa) << " event " << i;
+    }
+}
+
+TEST(BatchDecode, MatchesDecodeTraceOnCleanInput) {
+    const auto data = encode_trace(random_events(42, 500));
+    std::size_t ref_dropped = 1, batch_dropped = 0;
+    const auto reference = decode_trace(data, &ref_dropped);
+    const auto batched =
+        batch_decode_all(data, active_decode_isa(), &batch_dropped);
+    EXPECT_EQ(batch_dropped, ref_dropped);
+    EXPECT_EQ(batched, reference);
+}
+
+TEST(BatchDecode, IsasAgreeOnTruncatedTails) {
+    const auto data = encode_trace(random_events(7, 200));
+    // Chop at every offset across the last few records plus a spread of
+    // earlier cuts: every truncation must decode identically (events,
+    // drop counts, diagnostics) on every ISA.
+    std::vector<std::size_t> cuts;
+    for (std::size_t cut = data.size() - 120; cut < data.size(); ++cut)
+        cuts.push_back(cut);
+    for (std::size_t cut = 16; cut < data.size(); cut += 997)
+        cuts.push_back(cut);
+    for (const std::size_t cut : cuts) {
+        const std::string torn = data.substr(0, cut);
+        std::size_t scalar_dropped = 0;
+        ParseDiagnostics scalar_diags;
+        const auto scalar = batch_decode_all(torn, DecodeIsa::Scalar,
+                                             &scalar_dropped, &scalar_diags);
+        for (const auto isa : available_isas()) {
+            if (isa == DecodeIsa::Scalar) continue;
+            std::size_t dropped = 0;
+            ParseDiagnostics diags;
+            const auto fast = batch_decode_all(torn, isa, &dropped, &diags);
+            ASSERT_EQ(fast, scalar)
+                << decode_isa_name(isa) << " cut " << cut;
+            EXPECT_EQ(dropped, scalar_dropped)
+                << decode_isa_name(isa) << " cut " << cut;
+            expect_diags_equal(diags, scalar_diags, decode_isa_name(isa));
+        }
+    }
+}
+
+TEST(BatchDecode, IsasAgreeUnderRandomCorruption) {
+    const auto clean = encode_trace(random_events(11, 300));
+    std::mt19937_64 rng(99);
+    for (int trial = 0; trial < 200; ++trial) {
+        std::string data = clean;
+        // 1-4 random byte flips past the header: torn varints, bad type
+        // bytes, out-of-range ids, argc explosions...
+        const int flips = 1 + static_cast<int>(rng() % 4);
+        for (int f = 0; f < flips; ++f)
+            data[kIoctHeaderSize + rng() % (data.size() - kIoctHeaderSize)] =
+                static_cast<char>(rng() & 0xff);
+        std::size_t scalar_dropped = 0;
+        ParseDiagnostics scalar_diags;
+        const auto scalar = batch_decode_all(data, DecodeIsa::Scalar,
+                                             &scalar_dropped, &scalar_diags);
+        for (const auto isa : available_isas()) {
+            if (isa == DecodeIsa::Scalar) continue;
+            std::size_t dropped = 0;
+            ParseDiagnostics diags;
+            const auto fast = batch_decode_all(data, isa, &dropped, &diags);
+            ASSERT_EQ(fast, scalar)
+                << decode_isa_name(isa) << " trial " << trial;
+            EXPECT_EQ(dropped, scalar_dropped)
+                << decode_isa_name(isa) << " trial " << trial;
+            expect_diags_equal(diags, scalar_diags, decode_isa_name(isa));
+        }
+    }
+}
+
+TEST(BatchDecode, ParityWithPerRecordDecodeEventUnderCorruption) {
+    const auto clean = encode_trace(random_events(13, 300));
+    std::mt19937_64 rng(5);
+    for (int trial = 0; trial < 100; ++trial) {
+        std::string data = clean;
+        for (int f = 0; f < 3; ++f)
+            data[kIoctHeaderSize + rng() % (data.size() - kIoctHeaderSize)] =
+                static_cast<char>(rng() & 0xff);
+        const auto scan = scan_ioct(data);
+        // Reference: the one-record-at-a-time scalar decoder.
+        std::vector<TraceEvent> reference;
+        TraceEvent scratch;
+        for (const auto& ref : scan.events)
+            if (decode_event(std::string_view(data).substr(ref.offset,
+                                                           ref.length),
+                             scan.strings, scratch))
+                reference.push_back(scratch);
+        std::size_t dropped = 0;
+        const auto batched =
+            batch_decode_all(data, active_decode_isa(), &dropped);
+        ASSERT_EQ(batched, reference) << "trial " << trial;
+        EXPECT_EQ(batched.size() + dropped, scan.events.size())
+            << "trial " << trial;
+    }
+}
+
+TEST(BatchDecode, SteadyStateDecodeAndMaterializeIsAllocationFree) {
+    if (!exec::has_allocation_counting())
+        GTEST_SKIP() << "allocation hook compiled out (sanitizer build)";
+    const auto data = encode_trace(random_events(21, 1000));
+    const auto scan = scan_ioct(data);
+    constexpr std::size_t kChunk = 512;
+    EventBatch batch;
+    EventScratch scratch;
+    std::uint64_t sum = 0;
+    const auto pass = [&] {
+        for (std::size_t i = 0; i < scan.events.size(); i += kChunk) {
+            const std::size_t n = std::min(kChunk, scan.events.size() - i);
+            batch.clear();
+            const auto rows = decode_batch(data, scan.strings,
+                                           scan.events.data() + i, n, batch);
+            for (std::size_t r = 0; r < rows; ++r)
+                sum += scratch.materialize(batch, r, scan.strings).seq;
+        }
+    };
+    pass();  // warm: batch high-water mark, scratch string capacities
+    pass();
+    const auto before = exec::thread_allocation_count();
+    pass();
+    EXPECT_EQ(exec::thread_allocation_count() - before, 0u);
+    EXPECT_NE(sum, 0u);
+}
+
+}  // namespace
+}  // namespace iocov::trace

@@ -142,6 +142,56 @@ TEST(ThreadPool, ParallelForPropagatesException) {
     EXPECT_EQ(n.load(), 8);
 }
 
+// ---- work stealing ---------------------------------------------------------
+
+TEST(WorkStealing, VisitsEveryItemExactlyOnce) {
+    exec::ThreadPool pool(4);
+    // Heavily skewed weights: one giant item plus a long tail, so the
+    // initial LPT deal is unbalanced and stealing actually happens.
+    std::vector<std::uint64_t> weights;
+    for (std::size_t i = 0; i < 200; ++i)
+        weights.push_back(i == 0 ? 1'000'000 : i % 7);
+    std::vector<std::atomic<int>> hits(weights.size());
+    exec::parallel_for_stealing(pool, weights, [&](std::size_t i) {
+        hits[i].fetch_add(1);
+    });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "item " << i;
+}
+
+TEST(WorkStealing, HandlesFewerItemsThanLanesAndEmptyInput) {
+    exec::ThreadPool pool(8);
+    std::vector<std::atomic<int>> hits(3);
+    exec::parallel_for_stealing(pool, {5, 0, 9}, [&](std::size_t i) {
+        hits[i].fetch_add(1);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+    // Empty input is a no-op, not a crash.
+    exec::parallel_for_stealing(pool, {}, [](std::size_t) { FAIL(); });
+}
+
+TEST(WorkStealing, ExceptionPropagatesAfterEveryItemWasAttempted) {
+    exec::ThreadPool pool(4);
+    std::vector<std::uint64_t> weights(64, 1);
+    std::vector<std::atomic<int>> hits(weights.size());
+    EXPECT_THROW(
+        exec::parallel_for_stealing(pool, weights,
+                                    [&](std::size_t i) {
+                                        hits[i].fetch_add(1);
+                                        if (i == 17)
+                                            throw std::runtime_error("boom");
+                                    }),
+        std::runtime_error);
+    // A failed item never silently skips the rest of the batch.
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "item " << i;
+    // Pool must still be usable afterwards.
+    std::atomic<int> n{0};
+    exec::parallel_for_stealing(pool, {1, 2, 3},
+                                [&](std::size_t) { n.fetch_add(1); });
+    EXPECT_EQ(n.load(), 3);
+}
+
 // ---- end-to-end: parallel consume_text == serial consume_text --------------
 
 // Interleaves several simulated processes round-robin into one text

@@ -25,6 +25,7 @@
 // suite simulators end to end.
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <optional>
 #include <string>
@@ -39,6 +40,7 @@
 #include "core/report_io.hpp"
 #include "core/tcd.hpp"
 #include "core/untested.hpp"
+#include "exec/alloc_hook.hpp"
 #include "report/table.hpp"
 #include "syscall/kernel.hpp"
 #include "testers/campaign.hpp"
@@ -56,12 +58,17 @@ int usage() {
         stderr,
         "usage:\n"
         "  iocov analyze [--mount RE] [--syz] [--extended] [--threads N]\n"
-        "                [--strict] [--max-errors N] [--save FILE] TRACE...\n"
+        "                [--strict] [--max-errors N] [--stats]\n"
+        "                [--save FILE] TRACE...\n"
         "      TRACE format is autodetected per file: IOCT binary (by\n"
-        "      its \"IOCT\" magic) or LTTng-style text.  Malformed input\n"
-        "      is skipped and diagnosed; --max-errors N fails the run\n"
-        "      when more than N inputs were dropped, --strict is\n"
-        "      --max-errors 0.\n"
+        "      its \"IOCT\" magic) or LTTng-style text.  A TRACE that is\n"
+        "      a directory analyzes every IOCT file in it (sorted by\n"
+        "      name; non-IOCT entries are diagnosed and skipped), with\n"
+        "      files scheduled onto --threads N work-stealing workers.\n"
+        "      Malformed input is skipped and diagnosed; --max-errors N\n"
+        "      fails the run when more than N inputs were dropped,\n"
+        "      --strict is --max-errors 0.  --stats prints ingest\n"
+        "      throughput and steady-state allocation counters.\n"
         "  iocov convert IN OUT\n"
         "      transcode text -> IOCT binary or IOCT binary -> text\n"
         "      (direction inferred from IN's magic)\n"
@@ -143,6 +150,7 @@ int cmd_analyze(int argc, char** argv) {
     std::string mount = "/mnt/test";
     bool syz = false;
     bool extended = false;
+    bool stats = false;
     unsigned threads = 1;
     const char* save_path = nullptr;
     // Error budget: how many dropped inputs (malformed lines, corrupt
@@ -161,6 +169,8 @@ int cmd_analyze(int argc, char** argv) {
             // 0 = auto (hardware concurrency); 1 = serial.
             threads = static_cast<unsigned>(
                 std::strtoul(argv[++i], nullptr, 10));
+        } else if (!std::strcmp(argv[i], "--stats")) {
+            stats = true;
         } else if (!std::strcmp(argv[i], "--strict")) {
             max_errors = 0;
         } else if (!std::strcmp(argv[i], "--max-errors") && i + 1 < argc) {
@@ -177,6 +187,22 @@ int cmd_analyze(int argc, char** argv) {
                       extended ? core::extended_syscall_registry()
                                : core::syscall_registry());
     for (const char* path : traces) {
+        std::error_code dir_ec;
+        if (!syz && std::filesystem::is_directory(path, dir_ec)) {
+            // Directory of IOCT traces: work-stealing multi-file
+            // ingestion, bit-identical to analyzing the files one by
+            // one in name order (each file gets its own filter state).
+            const auto dir = iocov.consume_binary_dir(path, threads);
+            if (!dir) {
+                std::fprintf(stderr, "iocov: cannot open directory %s\n",
+                             path);
+                return 1;
+            }
+            std::printf("%s: analyzed %zu IOCT files (%zu non-IOCT "
+                        "rejected, %zu torn records skipped)\n",
+                        path, dir->files, dir->rejected, dir->dropped);
+            continue;
+        }
         if (!syz && file_is_ioct(path)) {
             // IOCT binary trace: mmap'd zero-copy ingestion.
             const auto dropped = iocov.consume_binary_file(path, threads);
@@ -222,6 +248,29 @@ int cmd_analyze(int argc, char** argv) {
         std::fprintf(stderr, "%s", diags.to_string().c_str());
     std::printf("\n");
     print_summary(iocov.report());
+    if (stats) {
+        const auto& is = iocov.ingest_stats();
+        const double secs = is.seconds > 0 ? is.seconds : 1e-9;
+        std::printf(
+            "\ningest stats (binary paths):\n"
+            "  events:   %llu decoded (%.2fM events/s)\n"
+            "  bytes:    %llu ingested (%.1f MB/s)\n"
+            "  files:    %llu across %u thread(s), %.3fs wall\n",
+            static_cast<unsigned long long>(is.events),
+            static_cast<double>(is.events) / secs / 1e6,
+            static_cast<unsigned long long>(is.bytes),
+            static_cast<double>(is.bytes) / secs / 1e6,
+            static_cast<unsigned long long>(is.files), is.threads, secs);
+        if (exec::has_allocation_counting()) {
+            std::printf("  allocs:   %llu in the steady-state decode "
+                        "loop\n",
+                        static_cast<unsigned long long>(
+                            is.hot_loop_allocs));
+        } else {
+            std::printf("  allocs:   (allocation counting unavailable "
+                        "in this build)\n");
+        }
+    }
     if (save_path) {
         std::ofstream out(save_path);
         core::save_report(out, iocov.report());
