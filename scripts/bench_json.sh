@@ -38,6 +38,8 @@ if [ "${IOCOV_SKIP_SANITIZERS:-0}" != "1" ]; then
   ./scripts/check_ubsan.sh
   echo "preflight: Release (NDEBUG) gate"
   ./scripts/check_release.sh
+  echo "preflight: crash-consistency gate"
+  ./scripts/check_crash.sh
 fi
 
 echo "preflight: perf regression gate"

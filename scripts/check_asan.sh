@@ -16,6 +16,8 @@ BUILD="${1:-build-asan}"
 cmake -B "$BUILD" -G Ninja -DIOCOV_SANITIZE=address >/dev/null
 cmake --build "$BUILD" -j --target \
   test_binary_format test_binary_pipeline test_text_format \
-  test_batch_decode test_dir_ingest
-ctest --test-dir "$BUILD" -R 'Binary|TextFormat|MappedFile|BatchDecode|DirIngest' \
+  test_batch_decode test_dir_ingest \
+  test_crash_replay test_crash_oracle test_crashtest
+ctest --test-dir "$BUILD" \
+  -R 'Binary|TextFormat|MappedFile|BatchDecode|DirIngest|CrashReplay|CrashOracle|CrashTest' \
   --output-on-failure -j "$(nproc)"

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Crash-consistency smoke gate for the testers/crash subsystem.
+#
+#   ./scripts/check_crash.sh [BUILD_DIR]    # default build
+#
+# Three properties the crash tester must never lose:
+#   1. the `crash`-labelled unit suites pass (effect log, replay,
+#      oracle, state diff, end-to-end tester);
+#   2. the enumeration is deterministic — two `iocov crashtest` runs
+#      with the same seed produce byte-identical JSON reports;
+#   3. the oracle still has teeth — the seeded skip-a-barrier bug
+#      (--inject-skip-barrier 0) is CAUGHT, with at least one bug.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+
+# No -G: reuse whatever generator BUILD was configured with (the dev
+# tree is often Makefiles while the sanitizer trees are Ninja).
+cmake -B "$BUILD" >/dev/null
+cmake --build "$BUILD" -j --target \
+  test_crash_replay test_crash_oracle test_crashtest test_state_diff \
+  iocov_cli
+ctest --test-dir "$BUILD" -L crash --output-on-failure -j "$(nproc)"
+
+CLI="$BUILD"/tools/iocov
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+echo "determinism: two seeded crashtest runs must be byte-identical"
+"$CLI" crashtest --seed 7 --json "$TMP/a.json" >/dev/null
+"$CLI" crashtest --seed 7 --json "$TMP/b.json" >/dev/null
+cmp "$TMP/a.json" "$TMP/b.json"
+echo "determinism: OK"
+
+echo "oracle teeth: seeded skip-barrier bug must be caught"
+OUT="$("$CLI" crashtest --seed 7 --inject-skip-barrier 0 | tail -1)"
+echo "$OUT"
+case "$OUT" in
+  *CAUGHT*) ;;
+  *) echo "error: injected skip-barrier bug was not caught" >&2; exit 1 ;;
+esac
+
+echo "crash gate: OK"

@@ -18,7 +18,8 @@ BUILD="${1:-build-ubsan}"
 cmake -B "$BUILD" -G Ninja -DIOCOV_SANITIZE=undefined >/dev/null
 cmake --build "$BUILD" -j --target \
   test_fsck test_fault test_campaign test_ingest_faults \
-  test_binary_format test_text_format test_batch_decode
+  test_binary_format test_text_format test_batch_decode \
+  test_crash_replay test_crash_oracle test_state_diff
 ctest --test-dir "$BUILD" \
-  -R 'Fsck|Fault|ScopedFault|Campaign|IngestFaults|Binary|TextFormat|BatchDecode' \
+  -R 'Fsck|Fault|ScopedFault|Campaign|IngestFaults|Binary|TextFormat|BatchDecode|CrashReplay|CrashOracle|StateDiff' \
   --output-on-failure -j "$(nproc)"

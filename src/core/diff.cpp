@@ -1,6 +1,7 @@
 #include "core/diff.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 namespace iocov::core {
 namespace {
@@ -91,6 +92,128 @@ std::string delta_kind_name(CoverageDelta::Kind kind) {
         case CoverageDelta::Kind::Gained: return "gained";
         case CoverageDelta::Kind::Decreased: return "decreased";
         case CoverageDelta::Kind::Increased: return "increased";
+    }
+    return "?";
+}
+
+// ---- file-system state diffing ------------------------------------------
+
+namespace {
+
+StateDelta make_delta(StateDelta::Kind kind, const std::string& path,
+                      std::string detail) {
+    StateDelta d;
+    d.kind = kind;
+    d.path = path;
+    d.detail = std::move(detail);
+    return d;
+}
+
+}  // namespace
+
+std::string StateDelta::to_string() const {
+    std::string out = "[";
+    out += state_delta_kind_name(kind);
+    out += "] ";
+    out += path;
+    if (!detail.empty()) {
+        out += ": ";
+        out += detail;
+    }
+    return out;
+}
+
+std::vector<StateDelta> diff_states(const StateSnapshot& expected,
+                                    const StateSnapshot& actual,
+                                    const StateDiffOptions& options) {
+    std::vector<StateDelta> out;
+    for (const auto& [path, want] : expected.entries) {
+        auto it = actual.entries.find(path);
+        if (it == actual.entries.end()) {
+            out.push_back(make_delta(StateDelta::Kind::Missing, path,
+                                     std::string("expected ") +
+                                         state_fact_type_name(want.type)));
+            continue;
+        }
+        const StateFact& got = it->second;
+        if (want.type != got.type) {
+            std::ostringstream os;
+            os << "expected " << state_fact_type_name(want.type) << ", found "
+               << state_fact_type_name(got.type);
+            out.push_back(make_delta(StateDelta::Kind::TypeMismatch, path,
+                                     os.str()));
+            continue;  // other aspects are meaningless across types
+        }
+        if (want.check_data && want.type == StateFact::Type::File) {
+            if (want.size != got.size) {
+                std::ostringstream os;
+                os << "size " << want.size << " -> " << got.size;
+                out.push_back(make_delta(StateDelta::Kind::DataLoss, path,
+                                         os.str()));
+            } else if (want.content_hash != got.content_hash) {
+                out.push_back(make_delta(StateDelta::Kind::DataLoss, path,
+                                         "content diverged"));
+            }
+        }
+        if (want.check_meta) {
+            std::ostringstream os;
+            bool lost = false;
+            if (want.mode != got.mode) {
+                os << "mode " << std::oct << want.mode << " -> " << got.mode
+                   << std::dec << "; ";
+                lost = true;
+            }
+            if (want.uid != got.uid || want.gid != got.gid) {
+                os << "owner " << want.uid << ':' << want.gid << " -> "
+                   << got.uid << ':' << got.gid << "; ";
+                lost = true;
+            }
+            if (want.xattr_hash != got.xattr_hash) {
+                os << "xattrs diverged; ";
+                lost = true;
+            }
+            if (want.symlink_target != got.symlink_target) {
+                os << "target \"" << want.symlink_target << "\" -> \""
+                   << got.symlink_target << "\"; ";
+                lost = true;
+            }
+            if (lost) {
+                std::string detail = os.str();
+                detail.resize(detail.size() - 2);  // drop trailing "; "
+                out.push_back(make_delta(StateDelta::Kind::MetadataLoss, path,
+                                         std::move(detail)));
+            }
+        }
+    }
+    if (!options.allow_extra) {
+        for (const auto& [path, got] : actual.entries) {
+            if (!expected.entries.count(path))
+                out.push_back(
+                    make_delta(StateDelta::Kind::Extra, path,
+                               std::string("unexpected ") +
+                                   state_fact_type_name(got.type)));
+        }
+    }
+    return out;
+}
+
+const char* state_delta_kind_name(StateDelta::Kind kind) {
+    switch (kind) {
+        case StateDelta::Kind::Missing: return "missing";
+        case StateDelta::Kind::TypeMismatch: return "type-mismatch";
+        case StateDelta::Kind::DataLoss: return "data-loss";
+        case StateDelta::Kind::MetadataLoss: return "metadata-loss";
+        case StateDelta::Kind::Extra: return "extra";
+    }
+    return "?";
+}
+
+const char* state_fact_type_name(StateFact::Type type) {
+    switch (type) {
+        case StateFact::Type::File: return "file";
+        case StateFact::Type::Dir: return "dir";
+        case StateFact::Type::Symlink: return "symlink";
+        case StateFact::Type::Special: return "special";
     }
     return "?";
 }

@@ -121,6 +121,7 @@ class Process {
     std::int64_t sys_fsync(int fd);
     std::int64_t sys_fdatasync(int fd);
     std::int64_t sys_sync();
+    std::int64_t sys_syncfs(int fd);
     std::int64_t sys_unlink(const char* pathname);
     std::int64_t sys_rmdir(const char* pathname);
     std::int64_t sys_rename(const char* oldpath, const char* newpath);

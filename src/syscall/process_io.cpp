@@ -120,6 +120,13 @@ std::int64_t Process::do_write(int fd, const WriteSrc& src, std::int64_t pos,
             ? fs.write(desc->ino, off, src.bytes().first(count))
             : fs.write_pattern(desc->ino, off, count, src.fill());
     if (!r.ok()) return abi::fail(r.error());
+    // O_SYNC/O_DSYNC: every successful write is its own persistence
+    // barrier (O_DSYNC syncs the data like fdatasync; O_SYNC is the
+    // full fsync equivalent — both scope to this inode).
+    if ((desc->flags & abi::O_SYNC) == abi::O_SYNC)
+        fs.sync_inode(desc->ino, vfs::BarrierKind::OSync);
+    else if (desc->flags & abi::O_DSYNC)
+        fs.sync_inode(desc->ino, vfs::BarrierKind::Fdatasync);
     if (!use_pos) desc->offset = off + r.value();
     return static_cast<std::int64_t>(r.value());
 }

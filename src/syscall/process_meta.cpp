@@ -280,16 +280,28 @@ std::int64_t Process::sys_fstat(int fd, vfs::Stat* out) {
 
 std::int64_t Process::sys_fsync(int fd) {
     std::int64_t ret;
-    if (auto e = fault("fsync")) ret = abi::fail(*e);
-    else ret = lookup_fd(fd) ? 0 : abi::fail(Err::EBADF_);
+    if (auto e = fault("fsync")) {
+        ret = abi::fail(*e);
+    } else if (FileDescription* desc = lookup_fd(fd)) {
+        kernel_.fs().sync_inode(desc->ino, vfs::BarrierKind::Fsync);
+        ret = 0;
+    } else {
+        ret = abi::fail(Err::EBADF_);
+    }
     emit("fsync", {targ("fd", fd)}, ret);
     return ret;
 }
 
 std::int64_t Process::sys_fdatasync(int fd) {
     std::int64_t ret;
-    if (auto e = fault("fdatasync")) ret = abi::fail(*e);
-    else ret = lookup_fd(fd) ? 0 : abi::fail(Err::EBADF_);
+    if (auto e = fault("fdatasync")) {
+        ret = abi::fail(*e);
+    } else if (FileDescription* desc = lookup_fd(fd)) {
+        kernel_.fs().sync_inode(desc->ino, vfs::BarrierKind::Fdatasync);
+        ret = 0;
+    } else {
+        ret = abi::fail(Err::EBADF_);
+    }
     emit("fdatasync", {targ("fd", fd)}, ret);
     return ret;
 }
@@ -297,7 +309,24 @@ std::int64_t Process::sys_fdatasync(int fd) {
 std::int64_t Process::sys_sync() {
     std::int64_t ret = 0;
     if (auto e = fault("sync")) ret = abi::fail(*e);
+    else kernel_.fs().sync_all(vfs::BarrierKind::Sync);
     emit("sync", {}, ret);
+    return ret;
+}
+
+std::int64_t Process::sys_syncfs(int fd) {
+    // syncfs(2): sync the file system containing fd.  One mount here, so
+    // the scope is the whole VFS; the fd only has to be valid.
+    std::int64_t ret;
+    if (auto e = fault("syncfs")) {
+        ret = abi::fail(*e);
+    } else if (lookup_fd(fd)) {
+        kernel_.fs().sync_all(vfs::BarrierKind::Syncfs);
+        ret = 0;
+    } else {
+        ret = abi::fail(Err::EBADF_);
+    }
+    emit("syncfs", {targ("fd", fd)}, ret);
     return ret;
 }
 

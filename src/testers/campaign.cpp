@@ -1,5 +1,6 @@
 #include "testers/campaign.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <sstream>
@@ -213,6 +214,12 @@ CampaignResult run_campaign(const CampaignConfig& config) {
                                                        row.label);
         }
     }
+    // Canonical (lexicographic) order: the loop above walks reports in
+    // registry order, which is only incidentally stable — sort so the
+    // summary is a pure function of the partition set and golden-output
+    // tests can lock it down.
+    std::sort(result.new_output_partitions.begin(),
+              result.new_output_partitions.end());
     return result;
 }
 

@@ -1,0 +1,209 @@
+#include "testers/crash/oracle.hpp"
+
+#include <cassert>
+
+#include "testers/crash/snapshot.hpp"
+
+namespace iocov::testers::crash {
+
+using vfs::Effect;
+using vfs::EffectOp;
+using vfs::InodeId;
+
+std::string CrashBug::to_string() const {
+    std::string out = "[" + kind + "] ";
+    if (!workload.empty()) out += workload + " ";
+    out += "@" + crash_point;
+    if (!path.empty()) out += " " + path;
+    if (!detail.empty()) out += ": " + detail;
+    return out;
+}
+
+PersistenceOracle::PersistenceOracle(const EffectLog& log,
+                                     vfs::FsConfig config,
+                                     const BaseSetup& base)
+    : log_(log) {
+    vfs::FileSystem fs(config);
+    base(fs);
+
+    std::map<InodeId, InodeId> ino_map;  // original -> private journal
+    for (const auto& [id, node] : fs.inodes()) ino_map.emplace(id, id);
+    std::vector<InodeId> pinned;
+
+    // Files whose *data* is currently guaranteed durable.  The base
+    // image predates the workload (mkfs + fixtures reach the device
+    // before any crash window opens), so base files start synced.
+    std::set<InodeId> synced_data;
+    for (const auto& [id, node] : fs.inodes())
+        if (node.is_reg()) synced_data.insert(id);
+
+    auto take_snapshot = [&](std::size_t prefix) {
+        BarrierSnapshot snap;
+        snap.prefix = prefix;
+        std::map<std::string, InodeId> path_priv;
+        snap.expected = snapshot_vfs(fs, &path_priv);
+        std::map<InodeId, InodeId> inverse;  // private -> original
+        for (const auto& [orig, priv] : ino_map) inverse[priv] = orig;
+        for (const auto& [path, priv] : path_priv) {
+            auto inv = inverse.find(priv);
+            const InodeId orig = inv == inverse.end() ? priv : inv->second;
+            snap.path_inos[path] = orig;
+            auto& fact = snap.expected.entries[path];
+            fact.check_meta = true;
+            fact.check_data = fact.type == core::StateFact::Type::File &&
+                              synced_data.count(orig) > 0;
+        }
+        snapshots_.push_back(std::move(snap));
+    };
+
+    // The pre-workload state is itself a guarantee: crashing before any
+    // effect must preserve the base image.
+    take_snapshot(0);
+
+    const auto& effects = log_.effects();
+    for (std::size_t i = 0; i < effects.size(); ++i) {
+        const Effect& e = effects[i];
+        if (e.op == EffectOp::Barrier) {
+            if (vfs::barrier_is_global(e.barrier)) {
+                for (const auto& [orig, priv] : ino_map) {
+                    const vfs::Inode* n = fs.find(priv);
+                    if (n && n->is_reg()) synced_data.insert(orig);
+                }
+            } else if (e.ino != vfs::kInvalidInode) {
+                synced_data.insert(e.ino);
+            }
+            take_snapshot(i + 1);
+            continue;
+        }
+        const bool ok = apply_logged_effect(fs, e, ino_map, pinned);
+        assert(ok && "a correct effect log must replay in order");
+        (void)ok;
+        // Data mutations void the file's durability until re-synced.
+        if (e.op == EffectOp::Write || e.op == EffectOp::Truncate)
+            synced_data.erase(e.ino);
+    }
+}
+
+void PersistenceOracle::invalidate_for_tail_effect(BarrierSnapshot& snap,
+                                                   const Effect& e) {
+    auto paths_of = [&](InodeId ino, std::vector<std::string>* out) {
+        for (const auto& [path, id] : snap.path_inos)
+            if (id == ino) out->push_back(path);
+    };
+    // Snapshot path of a directory inode (unique: dirs have one parent);
+    // empty when the dir is not part of the snapshot (e.g. tail-created).
+    auto dir_path = [&](InodeId ino) -> std::string {
+        for (const auto& [path, id] : snap.path_inos)
+            if (id == ino) return path;
+        return {};
+    };
+    auto erase_entry = [&](const std::string& path) {
+        snap.expected.entries.erase(path);
+        snap.path_inos.erase(path);
+    };
+    auto erase_subtree = [&](const std::string& path) {
+        if (path.empty()) return;
+        erase_entry(path);
+        const std::string prefix = path + "/";
+        for (auto it = snap.expected.entries.lower_bound(prefix);
+             it != snap.expected.entries.end() &&
+             it->first.compare(0, prefix.size(), prefix) == 0;) {
+            snap.path_inos.erase(it->first);
+            it = snap.expected.entries.erase(it);
+        }
+    };
+    auto child_path = [&](InodeId parent, const std::string& name) {
+        const std::string dir = dir_path(parent);
+        if (dir.empty()) return std::string{};
+        return dir == "/" ? dir + name : dir + "/" + name;
+    };
+
+    switch (e.op) {
+        case EffectOp::Write:
+        case EffectOp::Truncate: {
+            std::vector<std::string> paths;
+            paths_of(e.ino, &paths);
+            for (const auto& p : paths)
+                snap.expected.entries[p].check_data = false;
+            break;
+        }
+        case EffectOp::SetMode:
+        case EffectOp::SetOwner:
+        case EffectOp::SetXattr:
+        case EffectOp::RemoveXattr: {
+            std::vector<std::string> paths;
+            paths_of(e.ino, &paths);
+            for (const auto& p : paths)
+                snap.expected.entries[p].check_meta = false;
+            break;
+        }
+        case EffectOp::Unlink: {
+            const std::string p = child_path(e.parent, e.name);
+            if (!p.empty()) erase_entry(p);
+            break;
+        }
+        case EffectOp::Rmdir: {
+            erase_subtree(child_path(e.parent, e.name));
+            break;
+        }
+        case EffectOp::Rename: {
+            // Source moved away; whatever sat at the destination was
+            // replaced.  The moved tree's new location is "extra"
+            // (allowed), so both old assertions must go.
+            erase_subtree(child_path(e.parent, e.name));
+            erase_subtree(child_path(e.parent2, e.name2));
+            break;
+        }
+        case EffectOp::Create:
+        case EffectOp::CreateAnonymous:
+        case EffectOp::ReleaseAnonymous:
+        case EffectOp::Link:
+        case EffectOp::Barrier:
+            break;  // additions only; allow_extra covers them
+    }
+}
+
+std::vector<CrashBug> PersistenceOracle::check(
+    const CrashPoint& point, const RecoveredState& recovered) const {
+    // Last barrier snapshot the crash point's prefix retired.
+    const BarrierSnapshot* best = &snapshots_.front();
+    for (const auto& snap : snapshots_) {
+        if (snap.prefix <= point.prefix) best = &snap;
+        else break;
+    }
+    BarrierSnapshot working = *best;
+
+    // Applied tail effects legitimately perturb the barrier state:
+    // drop the assertions they touch so surviving tails are not
+    // misreported as corruption.  (Dropped *prefix* effects get no such
+    // excuse — that is exactly the skip-a-barrier bug signature.)
+    for (std::size_t idx : recovered.applied)
+        if (idx >= working.prefix)
+            invalidate_for_tail_effect(working, log_.effects()[idx]);
+
+    std::vector<CrashBug> bugs;
+    const core::StateSnapshot actual = snapshot_vfs(*recovered.fs);
+    for (const auto& delta :
+         core::diff_states(working.expected, actual, {.allow_extra = true})) {
+        CrashBug bug;
+        bug.crash_point = point.id();
+        bug.kind = core::state_delta_kind_name(delta.kind);
+        bug.path = delta.path;
+        bug.detail = delta.detail;
+        bugs.push_back(std::move(bug));
+    }
+
+    vfs::FsckOptions opts;
+    opts.pinned_inodes = recovered.pinned;
+    const vfs::FsckReport report = vfs::fsck(*recovered.fs, opts);
+    for (const auto& violation : report.violations) {
+        CrashBug bug;
+        bug.crash_point = point.id();
+        bug.kind = std::string("fsck:") + vfs::fsck_code_name(violation.code);
+        bug.detail = violation.detail;
+        bugs.push_back(std::move(bug));
+    }
+    return bugs;
+}
+
+}  // namespace iocov::testers::crash

@@ -1,0 +1,85 @@
+// Persisted-prefix oracle: what MUST survive each crash point.
+//
+// Barrier semantics modeled (ext4 ordered-journal analogy, documented
+// in DESIGN.md §9): every barrier — scoped or global — commits all
+// metadata logged so far (namespace structure, modes, owners, xattrs,
+// symlink targets); file *data* (content + size) is committed only for
+// the barrier's scope: the fsynced inode, or every file for
+// sync/syncfs.  A file written after its last data barrier has no data
+// guarantee until the next one.
+//
+// The oracle replays the full log in order on a private FileSystem,
+// snapshotting the guaranteed facts at every barrier.  check() then
+// takes the snapshot of the last barrier the crash point retired,
+// *invalidates* facts the applied tail effects legitimately touched
+// (a persisted tail write may change content; a persisted tail unlink
+// removes the entry), and diffs the recovered state against what
+// remains.  Anything still asserted that the recovered state lacks is
+// a crash-consistency bug.  Extra files are allowed: un-synced
+// creations may survive.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/diff.hpp"
+#include "testers/crash/effect_log.hpp"
+#include "testers/crash/replay.hpp"
+#include "vfs/fsck.hpp"
+
+namespace iocov::testers::crash {
+
+/// One confirmed violation: a fact a retired barrier guaranteed that
+/// the recovered state lost, or an fsck invariant breach.
+struct CrashBug {
+    std::string workload;     ///< filled in by the tester driver
+    std::string crash_point;  ///< CrashPoint::id()
+    std::string kind;         ///< state_delta_kind_name or fsck code
+    std::string path;         ///< affected path (empty for fsck bugs)
+    std::string detail;
+    std::string recipe;       ///< how to reproduce (CLI invocation)
+
+    std::string to_string() const;
+};
+
+class PersistenceOracle {
+  public:
+    /// Replays `log` in order on a private FileSystem built by `base`
+    /// (same FsConfig as the workload ran with) and snapshots the
+    /// guaranteed facts after every barrier.  `log` must outlive the
+    /// oracle.
+    PersistenceOracle(const EffectLog& log, vfs::FsConfig config,
+                      const BaseSetup& base);
+
+    /// Diffs `recovered` against the persisted-prefix expectation for
+    /// `point`.  Also runs vfs::fsck with the recovered state's pinned
+    /// (O_TMPFILE) inodes.  Returns every violation found.
+    std::vector<CrashBug> check(const CrashPoint& point,
+                                const RecoveredState& recovered) const;
+
+    /// Number of barrier snapshots taken (tests).
+    std::size_t snapshot_count() const { return snapshots_.size(); }
+
+  private:
+    struct BarrierSnapshot {
+        /// Prefix length this snapshot covers: effects [0, prefix) are
+        /// retired when the crash point's prefix >= this value.
+        std::size_t prefix = 0;
+        core::StateSnapshot expected;
+        /// path -> original (logged) inode id at snapshot time.
+        std::map<std::string, vfs::InodeId> path_inos;
+    };
+
+    /// Clears expectations the applied tail effect `e` legitimately
+    /// invalidates (content of rewritten files, removed entries, ...).
+    static void invalidate_for_tail_effect(BarrierSnapshot& snap,
+                                           const vfs::Effect& e);
+
+    const EffectLog& log_;
+    std::vector<BarrierSnapshot> snapshots_;
+};
+
+}  // namespace iocov::testers::crash

@@ -1,0 +1,335 @@
+#include "testers/crash/replay.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "testers/rng.hpp"
+
+namespace iocov::testers::crash {
+
+using vfs::Effect;
+using vfs::EffectOp;
+using vfs::InodeId;
+
+namespace {
+
+/// Payload length of a write effect (materialized or pattern).
+std::uint64_t write_len(const Effect& e) {
+    return e.bytes.empty() ? e.len : e.bytes.size();
+}
+
+/// Seed for one crash point's tail randomness: mixes the plan seed,
+/// the epoch position and the variant so every point draws an
+/// independent, reproducible stream.
+std::uint64_t point_seed(const CrashPoint& p) {
+    return p.seed ^ (static_cast<std::uint64_t>(p.prefix) * 0x9E3779B97F4A7C15ULL)
+                  ^ (static_cast<std::uint64_t>(p.variant) * 0xD1B54A32D192ED03ULL);
+}
+
+}  // namespace
+
+std::string CrashPoint::id() const {
+    std::ostringstream os;
+    os << 'p' << prefix;
+    switch (tail) {
+        case Tail::None: os << "+none"; break;
+        case Tail::InOrder: os << "+seq" << variant; break;
+        case Tail::Reordered: os << "+shuf" << variant; break;
+        case Tail::Torn: os << "+torn"; break;
+    }
+    return os.str();
+}
+
+CrashReplayer::CrashReplayer(const EffectLog& log, vfs::FsConfig config,
+                             BaseSetup base)
+    : log_(log), config_(config), base_(std::move(base)) {}
+
+std::vector<CrashPoint> CrashReplayer::plan(
+    const CrashPlanConfig& config) const {
+    std::vector<CrashPoint> points;
+    for (const auto& epoch : log_.epochs()) {
+        CrashPoint at_barrier;
+        at_barrier.prefix = epoch.begin;
+        at_barrier.tail = CrashPoint::Tail::None;
+        at_barrier.seed = config.seed;
+        points.push_back(at_barrier);
+
+        const std::size_t n = epoch.length();
+        for (std::size_t t = 1; t <= n; ++t) {
+            CrashPoint p;
+            p.prefix = epoch.begin;
+            p.tail = CrashPoint::Tail::InOrder;
+            p.variant = static_cast<std::uint32_t>(t);
+            p.seed = config.seed;
+            points.push_back(p);
+        }
+        if (n >= 2) {
+            for (unsigned k = 1; k <= config.reorder_variants; ++k) {
+                CrashPoint p;
+                p.prefix = epoch.begin;
+                p.tail = CrashPoint::Tail::Reordered;
+                p.variant = k;
+                p.seed = config.seed;
+                points.push_back(p);
+            }
+        }
+        if (config.torn_writes) {
+            for (std::size_t i = epoch.end; i > epoch.begin; --i) {
+                const Effect& e = log_.effects()[i - 1];
+                if (e.op == EffectOp::Write && write_len(e) >= 2) {
+                    CrashPoint p;
+                    p.prefix = epoch.begin;
+                    p.tail = CrashPoint::Tail::Torn;
+                    p.seed = config.seed;
+                    points.push_back(p);
+                    break;
+                }
+            }
+        }
+    }
+    if (config.max_points > 0 && points.size() > config.max_points) {
+        // Even subsample keeping first and last (deterministic).
+        std::vector<CrashPoint> kept;
+        kept.reserve(config.max_points);
+        const std::size_t m = config.max_points;
+        std::size_t prev = points.size();  // sentinel
+        for (std::size_t i = 0; i < m; ++i) {
+            const std::size_t idx =
+                m == 1 ? 0 : i * (points.size() - 1) / (m - 1);
+            if (idx != prev) kept.push_back(points[idx]);
+            prev = idx;
+        }
+        points = std::move(kept);
+    }
+    return points;
+}
+
+bool apply_logged_effect(vfs::FileSystem& fs, const Effect& e,
+                         std::map<InodeId, InodeId>& ino_map,
+                         std::vector<InodeId>& pinned) {
+    const auto root = vfs::Credentials::root();
+    auto mapped = [&](InodeId orig) -> std::optional<InodeId> {
+        auto it = ino_map.find(orig);
+        if (it == ino_map.end()) return std::nullopt;
+        return it->second;
+    };
+    // True when the replayed dirent (parent, name) still points at the
+    // replayed image of `orig` — reordered tails can leave a different
+    // file under that name, in which case the logged removal/move of
+    // `orig`'s entry did not persist as such.
+    auto dirent_matches = [&](InodeId parent, const std::string& name,
+                              InodeId orig) {
+        auto p = mapped(parent);
+        auto o = mapped(orig);
+        if (!p || !o) return false;
+        const vfs::Inode* dir = fs.find(*p);
+        if (!dir || !dir->is_dir()) return false;
+        auto it = dir->dirents.find(name);
+        return it != dir->dirents.end() && it->second == *o;
+    };
+
+    switch (e.op) {
+        case EffectOp::Create: {
+            auto p = mapped(e.parent);
+            if (!p) return false;
+            const vfs::Credentials cred{e.uid, e.gid};
+            const abi::mode_t_ perm = e.mode & abi::MODE_PERM_MASK;
+            vfs::Result<InodeId> r = abi::Err::EINVAL_;
+            if (e.is_dir) {
+                r = fs.make_dir(*p, e.name, perm, cred);
+            } else if (abi::is_lnk(e.mode)) {
+                r = fs.make_symlink(*p, e.name, e.name2, cred);
+            } else if (abi::is_reg(e.mode)) {
+                r = fs.create_file(*p, e.name, perm, cred);
+            } else {
+                r = fs.make_special(*p, e.name, e.mode,
+                                    static_cast<vfs::DeviceState>(e.device),
+                                    cred);
+            }
+            if (!r.ok()) return false;
+            ino_map[e.ino] = r.value();
+            return true;
+        }
+        case EffectOp::CreateAnonymous: {
+            auto p = mapped(e.parent);
+            if (!p) return false;
+            auto r = fs.create_anonymous(*p, e.mode & abi::MODE_PERM_MASK,
+                                         vfs::Credentials{e.uid, e.gid});
+            if (!r.ok()) return false;
+            ino_map[e.ino] = r.value();
+            pinned.push_back(r.value());
+            return true;
+        }
+        case EffectOp::ReleaseAnonymous: {
+            auto i = mapped(e.ino);
+            if (!i) return false;
+            fs.release_anonymous(*i);
+            std::erase(pinned, *i);
+            return true;
+        }
+        case EffectOp::Link: {
+            auto t = mapped(e.ino);
+            auto p = mapped(e.parent);
+            if (!t || !p) return false;
+            return fs.link(*t, *p, e.name, root).ok();
+        }
+        case EffectOp::Unlink: {
+            if (!dirent_matches(e.parent, e.name, e.ino)) return false;
+            return fs.unlink(*mapped(e.parent), e.name, root).ok();
+        }
+        case EffectOp::Rmdir: {
+            if (!dirent_matches(e.parent, e.name, e.ino)) return false;
+            return fs.remove_dir(*mapped(e.parent), e.name, root).ok();
+        }
+        case EffectOp::Rename: {
+            if (!dirent_matches(e.parent, e.name, e.ino)) return false;
+            auto np = mapped(e.parent2);
+            if (!np) return false;
+            return fs.rename(*mapped(e.parent), e.name, *np, e.name2, root)
+                .ok();
+        }
+        case EffectOp::Write: {
+            auto i = mapped(e.ino);
+            if (!i) return false;
+            if (e.bytes.empty())
+                return fs.write_pattern(*i, e.off, e.len, e.fill).ok();
+            return fs.write(*i, e.off, e.bytes).ok();
+        }
+        case EffectOp::Truncate: {
+            auto i = mapped(e.ino);
+            if (!i) return false;
+            return fs.truncate(*i, e.size).ok();
+        }
+        case EffectOp::SetMode: {
+            auto i = mapped(e.ino);
+            if (!i) return false;
+            return fs.chmod(*i, e.mode, root).ok();
+        }
+        case EffectOp::SetOwner: {
+            auto i = mapped(e.ino);
+            if (!i) return false;
+            return fs.chown(*i, e.uid, e.gid, root).ok();
+        }
+        case EffectOp::SetXattr: {
+            auto i = mapped(e.ino);
+            if (!i) return false;
+            return fs.set_xattr(*i, e.name, e.bytes, 0, root).ok();
+        }
+        case EffectOp::RemoveXattr: {
+            auto i = mapped(e.ino);
+            if (!i) return false;
+            return fs.remove_xattr(*i, e.name, root).ok();
+        }
+        case EffectOp::Barrier:
+            return true;  // no state of its own
+    }
+    return false;
+}
+
+RecoveredState CrashReplayer::replay(const CrashPoint& point) const {
+    RecoveredState rec;
+    rec.fs = std::make_unique<vfs::FileSystem>(config_);
+    base_(*rec.fs);
+    // The base setup re-runs verbatim, so base inodes map to themselves.
+    for (const auto& [id, node] : rec.fs->inodes())
+        rec.ino_map.emplace(id, id);
+
+    // Optional seeded bug: the epoch ending at barrier #skip_barrier_
+    // silently loses its effects even though the barrier retired them.
+    std::size_t skip_begin = 0, skip_end = 0;
+    if (skip_barrier_) {
+        const auto barriers = log_.barrier_positions();
+        if (*skip_barrier_ < barriers.size()) {
+            const std::size_t bpos = barriers[*skip_barrier_];
+            for (const auto& epoch : log_.epochs()) {
+                if (epoch.has_barrier && epoch.barrier == bpos) {
+                    skip_begin = epoch.begin;
+                    skip_end = epoch.end;
+                    break;
+                }
+            }
+        }
+    }
+    auto skipped = [&](std::size_t idx) {
+        return skip_barrier_ && idx >= skip_begin && idx < skip_end &&
+               skip_end > skip_begin;
+    };
+
+    const auto& effects = log_.effects();
+    const std::size_t prefix = std::min(point.prefix, effects.size());
+    for (std::size_t i = 0; i < prefix; ++i) {
+        if (skipped(i)) {
+            ++rec.dropped;
+            continue;
+        }
+        if (apply_logged_effect(*rec.fs, effects[i], rec.ino_map, rec.pinned))
+            rec.applied.push_back(i);
+        else
+            ++rec.dropped;
+    }
+
+    // The crash epoch: effects from `prefix` up to the next barrier.
+    std::size_t epoch_end = prefix;
+    while (epoch_end < effects.size() &&
+           effects[epoch_end].op != EffectOp::Barrier)
+        ++epoch_end;
+
+    auto apply_tail = [&](std::size_t idx, const Effect& e) {
+        if (apply_logged_effect(*rec.fs, e, rec.ino_map, rec.pinned))
+            rec.applied.push_back(idx);
+        else
+            ++rec.dropped;
+    };
+
+    switch (point.tail) {
+        case CrashPoint::Tail::None:
+            break;
+        case CrashPoint::Tail::InOrder: {
+            const std::size_t t = std::min<std::size_t>(
+                point.variant, epoch_end - prefix);
+            for (std::size_t i = prefix; i < prefix + t; ++i)
+                apply_tail(i, effects[i]);
+            break;
+        }
+        case CrashPoint::Tail::Reordered: {
+            Rng rng(point_seed(point));
+            std::vector<std::size_t> picked;
+            for (std::size_t i = prefix; i < epoch_end; ++i)
+                if (rng.chance(2, 3)) picked.push_back(i);
+            // Fisher-Yates with the same stream.
+            for (std::size_t i = picked.size(); i > 1; --i)
+                std::swap(picked[i - 1], picked[rng.below(i)]);
+            for (std::size_t idx : picked) apply_tail(idx, effects[idx]);
+            break;
+        }
+        case CrashPoint::Tail::Torn: {
+            // Find the last data write; everything before it persists in
+            // order, the write itself lands truncated mid-extent.
+            std::size_t torn = epoch_end;
+            for (std::size_t i = epoch_end; i > prefix; --i) {
+                const Effect& e = effects[i - 1];
+                if (e.op == EffectOp::Write && write_len(e) >= 2) {
+                    torn = i - 1;
+                    break;
+                }
+            }
+            Rng rng(point_seed(point));
+            for (std::size_t i = prefix; i < epoch_end; ++i) {
+                if (i != torn) {
+                    apply_tail(i, effects[i]);
+                    continue;
+                }
+                Effect partial = effects[i];
+                const std::uint64_t len = write_len(partial);
+                const std::uint64_t split = 1 + rng.below(len - 1);
+                if (partial.bytes.empty()) partial.len = split;
+                else partial.bytes.resize(split);
+                apply_tail(i, partial);
+            }
+            break;
+        }
+    }
+    return rec;
+}
+
+}  // namespace iocov::testers::crash

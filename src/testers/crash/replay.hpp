@@ -1,0 +1,133 @@
+// Bounded crash replay (the B3 recipe on our own VFS).
+//
+// A crash can leave on disk: everything up to some persistence barrier
+// (the retired prefix), plus an arbitrary *subset* of the writes issued
+// since that barrier, possibly reordered, with the last data write
+// possibly torn mid-extent.  Nothing ever crosses a barrier: the crash
+// epoch is exactly one entry of EffectLog::epochs().
+//
+// CrashReplayer enumerates those states deterministically (seeded) and
+// reconstructs each one on a fresh FileSystem by re-running the base
+// image setup and re-applying logged effects through the public VFS
+// API.  Replay uses superuser credentials and the recorded *post-op*
+// values, so a correct log replays without permission divergence.
+//
+// Inode translation: the base setup is re-run verbatim, so base inodes
+// keep their original ids; inodes created *during* the workload get
+// fresh ids on replay and are tracked via an original -> replayed map.
+// An effect referencing an unmapped workload inode (its creation was
+// dropped from the tail) cannot apply and is counted as dropped —
+// exactly the lost-metadata crash states B3 explores.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "testers/crash/effect_log.hpp"
+#include "vfs/filesystem.hpp"
+
+namespace iocov::testers::crash {
+
+/// Rebuilds the pre-workload image on a fresh FileSystem.  Must be
+/// deterministic: it runs once for the live FS and once per replay.
+using BaseSetup = std::function<void(vfs::FileSystem&)>;
+
+/// One simulated crash state.
+struct CrashPoint {
+    enum class Tail : std::uint8_t {
+        None,      ///< crash exactly at a barrier (or before any effect)
+        InOrder,   ///< first `t` effects of the crash epoch persisted
+        Reordered, ///< seeded subset of the epoch, seeded order
+        Torn,      ///< full epoch, last data write torn mid-extent
+    };
+
+    /// Number of in-order prefix effects persisted before the crash
+    /// epoch begins (index one past the retired barrier; 0 = nothing).
+    std::size_t prefix = 0;
+    Tail tail = Tail::None;
+    /// Tail parameter: InOrder length, or Reordered variant ordinal.
+    std::uint32_t variant = 0;
+    /// Plan seed, baked in by plan() so replay() is self-contained.
+    std::uint64_t seed = 42;
+
+    /// Stable recipe id, e.g. "p12+none", "p12+seq3", "p12+shuf1",
+    /// "p12+torn" — same seed, same log => same id list.
+    std::string id() const;
+};
+
+struct CrashPlanConfig {
+    std::uint64_t seed = 42;
+    /// Seeded reordered-tail variants per crash epoch.
+    unsigned reorder_variants = 3;
+    /// Also tear the last data write of each epoch.
+    bool torn_writes = true;
+    /// Hard cap on points per log (0 = no cap); points are subsampled
+    /// evenly, keeping the first and last.
+    std::size_t max_points = 0;
+};
+
+/// What replay() hands to the oracle.
+struct RecoveredState {
+    std::unique_ptr<vfs::FileSystem> fs;
+    /// Original workload inode -> replayed inode.
+    std::map<vfs::InodeId, vfs::InodeId> ino_map;
+    /// Log indices actually applied, in application order (prefix then
+    /// tail; a reordered tail lists its seeded order).
+    std::vector<std::size_t> applied;
+    /// Effects that could not be applied (unmapped inode, conflicting
+    /// namespace state in a reordered tail, or a skipped barrier epoch).
+    std::size_t dropped = 0;
+    /// Anonymous (O_TMPFILE) inodes still live, in replay ids — pass to
+    /// FsckOptions::pinned_inodes.
+    std::vector<vfs::InodeId> pinned;
+};
+
+class CrashReplayer {
+  public:
+    /// `log` and `base` must outlive the replayer.  `config` is the
+    /// FsConfig the workload ran with (replays use the same).
+    CrashReplayer(const EffectLog& log, vfs::FsConfig config,
+                  BaseSetup base);
+
+    /// Deterministic crash-point enumeration: for every epoch — the
+    /// barrier state itself, every in-order partial tail, `reorder_variants`
+    /// seeded shuffled subsets, and a torn last write.
+    std::vector<CrashPoint> plan(const CrashPlanConfig& config) const;
+
+    /// Reconstructs the crash state `point` describes.
+    RecoveredState replay(const CrashPoint& point) const;
+
+    /// Seeded bug for oracle validation: when set, replay *drops* every
+    /// effect of the epoch terminated by the given barrier (0-based
+    /// ordinal among barriers) even when the crash point's prefix
+    /// retired it — i.e. the file system "forgot" a barrier it
+    /// acknowledged.  A persisted-prefix oracle must flag this; fsck
+    /// alone stays clean (the recovered state is self-consistent).
+    void inject_skip_barrier(std::optional<std::size_t> barrier_ordinal) {
+        skip_barrier_ = barrier_ordinal;
+    }
+
+  private:
+    const EffectLog& log_;
+    vfs::FsConfig config_;
+    BaseSetup base_;
+    std::optional<std::size_t> skip_barrier_;
+};
+
+/// Applies one logged effect to `fs` as superuser using the recorded
+/// post-op values.  `ino_map` translates original to replayed inode
+/// ids (extended on creations); `pinned` tracks live anonymous inodes.
+/// Returns false — with no partial mutation — when the effect cannot
+/// apply in the current state.  Shared by CrashReplayer (crash states)
+/// and PersistenceOracle (the in-order journal).
+bool apply_logged_effect(vfs::FileSystem& fs, const vfs::Effect& effect,
+                         std::map<vfs::InodeId, vfs::InodeId>& ino_map,
+                         std::vector<vfs::InodeId>& pinned);
+
+}  // namespace iocov::testers::crash

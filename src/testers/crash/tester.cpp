@@ -1,0 +1,252 @@
+#include "testers/crash/tester.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "core/iocov.hpp"
+#include "report/table.hpp"
+#include "syscall/kernel.hpp"
+#include "testers/generator.hpp"
+
+namespace iocov::testers::crash {
+
+namespace {
+
+/// Partition ids ("base.arg:label" / "base:label") with nonzero count.
+std::set<std::string> covered_partition_ids(
+    const core::CoverageReport& report) {
+    std::set<std::string> ids;
+    for (const auto& in : report.inputs)
+        for (const auto& label : in.hist.tested())
+            ids.insert(in.base + "." + in.key + ":" + label);
+    for (const auto& out : report.outputs)
+        for (const auto& label : out.hist.tested())
+            ids.insert(out.base + ":" + label);
+    return ids;
+}
+
+std::size_t declared_partitions(const core::CoverageReport& report) {
+    std::size_t n = 0;
+    for (const auto& in : report.inputs) n += in.hist.partition_count();
+    for (const auto& out : report.outputs) n += out.hist.partition_count();
+    return n;
+}
+
+/// One workload's live run: the effect log plus what it covered.
+struct LiveRun {
+    const CrashWorkload* workload = nullptr;
+    EffectLog log;
+    core::CoverageReport coverage;
+    std::set<std::string> partitions;
+};
+
+LiveRun run_live(const CrashWorkload& wl) {
+    LiveRun run;
+    run.workload = &wl;
+    vfs::FileSystem fs(recommended_fs_config());
+    crash_base_setup(fs);
+    fs.set_effect_observer(&run.log);
+    core::IOCov iocov(trace::FilterConfig::mount_point(kCrashMount));
+    syscall::Kernel kernel(fs, &iocov.live_sink());
+    {
+        // Scoped so close-time effects (O_TMPFILE release) are logged.
+        syscall::Process proc =
+            kernel.make_process(1, vfs::Credentials::root());
+        wl.run(proc, crash_fixtures());
+    }
+    fs.set_effect_observer(nullptr);
+    run.coverage = iocov.report();
+    run.partitions = covered_partition_ids(run.coverage);
+    return run;
+}
+
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+std::string CrashTestReport::to_string() const {
+    std::ostringstream os;
+    os << "crashtest seed=" << seed << " workloads=" << workloads.size()
+       << " (coverage-greedy order)\n";
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& wl : workloads) {
+        rows.push_back({wl.name, std::to_string(wl.effects),
+                        std::to_string(wl.barriers),
+                        std::to_string(wl.points),
+                        std::to_string(wl.new_partitions),
+                        std::to_string(wl.bugs.size())});
+    }
+    os << report::render_table(
+        {"workload", "effects", "barriers", "points", "new-parts", "bugs"},
+        rows);
+    os << "total: " << total_points << " crash points, " << total_bugs
+       << " bugs, " << partitions_covered << "/" << partitions_declared
+       << " partitions covered, bugs-per-partition = "
+       << report::fixed(bugs_per_partition(), 4) << "\n";
+    os << "remaining gaps: " << gaps.input_gaps.size() << " input, "
+       << gaps.output_gaps.size() << " output (aggregate TCD "
+       << report::fixed(gaps.aggregate_tcd, 3) << ")\n";
+    for (const auto& wl : workloads)
+        for (const auto& bug : wl.bugs) os << "  " << bug.to_string() << "\n";
+    return os.str();
+}
+
+std::string CrashTestReport::to_json() const {
+    std::ostringstream os;
+    os << "{\n  \"seed\": " << seed
+       << ",\n  \"total_points\": " << total_points
+       << ",\n  \"total_bugs\": " << total_bugs
+       << ",\n  \"partitions_covered\": " << partitions_covered
+       << ",\n  \"partitions_declared\": " << partitions_declared
+       << ",\n  \"bugs_per_partition\": "
+       << report::fixed(bugs_per_partition(), 6)
+       << ",\n  \"remaining_input_gaps\": " << gaps.input_gaps.size()
+       << ",\n  \"remaining_output_gaps\": " << gaps.output_gaps.size()
+       << ",\n  \"workloads\": [\n";
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const auto& wl = workloads[w];
+        os << "    {\"name\": \"" << json_escape(wl.name) << "\""
+           << ", \"effects\": " << wl.effects
+           << ", \"barriers\": " << wl.barriers
+           << ", \"points\": " << wl.points
+           << ", \"covered_partitions\": " << wl.covered_partitions
+           << ", \"new_partitions\": " << wl.new_partitions
+           << ",\n     \"point_ids\": [";
+        for (std::size_t i = 0; i < wl.point_ids.size(); ++i) {
+            if (i) os << ", ";
+            os << "\"" << json_escape(wl.point_ids[i]) << "\"";
+        }
+        os << "],\n     \"bugs\": [";
+        for (std::size_t i = 0; i < wl.bugs.size(); ++i) {
+            const auto& bug = wl.bugs[i];
+            if (i) os << ", ";
+            os << "{\"point\": \"" << json_escape(bug.crash_point)
+               << "\", \"kind\": \"" << json_escape(bug.kind)
+               << "\", \"path\": \"" << json_escape(bug.path)
+               << "\", \"detail\": \"" << json_escape(bug.detail)
+               << "\", \"recipe\": \"" << json_escape(bug.recipe) << "\"}";
+        }
+        os << "]}" << (w + 1 < workloads.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    return os.str();
+}
+
+CrashTestReport run_crashtest(const CrashTestConfig& config) {
+    CrashTestReport report;
+    report.seed = config.seed;
+
+    // Select workloads, preserving baseline order.
+    std::vector<const CrashWorkload*> selected;
+    for (const auto& wl : crashmonkey_baseline()) {
+        if (config.workloads.empty() ||
+            std::find(config.workloads.begin(), config.workloads.end(),
+                      wl.name) != config.workloads.end())
+            selected.push_back(&wl);
+    }
+
+    // Phase 1: live runs — effect log + coverage per workload.
+    std::vector<LiveRun> runs;
+    runs.reserve(selected.size());
+    for (const auto* wl : selected) runs.push_back(run_live(*wl));
+
+    // Coverage-greedy order: maximize marginal new partitions; ties go
+    // to baseline order (stable and deterministic).
+    std::vector<std::size_t> order;
+    std::set<std::string> covered;
+    std::vector<bool> used(runs.size(), false);
+    for (std::size_t round = 0; round < runs.size(); ++round) {
+        std::size_t best = runs.size();
+        std::size_t best_gain = 0;
+        for (std::size_t i = 0; i < runs.size(); ++i) {
+            if (used[i]) continue;
+            std::size_t gain = 0;
+            for (const auto& id : runs[i].partitions)
+                if (!covered.count(id)) ++gain;
+            if (best == runs.size() || gain > best_gain) {
+                best = i;
+                best_gain = gain;
+            }
+        }
+        used[best] = true;
+        order.push_back(best);
+        for (const auto& id : runs[best].partitions) covered.insert(id);
+    }
+
+    // Aggregate coverage for the headline numbers and the gap summary.
+    core::CoverageReport aggregate;
+    for (const auto& run : runs) aggregate.merge(run.coverage);
+    report.partitions_covered = covered_partition_ids(aggregate).size();
+    report.partitions_declared = declared_partitions(aggregate);
+    report.gaps = core::extract_gaps(aggregate, config.tcd_target);
+
+    // Phase 2: bounded crash enumeration + oracle, in guided order.
+    const vfs::FsConfig fs_config = recommended_fs_config();
+    CrashPlanConfig plan_config;
+    plan_config.seed = config.seed;
+    plan_config.reorder_variants = config.reorder_variants;
+    plan_config.torn_writes = config.torn_writes;
+    plan_config.max_points = config.max_points_per_workload;
+
+    std::set<std::string> seen;  // re-tracks covered for new_partitions
+    for (const std::size_t idx : order) {
+        const LiveRun& run = runs[idx];
+        WorkloadOutcome outcome;
+        outcome.name = run.workload->name;
+        outcome.effects = run.log.effects().size();
+        outcome.barriers = run.log.barrier_positions().size();
+        outcome.covered_partitions = run.partitions.size();
+        for (const auto& id : run.partitions)
+            if (seen.insert(id).second) ++outcome.new_partitions;
+
+        CrashReplayer replayer(run.log, fs_config, crash_base_setup);
+        if (config.inject_skip_barrier)
+            replayer.inject_skip_barrier(*config.inject_skip_barrier);
+        const PersistenceOracle oracle(run.log, fs_config,
+                                       crash_base_setup);
+
+        std::string recipe = "iocov crashtest --workloads " + outcome.name +
+                             " --seed " + std::to_string(config.seed);
+        if (config.inject_skip_barrier)
+            recipe += " --inject-skip-barrier " +
+                      std::to_string(*config.inject_skip_barrier);
+
+        for (const CrashPoint& point : replayer.plan(plan_config)) {
+            outcome.point_ids.push_back(point.id());
+            const RecoveredState recovered = replayer.replay(point);
+            for (CrashBug& bug : oracle.check(point, recovered)) {
+                bug.workload = outcome.name;
+                bug.recipe = recipe;
+                outcome.bugs.push_back(std::move(bug));
+            }
+        }
+        outcome.points = outcome.point_ids.size();
+        report.total_points += outcome.points;
+        report.total_bugs += outcome.bugs.size();
+        report.workloads.push_back(std::move(outcome));
+    }
+    return report;
+}
+
+}  // namespace iocov::testers::crash

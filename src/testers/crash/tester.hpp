@@ -1,0 +1,88 @@
+// Coverage-guided crash-consistency tester (the `iocov crashtest` verb).
+//
+// For each workload of the crashmonkey-baseline set, runs it live once
+// (syscall layer, traced into IOCov, durable effects into an
+// EffectLog), then enumerates bounded crash points (CrashReplayer) and
+// checks every recovered state against the persisted-prefix oracle and
+// vfs::fsck.  Workloads are ordered coverage-greedily: the next
+// workload is the one adding the most not-yet-covered input/output
+// partitions, so the report reads as "bugs found per unit of coverage
+// bought" — the paper's argument that coverage, not test count, is
+// what a crash tester should maximize.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/gap.hpp"
+#include "testers/crash/oracle.hpp"
+#include "testers/crash/replay.hpp"
+#include "testers/crash/workloads.hpp"
+
+namespace iocov::testers::crash {
+
+struct CrashTestConfig {
+    std::uint64_t seed = 42;
+    /// Seeded reordered-tail variants per crash epoch.
+    unsigned reorder_variants = 3;
+    bool torn_writes = true;
+    /// Cap on crash points per workload (0 = no cap).
+    std::size_t max_points_per_workload = 0;
+    /// Workload names to run (empty = the whole baseline set).
+    std::vector<std::string> workloads;
+    /// Seeded replayer bug: drop the epoch of the given barrier ordinal
+    /// (per workload) even when the prefix retired it.  The oracle must
+    /// catch it — this validates the tester end to end.
+    std::optional<std::size_t> inject_skip_barrier;
+    /// Uniform TCD target for the remaining-gaps summary.
+    double tcd_target = 10.0;
+};
+
+/// One workload's crash-test outcome, in guided (greedy) order.
+struct WorkloadOutcome {
+    std::string name;
+    std::size_t effects = 0;   ///< logged durable effects
+    std::size_t barriers = 0;  ///< persistence barriers among them
+    std::size_t points = 0;    ///< crash points enumerated
+    /// Input/output partitions this workload covered in total, and how
+    /// many were new versus everything scheduled before it.
+    std::size_t covered_partitions = 0;
+    std::size_t new_partitions = 0;
+    std::vector<std::string> point_ids;  ///< plan order (deterministic)
+    std::vector<CrashBug> bugs;
+};
+
+struct CrashTestReport {
+    std::uint64_t seed = 42;
+    std::vector<WorkloadOutcome> workloads;  ///< guided order
+    std::size_t total_points = 0;
+    std::size_t total_bugs = 0;
+    /// Union coverage across the set (tested / declared partitions).
+    std::size_t partitions_covered = 0;
+    std::size_t partitions_declared = 0;
+    /// Remaining untested partitions of the aggregate report.
+    core::GapReport gaps;
+
+    /// total_bugs / partitions_covered (0 when nothing covered) — the
+    /// headline bugs-per-partition-covered number.
+    double bugs_per_partition() const {
+        return partitions_covered == 0
+                   ? 0.0
+                   : static_cast<double>(total_bugs) /
+                         static_cast<double>(partitions_covered);
+    }
+
+    /// Human-readable table (deterministic for a fixed seed).
+    std::string to_string() const;
+    /// Machine-readable report: workloads, point ids, bugs, coverage.
+    std::string to_json() const;
+};
+
+/// Runs the crash-consistency tester.  Deterministic for a fixed
+/// config: same seed => same workload order, same crash-point ids,
+/// same verdicts.
+CrashTestReport run_crashtest(const CrashTestConfig& config = {});
+
+}  // namespace iocov::testers::crash

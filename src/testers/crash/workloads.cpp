@@ -1,0 +1,268 @@
+#include "testers/crash/workloads.hpp"
+
+#include <cstring>
+#include <span>
+#include <string_view>
+
+namespace iocov::testers::crash {
+
+const char* const kCrashMount = "/mnt/test";
+
+namespace {
+
+using syscall::Process;
+using syscall::WriteSrc;
+
+WriteSrc bytes_of(std::string_view s) {
+    return WriteSrc::real(std::as_bytes(std::span(s.data(), s.size())));
+}
+
+/// fsync the directory holding the scratch tree — how real applications
+/// commit namespace changes (create/unlink/rename) to disk.
+void fsync_scratch_dir(Process& p, const Fixtures& fx) {
+    const std::int64_t dfd =
+        p.sys_open(fx.scratch.c_str(), abi::O_RDONLY | abi::O_DIRECTORY);
+    if (dfd >= 0) {
+        p.sys_fsync(static_cast<int>(dfd));
+        p.sys_close(static_cast<int>(dfd));
+    }
+}
+
+std::string scratch(const Fixtures& fx, const char* name) {
+    return fx.scratch + "/" + name;
+}
+
+// ---- the workloads ---------------------------------------------------
+// Each is a miniature CrashMonkey seq-1/seq-2 test: a few mutations,
+// one or two barriers, and (usually) an unsynced tail for the crash
+// epoch to tear apart.
+
+void wl_create_fsync(Process& p, const Fixtures& fx) {
+    const std::string f = scratch(fx, "cf_file");
+    const std::int64_t fd = p.sys_open(
+        f.c_str(), abi::O_CREAT | abi::O_WRONLY | abi::O_TRUNC, 0644);
+    if (fd < 0) return;
+    p.sys_write(static_cast<int>(fd), bytes_of("hello crash world"));
+    p.sys_fsync(static_cast<int>(fd));
+    p.sys_write(static_cast<int>(fd), bytes_of(" unsynced tail"));
+    p.sys_close(static_cast<int>(fd));
+}
+
+void wl_append_fsync(Process& p, const Fixtures& fx) {
+    const std::int64_t fd =
+        p.sys_open(fx.plain_file.c_str(), abi::O_WRONLY | abi::O_APPEND);
+    if (fd < 0) return;
+    p.sys_write(static_cast<int>(fd), bytes_of("appended-block-1"));
+    p.sys_fsync(static_cast<int>(fd));
+    p.sys_write(static_cast<int>(fd), bytes_of("appended-block-2"));
+    p.sys_close(static_cast<int>(fd));
+}
+
+void wl_overwrite_no_sync(Process& p, const Fixtures& fx) {
+    const std::int64_t fd = p.sys_open(fx.plain_file.c_str(), abi::O_WRONLY);
+    if (fd < 0) return;
+    p.sys_pwrite64(static_cast<int>(fd), bytes_of("OVERWRITTEN"), 0);
+    p.sys_close(static_cast<int>(fd));
+}
+
+void wl_rename_commit(Process& p, const Fixtures& fx) {
+    const std::string tmp = scratch(fx, "rc_tmp");
+    const std::string dst = scratch(fx, "rc_dst");
+    const std::int64_t fd = p.sys_creat(tmp.c_str(), 0644);
+    if (fd < 0) return;
+    p.sys_write(static_cast<int>(fd), bytes_of("new version of dst"));
+    p.sys_fsync(static_cast<int>(fd));
+    p.sys_close(static_cast<int>(fd));
+    p.sys_rename(tmp.c_str(), dst.c_str());
+    fsync_scratch_dir(p, fx);
+}
+
+void wl_mkdir_tree_sync(Process& p, const Fixtures& fx) {
+    const std::string a = scratch(fx, "mt_a");
+    const std::string b = a + "/b";
+    const std::string c = b + "/c";
+    p.sys_mkdir(a.c_str(), 0755);
+    p.sys_mkdir(b.c_str(), 0750);
+    const std::int64_t fd =
+        p.sys_creat((b + "/leaf").c_str(), 0600);
+    if (fd >= 0) {
+        p.sys_write(static_cast<int>(fd), bytes_of("leaf data"));
+        p.sys_close(static_cast<int>(fd));
+    }
+    p.sys_sync();
+    p.sys_mkdir(c.c_str(), 0700);
+}
+
+void wl_unlink_fsync(Process& p, const Fixtures& fx) {
+    const std::string victim = scratch(fx, "uf_victim");
+    const std::int64_t fd = p.sys_creat(victim.c_str(), 0644);
+    if (fd >= 0) {
+        p.sys_write(static_cast<int>(fd), bytes_of("short-lived"));
+        p.sys_fsync(static_cast<int>(fd));
+        p.sys_close(static_cast<int>(fd));
+    }
+    p.sys_unlink(victim.c_str());
+    fsync_scratch_dir(p, fx);
+}
+
+void wl_truncate_fdatasync(Process& p, const Fixtures& fx) {
+    const std::string f = scratch(fx, "tf_file");
+    const std::int64_t fd = p.sys_open(
+        f.c_str(), abi::O_CREAT | abi::O_RDWR, 0644);
+    if (fd < 0) return;
+    p.sys_write(static_cast<int>(fd),
+                WriteSrc::pattern(4096, std::byte{0xAB}));
+    p.sys_fsync(static_cast<int>(fd));
+    p.sys_ftruncate(static_cast<int>(fd), 100);
+    p.sys_fdatasync(static_cast<int>(fd));
+    p.sys_ftruncate(static_cast<int>(fd), 0);
+    p.sys_close(static_cast<int>(fd));
+}
+
+void wl_symlink_rename(Process& p, const Fixtures& fx) {
+    const std::string lnk = scratch(fx, "sr_link");
+    const std::string moved = scratch(fx, "sr_link2");
+    p.sys_symlink(fx.plain_file.c_str(), lnk.c_str());
+    p.sys_sync();
+    p.sys_rename(lnk.c_str(), moved.c_str());
+}
+
+void wl_hardlink_fsync(Process& p, const Fixtures& fx) {
+    const std::string f = scratch(fx, "hl_orig");
+    const std::string g = scratch(fx, "hl_link");
+    const std::int64_t fd = p.sys_creat(f.c_str(), 0644);
+    if (fd >= 0) {
+        p.sys_write(static_cast<int>(fd), bytes_of("linked payload"));
+        p.sys_close(static_cast<int>(fd));
+    }
+    p.sys_link(f.c_str(), g.c_str());
+    fsync_scratch_dir(p, fx);
+    p.sys_unlink(f.c_str());
+}
+
+void wl_xattr_syncfs(Process& p, const Fixtures& fx) {
+    const std::string f = scratch(fx, "xa_file");
+    const std::int64_t fd = p.sys_creat(f.c_str(), 0644);
+    if (fd < 0) return;
+    const std::string_view v1 = "crash-v1";
+    p.sys_setxattr(f.c_str(), "user.tag",
+                   std::as_bytes(std::span(v1.data(), v1.size())), 0);
+    p.sys_syncfs(static_cast<int>(fd));
+    const std::string_view v2 = "crash-v2";
+    p.sys_setxattr(f.c_str(), "user.tag",
+                   std::as_bytes(std::span(v2.data(), v2.size())), 0);
+    p.sys_removexattr(f.c_str(), "user.tag");
+    p.sys_close(static_cast<int>(fd));
+}
+
+void wl_osync_log(Process& p, const Fixtures& fx) {
+    const std::string f = scratch(fx, "ol_log");
+    const std::int64_t fd = p.sys_open(
+        f.c_str(), abi::O_CREAT | abi::O_WRONLY | abi::O_SYNC, 0600);
+    if (fd < 0) return;
+    p.sys_write(static_cast<int>(fd), bytes_of("rec1;"));
+    p.sys_write(static_cast<int>(fd), bytes_of("rec2;"));
+    p.sys_write(static_cast<int>(fd), bytes_of("rec3;"));
+    p.sys_close(static_cast<int>(fd));
+}
+
+void wl_tmpfile_write(Process& p, const Fixtures& fx) {
+    const std::int64_t fd = p.sys_open(
+        fx.scratch.c_str(), abi::O_TMPFILE | abi::O_RDWR, 0600);
+    if (fd < 0) return;
+    p.sys_write(static_cast<int>(fd), bytes_of("anonymous scratch data"));
+    p.sys_fsync(static_cast<int>(fd));
+    p.sys_close(static_cast<int>(fd));
+}
+
+void wl_chmod_fsync(Process& p, const Fixtures& fx) {
+    const std::string f = scratch(fx, "cm_file");
+    const std::int64_t fd = p.sys_creat(f.c_str(), 0666);
+    if (fd < 0) return;
+    p.sys_fchmod(static_cast<int>(fd), 0640);
+    p.sys_fsync(static_cast<int>(fd));
+    p.sys_chmod(f.c_str(), 0400);
+    p.sys_close(static_cast<int>(fd));
+}
+
+void wl_many_writes_fdatasync(Process& p, const Fixtures& fx) {
+    const std::string f = scratch(fx, "mw_file");
+    const std::int64_t fd = p.sys_open(
+        f.c_str(), abi::O_CREAT | abi::O_RDWR, 0644);
+    if (fd < 0) return;
+    for (int i = 0; i < 4; ++i)
+        p.sys_pwrite64(static_cast<int>(fd),
+                       WriteSrc::pattern(512, std::byte(0x10 + i)),
+                       i * 4096);
+    p.sys_fdatasync(static_cast<int>(fd));
+    p.sys_pwrite64(static_cast<int>(fd),
+                   WriteSrc::pattern(512, std::byte{0x77}), 2048);
+    p.sys_pwrite64(static_cast<int>(fd),
+                   WriteSrc::pattern(512, std::byte{0x88}), 6144);
+    p.sys_close(static_cast<int>(fd));
+}
+
+void wl_rmdir_sync(Process& p, const Fixtures& fx) {
+    const std::string d = scratch(fx, "rd_dir");
+    p.sys_mkdir(d.c_str(), 0755);
+    const std::int64_t fd = p.sys_creat((d + "/tmp").c_str(), 0644);
+    if (fd >= 0) p.sys_close(static_cast<int>(fd));
+    p.sys_sync();
+    p.sys_unlink((d + "/tmp").c_str());
+    p.sys_rmdir(d.c_str());
+    fsync_scratch_dir(p, fx);
+}
+
+}  // namespace
+
+void crash_base_setup(vfs::FileSystem& fs) {
+    prepare_environment(fs, kCrashMount);
+}
+
+const Fixtures& crash_fixtures() {
+    // Paths only; computed once on a throwaway FS (prepare_environment
+    // is deterministic, so the strings match every crash_base_setup run).
+    static const Fixtures fx = [] {
+        vfs::FileSystem fs{vfs::FsConfig{}};
+        return prepare_environment(fs, kCrashMount);
+    }();
+    return fx;
+}
+
+const std::vector<CrashWorkload>& crashmonkey_baseline() {
+    static const std::vector<CrashWorkload> set = {
+        {"create_fsync", "create + write + fsync, unsynced tail write",
+         wl_create_fsync},
+        {"append_fsync", "append to existing file around an fsync",
+         wl_append_fsync},
+        {"overwrite_no_sync", "overwrite file head with no barrier",
+         wl_overwrite_no_sync},
+        {"rename_commit", "write tmp, fsync, rename over dst, fsync dir",
+         wl_rename_commit},
+        {"mkdir_tree_sync", "nested mkdirs + leaf file, sync, late mkdir",
+         wl_mkdir_tree_sync},
+        {"unlink_fsync", "create+fsync a file, unlink it, fsync dir",
+         wl_unlink_fsync},
+        {"truncate_fdatasync", "grow, fsync, shrink, fdatasync, shrink",
+         wl_truncate_fdatasync},
+        {"symlink_rename", "symlink, sync, rename the link",
+         wl_symlink_rename},
+        {"hardlink_fsync", "link a file, fsync dir, drop the old name",
+         wl_hardlink_fsync},
+        {"xattr_syncfs", "setxattr, syncfs, replace + remove xattr",
+         wl_xattr_syncfs},
+        {"osync_log", "O_SYNC log: every write is its own barrier",
+         wl_osync_log},
+        {"tmpfile_write", "O_TMPFILE write + fsync + close (release)",
+         wl_tmpfile_write},
+        {"chmod_fsync", "fchmod + fsync, then unsynced chmod",
+         wl_chmod_fsync},
+        {"many_writes_fdatasync", "4 strided writes, fdatasync, 2 more",
+         wl_many_writes_fdatasync},
+        {"rmdir_sync", "populate dir, sync, empty + rmdir it, fsync dir",
+         wl_rmdir_sync},
+    };
+    return set;
+}
+
+}  // namespace iocov::testers::crash

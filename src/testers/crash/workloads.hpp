@@ -1,0 +1,46 @@
+// The crashmonkey-baseline workload set.
+//
+// Small deterministic workloads in the shape of CrashMonkey/B3 seq-1
+// and seq-2 tests: a handful of mutations around one or two persistence
+// barriers each.  Every workload drives the syscall layer (so IOCov
+// sees a real trace for coverage accounting) against the shared fixture
+// image, and every durable effect it causes lands in the attached
+// EffectLog for crash replay.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "syscall/process.hpp"
+#include "testers/crash/replay.hpp"
+#include "testers/fixtures.hpp"
+
+namespace iocov::testers::crash {
+
+/// Mount point all crash workloads run under (matches the default
+/// IOCov trace filter).
+extern const char* const kCrashMount;
+
+struct CrashWorkload {
+    std::string name;
+    std::string description;
+    /// Runs the workload through the syscall layer.  Must be
+    /// deterministic and must leave no fd open (close-time effects such
+    /// as O_TMPFILE release need to reach the effect log).
+    std::function<void(syscall::Process&, const Fixtures&)> run;
+};
+
+/// The built-in workload set, stable order and names.
+const std::vector<CrashWorkload>& crashmonkey_baseline();
+
+/// The deterministic pre-workload image every crash workload starts
+/// from: the standard fixture tree under kCrashMount.  Used both for
+/// the live run and for every crash replay (BaseSetup contract).
+void crash_base_setup(vfs::FileSystem& fs);
+
+/// The Fixtures paths crash_base_setup produces (path strings only —
+/// safe to compute once and reuse across replays).
+const Fixtures& crash_fixtures();
+
+}  // namespace iocov::testers::crash

@@ -254,6 +254,17 @@ Result<InodeId> FileSystem::create_file(InodeId parent, std::string_view name,
     Inode* dir = find_mutable(parent);
     dir->dirents.emplace(std::string(name), ino);
     dir->times.mtime = dir->times.ctime = tick();
+    if (logging_effects()) {
+        Effect e;
+        e.op = EffectOp::Create;
+        e.ino = ino;
+        e.parent = parent;
+        e.name = std::string(name);
+        e.mode = node->mode;
+        e.uid = node->uid;
+        e.gid = node->gid;
+        emit_effect(std::move(e));
+    }
     return ino;
 }
 
@@ -274,6 +285,18 @@ Result<InodeId> FileSystem::make_dir(InodeId parent, std::string_view name,
     dir->dirents.emplace(std::string(name), ino);
     ++dir->nlink;  // the child's ".."
     dir->times.mtime = dir->times.ctime = tick();
+    if (logging_effects()) {
+        Effect e;
+        e.op = EffectOp::Create;
+        e.ino = ino;
+        e.parent = parent;
+        e.name = std::string(name);
+        e.mode = node->mode;
+        e.uid = node->uid;
+        e.gid = node->gid;
+        e.is_dir = true;
+        emit_effect(std::move(e));
+    }
     return ino;
 }
 
@@ -291,6 +314,18 @@ Result<InodeId> FileSystem::make_symlink(InodeId parent, std::string_view name,
     Inode* dir = find_mutable(parent);
     dir->dirents.emplace(std::string(name), ino);
     dir->times.mtime = dir->times.ctime = tick();
+    if (logging_effects()) {
+        Effect e;
+        e.op = EffectOp::Create;
+        e.ino = ino;
+        e.parent = parent;
+        e.name = std::string(name);
+        e.name2 = std::string(target);
+        e.mode = node->mode;
+        e.uid = node->uid;
+        e.gid = node->gid;
+        emit_effect(std::move(e));
+    }
     return ino;
 }
 
@@ -305,6 +340,18 @@ Result<InodeId> FileSystem::make_special(InodeId parent, std::string_view name,
     Inode* dir = find_mutable(parent);
     dir->dirents.emplace(std::string(name), ino);
     dir->times.mtime = dir->times.ctime = tick();
+    if (logging_effects()) {
+        Effect e;
+        e.op = EffectOp::Create;
+        e.ino = ino;
+        e.parent = parent;
+        e.name = std::string(name);
+        e.mode = node->mode;
+        e.uid = node->uid;
+        e.gid = node->gid;
+        e.device = static_cast<std::uint8_t>(device);
+        emit_effect(std::move(e));
+    }
     return ino;
 }
 
@@ -318,13 +365,32 @@ Result<InodeId> FileSystem::create_anonymous(InodeId dir, abi::mode_t_ perm,
     IOCOV_TRY_STATUS(access_check(dir, 3 /*wx*/, cred));
     IOCOV_TRY(ino, alloc_inode(abi::S_IFREG | (perm & abi::MODE_PERM_MASK),
                                cred));
-    find_mutable(ino)->nlink = 1;  // pinned by the open fd, not a dirent
+    Inode* node = find_mutable(ino);
+    node->nlink = 1;  // pinned by the open fd, not a dirent
+    if (logging_effects()) {
+        Effect e;
+        e.op = EffectOp::CreateAnonymous;
+        e.ino = ino;
+        e.parent = dir;
+        e.mode = node->mode;
+        e.uid = node->uid;
+        e.gid = node->gid;
+        emit_effect(std::move(e));
+    }
     return ino;
 }
 
 void FileSystem::release_anonymous(InodeId ino) {
     Inode* node = find_mutable(ino);
-    if (node && node->nlink == 1) free_inode(ino);
+    if (node && node->nlink == 1) {
+        free_inode(ino);
+        if (logging_effects()) {
+            Effect e;
+            e.op = EffectOp::ReleaseAnonymous;
+            e.ino = ino;
+            emit_effect(std::move(e));
+        }
+    }
 }
 
 Status FileSystem::link(InodeId target, InodeId parent, std::string_view name,
@@ -339,6 +405,14 @@ Status FileSystem::link(InodeId target, InodeId parent, std::string_view name,
     dir->dirents.emplace(std::string(name), target);
     ++node->nlink;
     node->times.ctime = dir->times.mtime = dir->times.ctime = tick();
+    if (logging_effects()) {
+        Effect e;
+        e.op = EffectOp::Link;
+        e.ino = target;
+        e.parent = parent;
+        e.name = std::string(name);
+        emit_effect(std::move(e));
+    }
     return {};
 }
 
@@ -367,9 +441,18 @@ Status FileSystem::unlink(InodeId parent, std::string_view name,
     if ((dir->mode & abi::S_ISVTX) && !cred.is_superuser() &&
         cred.uid != node->uid && cred.uid != dir->uid)
         return Err::EPERM_;
+    const InodeId victim_id = node->id;
     dir->dirents.erase(it);
     dir->times.mtime = dir->times.ctime = tick();
     unlink_inode(*node);
+    if (logging_effects()) {
+        Effect e;
+        e.op = EffectOp::Unlink;
+        e.ino = victim_id;
+        e.parent = parent;
+        e.name = std::string(name);
+        emit_effect(std::move(e));
+    }
     return {};
 }
 
@@ -396,11 +479,20 @@ Status FileSystem::remove_dir(InodeId parent, std::string_view name,
     if ((dir->mode & abi::S_ISVTX) && !cred.is_superuser() &&
         cred.uid != node->uid && cred.uid != dir->uid)
         return Err::EPERM_;
+    const InodeId victim_id = node->id;
     dir->dirents.erase(it);
     --dir->nlink;  // child's ".." went away
     dir->times.mtime = dir->times.ctime = tick();
     node->nlink = 0;
-    free_inode(node->id);
+    free_inode(victim_id);
+    if (logging_effects()) {
+        Effect e;
+        e.op = EffectOp::Rmdir;
+        e.ino = victim_id;
+        e.parent = parent;
+        e.name = std::string(name);
+        emit_effect(std::move(e));
+    }
     return {};
 }
 
@@ -434,11 +526,13 @@ Status FileSystem::rename(InodeId old_parent, std::string_view old_name,
         }
     }
 
+    InodeId replaced_id = kInvalidInode;
     auto nit = ndir->dirents.find(std::string(new_name));
     if (nit != ndir->dirents.end()) {
         if (nit->second == moving_id) return {};  // same file: no-op
         Inode* victim = find_mutable(nit->second);
         assert(victim);
+        replaced_id = nit->second;
         if (moving->is_dir()) {
             if (!victim->is_dir()) return Err::ENOTDIR_;
             if (!victim->dirents.empty()) return Err::ENOTEMPTY_;
@@ -466,6 +560,18 @@ Status FileSystem::rename(InodeId old_parent, std::string_view old_name,
     odir->times.mtime = odir->times.ctime = tick();
     ndir->times.mtime = ndir->times.ctime = tick();
     moving->times.ctime = clock_;
+    if (logging_effects()) {
+        Effect e;
+        e.op = EffectOp::Rename;
+        e.ino = moving_id;
+        e.parent = old_parent;
+        e.name = std::string(old_name);
+        e.parent2 = new_parent;
+        e.name2 = std::string(new_name);
+        e.replaced = replaced_id;
+        e.is_dir = moving->is_dir();
+        emit_effect(std::move(e));
+    }
     return {};
 }
 
@@ -531,6 +637,14 @@ Result<std::uint64_t> FileSystem::write(InodeId ino, std::uint64_t off,
         charge_blocks(node->uid, static_cast<std::int64_t>(new_blocks)));
     node->data.write(off, bytes);
     node->times.mtime = node->times.ctime = tick();
+    if (logging_effects()) {
+        Effect e;
+        e.op = EffectOp::Write;
+        e.ino = ino;
+        e.off = off;
+        e.bytes.assign(bytes.begin(), bytes.end());
+        emit_effect(std::move(e));
+    }
     return static_cast<std::uint64_t>(bytes.size());
 }
 
@@ -554,6 +668,15 @@ Result<std::uint64_t> FileSystem::write_pattern(InodeId ino, std::uint64_t off,
         charge_blocks(node->uid, static_cast<std::int64_t>(new_blocks)));
     node->data.write_pattern(off, len, fill);
     node->times.mtime = node->times.ctime = tick();
+    if (logging_effects()) {
+        Effect e;
+        e.op = EffectOp::Write;
+        e.ino = ino;
+        e.off = off;
+        e.len = len;
+        e.fill = fill;
+        emit_effect(std::move(e));
+    }
     return len;
 }
 
@@ -577,7 +700,37 @@ Status FileSystem::truncate(InodeId ino, std::uint64_t new_size) {
                   static_cast<std::int64_t>(after) -
                       static_cast<std::int64_t>(before));
     node->times.mtime = node->times.ctime = tick();
+    if (logging_effects()) {
+        Effect e;
+        e.op = EffectOp::Truncate;
+        e.ino = ino;
+        e.size = new_size;
+        emit_effect(std::move(e));
+    }
     return {};
+}
+
+// ---- persistence barriers ---------------------------------------------------
+
+void FileSystem::sync_inode(InodeId ino, BarrierKind kind) {
+    hook_probe("ext4_sync_file");
+    if (logging_effects()) {
+        Effect e;
+        e.op = EffectOp::Barrier;
+        e.barrier = kind;
+        e.ino = ino;
+        emit_effect(std::move(e));
+    }
+}
+
+void FileSystem::sync_all(BarrierKind kind) {
+    hook_probe("sync_filesystem");
+    if (logging_effects()) {
+        Effect e;
+        e.op = EffectOp::Barrier;
+        e.barrier = kind;
+        emit_effect(std::move(e));
+    }
 }
 
 // ---- metadata ---------------------------------------------------------------
@@ -613,6 +766,13 @@ Status FileSystem::chmod(InodeId ino, abi::mode_t_ mode,
         perm &= ~abi::S_ISGID;
     node->mode = (node->mode & abi::S_IFMT) | perm;
     node->times.ctime = tick();
+    if (logging_effects()) {
+        Effect e;
+        e.op = EffectOp::SetMode;
+        e.ino = ino;
+        e.mode = node->mode;
+        emit_effect(std::move(e));
+    }
     return {};
 }
 
@@ -650,6 +810,14 @@ Status FileSystem::chown(InodeId ino, std::uint32_t uid, std::uint32_t gid,
     if (change_uid || change_gid)
         node->mode &= ~(abi::S_ISUID | abi::S_ISGID);
     node->times.ctime = tick();
+    if (logging_effects()) {
+        Effect e;
+        e.op = EffectOp::SetOwner;
+        e.ino = ino;
+        e.uid = node->uid;
+        e.gid = node->gid;
+        emit_effect(std::move(e));
+    }
     return {};
 }
 
@@ -689,6 +857,14 @@ Status FileSystem::set_xattr(InodeId ino, std::string_view name,
 
     node->xattrs[key].assign(value.begin(), value.end());
     node->times.ctime = tick();
+    if (logging_effects()) {
+        Effect e;
+        e.op = EffectOp::SetXattr;
+        e.ino = ino;
+        e.name = key;
+        e.bytes.assign(value.begin(), value.end());
+        emit_effect(std::move(e));
+    }
     return {};
 }
 
@@ -720,6 +896,13 @@ Status FileSystem::remove_xattr(InodeId ino, std::string_view name,
     if (it == node->xattrs.end()) return Err::ENODATA_;
     node->xattrs.erase(it);
     node->times.ctime = tick();
+    if (logging_effects()) {
+        Effect e;
+        e.op = EffectOp::RemoveXattr;
+        e.ino = ino;
+        e.name = std::string(name);
+        emit_effect(std::move(e));
+    }
     return {};
 }
 

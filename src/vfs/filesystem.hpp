@@ -21,6 +21,7 @@
 
 #include "abi/errno.hpp"
 #include "abi/stat_mode.hpp"
+#include "vfs/effect.hpp"
 #include "vfs/fault.hpp"
 #include "vfs/hooks.hpp"
 #include "vfs/inode.hpp"
@@ -70,6 +71,13 @@ class FileSystem {
 
     /// Fault injector for environmental errors (EIO, ENOMEM, ...).
     FaultInjector& faults() { return faults_; }
+
+    /// Installs a persistence-effect observer (crash testing); nullptr
+    /// disables.  Every successful mutation emits one Effect; barriers
+    /// are emitted by sync_inode()/sync_all().
+    void set_effect_observer(EffectObserver* observer) {
+        effects_ = observer;
+    }
 
     /// Passthrough instrumentation for the syscall layer, which probes
     /// open-path sites (e.g. "ext4_create") through the same hooks.
@@ -161,6 +169,17 @@ class FileSystem {
     /// Errors: EFBIG, EROFS; EINVAL/EACCES belong to the syscall layer.
     Status truncate(InodeId ino, std::uint64_t new_size);
 
+    // ---- persistence barriers ---------------------------------------
+
+    /// fsync/fdatasync/O_SYNC barrier scoped to one inode: emits a
+    /// Barrier effect marking everything logged so far as durable (all
+    /// metadata, plus this inode's data).  The in-memory state is
+    /// always "durable", so this only feeds the effect log.
+    void sync_inode(InodeId ino, BarrierKind kind);
+
+    /// sync(2)/syncfs(2) barrier over the whole file system.
+    void sync_all(BarrierKind kind = BarrierKind::Sync);
+
     // ---- metadata ----------------------------------------------------
 
     Result<Stat> stat(InodeId ino) const;
@@ -249,6 +268,11 @@ class FileSystem {
 
     std::uint64_t tick() { return ++clock_; }
 
+    bool logging_effects() const { return effects_ != nullptr; }
+    void emit_effect(Effect&& effect) {
+        if (effects_) effects_->on_effect(effect);
+    }
+
     void hook_probe(std::string_view site) {
         if (hooks_) hooks_->probe(site);
     }
@@ -264,6 +288,7 @@ class FileSystem {
     std::map<std::uint32_t, std::uint64_t> quota_used_;  // uid -> blocks
     std::uint64_t clock_ = 0;
     VfsHooks* hooks_ = nullptr;
+    EffectObserver* effects_ = nullptr;
     FaultInjector faults_;
 };
 

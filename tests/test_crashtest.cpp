@@ -1,0 +1,108 @@
+// End-to-end crash tester (the `iocov crashtest` engine): enumerates
+// 100+ crash points over the baseline set, is bit-identical across
+// reruns of the same seed, finds the seeded skip-a-barrier bug, stays
+// silent on the correct VFS, and reports bugs-per-partition-covered.
+#include "testers/crash/tester.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace iocov::testers::crash {
+namespace {
+
+TEST(CrashTest, BaselineSetEnumeratesOverHundredPointsCleanly) {
+    const auto report = run_crashtest({});
+    EXPECT_GE(report.total_points, 100u);
+    EXPECT_EQ(report.total_bugs, 0u) << report.to_string();
+    EXPECT_EQ(report.workloads.size(), crashmonkey_baseline().size());
+    EXPECT_GT(report.partitions_covered, 0u);
+    EXPECT_DOUBLE_EQ(report.bugs_per_partition(), 0.0);
+}
+
+TEST(CrashTest, SameSeedSameCrashPointListAndVerdicts) {
+    CrashTestConfig cfg;
+    cfg.seed = 1234;
+    const auto a = run_crashtest(cfg);
+    const auto b = run_crashtest(cfg);
+    ASSERT_EQ(a.workloads.size(), b.workloads.size());
+    for (std::size_t i = 0; i < a.workloads.size(); ++i) {
+        EXPECT_EQ(a.workloads[i].name, b.workloads[i].name);
+        EXPECT_EQ(a.workloads[i].point_ids, b.workloads[i].point_ids);
+        EXPECT_EQ(a.workloads[i].bugs.size(), b.workloads[i].bugs.size());
+    }
+    EXPECT_EQ(a.to_string(), b.to_string());
+    EXPECT_EQ(a.to_json(), b.to_json());
+}
+
+TEST(CrashTest, SeededSkipBarrierBugIsFound) {
+    CrashTestConfig cfg;
+    cfg.inject_skip_barrier = 0;
+    const auto report = run_crashtest(cfg);
+    EXPECT_GT(report.total_bugs, 0u);
+    // Every bug names its workload, crash point and replay recipe.
+    for (const auto& wl : report.workloads)
+        for (const auto& bug : wl.bugs) {
+            EXPECT_EQ(bug.workload, wl.name);
+            EXPECT_FALSE(bug.crash_point.empty());
+            EXPECT_NE(bug.recipe.find("crashtest"), std::string::npos);
+            EXPECT_NE(bug.recipe.find(bug.workload), std::string::npos);
+            EXPECT_NE(bug.recipe.find("--inject-skip-barrier"),
+                      std::string::npos);
+        }
+}
+
+TEST(CrashTest, WorkloadFilterAndBoundKnobsApply) {
+    CrashTestConfig cfg;
+    cfg.workloads = {"create_fsync", "rename_commit"};
+    cfg.reorder_variants = 1;
+    cfg.torn_writes = false;
+    cfg.max_points_per_workload = 6;
+    const auto report = run_crashtest(cfg);
+    ASSERT_EQ(report.workloads.size(), 2u);
+    std::set<std::string> names;
+    for (const auto& wl : report.workloads) {
+        names.insert(wl.name);
+        EXPECT_LE(wl.points, 6u);
+        for (const auto& id : wl.point_ids) {
+            EXPECT_EQ(id.find("+torn"), std::string::npos);
+            EXPECT_EQ(id.find("+shuf2"), std::string::npos);
+        }
+    }
+    EXPECT_TRUE(names.count("create_fsync"));
+    EXPECT_TRUE(names.count("rename_commit"));
+}
+
+TEST(CrashTest, GreedyOrderFrontLoadsNewPartitions) {
+    const auto report = run_crashtest({});
+    ASSERT_GE(report.workloads.size(), 2u);
+    // The first workload contributes the most marginal coverage; every
+    // later workload contributes no more new partitions than the first.
+    const std::size_t first = report.workloads.front().new_partitions;
+    std::size_t sum = 0;
+    for (const auto& wl : report.workloads) {
+        EXPECT_LE(wl.new_partitions, first);
+        EXPECT_LE(wl.new_partitions, wl.covered_partitions);
+        sum += wl.new_partitions;
+    }
+    // Marginal contributions sum to the union coverage.
+    EXPECT_EQ(sum, report.partitions_covered);
+}
+
+TEST(CrashTest, ReportRendersTableAndJson) {
+    CrashTestConfig cfg;
+    cfg.workloads = {"create_fsync"};
+    const auto report = run_crashtest(cfg);
+    const auto table = report.to_string();
+    EXPECT_NE(table.find("bugs-per-partition"), std::string::npos);
+    EXPECT_NE(table.find("create_fsync"), std::string::npos);
+    EXPECT_NE(table.find("remaining gaps"), std::string::npos);
+    const auto json = report.to_json();
+    EXPECT_NE(json.find("\"total_points\""), std::string::npos);
+    EXPECT_NE(json.find("\"point_ids\""), std::string::npos);
+    EXPECT_NE(json.find("\"p0+none\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace iocov::testers::crash

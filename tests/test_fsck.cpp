@@ -9,6 +9,8 @@
 #include <span>
 #include <vector>
 
+#include "testers/crash/effect_log.hpp"
+#include "testers/crash/replay.hpp"
 #include "vfs/filesystem.hpp"
 
 namespace iocov::vfs {
@@ -204,6 +206,78 @@ TEST_F(FsckTest, DetectsQuotaSumMismatch) {
     fs.find_mutable(f.value())->uid = 2000;
     const auto rep = fsck(fs);
     EXPECT_GE(rep.count(FsckCode::QuotaSumMismatch), 1u) << rep.to_string();
+}
+
+TEST_F(FsckTest, CrashRecoveredTmpfileIsExcusedOnlyByItsFdPin) {
+    // Crash-recovered states carry live O_TMPFILE inodes: the replayer
+    // reports them as pinned, and fsck must excuse exactly those — the
+    // same inode without its pin is still an orphan.
+    using testers::crash::CrashPoint;
+    using testers::crash::CrashReplayer;
+    using testers::crash::EffectLog;
+
+    const FsConfig cfg{};
+    EffectLog log;
+    {
+        FileSystem fs(cfg);
+        fs.set_effect_observer(&log);
+        const auto anon = fs.create_anonymous(kRootInode, 0600, root_);
+        ASSERT_TRUE(anon.ok());
+        const auto data = bytes(4096);
+        ASSERT_TRUE(fs.write(anon.value(), 0, data).ok());
+        fs.sync_inode(anon.value(), BarrierKind::Fsync);
+    }
+    CrashReplayer replayer(log, cfg, [](FileSystem&) {});
+    CrashPoint full;
+    full.prefix = log.effects().size();
+    const auto rec = replayer.replay(full);
+    ASSERT_EQ(rec.pinned.size(), 1u);
+
+    EXPECT_GE(fsck(*rec.fs).count(FsckCode::OrphanInode), 1u);
+    FsckOptions opts;
+    opts.pinned_inodes = rec.pinned;
+    const auto rep = fsck(*rec.fs, opts);
+    EXPECT_TRUE(rep.clean()) << rep.to_string();
+}
+
+TEST_F(FsckTest, QuotaLedgersConsistentInEveryCrashRecoveredState) {
+    // Replayed effects re-run the quota accounting (create as the
+    // recorded owner, chown transfers ledgers); every enumerated crash
+    // state must satisfy the per-uid sums, or recovery itself would be
+    // manufacturing quota corruption.
+    using testers::crash::CrashPlanConfig;
+    using testers::crash::CrashReplayer;
+    using testers::crash::EffectLog;
+
+    FsConfig cfg;
+    cfg.quota_blocks_per_uid = 1000;
+    const auto base = [](FileSystem& fs) {
+        ASSERT_TRUE(fs.chmod(kRootInode, 0777, Credentials::root()).ok());
+    };
+    EffectLog log;
+    {
+        FileSystem fs(cfg);
+        base(fs);
+        fs.set_effect_observer(&log);
+        const auto f = fs.create_file(kRootInode, "f", 0644, user_);
+        ASSERT_TRUE(f.ok());
+        const auto data = bytes(3 * cfg.block_size);
+        ASSERT_TRUE(fs.write(f.value(), 0, data).ok());
+        fs.sync_inode(f.value(), BarrierKind::Fsync);
+        ASSERT_TRUE(fs.chown(f.value(), 2000, 2000, root_).ok());
+        const auto more = bytes(2 * cfg.block_size);
+        ASSERT_TRUE(fs.write(f.value(), 4 * cfg.block_size, more).ok());
+        fs.sync_all();
+    }
+    CrashReplayer replayer(log, cfg, base);
+    for (const auto& point : replayer.plan(CrashPlanConfig{})) {
+        const auto rec = replayer.replay(point);
+        const auto rep = fsck(*rec.fs);
+        EXPECT_EQ(rep.count(FsckCode::QuotaSumMismatch), 0u)
+            << point.id() << ": " << rep.to_string();
+        EXPECT_EQ(rep.count(FsckCode::BlockSumMismatch), 0u)
+            << point.id() << ": " << rep.to_string();
+    }
 }
 
 }  // namespace

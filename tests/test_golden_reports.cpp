@@ -1,0 +1,57 @@
+// Report determinism: campaign and guide summaries must be pure
+// functions of (config, seed).  The campaign's new-output-partition
+// list historically leaned on registry iteration order, which is only
+// incidentally stable — it is now canonicalized (lexicographic), and
+// these golden-shape tests lock the behavior down.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "testers/campaign.hpp"
+#include "testers/guided/loop.hpp"
+
+namespace iocov::testers {
+namespace {
+
+CampaignConfig small_campaign() {
+    CampaignConfig cfg;
+    cfg.suite = "crashmonkey";
+    cfg.scale = 0.002;
+    cfg.chaos_runs = 1;
+    cfg.max_runs = 6;
+    return cfg;
+}
+
+TEST(GoldenReports, CampaignSummaryIsIdenticalAcrossReruns) {
+    const auto a = run_campaign(small_campaign());
+    const auto b = run_campaign(small_campaign());
+    EXPECT_EQ(a.summary(), b.summary());
+    EXPECT_EQ(a.new_output_partitions, b.new_output_partitions);
+    EXPECT_TRUE(a.aggregate == b.aggregate);
+}
+
+TEST(GoldenReports, CampaignNewPartitionsAreCanonicallySorted) {
+    const auto result = run_campaign(small_campaign());
+    ASSERT_FALSE(result.new_output_partitions.empty());
+    EXPECT_TRUE(std::is_sorted(result.new_output_partitions.begin(),
+                               result.new_output_partitions.end()));
+    // Each entry is "base:ERRNO".
+    for (const auto& p : result.new_output_partitions)
+        EXPECT_NE(p.find(':'), std::string::npos) << p;
+}
+
+TEST(GoldenReports, GuideSummaryAndTableAreIdenticalAcrossReruns) {
+    guided::GuideConfig cfg;
+    cfg.suite = "crashmonkey";
+    cfg.scale = 0.002;
+    cfg.max_rounds = 1;
+    cfg.call_budget = 50;
+    const auto a = guided::run_guide(cfg);
+    const auto b = guided::run_guide(cfg);
+    EXPECT_EQ(a.summary(), b.summary());
+    EXPECT_EQ(a.table(), b.table());
+    EXPECT_TRUE(a.final_report == b.final_report);
+}
+
+}  // namespace
+}  // namespace iocov::testers

@@ -13,6 +13,10 @@
 //                  [--budget N] [--per-gap N] [--target N]
 //                  [--baseline FILE] [--save FILE]
 //                                              (gap-driven synthesis)
+//   iocov crashtest [--workloads a,b | --list] [--seed N] [--reorders N]
+//                  [--no-torn] [--max-points N] [--target N]
+//                  [--inject-skip-barrier K] [--json FILE]
+//                                              (crash-consistency testing)
 //   iocov bugstudy [--scale S] [--export]       (Section 2 study/dataset)
 //
 // `analyze` consumes one or more traces — LTTng-style text or IOCT
@@ -44,6 +48,7 @@
 #include "report/table.hpp"
 #include "syscall/kernel.hpp"
 #include "testers/campaign.hpp"
+#include "testers/crash/tester.hpp"
 #include "testers/fixtures.hpp"
 #include "testers/generator.hpp"
 #include "testers/guided/loop.hpp"
@@ -96,6 +101,19 @@ int usage() {
         "      --baseline guides from a saved report instead of\n"
         "      replaying a suite; --save writes the merged final report.\n"
         "      Prints a before/after table per coverage space.\n"
+        "  iocov crashtest [--workloads a,b | --list] [--seed N]\n"
+        "                  [--reorders N] [--no-torn] [--max-points N]\n"
+        "                  [--target N] [--inject-skip-barrier K]\n"
+        "                  [--json FILE]\n"
+        "      coverage-guided crash-consistency testing: run the\n"
+        "      crashmonkey-baseline workloads, log durable effects,\n"
+        "      enumerate bounded crash states (barrier points, partial\n"
+        "      in-order tails, seeded reordered tails, torn writes) and\n"
+        "      check each recovered state against the persisted-prefix\n"
+        "      oracle plus fsck.  Deterministic for a fixed --seed.\n"
+        "      --inject-skip-barrier K seeds a lost-barrier bug into the\n"
+        "      replayer to validate the oracle (exits 0 iff caught);\n"
+        "      otherwise exits 1 when any bug is found.\n"
         "  iocov bugstudy [--scale S] [--export]\n");
     return 2;
 }
@@ -537,6 +555,87 @@ int cmd_guide(int argc, char** argv) {
     return 0;
 }
 
+int cmd_crashtest(int argc, char** argv) {
+    testers::crash::CrashTestConfig cfg;
+    const char* json_path = nullptr;
+    bool list = false;
+    for (int i = 0; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--list")) {
+            list = true;
+        } else if (!std::strcmp(argv[i], "--workloads") && i + 1 < argc) {
+            // Comma-separated workload names.
+            std::string arg = argv[++i];
+            std::size_t pos = 0;
+            while (pos <= arg.size()) {
+                const std::size_t comma = arg.find(',', pos);
+                const std::string name =
+                    arg.substr(pos, comma == std::string::npos
+                                        ? std::string::npos
+                                        : comma - pos);
+                if (!name.empty()) cfg.workloads.push_back(name);
+                if (comma == std::string::npos) break;
+                pos = comma + 1;
+            }
+        } else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
+            cfg.seed = std::strtoull(argv[++i], nullptr, 10);
+        } else if (!std::strcmp(argv[i], "--reorders") && i + 1 < argc) {
+            cfg.reorder_variants = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (!std::strcmp(argv[i], "--no-torn")) {
+            cfg.torn_writes = false;
+        } else if (!std::strcmp(argv[i], "--max-points") && i + 1 < argc) {
+            cfg.max_points_per_workload =
+                std::strtoull(argv[++i], nullptr, 10);
+        } else if (!std::strcmp(argv[i], "--target") && i + 1 < argc) {
+            cfg.tcd_target = std::atof(argv[++i]);
+        } else if (!std::strcmp(argv[i], "--inject-skip-barrier") &&
+                   i + 1 < argc) {
+            cfg.inject_skip_barrier =
+                std::strtoull(argv[++i], nullptr, 10);
+        } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+            json_path = argv[++i];
+        } else {
+            return usage();
+        }
+    }
+    if (list) {
+        for (const auto& wl : testers::crash::crashmonkey_baseline())
+            std::printf("%-22s %s\n", wl.name.c_str(),
+                        wl.description.c_str());
+        return 0;
+    }
+    for (const auto& name : cfg.workloads) {
+        bool known = false;
+        for (const auto& wl : testers::crash::crashmonkey_baseline())
+            known = known || wl.name == name;
+        if (!known) {
+            std::fprintf(stderr, "iocov: unknown workload %s "
+                                 "(try --list)\n",
+                         name.c_str());
+            return 2;
+        }
+    }
+    const auto report = testers::crash::run_crashtest(cfg);
+    std::printf("%s", report.to_string().c_str());
+    if (json_path) {
+        std::ofstream out(json_path);
+        if (!out) {
+            std::fprintf(stderr, "iocov: cannot write %s\n", json_path);
+            return 1;
+        }
+        out << report.to_json();
+        std::printf("json report saved to %s\n", json_path);
+    }
+    if (cfg.inject_skip_barrier) {
+        // Validation mode: the seeded lost-barrier bug must be caught.
+        const bool caught = report.total_bugs > 0;
+        std::printf("seeded skip-barrier bug: %s\n",
+                    caught ? "CAUGHT" : "MISSED");
+        return caught ? 0 : 1;
+    }
+    return report.total_bugs == 0 ? 0 : 1;
+}
+
 int cmd_bugstudy(int argc, char** argv) {
     double scale = 0.01;
     bool export_dataset = false;
@@ -589,6 +688,7 @@ int main(int argc, char** argv) {
     if (cmd == "demo") return cmd_demo(argc - 2, argv + 2);
     if (cmd == "campaign") return cmd_campaign(argc - 2, argv + 2);
     if (cmd == "guide") return cmd_guide(argc - 2, argv + 2);
+    if (cmd == "crashtest") return cmd_crashtest(argc - 2, argv + 2);
     if (cmd == "bugstudy") return cmd_bugstudy(argc - 2, argv + 2);
     return usage();
 }
