@@ -21,6 +21,7 @@
 #include "abi/seek.hpp"
 
 #include "core/iocov.hpp"
+#include "core/snapshot.hpp"
 #include "core/tcd.hpp"
 #include "vfs/file_data.hpp"
 #include "syscall/kernel.hpp"
@@ -436,6 +437,87 @@ void BM_ConsumeBinaryFileReadCopy(benchmark::State& state) {
     state.SetItemsProcessed(state.iterations() * canned_text_lines());
 }
 BENCHMARK(BM_ConsumeBinaryFileReadCopy);
+
+// --- fleet snapshots: save / load / merge vs re-ingest ----------------------
+
+/// Eight snapshots, each the analyzer state of one full canned-binary
+/// ingestion — so merging them aggregates exactly the coverage that
+/// re-ingesting eight raw trace files would, which is the comparison
+/// the snapshot format exists to win.
+struct CannedFleet {
+    std::vector<core::IOCovSnapshot> snapshots;
+    std::vector<std::string> encoded;
+};
+
+const CannedFleet& canned_fleet() {
+    static const CannedFleet kFleet = [] {
+        CannedFleet fleet;
+        for (int i = 0; i < 8; ++i) {
+            core::IOCov iocov(
+                trace::FilterConfig::mount_point("/mnt/test"));
+            iocov.consume_binary(canned_twin_traces().binary);
+            auto snap = iocov.snapshot();
+            snap.label = "bench";
+            snap.timestamp = static_cast<std::uint64_t>(1000 + i);
+            fleet.encoded.push_back(core::encode_snapshot(snap));
+            fleet.snapshots.push_back(std::move(snap));
+        }
+        return fleet;
+    }();
+    return kFleet;
+}
+
+/// Snapshot serialization (interning + varint packing).
+void BM_SnapshotSave(benchmark::State& state) {
+    const auto& snap = canned_fleet().snapshots.front();
+    std::int64_t bytes = 0;
+    for (auto _ : state) {
+        const auto encoded = core::encode_snapshot(snap);
+        bytes = static_cast<std::int64_t>(encoded.size());
+        benchmark::DoNotOptimize(encoded.size());
+    }
+    state.SetBytesProcessed(state.iterations() * bytes);
+}
+BENCHMARK(BM_SnapshotSave);
+
+/// Snapshot decode (SWAR varint path + checksum + histogram rebuild).
+void BM_SnapshotLoad(benchmark::State& state) {
+    const auto& encoded = canned_fleet().encoded.front();
+    for (auto _ : state) {
+        const auto snap = core::decode_snapshot(encoded);
+        benchmark::DoNotOptimize(snap->report.events_seen);
+    }
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<std::int64_t>(encoded.size()));
+}
+BENCHMARK(BM_SnapshotLoad);
+
+/// The fleet-aggregation headline: decode 8 snapshots + pairwise tree
+/// merge, versus re-ingesting the 8 equivalent raw IOCT traces.
+/// bytes/sec is reported against the RAW trace bytes the snapshots
+/// stand in for, so the number is directly comparable to
+/// BM_IngestBinaryBatched — the ≥10x floor in scripts/perf_floor.txt
+/// encodes the "aggregate without re-ingesting" claim.
+void BM_SnapshotMerge(benchmark::State& state) {
+    const auto& fleet = canned_fleet();
+    for (auto _ : state) {
+        std::vector<core::NamedSnapshot> shards;
+        shards.reserve(fleet.encoded.size());
+        for (std::size_t i = 0; i < fleet.encoded.size(); ++i)
+            shards.push_back({"s" + std::to_string(i),
+                              *core::decode_snapshot(fleet.encoded[i])});
+        const auto merged = core::merge_snapshots(std::move(shards), 1);
+        benchmark::DoNotOptimize(merged.report.events_seen);
+    }
+    const auto raw_equiv = static_cast<std::int64_t>(
+        canned_twin_traces().binary.size() * canned_fleet().encoded.size());
+    state.SetItemsProcessed(
+        state.iterations() *
+        canned_text_lines() *
+        static_cast<std::int64_t>(canned_fleet().encoded.size()));
+    state.SetBytesProcessed(state.iterations() * raw_equiv);
+}
+BENCHMARK(BM_SnapshotMerge);
 
 void BM_BinaryEncode(benchmark::State& state) {
     const auto& events = canned_trace();

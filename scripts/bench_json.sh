@@ -7,9 +7,12 @@
 # consume_text benches (1/2/4/8 worker threads), the text-vs-IOCT
 # ingest comparison (BM_IngestTextSerial vs BM_IngestBinarySerial vs
 # the batched BM_IngestBinaryBatched hot path plus the full
-# consume_binary pipeline, serial/sharded/mmap/read-copy) and the
-# BM_MemoryBandwidth roofline baseline, and writes the
-# google-benchmark JSON to OUT for before/after comparisons.
+# consume_binary pipeline, serial/sharded/mmap/read-copy), the IOCS
+# snapshot benches (BM_SnapshotSave/Load/Merge — merge bytes/sec is
+# against the raw trace bytes the snapshots replace, comparable to
+# BM_IngestBinaryBatched) and the BM_MemoryBandwidth roofline
+# baseline, and writes the google-benchmark JSON to OUT for
+# before/after comparisons.
 # Note the items_per_second counter is CPU-time based; on a single-core
 # machine compare the real_time fields for the parallel rows.
 #
@@ -53,7 +56,7 @@ cmake -B "$BUILD" -G Ninja -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD" --target perf_analyzer iocov_cli -j >/dev/null
 
 "$BENCH" \
-  --benchmark_filter='BM_(AnalyzerThroughput|FilterThroughput|ConsumeTextSerial|ConsumeTextParallel|IngestTextSerial|IngestBinary|ConsumeBinary|MemoryBandwidth).*' \
+  --benchmark_filter='BM_(AnalyzerThroughput|FilterThroughput|ConsumeTextSerial|ConsumeTextParallel|IngestTextSerial|IngestBinary|ConsumeBinary|MemoryBandwidth|Snapshot).*' \
   --benchmark_repetitions="${IOCOV_BENCH_REPS:-3}" \
   --benchmark_report_aggregates_only=true \
   --benchmark_format=json \

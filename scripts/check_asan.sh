@@ -5,9 +5,12 @@
 #
 # The decoder reads varints and string-table views straight out of an
 # mmap'd file, so any bounds slip is an out-of-mapping read — exactly
-# what ASan catches and plain ctest may not.  This configures a full
-# IOCOV_SANITIZE=address tree and runs the decoder-facing suites
-# (binary format, binary pipeline, text format) under it.
+# what ASan catches and plain ctest may not.  The IOCS snapshot decoder
+# shares that mmap'd-varint surface (and chews on deliberately torn and
+# bit-flipped snapshots in its tests), so its suites run here too.
+# This configures a full IOCOV_SANITIZE=address tree and runs the
+# decoder-facing suites (binary format, binary pipeline, text format,
+# snapshot) under it.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,7 +20,8 @@ cmake -B "$BUILD" -G Ninja -DIOCOV_SANITIZE=address >/dev/null
 cmake --build "$BUILD" -j --target \
   test_binary_format test_binary_pipeline test_text_format \
   test_batch_decode test_dir_ingest \
-  test_crash_replay test_crash_oracle test_crashtest
+  test_crash_replay test_crash_oracle test_crashtest \
+  test_snapshot test_snapshot_merge
 ctest --test-dir "$BUILD" \
-  -R 'Binary|TextFormat|MappedFile|BatchDecode|DirIngest|CrashReplay|CrashOracle|CrashTest' \
+  -R 'Binary|TextFormat|MappedFile|BatchDecode|DirIngest|CrashReplay|CrashOracle|CrashTest|Snapshot|SnapshotMerge' \
   --output-on-failure -j "$(nproc)"

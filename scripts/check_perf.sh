@@ -1,11 +1,17 @@
 #!/usr/bin/env bash
-# Performance smoke gate: the batched IOCT decode must not regress.
+# Performance smoke gate: the batched IOCT decode and the snapshot
+# save/load/merge paths must not regress.
 #
 #   ./scripts/check_perf.sh
 #
-# Builds the Release bench binary, runs a short BM_IngestBinaryBatched
-# pass, and fails (exit 1) if the median decode throughput drops more
-# than 20% below the checked-in floor (scripts/perf_floor.txt).  The
+# Builds the Release bench binary, runs a short pass over the gated
+# benches (BM_IngestBinaryBatched + BM_Snapshot{Save,Load,Merge}),
+# and fails (exit 1) if any median throughput drops more
+# than 20% below the checked-in floor (scripts/perf_floor.txt).
+# BM_SnapshotMerge's floor is deliberately ≥10x the ingest floor: its
+# bytes/sec is measured against the raw trace bytes the snapshots
+# replace, so the gate enforces the "fleet aggregation beats
+# re-ingesting" contract, not just absolute speed.  The
 # floor itself is recorded conservatively (~0.75x a quiet-machine run)
 # so scheduler noise does not trip the gate while a real regression
 # still does.  Wired into scripts/bench_json.sh as a preflight so a
@@ -21,7 +27,7 @@ OUT=$(mktemp /tmp/iocov_check_perf.XXXXXX.json)
 trap 'rm -f "$OUT"' EXIT
 
 "$BUILD"/bench/perf_analyzer \
-  --benchmark_filter='^BM_IngestBinaryBatched$' \
+  --benchmark_filter='^BM_(IngestBinaryBatched|SnapshotSave|SnapshotLoad|SnapshotMerge)$' \
   --benchmark_repetitions=3 \
   --benchmark_report_aggregates_only=true \
   --benchmark_format=json \

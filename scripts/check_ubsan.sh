@@ -4,9 +4,10 @@
 #   ./scripts/check_ubsan.sh [BUILD_DIR]    # default build-ubsan
 #
 # Fault campaigns steer the kernel model down its rarest error paths,
-# and the decoders chew on deliberately corrupted bytes — both are
-# where latent UB (signed overflow in varint math, bad shifts, invalid
-# enum loads) would hide.  This configures a full
+# and the decoders (IOCT trace and IOCS snapshot alike) chew on
+# deliberately corrupted bytes — both are where latent UB (signed
+# overflow in varint math, bad shifts, invalid enum loads) would
+# hide.  This configures a full
 # IOCOV_SANITIZE=undefined tree (recovery disabled, so any report is a
 # hard failure) and runs the fsck, fault, campaign, and decoder suites
 # under it.
@@ -19,7 +20,8 @@ cmake -B "$BUILD" -G Ninja -DIOCOV_SANITIZE=undefined >/dev/null
 cmake --build "$BUILD" -j --target \
   test_fsck test_fault test_campaign test_ingest_faults \
   test_binary_format test_text_format test_batch_decode \
-  test_crash_replay test_crash_oracle test_state_diff
+  test_crash_replay test_crash_oracle test_state_diff \
+  test_snapshot test_snapshot_merge
 ctest --test-dir "$BUILD" \
-  -R 'Fsck|Fault|ScopedFault|Campaign|IngestFaults|Binary|TextFormat|BatchDecode|CrashReplay|CrashOracle|StateDiff' \
+  -R 'Fsck|Fault|ScopedFault|Campaign|IngestFaults|Binary|TextFormat|BatchDecode|CrashReplay|CrashOracle|StateDiff|Snapshot|SnapshotMerge' \
   --output-on-failure -j "$(nproc)"

@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <iterator>
 
+#include "core/snapshot.hpp"
 #include "exec/alloc_hook.hpp"
 #include "exec/thread_pool.hpp"
 #include "trace/syz_format.hpp"
@@ -438,6 +439,44 @@ std::size_t IOCov::consume_text_parallel(std::istream& in,
     for (const auto d : dropped) total_dropped += d;
     for (const auto d : shard_lost_events) total_dropped += d;
     return total_dropped;
+}
+
+void IOCov::merge(const IOCov& other) {
+    analyzer_.merge_report(other.report());
+    filtered_out_ += other.filtered_out_;
+    shards_lost_ += other.shards_lost_;
+    diagnostics_.merge(other.diagnostics_);
+    ingest_stats_.events += other.ingest_stats_.events;
+    ingest_stats_.bytes += other.ingest_stats_.bytes;
+    ingest_stats_.files += other.ingest_stats_.files;
+    ingest_stats_.threads =
+        std::max(ingest_stats_.threads, other.ingest_stats_.threads);
+    ingest_stats_.hot_loop_allocs += other.ingest_stats_.hot_loop_allocs;
+    ingest_stats_.seconds += other.ingest_stats_.seconds;
+}
+
+void IOCov::merge(const IOCovSnapshot& snapshot) {
+    analyzer_.merge_report(snapshot.report);
+    filtered_out_ += snapshot.filtered_out;
+    // The producer's per-record reasons are not serialized, only the
+    // count — fold it in without displacing locally retained entries.
+    diagnostics_.count_only(snapshot.dropped);
+    ingest_stats_.events += snapshot.ingest.events;
+    ingest_stats_.bytes += snapshot.ingest.bytes;
+    ingest_stats_.files += snapshot.ingest.files;
+    ingest_stats_.threads =
+        std::max(ingest_stats_.threads, snapshot.ingest.threads);
+    ingest_stats_.hot_loop_allocs += snapshot.ingest.hot_loop_allocs;
+    ingest_stats_.seconds += snapshot.ingest.seconds;
+}
+
+IOCovSnapshot IOCov::snapshot() const {
+    IOCovSnapshot snap;
+    snap.report = analyzer_.report();
+    snap.filtered_out = filtered_out_;
+    snap.dropped = diagnostics_.total();
+    snap.ingest = ingest_stats_;
+    return snap;
 }
 
 }  // namespace iocov::core

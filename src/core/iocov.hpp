@@ -40,7 +40,11 @@ struct IngestStats {
     /// always 0 when exec::has_allocation_counting() is false).
     std::uint64_t hot_loop_allocs = 0;
     double seconds = 0;        ///< wall time spent in binary ingestion
+
+    friend bool operator==(const IngestStats&, const IngestStats&) = default;
 };
+
+struct IOCovSnapshot;  // core/snapshot.hpp
 
 class IOCov {
   public:
@@ -136,6 +140,31 @@ class IOCov {
     /// syscall lines parsed.
     std::size_t consume_syz(std::istream& in);
 
+    /// Folds another IOCov's coverage state into this one: report
+    /// histograms merge row-wise, filtered/dropped/shard counters and
+    /// IngestStats accumulate (see the accumulation contract below),
+    /// and retained diagnostics fold under the usual first-K retention.
+    /// Associative and commutative in the report — for any split of a
+    /// workload into per-pid-ordered parts, merging the parts' IOCovs
+    /// (in any order, any grouping) is bit-identical to one IOCov
+    /// ingesting the whole workload.  `other`'s live filter state
+    /// (watched fds, cwd) is NOT transferred: merge combines finished
+    /// measurements, it does not splice mid-trace sessions.
+    void merge(const IOCov& other);
+
+    /// Same fold from a deserialized snapshot (see core/snapshot.hpp):
+    /// merge(ingest(A).snapshot(), ingest(B).snapshot()) ==
+    /// ingest(A+B).snapshot() bit-identically.  The snapshot's dropped
+    /// count accumulates into diagnostics().total() count-only (the
+    /// per-record reasons live with the original producer).
+    void merge(const IOCovSnapshot& snapshot);
+
+    /// Captures the full mergeable state as a snapshot value (report,
+    /// filtered/dropped counters, ingest stats).  `label`/`timestamp`
+    /// are left for the caller to stamp.  decode(encode(snapshot()))
+    /// round-trips bit-identically.
+    IOCovSnapshot snapshot() const;
+
     /// A sink that can be handed to a Kernel for live analysis.
     trace::TraceSink& live_sink() { return live_sink_; }
 
@@ -158,6 +187,17 @@ class IOCov {
     std::uint64_t shards_lost() const { return shards_lost_; }
 
     /// Cumulative binary-ingest throughput/allocation statistics.
+    ///
+    /// Accumulation contract (holds for diagnostics(), shards_lost()
+    /// and events_filtered_out() too): an IOCov never self-resets.
+    /// Every consume_* call and every merge() adds to the running
+    /// totals — counters and `seconds` sum, `threads` keeps the widest
+    /// value seen — so after any interleaving of N calls each total
+    /// equals the sum of what the calls would have reported
+    /// individually.  Snapshots inherit the same semantics: snapshot()
+    /// captures the running totals, and merging a snapshot adds its
+    /// totals in.  To measure one ingestion in isolation, use a fresh
+    /// IOCov and subtract nothing.
     const IngestStats& ingest_stats() const { return ingest_stats_; }
 
   private:

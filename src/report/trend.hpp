@@ -1,0 +1,48 @@
+// Coverage trends over a fleet of snapshots.
+//
+// `iocov merge` answers "what did the fleet cover in total"; trend
+// answers "how is coverage moving".  Given the snapshots of a drop-box
+// directory, trend_json() groups them into slices — time windows over
+// the capture timestamp, or one slice per label — merges each slice
+// (same associative fold as `iocov merge`), runs the TCD/gap analysis
+// per slice, and emits one deterministic JSON document: slices in
+// sorted key order, per-space TCD plus gap counts per slice.  The
+// output is byte-identical across reruns and thread counts, so it can
+// be diffed and golden-tested like every other IOCov report.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/snapshot.hpp"
+
+namespace iocov::report {
+
+struct TrendOptions {
+    /// Width of a time bucket in seconds; snapshots land in the bucket
+    /// floor(timestamp / window).  Ignored when `by_label` is set.
+    /// 0 means one slice spanning everything.
+    std::uint64_t window_seconds = 0;
+    /// Slice per snapshot label instead of per time window (snapshots
+    /// with an empty label group under "(unlabeled)").
+    bool by_label = false;
+    /// Uniform per-partition target for the TCD computation.
+    double target = 10.0;
+};
+
+/// Groups `snapshots` into slices per `options`, merges each slice in
+/// name order, and renders the per-slice TCD/gap series as JSON:
+///
+///   { "slices": [ { "key": ..., "snapshots": N, "events_seen": ...,
+///       "aggregate_tcd": ..., "input_gaps": N, "output_gaps": N,
+///       "spaces": [ {"space", "tcd", "untested", "declared"}, ... ] },
+///     ... ] }
+///
+/// Slice keys sort ascending (numeric for windows, lexicographic for
+/// labels); spaces keep report order.  Deterministic: byte-identical
+/// output for the same snapshot set at any `n_threads`.
+std::string trend_json(const std::vector<core::NamedSnapshot>& snapshots,
+                       const TrendOptions& options, unsigned n_threads = 1);
+
+}  // namespace iocov::report

@@ -1,6 +1,7 @@
 #include "stats/histogram.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace iocov::stats {
 
@@ -12,6 +13,28 @@ PartitionHistogram PartitionHistogram::with_partitions(
         if (!h.has_partition(l)) h.rows_.push_back({std::move(l), 0});
     }
     h.declared_ = h.rows_.size();
+    return h;
+}
+
+PartitionHistogram PartitionHistogram::from_rows(
+    std::vector<PartitionCount> rows, std::size_t declared) {
+    if (declared > rows.size())
+        throw std::invalid_argument(
+            "PartitionHistogram::from_rows: declared block exceeds rows");
+    for (std::size_t i = declared + 1; i < rows.size(); ++i)
+        if (!(rows[i - 1].label < rows[i].label))
+            throw std::invalid_argument(
+                "PartitionHistogram::from_rows: dynamic tail not sorted");
+    // Spaces here are tens of labels, so the quadratic duplicate check
+    // is cheaper than building a set (and allocation-free).
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        for (std::size_t j = i + 1; j < rows.size(); ++j)
+            if (rows[i].label == rows[j].label)
+                throw std::invalid_argument(
+                    "PartitionHistogram::from_rows: duplicate label");
+    PartitionHistogram h;
+    h.rows_ = std::move(rows);
+    h.declared_ = declared;
     return h;
 }
 

@@ -61,6 +61,22 @@ class PartitionHistogram {
     /// All rows in report order.
     const std::vector<PartitionCount>& rows() const { return rows_; }
 
+    /// Size of the declared block (rows_[0..declared_count()) keep
+    /// declaration order; the rest is the sorted dynamic tail).  The
+    /// boundary is serialization state: restoring it exactly is what
+    /// lets a snapshot-loaded histogram keep inserting future dynamic
+    /// labels at the same positions the original would have.
+    std::size_t declared_count() const { return declared_; }
+
+    /// Rebuilds a histogram from serialized rows + declared boundary —
+    /// the exact inverse of (rows(), declared_count()).  Throws
+    /// std::invalid_argument unless `declared <= rows.size()`, the tail
+    /// after the declared block is strictly label-sorted, and no label
+    /// repeats — the invariants add()/declare() maintain, checked here
+    /// so corrupt serialized bytes cannot forge an unmergeable state.
+    static PartitionHistogram from_rows(std::vector<PartitionCount> rows,
+                                        std::size_t declared);
+
     /// Labels whose count is zero — the "untested partitions" the paper
     /// highlights for both CrashMonkey and xfstests.
     std::vector<std::string> untested() const;

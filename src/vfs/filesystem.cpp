@@ -442,6 +442,9 @@ Status FileSystem::unlink(InodeId parent, std::string_view name,
         cred.uid != node->uid && cred.uid != dir->uid)
         return Err::EPERM_;
     const InodeId victim_id = node->id;
+    // `name` may alias the dirent key we are about to erase (callers
+    // legitimately pass views into dir->dirents) — copy it first.
+    std::string name_copy(name);
     dir->dirents.erase(it);
     dir->times.mtime = dir->times.ctime = tick();
     unlink_inode(*node);
@@ -450,7 +453,7 @@ Status FileSystem::unlink(InodeId parent, std::string_view name,
         e.op = EffectOp::Unlink;
         e.ino = victim_id;
         e.parent = parent;
-        e.name = std::string(name);
+        e.name = std::move(name_copy);
         emit_effect(std::move(e));
     }
     return {};
@@ -480,6 +483,8 @@ Status FileSystem::remove_dir(InodeId parent, std::string_view name,
         cred.uid != node->uid && cred.uid != dir->uid)
         return Err::EPERM_;
     const InodeId victim_id = node->id;
+    // `name` may alias the dirent key we are about to erase — copy it.
+    std::string name_copy(name);
     dir->dirents.erase(it);
     --dir->nlink;  // child's ".." went away
     dir->times.mtime = dir->times.ctime = tick();
@@ -490,7 +495,7 @@ Status FileSystem::remove_dir(InodeId parent, std::string_view name,
         e.op = EffectOp::Rmdir;
         e.ino = victim_id;
         e.parent = parent;
-        e.name = std::string(name);
+        e.name = std::move(name_copy);
         emit_effect(std::move(e));
     }
     return {};
@@ -516,6 +521,10 @@ Status FileSystem::rename(InodeId old_parent, std::string_view old_name,
     if (new_name.empty() || new_name == "." || new_name == "..")
         return Err::EINVAL_;
     if (new_name.size() > abi::NAME_MAX_) return Err::ENAMETOOLONG_;
+
+    // Either view may alias a dirent key erased below — copy both now.
+    std::string old_name_copy(old_name);
+    std::string new_name_copy(new_name);
 
     // A directory must not be moved into its own subtree.
     if (moving->is_dir()) {
@@ -550,8 +559,8 @@ Status FileSystem::rename(InodeId old_parent, std::string_view old_name,
         moving = find_mutable(moving_id);
     }
 
-    odir->dirents.erase(std::string(old_name));
-    ndir->dirents.emplace(std::string(new_name), moving_id);
+    odir->dirents.erase(old_name_copy);
+    ndir->dirents.emplace(new_name_copy, moving_id);
     if (moving->is_dir() && old_parent != new_parent) {
         --odir->nlink;
         ++ndir->nlink;
@@ -565,9 +574,9 @@ Status FileSystem::rename(InodeId old_parent, std::string_view old_name,
         e.op = EffectOp::Rename;
         e.ino = moving_id;
         e.parent = old_parent;
-        e.name = std::string(old_name);
+        e.name = std::move(old_name_copy);
         e.parent2 = new_parent;
-        e.name2 = std::string(new_name);
+        e.name2 = std::move(new_name_copy);
         e.replaced = replaced_id;
         e.is_dir = moving->is_dir();
         emit_effect(std::move(e));

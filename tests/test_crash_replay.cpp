@@ -72,6 +72,43 @@ TEST(CrashReplay, EffectLogRecordsMutationsAndBarriers) {
     EXPECT_EQ(live.log.barrier_positions(), (std::vector<std::size_t>{2}));
 }
 
+// Regression: callers may pass name views that point INTO the dirent
+// map (e.g. found by iterating dir->dirents); the removal paths erase
+// that key before building the effect record, so the VFS must copy the
+// name first.  Under ASan any backslide is a use-after-free.
+TEST(CrashReplay, RemovalEffectsSurviveNamesAliasingTheDirentKey) {
+    vfs::FileSystem fs{recommended_fs_config()};
+    EffectLog log;
+    fs.set_effect_observer(&log);
+    const auto root = vfs::Credentials::root();
+    const auto dir = fs.make_dir(vfs::kRootInode, "d", 0755, root).value();
+    (void)fs.create_file(vfs::kRootInode, "victim", 0644, root).value();
+    (void)fs.create_file(vfs::kRootInode, "moved", 0644, root).value();
+
+    auto key_view = [&](vfs::InodeId parent, std::string_view want) {
+        const auto& ents = fs.find(parent)->dirents;
+        return std::string_view{ents.find(std::string(want))->first};
+    };
+
+    ASSERT_TRUE(fs.unlink(vfs::kRootInode,
+                          key_view(vfs::kRootInode, "victim"), root).ok());
+    ASSERT_TRUE(fs.rename(vfs::kRootInode,
+                          key_view(vfs::kRootInode, "moved"),
+                          vfs::kRootInode, "renamed", root).ok());
+    ASSERT_TRUE(fs.remove_dir(vfs::kRootInode,
+                              key_view(vfs::kRootInode, "d"), root).ok());
+
+    const auto& effects = log.effects();
+    ASSERT_EQ(effects.size(), 6u);  // mkdir + 2 creates + the 3 removals
+    EXPECT_EQ(effects[3].op, EffectOp::Unlink);
+    EXPECT_EQ(effects[3].name, "victim");
+    EXPECT_EQ(effects[4].op, EffectOp::Rename);
+    EXPECT_EQ(effects[4].name, "moved");
+    EXPECT_EQ(effects[4].name2, "renamed");
+    EXPECT_EQ(effects[5].op, EffectOp::Rmdir);
+    EXPECT_EQ(effects[5].name, "d");
+}
+
 TEST(CrashReplay, OSyncWritesEmitPerWriteBarriers) {
     LiveResult live;
     run_workload_live(live, workload("osync_log"));

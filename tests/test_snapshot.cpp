@@ -1,0 +1,370 @@
+// IOCS snapshot format: bit-identical round trips, torn-tail and
+// corruption diagnostics, version skew, merge algebra (associativity /
+// commutativity fuzz against single-pass ingest), the IOCov::merge /
+// snapshot() public API, and the IngestStats accumulation contract.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/iocov.hpp"
+#include "core/snapshot.hpp"
+#include "stats/histogram.hpp"
+#include "syscall/kernel.hpp"
+#include "testers/fixtures.hpp"
+#include "testers/generator.hpp"
+#include "trace/binary_format.hpp"
+#include "trace/sink.hpp"
+#include "vfs/filesystem.hpp"
+
+namespace iocov::core {
+namespace {
+
+trace::FilterConfig config() {
+    return trace::FilterConfig::mount_point("/mnt/test");
+}
+
+/// Raw (unfiltered) simulator trace — the same generator the parallel
+/// pipeline tests use, seeded per call so the fuzz rounds differ.
+std::vector<trace::TraceEvent> generator_trace(double scale,
+                                               std::uint64_t seed) {
+    vfs::FileSystem fs(testers::recommended_fs_config());
+    auto fx = testers::prepare_environment(fs, "/mnt/test");
+    trace::TraceBuffer buffer;
+    syscall::Kernel kernel(fs, &buffer);
+    testers::run_xfstests(kernel, fx, scale, seed);
+    return buffer.take_events();
+}
+
+/// A populated snapshot with both declared and dynamic histogram rows,
+/// nonzero counters, and provenance set.
+IOCovSnapshot sample_snapshot(std::uint64_t seed = 42) {
+    IOCov iocov(config());
+    iocov.consume_binary(trace::encode_trace(generator_trace(0.02, seed)));
+    auto snap = iocov.snapshot();
+    snap.label = "host-a/xfstests";
+    snap.timestamp = 1754600000;
+    return snap;
+}
+
+// ---- round trip ------------------------------------------------------------
+
+TEST(Snapshot, RoundTripIsBitIdentical) {
+    const auto snap = sample_snapshot();
+    ASSERT_GT(snap.report.events_tracked, 0u);
+    const auto bytes = encode_snapshot(snap);
+    EXPECT_TRUE(is_iocs(bytes));
+    EXPECT_EQ(iocs_version(bytes), kIocsVersion);
+
+    SnapshotError err;
+    const auto decoded = decode_snapshot(bytes, &err);
+    ASSERT_TRUE(decoded.has_value()) << err.to_string();
+    EXPECT_EQ(*decoded, snap);
+    // Re-encoding the decoded value reproduces the input bytes exactly.
+    EXPECT_EQ(encode_snapshot(*decoded), bytes);
+}
+
+TEST(Snapshot, RoundTripPreservesIngestStatsAndProvenance) {
+    const auto snap = sample_snapshot();
+    const auto decoded = decode_snapshot(encode_snapshot(snap));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->ingest, snap.ingest);
+    EXPECT_EQ(decoded->ingest.seconds, snap.ingest.seconds);  // exact bits
+    EXPECT_EQ(decoded->label, "host-a/xfstests");
+    EXPECT_EQ(decoded->timestamp, 1754600000u);
+    EXPECT_EQ(decoded->filtered_out, snap.filtered_out);
+}
+
+TEST(Snapshot, RoundTripPreservesDeclaredBoundaries) {
+    const auto snap = sample_snapshot();
+    const auto decoded = decode_snapshot(encode_snapshot(snap));
+    ASSERT_TRUE(decoded.has_value());
+    // The boundary is behavioral state: a loaded histogram must keep
+    // inserting future dynamic labels where the original would.
+    for (std::size_t i = 0; i < snap.report.inputs.size(); ++i) {
+        auto a = snap.report.inputs[i].hist;
+        auto b = decoded->report.inputs[i].hist;
+        ASSERT_EQ(b.declared_count(), a.declared_count());
+        a.add("zz-novel-partition");
+        b.add("zz-novel-partition");
+        EXPECT_EQ(a.rows(), b.rows());
+    }
+}
+
+TEST(Snapshot, EmptySnapshotRoundTrips) {
+    const IOCovSnapshot empty;
+    const auto decoded = decode_snapshot(encode_snapshot(empty));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, empty);
+}
+
+// ---- histogram reconstruction validation -----------------------------------
+
+TEST(Snapshot, FromRowsRejectsForgedState) {
+    using stats::PartitionCount;
+    using stats::PartitionHistogram;
+    std::vector<PartitionCount> rows = {{"b", 1}, {"a", 2}, {"c", 3}};
+    // declared=2: tail {"c"} sorted — valid.
+    const auto h = PartitionHistogram::from_rows(rows, 2);
+    EXPECT_EQ(h.rows(), rows);
+    EXPECT_EQ(h.declared_count(), 2u);
+    // declared beyond rows.
+    EXPECT_THROW(PartitionHistogram::from_rows(rows, 4),
+                 std::invalid_argument);
+    // Unsorted dynamic tail ("b" < "a" fails with declared=0).
+    EXPECT_THROW(PartitionHistogram::from_rows(rows, 0),
+                 std::invalid_argument);
+    // Duplicate label.
+    EXPECT_THROW(PartitionHistogram::from_rows({{"a", 1}, {"a", 2}}, 2),
+                 std::invalid_argument);
+}
+
+// ---- damage: torn tails, corruption, version skew --------------------------
+
+TEST(Snapshot, EveryTruncationFailsStructurallyAndNeverLoads) {
+    const auto bytes = encode_snapshot(sample_snapshot());
+    // Every proper prefix must be rejected: a snapshot is state, not a
+    // stream, so there is no "usable prefix" notion to fall back to.
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+        SnapshotError err;
+        const auto decoded =
+            decode_snapshot(std::string_view(bytes).substr(0, len), &err);
+        ASSERT_FALSE(decoded.has_value()) << "prefix of " << len;
+        if (len < kIocsHeaderSize) {
+            EXPECT_EQ(err.kind, SnapshotError::Kind::NotIocs) << len;
+        } else {
+            // Mid-record cuts may surface as Torn (clean cut) or Corrupt
+            // (the cut exposes a malformed partial payload); both are
+            // structured failures, and the checksum guarantees no cut
+            // ever decodes.
+            EXPECT_TRUE(err.kind == SnapshotError::Kind::Torn ||
+                        err.kind == SnapshotError::Kind::Corrupt)
+                << "prefix of " << len;
+            EXPECT_FALSE(err.to_string().empty());
+        }
+    }
+}
+
+TEST(Snapshot, BitFlipFailsTheChecksum) {
+    const auto snap = sample_snapshot();
+    auto bytes = encode_snapshot(snap);
+    // Flip one payload byte mid-file; structure may still parse, but
+    // the footer checksum must refuse it.
+    bytes[bytes.size() / 2] =
+        static_cast<char>(bytes[bytes.size() / 2] ^ 0x20);
+    SnapshotError err;
+    EXPECT_FALSE(decode_snapshot(bytes, &err).has_value());
+    EXPECT_EQ(err.kind, SnapshotError::Kind::Corrupt);
+}
+
+TEST(Snapshot, VersionSkewIsAStructuredDiagnostic) {
+    auto bytes = encode_snapshot(sample_snapshot());
+    bytes[4] = 9;  // future version
+    EXPECT_TRUE(is_iocs(bytes));  // still recognizably a snapshot
+    EXPECT_EQ(iocs_version(bytes), 9);
+    SnapshotError err;
+    EXPECT_FALSE(decode_snapshot(bytes, &err).has_value());
+    EXPECT_EQ(err.kind, SnapshotError::Kind::VersionSkew);
+    EXPECT_EQ(err.found_version, 9);
+    EXPECT_NE(err.to_string().find("v9"), std::string::npos);
+}
+
+TEST(Snapshot, TrailingGarbageAfterFooterIsCorrupt) {
+    auto bytes = encode_snapshot(sample_snapshot());
+    bytes += "extra";
+    SnapshotError err;
+    EXPECT_FALSE(decode_snapshot(bytes, &err).has_value());
+    EXPECT_EQ(err.kind, SnapshotError::Kind::Corrupt);
+}
+
+TEST(Snapshot, NotIocsInputIsRejectedWithoutReadingFurther) {
+    SnapshotError err;
+    EXPECT_FALSE(decode_snapshot("IOCT not a snapshot", &err).has_value());
+    EXPECT_EQ(err.kind, SnapshotError::Kind::NotIocs);
+    EXPECT_FALSE(is_iocs("IOCT whatever"));
+    EXPECT_EQ(iocs_version("IOCT whatever"), std::nullopt);
+}
+
+// ---- merge semantics -------------------------------------------------------
+
+TEST(Snapshot, MergeKeepsLabelOnlyWhenAllAgree) {
+    auto a = sample_snapshot(1);
+    auto b = sample_snapshot(2);
+    a.label = b.label = "suite-x";
+    a.timestamp = 100;
+    b.timestamp = 300;
+    auto same = a;
+    same.merge(b);
+    EXPECT_EQ(same.label, "suite-x");
+    EXPECT_EQ(same.timestamp, 300u);  // latest capture wins
+
+    b.label = "suite-y";
+    auto mixed = a;
+    mixed.merge(b);
+    EXPECT_EQ(mixed.label, "");  // disagreement collapses, not reorders
+}
+
+TEST(Snapshot, MergeAccumulatesCountersAndWidestThreads) {
+    auto a = sample_snapshot(1);
+    auto b = sample_snapshot(2);
+    a.ingest.threads = 4;
+    b.ingest.threads = 2;
+    const auto events = a.ingest.events + b.ingest.events;
+    const auto bytes = a.ingest.bytes + b.ingest.bytes;
+    const auto filtered = a.filtered_out + b.filtered_out;
+    a.merge(b);
+    EXPECT_EQ(a.ingest.events, events);
+    EXPECT_EQ(a.ingest.bytes, bytes);
+    EXPECT_EQ(a.ingest.threads, 4u);
+    EXPECT_EQ(a.filtered_out, filtered);
+}
+
+// Splits a trace by pid into `n` parts (pid % n), preserving per-pid
+// event order — the exact invariant (filter state is strictly per-pid)
+// that makes split-ingest-merge equal single-pass ingest.
+std::vector<std::vector<trace::TraceEvent>> split_by_pid(
+    const std::vector<trace::TraceEvent>& events, std::size_t n) {
+    std::vector<std::vector<trace::TraceEvent>> parts(n);
+    for (const auto& ev : events) parts[ev.pid % n].push_back(ev);
+    return parts;
+}
+
+TEST(Snapshot, MergeFuzzTreeMergeEqualsSinglePassIngest) {
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        const auto events = generator_trace(0.015, seed);
+        ASSERT_GT(events.size(), 100u) << "seed " << seed;
+
+        IOCov single(config());
+        single.consume_binary(trace::encode_trace(events));
+        const auto expected = single.snapshot();
+
+        // Vary the split width with the seed so the fuzz covers 2..5
+        // shards, including pids that land empty.
+        const std::size_t n = 2 + seed % 4;
+        std::vector<NamedSnapshot> shards;
+        for (const auto& part : split_by_pid(events, n)) {
+            IOCov shard(config());
+            shard.consume_binary(trace::encode_trace(part));
+            auto snap = shard.snapshot();
+            // `seconds` is wall-clock telemetry, not coverage state —
+            // and double addition is not associative, so byte-level
+            // algebra below is asserted with it normalized out.
+            snap.ingest.seconds = 0;
+            shards.push_back({"shard", std::move(snap)});
+        }
+
+        // Left fold, right-to-left fold, and the pairwise tree must all
+        // equal the single pass — associativity + commutativity, not
+        // just "some merge works".
+        IOCovSnapshot left = shards.front().snapshot;
+        for (std::size_t i = 1; i < shards.size(); ++i)
+            left.merge(shards[i].snapshot);
+        IOCovSnapshot right = shards.back().snapshot;
+        for (std::size_t i = shards.size() - 1; i-- > 0;) {
+            auto tmp = shards[i].snapshot;
+            tmp.merge(right);
+            right = std::move(tmp);
+        }
+        const auto tree = merge_snapshots(shards, 1);
+
+        EXPECT_EQ(left.report, expected.report) << "seed " << seed;
+        EXPECT_EQ(right.report, expected.report) << "seed " << seed;
+        EXPECT_EQ(tree.report, expected.report) << "seed " << seed;
+        EXPECT_EQ(left.filtered_out, expected.filtered_out);
+        // Byte-level: same value => same encoding, whatever the fold
+        // shape was.
+        EXPECT_EQ(encode_snapshot(left), encode_snapshot(right));
+        EXPECT_EQ(encode_snapshot(left), encode_snapshot(tree));
+    }
+}
+
+// ---- IOCov public merge API ------------------------------------------------
+
+TEST(Snapshot, IOCovMergeOfSnapshotsEqualsSinglePass) {
+    const auto events = generator_trace(0.02, 7);
+    IOCov single(config());
+    single.consume_binary(trace::encode_trace(events));
+
+    const auto parts = split_by_pid(events, 3);
+    IOCov merged(config());
+    for (const auto& part : parts) {
+        IOCov shard(config());
+        shard.consume_binary(trace::encode_trace(part));
+        merged.merge(shard.snapshot());
+    }
+    EXPECT_EQ(merged.report(), single.report());
+    EXPECT_EQ(merged.events_filtered_out(), single.events_filtered_out());
+    // Same coverage state => same report bytes in the snapshot encoding.
+    auto a = merged.snapshot(), b = single.snapshot();
+    a.ingest = b.ingest = IngestStats{};
+    EXPECT_EQ(encode_snapshot(a), encode_snapshot(b));
+}
+
+TEST(Snapshot, IOCovMergeOfIOCovsEqualsSinglePass) {
+    const auto events = generator_trace(0.02, 9);
+    IOCov single(config());
+    single.consume_binary(trace::encode_trace(events));
+
+    const auto parts = split_by_pid(events, 2);
+    IOCov a(config()), b(config());
+    a.consume_binary(trace::encode_trace(parts[0]));
+    b.consume_binary(trace::encode_trace(parts[1]));
+    a.merge(b);
+    EXPECT_EQ(a.report(), single.report());
+    EXPECT_EQ(a.events_filtered_out(), single.events_filtered_out());
+    EXPECT_EQ(a.ingest_stats().events, single.ingest_stats().events);
+}
+
+// ---- IngestStats / diagnostics accumulation contract -----------------------
+
+TEST(Snapshot, IngestStatsAccumulateAcrossConsumeAndMergeCalls) {
+    const auto trace_a = trace::encode_trace(generator_trace(0.01, 3));
+    const auto trace_b = trace::encode_trace(generator_trace(0.01, 4));
+
+    IOCov once_each(config());
+    once_each.consume_binary(trace_a);
+    const auto after_one = once_each.ingest_stats();
+    EXPECT_GT(after_one.events, 0u);
+    EXPECT_EQ(after_one.bytes, trace_a.size());
+
+    // Second consume adds; nothing resets.
+    once_each.consume_binary(trace_b);
+    const auto after_two = once_each.ingest_stats();
+    EXPECT_EQ(after_two.bytes, trace_a.size() + trace_b.size());
+    EXPECT_GT(after_two.events, after_one.events);
+
+    // Merging a snapshot keeps adding into the same totals.
+    IOCov other(config());
+    other.consume_binary(trace_a);
+    once_each.merge(other.snapshot());
+    EXPECT_EQ(once_each.ingest_stats().bytes,
+              2 * trace_a.size() + trace_b.size());
+    EXPECT_EQ(once_each.ingest_stats().events,
+              after_two.events + other.ingest_stats().events);
+
+    // snapshot() captures the running totals at that instant.
+    EXPECT_EQ(once_each.snapshot().ingest, once_each.ingest_stats());
+    // shards_lost stays coherent (no parallel failures here).
+    EXPECT_EQ(once_each.shards_lost(), 0u);
+}
+
+TEST(Snapshot, SnapshotDroppedCountFeedsDiagnosticsTotal) {
+    // A producer with corrupt records: chop a tail record in half.
+    auto damaged = trace::encode_trace(generator_trace(0.01, 5));
+    damaged.resize(damaged.size() - 7);
+    IOCov producer(config());
+    const auto dropped = producer.consume_binary(damaged);
+    EXPECT_GT(dropped, 0u);
+    const auto snap = producer.snapshot();
+    EXPECT_EQ(snap.dropped, producer.diagnostics().total());
+
+    // The consumer's --max-errors budget sees the producer's drops.
+    IOCov consumer(config());
+    consumer.merge(snap);
+    EXPECT_EQ(consumer.diagnostics().total(), snap.dropped);
+}
+
+}  // namespace
+}  // namespace iocov::core

@@ -1,8 +1,12 @@
 // iocov — command-line front end for the library.
 //
 //   iocov analyze  [--mount RE] [--syz] [--strict] [--max-errors N]
-//                  [--save FILE] TRACE...
+//                  [--save FILE] [--snapshot FILE] TRACE...
 //   iocov convert  IN OUT                       (text <-> IOCT binary)
+//   iocov merge    [--threads N] -o OUT.iocs INPUT...
+//                                              (fleet snapshot merge)
+//   iocov trend    [--window SECS] [--by-label] DIR
+//                                              (coverage-over-time JSON)
 //   iocov report   [--untested] [--under N] [--summary] FILE
 //   iocov diff     BEFORE AFTER
 //   iocov tcd      [--target N] [--arg BASE.KEY] FILE
@@ -42,10 +46,12 @@
 #include "core/diff.hpp"
 #include "core/iocov.hpp"
 #include "core/report_io.hpp"
+#include "core/snapshot.hpp"
 #include "core/tcd.hpp"
 #include "core/untested.hpp"
 #include "exec/alloc_hook.hpp"
 #include "report/table.hpp"
+#include "report/trend.hpp"
 #include "syscall/kernel.hpp"
 #include "testers/campaign.hpp"
 #include "testers/crash/tester.hpp"
@@ -64,19 +70,41 @@ int usage() {
         "usage:\n"
         "  iocov analyze [--mount RE] [--syz] [--extended] [--threads N]\n"
         "                [--strict] [--max-errors N] [--stats]\n"
-        "                [--save FILE] TRACE...\n"
+        "                [--save FILE] [--snapshot FILE] TRACE...\n"
         "      TRACE format is autodetected per file: IOCT binary (by\n"
-        "      its \"IOCT\" magic) or LTTng-style text.  A TRACE that is\n"
-        "      a directory analyzes every IOCT file in it (sorted by\n"
-        "      name; non-IOCT entries are diagnosed and skipped), with\n"
-        "      files scheduled onto --threads N work-stealing workers.\n"
-        "      Malformed input is skipped and diagnosed; --max-errors N\n"
-        "      fails the run when more than N inputs were dropped,\n"
-        "      --strict is --max-errors 0.  --stats prints ingest\n"
-        "      throughput and steady-state allocation counters.\n"
+        "      its \"IOCT\" magic), IOCS coverage snapshot (\"IOCS\"\n"
+        "      magic — merged directly, no re-ingest; a version this\n"
+        "      build cannot read is a structured error), or LTTng-style\n"
+        "      text.  A TRACE that is a directory analyzes every IOCT\n"
+        "      file in it (sorted by name; non-IOCT entries are\n"
+        "      diagnosed and skipped), with files scheduled onto\n"
+        "      --threads N work-stealing workers.  Malformed input is\n"
+        "      skipped and diagnosed; --max-errors N fails the run when\n"
+        "      more than N inputs were dropped, --strict is\n"
+        "      --max-errors 0.  --stats prints ingest throughput and\n"
+        "      steady-state allocation counters.  --snapshot writes the\n"
+        "      final state as a compact binary .iocs snapshot for\n"
+        "      `iocov merge` / `iocov trend`.\n"
         "  iocov convert IN OUT\n"
         "      transcode text -> IOCT binary or IOCT binary -> text\n"
         "      (direction inferred from IN's magic)\n"
+        "  iocov merge   [--threads N] [--strict] [--max-errors N]\n"
+        "                [--label L] [--timestamp T] [--json FILE]\n"
+        "                -o OUT.iocs INPUT...\n"
+        "      fleet aggregation: load every .iocs snapshot from the\n"
+        "      INPUTs (directories are scanned non-recursively, sorted\n"
+        "      by name), merge them on a deterministic pairwise tree\n"
+        "      (--threads N work-stealing workers; byte-identical output\n"
+        "      at any thread count), and write the merged snapshot to\n"
+        "      OUT.iocs.  Unreadable/foreign/version-skewed entries are\n"
+        "      diagnosed per file and counted against --max-errors.\n"
+        "      --json writes a deterministic per-space summary.\n"
+        "  iocov trend   [--window SECS] [--by-label] [--target N]\n"
+        "                [--threads N] [--json FILE] DIR\n"
+        "      coverage movement over a snapshot directory: slice the\n"
+        "      snapshots by capture-time window (--window) or by label\n"
+        "      (--by-label), merge each slice, and emit per-slice TCD +\n"
+        "      gap counts as deterministic JSON (stdout, or --json FILE).\n"
         "  iocov report  [--untested] [--under N] FILE\n"
         "  iocov diff    BEFORE AFTER\n"
         "  iocov tcd     [--target N] [--arg BASE.KEY] FILE\n"
@@ -128,6 +156,20 @@ bool file_is_ioct(const char* path) {
                head, static_cast<std::size_t>(in.gcount())));
 }
 
+/// Sniffs the IOCS snapshot magic (any version — version skew is
+/// reported as a structured error at load time, not silently treated
+/// as a text trace).
+bool file_is_iocs(const char* path) {
+    std::ifstream in(path, std::ios::binary);
+    char head[8] = {};
+    in.read(head, sizeof head);
+    return in.gcount() >= 5 &&
+           core::iocs_version(std::string_view(
+                                  head,
+                                  static_cast<std::size_t>(in.gcount())))
+               .has_value();
+}
+
 std::optional<core::CoverageReport> load(const char* path) {
     std::ifstream in(path);
     if (!in) {
@@ -171,6 +213,7 @@ int cmd_analyze(int argc, char** argv) {
     bool stats = false;
     unsigned threads = 1;
     const char* save_path = nullptr;
+    const char* snapshot_path = nullptr;
     // Error budget: how many dropped inputs (malformed lines, corrupt
     // records, lost shards) the run tolerates before failing.  Default
     // is unbounded, matching the historical skip-and-continue behavior.
@@ -195,6 +238,8 @@ int cmd_analyze(int argc, char** argv) {
             max_errors = std::strtoull(argv[++i], nullptr, 10);
         } else if (!std::strcmp(argv[i], "--save") && i + 1 < argc) {
             save_path = argv[++i];
+        } else if (!std::strcmp(argv[i], "--snapshot") && i + 1 < argc) {
+            snapshot_path = argv[++i];
         } else {
             traces.push_back(argv[i]);
         }
@@ -219,6 +264,23 @@ int cmd_analyze(int argc, char** argv) {
             std::printf("%s: analyzed %zu IOCT files (%zu non-IOCT "
                         "rejected, %zu torn records skipped)\n",
                         path, dir->files, dir->rejected, dir->dropped);
+            continue;
+        }
+        if (!syz && file_is_iocs(path)) {
+            // IOCS coverage snapshot: the analyzer state itself — merge
+            // it directly, no event re-ingest.
+            core::SnapshotError err;
+            const auto snap = core::load_snapshot_file(path, &err);
+            if (!snap) {
+                std::fprintf(stderr, "iocov: %s: %s\n", path,
+                             err.to_string().c_str());
+                return 1;
+            }
+            iocov.merge(*snap);
+            std::printf("%s: merged [IOCS snapshot] (%llu events seen)\n",
+                        path,
+                        static_cast<unsigned long long>(
+                            snap->report.events_seen));
             continue;
         }
         if (!syz && file_is_ioct(path)) {
@@ -293,6 +355,162 @@ int cmd_analyze(int argc, char** argv) {
         std::ofstream out(save_path);
         core::save_report(out, iocov.report());
         std::printf("\nreport saved to %s\n", save_path);
+    }
+    if (snapshot_path) {
+        if (!core::save_snapshot_file(snapshot_path, iocov.snapshot())) {
+            std::fprintf(stderr, "iocov: cannot write %s\n", snapshot_path);
+            return 1;
+        }
+        std::printf("\nsnapshot saved to %s\n", snapshot_path);
+    }
+    return 0;
+}
+
+int cmd_merge(int argc, char** argv) {
+    unsigned threads = 0;  // auto
+    std::optional<std::uint64_t> max_errors;
+    const char* out_path = nullptr;
+    const char* json_path = nullptr;
+    const char* label = nullptr;
+    std::optional<std::uint64_t> timestamp;
+    std::vector<const char*> inputs;
+    for (int i = 0; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--threads") && i + 1 < argc)
+            threads = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        else if (!std::strcmp(argv[i], "--strict"))
+            max_errors = 0;
+        else if (!std::strcmp(argv[i], "--max-errors") && i + 1 < argc)
+            max_errors = std::strtoull(argv[++i], nullptr, 10);
+        else if (!std::strcmp(argv[i], "--label") && i + 1 < argc)
+            label = argv[++i];
+        else if (!std::strcmp(argv[i], "--timestamp") && i + 1 < argc)
+            timestamp = std::strtoull(argv[++i], nullptr, 10);
+        else if (!std::strcmp(argv[i], "--json") && i + 1 < argc)
+            json_path = argv[++i];
+        else if (!std::strcmp(argv[i], "-o") && i + 1 < argc)
+            out_path = argv[++i];
+        else
+            inputs.push_back(argv[i]);
+    }
+    if (!out_path || inputs.empty()) return usage();
+
+    // Collect snapshots in argument order; each directory contributes
+    // its name-sorted contents, so the full sequence — and with it the
+    // pairwise merge tree — is deterministic for a given command line.
+    core::SnapshotDirLoad all;
+    for (const char* input : inputs) {
+        std::error_code dir_ec;
+        if (std::filesystem::is_directory(input, dir_ec)) {
+            auto dir = core::load_snapshot_dir(input, threads);
+            if (!dir) {
+                std::fprintf(stderr, "iocov: cannot open directory %s\n",
+                             input);
+                return 1;
+            }
+            for (auto& ns : dir->snapshots)
+                all.snapshots.push_back(std::move(ns));
+            all.rejected += dir->rejected;
+            all.bytes += dir->bytes;
+            all.diags.merge(dir->diags);
+            continue;
+        }
+        core::SnapshotError err;
+        auto snap = core::load_snapshot_file(input, &err);
+        if (snap) {
+            all.bytes += std::filesystem::file_size(input, dir_ec);
+            all.snapshots.push_back(
+                {std::filesystem::path(input).filename().string(),
+                 std::move(*snap)});
+        } else {
+            ++all.rejected;
+            all.diags.record(0, err.offset,
+                             std::string(input) + ": " + err.to_string());
+        }
+    }
+    if (max_errors && all.rejected > *max_errors) {
+        std::fprintf(stderr,
+                     "iocov: error budget exceeded (%zu rejected > "
+                     "--max-errors %llu)\n%s",
+                     all.rejected,
+                     static_cast<unsigned long long>(*max_errors),
+                     all.diags.to_string().c_str());
+        return 1;
+    }
+    if (all.rejected > 0)
+        std::fprintf(stderr, "%s", all.diags.to_string().c_str());
+
+    const std::size_t count = all.snapshots.size();
+    auto merged = core::merge_snapshots(std::move(all.snapshots), threads);
+    if (label) merged.label = label;
+    if (timestamp) merged.timestamp = *timestamp;
+    if (!core::save_snapshot_file(out_path, merged)) {
+        std::fprintf(stderr, "iocov: cannot write %s\n", out_path);
+        return 1;
+    }
+    std::printf("%s: merged %zu snapshots (%zu rejected, %llu events "
+                "seen)\n",
+                out_path, count, all.rejected,
+                static_cast<unsigned long long>(merged.report.events_seen));
+    if (json_path) {
+        // Reconstruct the load-shaped struct the summary renders from
+        // (snapshots were consumed by the merge; only counts matter).
+        core::SnapshotDirLoad shape;
+        shape.snapshots.resize(count);
+        shape.rejected = all.rejected;
+        shape.bytes = all.bytes;
+        std::ofstream out(json_path);
+        if (!out) {
+            std::fprintf(stderr, "iocov: cannot write %s\n", json_path);
+            return 1;
+        }
+        out << core::merge_summary_json(shape, merged);
+        std::printf("json summary saved to %s\n", json_path);
+    }
+    return 0;
+}
+
+int cmd_trend(int argc, char** argv) {
+    report::TrendOptions opts;
+    unsigned threads = 0;  // auto
+    const char* json_path = nullptr;
+    const char* dir = nullptr;
+    for (int i = 0; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--window") && i + 1 < argc)
+            opts.window_seconds = std::strtoull(argv[++i], nullptr, 10);
+        else if (!std::strcmp(argv[i], "--by-label"))
+            opts.by_label = true;
+        else if (!std::strcmp(argv[i], "--target") && i + 1 < argc)
+            opts.target = std::atof(argv[++i]);
+        else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc)
+            threads = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        else if (!std::strcmp(argv[i], "--json") && i + 1 < argc)
+            json_path = argv[++i];
+        else
+            dir = argv[i];
+    }
+    if (!dir) return usage();
+    auto load = core::load_snapshot_dir(dir, threads);
+    if (!load) {
+        std::fprintf(stderr, "iocov: cannot open directory %s\n", dir);
+        return 1;
+    }
+    if (load->rejected > 0)
+        std::fprintf(stderr, "%s", load->diags.to_string().c_str());
+    const auto json =
+        report::trend_json(load->snapshots, opts, threads);
+    if (json_path) {
+        std::ofstream out(json_path);
+        if (!out) {
+            std::fprintf(stderr, "iocov: cannot write %s\n", json_path);
+            return 1;
+        }
+        out << json;
+        std::printf("trend (%zu snapshots, %zu rejected) saved to %s\n",
+                    load->snapshots.size(), load->rejected, json_path);
+    } else {
+        std::printf("%s", json.c_str());
     }
     return 0;
 }
@@ -682,6 +900,8 @@ int main(int argc, char** argv) {
     const std::string cmd = argv[1];
     if (cmd == "analyze") return cmd_analyze(argc - 2, argv + 2);
     if (cmd == "convert") return cmd_convert(argc - 2, argv + 2);
+    if (cmd == "merge") return cmd_merge(argc - 2, argv + 2);
+    if (cmd == "trend") return cmd_trend(argc - 2, argv + 2);
     if (cmd == "report") return cmd_report(argc - 2, argv + 2);
     if (cmd == "diff") return cmd_diff(argc - 2, argv + 2);
     if (cmd == "tcd") return cmd_tcd(argc - 2, argv + 2);
