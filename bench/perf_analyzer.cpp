@@ -10,6 +10,8 @@
 //   * TCD computation
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -479,6 +481,28 @@ void BM_SnapshotSave(benchmark::State& state) {
     state.SetBytesProcessed(state.iterations() * bytes);
 }
 BENCHMARK(BM_SnapshotSave);
+
+/// End-to-end durable artifact replace: encode + temp file + full
+/// write + fsync(file) + rename + fsync(dir).  Dominated by the two
+/// fsyncs, so the floor guards against the atomic-write path ever
+/// regressing into something slower than the storage is.
+void BM_SnapshotSaveDurable(benchmark::State& state) {
+    const auto& snap = canned_fleet().snapshots.front();
+    const auto dir = std::filesystem::temp_directory_path() /
+                     ("iocov_bench_durable_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir);
+    const std::string path = (dir / "bench.iocs").string();
+    std::int64_t bytes = 0;
+    for (auto _ : state) {
+        const bool ok = core::save_snapshot_file(path, snap);
+        benchmark::DoNotOptimize(ok);
+    }
+    bytes = static_cast<std::int64_t>(std::filesystem::file_size(path));
+    state.SetBytesProcessed(state.iterations() * bytes);
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+}
+BENCHMARK(BM_SnapshotSaveDurable);
 
 /// Snapshot decode (SWAR varint path + checksum + histogram rebuild).
 void BM_SnapshotLoad(benchmark::State& state) {

@@ -43,6 +43,8 @@ if [ "${IOCOV_SKIP_SANITIZERS:-0}" != "1" ]; then
   ./scripts/check_release.sh
   echo "preflight: crash-consistency gate"
   ./scripts/check_crash.sh
+  echo "preflight: host durability (chaos) gate"
+  ./scripts/check_chaos.sh
 fi
 
 echo "preflight: perf regression gate"

@@ -7,7 +7,9 @@
 # mmap'd file, so any bounds slip is an out-of-mapping read — exactly
 # what ASan catches and plain ctest may not.  The IOCS snapshot decoder
 # shares that mmap'd-varint surface (and chews on deliberately torn and
-# bit-flipped snapshots in its tests), so its suites run here too.
+# bit-flipped snapshots in its tests), so its suites run here too, as
+# do the IOCK checkpoint-manifest decoder and the host I/O layer
+# (exhaustive bit-flip/truncation loops + fault-injected write paths).
 # This configures a full IOCOV_SANITIZE=address tree and runs the
 # decoder-facing suites (binary format, binary pipeline, text format,
 # snapshot) under it.
@@ -21,7 +23,7 @@ cmake --build "$BUILD" -j --target \
   test_binary_format test_binary_pipeline test_text_format \
   test_batch_decode test_dir_ingest \
   test_crash_replay test_crash_oracle test_crashtest \
-  test_snapshot test_snapshot_merge
+  test_snapshot test_snapshot_merge test_host_io test_checkpoint
 ctest --test-dir "$BUILD" \
-  -R 'Binary|TextFormat|MappedFile|BatchDecode|DirIngest|CrashReplay|CrashOracle|CrashTest|Snapshot|SnapshotMerge' \
+  -R 'Binary|TextFormat|MappedFile|BatchDecode|DirIngest|CrashReplay|CrashOracle|CrashTest|Snapshot|SnapshotMerge|HostIo|Checkpoint|IncrementalMerge' \
   --output-on-failure -j "$(nproc)"

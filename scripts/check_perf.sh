@@ -5,9 +5,11 @@
 #   ./scripts/check_perf.sh
 #
 # Builds the Release bench binary, runs a short pass over the gated
-# benches (BM_IngestBinaryBatched + BM_Snapshot{Save,Load,Merge}),
-# and fails (exit 1) if any median throughput drops more
+# benches (BM_IngestBinaryBatched + BM_Snapshot{Save,SaveDurable,Load,
+# Merge}), and fails (exit 1) if any median throughput drops more
 # than 20% below the checked-in floor (scripts/perf_floor.txt).
+# BM_SnapshotSaveDurable covers the atomic temp+fsync+rename write
+# path every artifact now goes through.
 # BM_SnapshotMerge's floor is deliberately ≥10x the ingest floor: its
 # bytes/sec is measured against the raw trace bytes the snapshots
 # replace, so the gate enforces the "fleet aggregation beats
@@ -27,7 +29,7 @@ OUT=$(mktemp /tmp/iocov_check_perf.XXXXXX.json)
 trap 'rm -f "$OUT"' EXIT
 
 "$BUILD"/bench/perf_analyzer \
-  --benchmark_filter='^BM_(IngestBinaryBatched|SnapshotSave|SnapshotLoad|SnapshotMerge)$' \
+  --benchmark_filter='^BM_(IngestBinaryBatched|SnapshotSave|SnapshotSaveDurable|SnapshotLoad|SnapshotMerge)$' \
   --benchmark_repetitions=3 \
   --benchmark_report_aggregates_only=true \
   --benchmark_format=json \

@@ -1,0 +1,168 @@
+// IOCK — resumable-ingest checkpoint manifests, and the incremental
+// merge reducer that makes "resume after SIGKILL" byte-identical to an
+// uninterrupted run.
+//
+// `iocov merge` and `iocov analyze DIR/` walk hundreds of inputs; a
+// kill or fault mid-walk should not force re-reading everything.  A
+// checkpoint captures the walk's full fold state every N inputs —
+// which inputs are consumed, the reject/byte counters, the retained
+// parse diagnostics, and the partial merge state itself — written
+// atomically (host::write_file_atomic) so the manifest obeys the same
+// durability contract as every other artifact: a crash leaves the
+// previous complete manifest or the new complete one, never a torn
+// file.
+//
+// The hard part is byte-identity.  merge_snapshots() reduces leaves
+// level by level over adjacent pairs (the odd straggler waits), and
+// IOCovSnapshot::merge is associative for every field *except* the
+// double `ingest.seconds` sum — float addition makes the merge-tree
+// shape observable in the output bytes.  A resumable fold therefore
+// cannot be a running left-fold; it must reproduce the exact pairwise
+// tree.  IncrementalMerge does this with a binary-counter forest: each
+// pushed leaf is a 1-block; whenever the two rightmost blocks have
+// equal leaf counts they carry-merge (left absorbs right), so after n
+// pushes the forest is the complete power-of-two subtrees of the
+// pairwise tree (block sizes = binary digits of n).  finish()
+// right-folds the remaining blocks — rightmost pair first — which is
+// exactly the order the level walk combines its stragglers.  The
+// forest, not the folded value, is what a checkpoint stores: resuming
+// mid-walk re-enters the identical tree.
+//
+// File layout (all integers little-endian; spec in DESIGN.md §12):
+//
+//   header   16 bytes: "IOCK" magic, version, flags, reserved
+//   records  length-prefixed (u32 LE payload length, payload = tag+body):
+//       0x01 META    mode byte (1 = merge, 2 = analyze), varint
+//                    rejected count, input bytes, total diagnostics
+//       0x02 NAME    one consumed input name, in processing order
+//       0x03 DIAG    one retained diagnostic: varint line, offset,
+//                    then length-prefixed reason and excerpt
+//       0x04 BLOCK   one forest block: varint leaf count, then a
+//                    complete embedded IOCS snapshot
+//       0x05 FOOTER  name/diag/block counts + FNV-1a-64 checksum of
+//                    every byte before the footer's length prefix
+//
+// Like IOCS, a manifest is *state*: decode is all-or-nothing, and any
+// truncation or bit flip surfaces as a structured SnapshotError rather
+// than partial resume state (resuming from half a manifest would
+// silently double-count inputs).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/snapshot.hpp"
+#include "trace/diagnostics.hpp"
+
+namespace iocov::core {
+
+// ---- format constants ------------------------------------------------------
+
+inline constexpr char kIockMagic[4] = {'I', 'O', 'C', 'K'};
+inline constexpr std::uint8_t kIockVersion = 1;
+inline constexpr std::size_t kIockHeaderSize = 16;
+
+enum class IockTag : std::uint8_t {
+    Meta = 0x01,
+    Name = 0x02,
+    Diag = 0x03,
+    Block = 0x04,
+    Footer = 0x05,
+};
+
+/// Which walk produced the manifest; resume refuses a mode mismatch
+/// (a merge manifest cannot seed an analyze walk).
+enum class CheckpointMode : std::uint8_t {
+    Merge = 1,
+    Analyze = 2,
+};
+
+/// True if `data` begins with the IOCK magic.
+bool is_iock(std::string_view data);
+
+// ---- checkpoint value ------------------------------------------------------
+
+/// One block of the binary-counter forest: a complete power-of-two
+/// subtree of the pairwise merge tree, tagged with how many original
+/// leaves it folds.
+struct MergeBlock {
+    std::uint64_t leaves = 0;
+    IOCovSnapshot snapshot;
+
+    friend bool operator==(const MergeBlock&, const MergeBlock&) = default;
+};
+
+/// Full resumable state of one ingest/merge walk.
+struct Checkpoint {
+    CheckpointMode mode = CheckpointMode::Merge;
+    /// Names of inputs fully consumed (or rejected), in processing
+    /// order.  Resume requires this to be a prefix of the current
+    /// input list — anything else means the directory changed.
+    std::vector<std::string> consumed;
+    std::uint64_t rejected = 0;  ///< inputs diagnosed + skipped so far
+    std::uint64_t bytes = 0;     ///< input bytes consumed so far
+    trace::ParseDiagnostics diags;
+    /// Forest blocks, leftmost (largest) first.  Analyze walks fold
+    /// into a single accumulator, so they always store one block.
+    std::vector<MergeBlock> blocks;
+};
+
+// ---- encode / decode -------------------------------------------------------
+
+/// Serializes a checkpoint (header + records + footer).  Deterministic
+/// for a given value.
+std::string encode_checkpoint(const Checkpoint& cp);
+
+/// Decodes a full manifest.  All-or-nothing: nullopt (with *err filled
+/// when non-null) on any damage.  Reuses SnapshotError — embedded IOCS
+/// block failures surface with their own kind, envelope damage as
+/// Torn/Corrupt with checkpoint-specific reasons.
+std::optional<Checkpoint> decode_checkpoint(std::string_view data,
+                                            SnapshotError* err = nullptr);
+
+/// Writes encode_checkpoint(cp) to `path` durably and atomically; on
+/// failure the previous manifest (if any) is untouched and *err (when
+/// non-null) carries Kind::Io.
+bool save_checkpoint_file(const std::string& path, const Checkpoint& cp,
+                          SnapshotError* err = nullptr);
+
+/// Maps and decodes `path`; nullopt on open or decode failure.
+std::optional<Checkpoint> load_checkpoint_file(const std::string& path,
+                                               SnapshotError* err = nullptr);
+
+// ---- incremental merge -----------------------------------------------------
+
+/// Incremental reducer producing bytes identical to
+/// merge_snapshots(leaves) at any interruption/resume point.  Push
+/// leaves one at a time; read `blocks()` to checkpoint; seed a fresh
+/// instance with `restore()` to resume; `finish()` right-folds into
+/// the final snapshot.
+class IncrementalMerge {
+  public:
+    /// Appends one leaf and performs any pending carry-merges.
+    void push(IOCovSnapshot leaf);
+
+    /// Re-seeds the forest from checkpointed blocks (must be called on
+    /// an empty instance, blocks leftmost-first as blocks() returned
+    /// them).
+    void restore(std::vector<MergeBlock> blocks);
+
+    /// Total leaves folded so far.
+    std::uint64_t leaves() const { return leaves_; }
+
+    /// Current forest, leftmost (largest) block first.
+    const std::vector<MergeBlock>& blocks() const { return blocks_; }
+
+    /// Right-folds the forest into the final snapshot (empty snapshot
+    /// for zero leaves).  Consumes the state.
+    IOCovSnapshot finish();
+
+  private:
+    std::vector<MergeBlock> blocks_;
+    std::uint64_t leaves_ = 0;
+};
+
+}  // namespace iocov::core

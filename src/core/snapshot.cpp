@@ -4,11 +4,11 @@
 #include <bit>
 #include <cstring>
 #include <filesystem>
-#include <fstream>
 #include <unordered_map>
 
 #include "core/untested.hpp"
 #include "exec/thread_pool.hpp"
+#include "host/io.hpp"
 #include "trace/binary_format.hpp"
 #include "trace/detail/varint_decode.hpp"
 
@@ -293,6 +293,10 @@ std::string SnapshotError::to_string() const {
         case Kind::Torn:
         case Kind::Corrupt:
             return reason + " (byte " + std::to_string(offset) + ")";
+        case Kind::Io:
+            // reason holds a complete host::IoError::to_string() —
+            // phase, path, strerror and errno are already in it.
+            return reason;
     }
     return reason;
 }
@@ -467,19 +471,37 @@ std::optional<IOCovSnapshot> decode_snapshot(std::string_view data,
 }
 
 bool save_snapshot_file(const std::string& path,
-                        const IOCovSnapshot& snapshot) {
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!out) return false;
+                        const IOCovSnapshot& snapshot,
+                        SnapshotError* err) {
+    // A snapshot is all-or-nothing state (see decode); the write must
+    // match: never truncate the previous artifact before the new bytes
+    // are durable.  write_file_atomic publishes via rename, so a crash
+    // or failure at any point leaves the prior complete file in place.
     const std::string bytes = encode_snapshot(snapshot);
-    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    return static_cast<bool>(out.flush());
+    if (auto ioerr = host::write_file_atomic(path, bytes)) {
+        if (err) {
+            err->kind = SnapshotError::Kind::Io;
+            err->offset = 0;
+            err->reason = ioerr->to_string();
+            err->io_errno = ioerr->err;
+        }
+        return false;
+    }
+    return true;
 }
 
 std::optional<IOCovSnapshot> load_snapshot_file(const std::string& path,
                                                 SnapshotError* err) {
-    auto mapped = trace::MappedFile::open(path);
+    host::IoError ioerr;
+    auto mapped = trace::MappedFile::open(path, trace::MappedFile::Mode::Auto,
+                                          &ioerr);
     if (!mapped) {
-        fail(err, SnapshotError::Kind::Corrupt, 0, "cannot open file");
+        if (err) {
+            err->kind = SnapshotError::Kind::Io;
+            err->offset = 0;
+            err->reason = "cannot open file: " + ioerr.to_string();
+            err->io_errno = ioerr.err;
+        }
         return std::nullopt;
     }
     return decode_snapshot(mapped->data(), err);
@@ -527,10 +549,13 @@ std::optional<SnapshotDirLoad> load_snapshot_dir(const std::string& dir,
     auto load_one = [&](std::size_t i) {
         Slot& slot = slots[i];
         try {
-            auto mapped = trace::MappedFile::open(files[i].path);
+            host::IoError ioerr;
+            auto mapped = trace::MappedFile::open(
+                files[i].path, trace::MappedFile::Mode::Auto, &ioerr);
             if (!mapped) {
-                slot.error = {SnapshotError::Kind::Corrupt, 0,
-                              "cannot open file", 0};
+                slot.error = {SnapshotError::Kind::Io, 0,
+                              "cannot open file: " + ioerr.to_string(), 0,
+                              ioerr.err};
                 return;
             }
             slot.bytes = mapped->data().size();

@@ -118,11 +118,13 @@ struct SnapshotError {
         VersionSkew,  ///< IOCS magic, but a version this build can't read
         Torn,         ///< truncated: missing/incomplete footer
         Corrupt,      ///< structural damage (checksum, bad record, ...)
+        Io,           ///< host I/O failure (open/read/write/sync/rename)
     };
     Kind kind = Kind::Corrupt;
     std::uint64_t offset = 0;    ///< byte offset of the failure
     std::string reason;          ///< stable human-readable cause
     std::uint8_t found_version = 0;  ///< set for VersionSkew
+    int io_errno = 0;                ///< set for Io: the failing errno
 
     /// One-line diagnostic ("snapshot version skew: file is v3, ...").
     std::string to_string() const;
@@ -136,12 +138,20 @@ struct SnapshotError {
 std::optional<IOCovSnapshot> decode_snapshot(std::string_view data,
                                              SnapshotError* err = nullptr);
 
-/// Writes encode_snapshot(snapshot) to `path`; false on I/O failure.
+/// Writes encode_snapshot(snapshot) to `path` *durably and
+/// atomically* (host::write_file_atomic: temp file alongside, full
+/// write, fsync, rename, directory fsync).  On failure the previous
+/// contents of `path` — if any — are untouched, and `*err` (when
+/// non-null) carries Kind::Io with the failing errno and phase in
+/// `reason`.  A crash at any instant leaves either the old complete
+/// snapshot or the new complete snapshot, never a torn file.
 bool save_snapshot_file(const std::string& path,
-                        const IOCovSnapshot& snapshot);
+                        const IOCovSnapshot& snapshot,
+                        SnapshotError* err = nullptr);
 
-/// Maps and decodes `path`.  nullopt on open failure (err.kind Corrupt,
-/// reason "cannot open file") or any decode failure.
+/// Maps and decodes `path`.  nullopt on open failure (err.kind Io,
+/// reason "cannot open file: <phase> <strerror>", io_errno set) or any
+/// decode failure.
 std::optional<IOCovSnapshot> load_snapshot_file(const std::string& path,
                                                 SnapshotError* err = nullptr);
 

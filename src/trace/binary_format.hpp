@@ -39,6 +39,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "host/io.hpp"
+
 #include "trace/diagnostics.hpp"
 #include "trace/event.hpp"
 #include "trace/sink.hpp"
@@ -309,6 +311,16 @@ class EventScratch {
 /// Read-only view of a file, preferring mmap (zero-copy: the decoder's
 /// string table aliases the page cache) with a plain read() fallback
 /// for file systems that cannot map.  Move-only; unmaps on destruction.
+///
+/// The read() fallback goes through the host retry policy: EINTR and
+/// EAGAIN are retried (bounded, with backoff) instead of aborting the
+/// whole load, and every step consults host::FaultHook so self-fault
+/// sweeps can exercise the tool's own read-error handling.  A file
+/// that shrinks mid-read (read() hits EOF before the fstat'd size) is
+/// NOT an error — the truncated view is returned with shrank() set, so
+/// callers can tell "file shrank under us" (a torn-tail-tolerant
+/// decode may still salvage a prefix) from "read error" (open returns
+/// nullopt with the structured host::IoError).
 class MappedFile {
   public:
     enum class Mode {
@@ -316,9 +328,12 @@ class MappedFile {
         ReadCopy,  ///< force the read() path (benchmarks, odd fs)
     };
 
-    /// Opens and maps `path`; nullopt if the file cannot be opened.
+    /// Opens and maps `path`; nullopt if the file cannot be opened or
+    /// read (with *err, when non-null, naming the failed phase —
+    /// open/stat/read — and its errno).
     static std::optional<MappedFile> open(const std::string& path,
-                                          Mode mode = Mode::Auto);
+                                          Mode mode = Mode::Auto,
+                                          host::IoError* err = nullptr);
 
     MappedFile(MappedFile&& other) noexcept;
     MappedFile& operator=(MappedFile&& other) noexcept;
@@ -333,12 +348,18 @@ class MappedFile {
     }
     bool mmapped() const { return mapped_ != nullptr; }
 
+    /// True when the read() fallback observed the file shrinking while
+    /// it was being loaded: the view holds the bytes that still
+    /// existed, which is shorter than the size fstat reported.
+    bool shrank() const { return shrank_; }
+
   private:
     MappedFile() = default;
 
     void* mapped_ = nullptr;  ///< non-null when backed by mmap
     std::size_t size_ = 0;
     std::string copy_;        ///< read() fallback storage
+    bool shrank_ = false;     ///< file shrank during the read() load
 };
 
 }  // namespace iocov::trace

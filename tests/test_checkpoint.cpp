@@ -1,0 +1,295 @@
+// IOCK checkpoint manifests and the IncrementalMerge forest: round
+// trips, all-or-nothing decode under truncation/corruption, and the
+// headline resumability claim — finishing from a checkpoint taken at
+// *any* point yields bytes identical to merge_snapshots over the full
+// input, including the float-sensitive ingest.seconds sum.
+#include <unistd.h>
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/checkpoint.hpp"
+#include "core/iocov.hpp"
+#include "core/snapshot.hpp"
+#include "syscall/kernel.hpp"
+#include "testers/fixtures.hpp"
+#include "testers/generator.hpp"
+#include "trace/binary_format.hpp"
+#include "trace/sink.hpp"
+#include "vfs/filesystem.hpp"
+
+namespace iocov::core {
+namespace {
+
+trace::FilterConfig config() {
+    return trace::FilterConfig::mount_point("/mnt/test");
+}
+
+std::vector<trace::TraceEvent> generator_trace(double scale,
+                                               std::uint64_t seed) {
+    vfs::FileSystem fss(testers::recommended_fs_config());
+    auto fx = testers::prepare_environment(fss, "/mnt/test");
+    trace::TraceBuffer buffer;
+    syscall::Kernel kernel(fss, &buffer);
+    testers::run_xfstests(kernel, fx, scale, seed);
+    return buffer.take_events();
+}
+
+/// `n` shard snapshots of one workload with *varied non-zero*
+/// ingest.seconds — float addition is the one non-associative merge
+/// field, so identical-seconds fixtures would hide any tree-shape
+/// divergence between IncrementalMerge and merge_snapshots.
+std::vector<IOCovSnapshot> make_leaves(std::size_t n, std::uint64_t seed) {
+    const auto events = generator_trace(0.03, seed);
+    std::vector<std::vector<trace::TraceEvent>> parts(n);
+    for (std::size_t i = 0; i < events.size(); ++i)
+        parts[i % n].push_back(events[i]);
+
+    std::vector<IOCovSnapshot> leaves;
+    for (std::size_t i = 0; i < n; ++i) {
+        IOCov shard(config());
+        shard.consume_binary(trace::encode_trace(parts[i]));
+        auto snap = shard.snapshot();
+        // Deliberately awkward doubles: (a+b)+c != a+(b+c) for these.
+        snap.ingest.seconds = 0.1 + 0.0173 * static_cast<double>(i + 1);
+        snap.label = "shard";
+        snap.timestamp = 2000 + i;
+        leaves.push_back(std::move(snap));
+    }
+    return leaves;
+}
+
+std::vector<NamedSnapshot> named(const std::vector<IOCovSnapshot>& leaves) {
+    std::vector<NamedSnapshot> out;
+    for (std::size_t i = 0; i < leaves.size(); ++i)
+        out.push_back({"shard" + std::to_string(i) + ".iocs", leaves[i]});
+    return out;
+}
+
+Checkpoint sample_checkpoint(const std::vector<IOCovSnapshot>& leaves) {
+    Checkpoint cp;
+    cp.mode = CheckpointMode::Merge;
+    cp.consumed = {"a.iocs", "b.iocs", "README.md"};
+    cp.rejected = 1;
+    cp.bytes = 123456789;
+    cp.diags.record(0, 42, "not a snapshot", "hello");
+    cp.diags.record(7, 99, "version skew: file is v9");
+    cp.diags.count_only(3);
+    IncrementalMerge fold;
+    for (const auto& leaf : leaves) fold.push(leaf);
+    cp.blocks = fold.blocks();
+    return cp;
+}
+
+TEST(Checkpoint, EncodeDecodeRoundTrip) {
+    const auto leaves = make_leaves(3, 31);
+    const Checkpoint cp = sample_checkpoint(leaves);
+
+    const std::string bytes = encode_checkpoint(cp);
+    ASSERT_TRUE(is_iock(bytes));
+    EXPECT_FALSE(is_iock("IOCS not a manifest"));
+
+    SnapshotError err;
+    const auto back = decode_checkpoint(bytes, &err);
+    ASSERT_TRUE(back.has_value()) << err.to_string();
+    EXPECT_EQ(back->mode, CheckpointMode::Merge);
+    EXPECT_EQ(back->consumed, cp.consumed);
+    EXPECT_EQ(back->rejected, 1u);
+    EXPECT_EQ(back->bytes, 123456789u);
+    EXPECT_EQ(back->diags.total(), 5u);  // 2 retained + 3 count-only
+    ASSERT_EQ(back->diags.entries().size(), 2u);
+    EXPECT_EQ(back->diags.entries()[0].offset, 42u);
+    EXPECT_EQ(back->diags.entries()[0].reason, "not a snapshot");
+    EXPECT_EQ(back->diags.entries()[0].excerpt, "hello");
+    EXPECT_EQ(back->diags.entries()[1].line, 7u);
+    EXPECT_EQ(back->blocks, cp.blocks);
+
+    // Deterministic: re-encoding the decoded value reproduces the bytes.
+    EXPECT_EQ(encode_checkpoint(*back), bytes);
+}
+
+TEST(Checkpoint, AnalyzeModeAndEmptyStateRoundTrip) {
+    Checkpoint cp;
+    cp.mode = CheckpointMode::Analyze;
+    const auto back = decode_checkpoint(encode_checkpoint(cp));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->mode, CheckpointMode::Analyze);
+    EXPECT_TRUE(back->consumed.empty());
+    EXPECT_TRUE(back->blocks.empty());
+    EXPECT_EQ(back->diags.total(), 0u);
+}
+
+TEST(Checkpoint, EveryTruncationFailsToDecode) {
+    const auto leaves = make_leaves(2, 32);
+    const std::string bytes = encode_checkpoint(sample_checkpoint(leaves));
+    // A manifest is resume *state*: any prefix must be rejected whole,
+    // or resume would silently double-count inputs.
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+        SnapshotError err;
+        EXPECT_FALSE(
+            decode_checkpoint({bytes.data(), len}, &err).has_value())
+            << "decoded a " << len << "-byte prefix of "
+            << bytes.size() << " bytes";
+    }
+}
+
+TEST(Checkpoint, EveryBitFlipFailsToDecode) {
+    Checkpoint cp;
+    cp.consumed = {"x.iocs"};
+    const std::string bytes = encode_checkpoint(cp);
+    // Small manifest, so exhaustive single-bit corruption is cheap.
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+        for (int bit = 0; bit < 8; ++bit) {
+            std::string bad = bytes;
+            bad[i] = static_cast<char>(bad[i] ^ (1 << bit));
+            SnapshotError err;
+            EXPECT_FALSE(decode_checkpoint(bad, &err).has_value())
+                << "byte " << i << " bit " << bit;
+        }
+    }
+}
+
+TEST(Checkpoint, EmbeddedBlockDamageIsAnchoredAndLabeled) {
+    const auto leaves = make_leaves(1, 33);
+    Checkpoint cp;
+    cp.blocks = {{1, leaves[0]}};
+    std::string bytes = encode_checkpoint(cp);
+    // Flip one byte inside the embedded IOCS payload (well past the
+    // envelope header) and confirm the error names the embedded block.
+    const std::size_t target = bytes.find("IOCS");
+    ASSERT_NE(target, std::string::npos);
+    bytes[target + 40] = static_cast<char>(bytes[target + 40] ^ 0x10);
+    SnapshotError err;
+    EXPECT_FALSE(decode_checkpoint(bytes, &err).has_value());
+    EXPECT_NE(err.reason.find("embedded block snapshot"),
+              std::string::npos)
+        << err.to_string();
+    EXPECT_GE(err.offset, target);  // anchored to the file, not the block
+}
+
+TEST(Checkpoint, WrongMagicAndVersionAreStructured) {
+    SnapshotError err;
+    EXPECT_FALSE(decode_checkpoint("not a manifest at all", &err));
+    EXPECT_EQ(err.kind, SnapshotError::Kind::Corrupt);
+
+    Checkpoint cp;
+    std::string skewed = encode_checkpoint(cp);
+    skewed[4] = 9;  // version byte
+    EXPECT_FALSE(decode_checkpoint(skewed, &err));
+    EXPECT_NE(err.reason.find("version"), std::string::npos)
+        << err.to_string();
+}
+
+TEST(Checkpoint, SaveLoadFileRoundTripAndMissingFile) {
+    const auto leaves = make_leaves(2, 34);
+    const Checkpoint cp = sample_checkpoint(leaves);
+    const std::string path = "/tmp/iocov_ck_rt_" +
+                             std::to_string(::getpid()) + ".iock";
+    SnapshotError err;
+    ASSERT_TRUE(save_checkpoint_file(path, cp, &err)) << err.to_string();
+    const auto back = load_checkpoint_file(path, &err);
+    ASSERT_TRUE(back.has_value()) << err.to_string();
+    EXPECT_EQ(back->blocks, cp.blocks);
+    EXPECT_EQ(back->consumed, cp.consumed);
+    ::unlink(path.c_str());
+
+    EXPECT_FALSE(load_checkpoint_file(path, &err).has_value());
+    EXPECT_EQ(err.kind, SnapshotError::Kind::Io);
+    EXPECT_NE(err.io_errno, 0);
+}
+
+TEST(IncrementalMergeTest, ForestShapeIsBinaryCounter) {
+    const auto leaves = make_leaves(13, 35);
+    IncrementalMerge fold;
+    for (std::size_t i = 0; i < leaves.size(); ++i) {
+        fold.push(leaves[i]);
+        const std::uint64_t n = i + 1;
+        // Block count == popcount(n); sizes are n's binary digits,
+        // largest first.
+        std::size_t popcount = 0;
+        for (std::uint64_t v = n; v; v >>= 1) popcount += v & 1;
+        ASSERT_EQ(fold.blocks().size(), popcount) << "after " << n;
+        ASSERT_EQ(fold.leaves(), n);
+        std::uint64_t sum = 0, prev = ~0ull;
+        for (const auto& b : fold.blocks()) {
+            EXPECT_LT(b.leaves, prev) << "after " << n;
+            prev = b.leaves;
+            sum += b.leaves;
+        }
+        EXPECT_EQ(sum, n);
+    }
+}
+
+TEST(IncrementalMergeTest, MatchesMergeSnapshotsBytesForEveryN) {
+    // The headline claim: the incremental fold reproduces the exact
+    // pairwise merge tree of merge_snapshots, byte-for-byte — which
+    // only holds if the forest fold order matches, because the double
+    // ingest.seconds sum is tree-shape sensitive.
+    const auto all = make_leaves(17, 36);
+    for (std::size_t n = 0; n <= all.size(); ++n) {
+        const std::vector<IOCovSnapshot> leaves(all.begin(),
+                                                all.begin() + n);
+        const auto want =
+            encode_snapshot(merge_snapshots(named(leaves), 1));
+        IncrementalMerge fold;
+        for (const auto& leaf : leaves) fold.push(leaf);
+        EXPECT_EQ(encode_snapshot(fold.finish()), want) << "n=" << n;
+    }
+}
+
+TEST(IncrementalMergeTest, ResumeAtEveryPointIsByteIdentical) {
+    const auto leaves = make_leaves(11, 37);
+    IncrementalMerge full;
+    for (const auto& leaf : leaves) full.push(leaf);
+    const auto want = encode_snapshot(full.finish());
+
+    // Checkpoint after k leaves, restore into a fresh instance, push
+    // the rest: identical bytes for every interruption point.
+    for (std::size_t k = 0; k <= leaves.size(); ++k) {
+        IncrementalMerge before;
+        for (std::size_t i = 0; i < k; ++i) before.push(leaves[i]);
+        std::vector<MergeBlock> saved = before.blocks();
+
+        IncrementalMerge resumed;
+        resumed.restore(std::move(saved));
+        EXPECT_EQ(resumed.leaves(), k);
+        for (std::size_t i = k; i < leaves.size(); ++i)
+            resumed.push(leaves[i]);
+        EXPECT_EQ(encode_snapshot(resumed.finish()), want) << "k=" << k;
+    }
+}
+
+TEST(IncrementalMergeTest, CheckpointRoundTripPreservesForest) {
+    // The forest survives an encode/decode cycle (what a real resume
+    // does), not just an in-memory restore.
+    const auto leaves = make_leaves(7, 38);
+    IncrementalMerge full;
+    for (const auto& leaf : leaves) full.push(leaf);
+    const auto want = encode_snapshot(full.finish());
+
+    IncrementalMerge before;
+    for (std::size_t i = 0; i < 5; ++i) before.push(leaves[i]);
+    Checkpoint cp;
+    cp.blocks = before.blocks();
+    const auto back = decode_checkpoint(encode_checkpoint(cp));
+    ASSERT_TRUE(back.has_value());
+
+    IncrementalMerge resumed;
+    resumed.restore(back->blocks);
+    for (std::size_t i = 5; i < leaves.size(); ++i)
+        resumed.push(leaves[i]);
+    EXPECT_EQ(encode_snapshot(resumed.finish()), want);
+}
+
+TEST(IncrementalMergeTest, EmptyFinishIsEmptySnapshot) {
+    IncrementalMerge fold;
+    EXPECT_EQ(fold.leaves(), 0u);
+    EXPECT_EQ(fold.finish(), IOCovSnapshot{});
+}
+
+}  // namespace
+}  // namespace iocov::core

@@ -1,0 +1,291 @@
+// The durability oracle under chaos (ctest label `chaos`): SIGKILL the
+// process at every host-I/O op — and at a spread of torn-write byte
+// offsets — while it replaces a snapshot artifact, then assert the
+// destination path still holds a *complete* artifact (the prior one or
+// the new one, never a torn file).  Same oracle for the full
+// ENOSPC/EIO failure sweep, and EINTR storms must not fail at all.
+//
+// The kill sweeps fork a child that arms host::FaultHook and performs
+// the save; the hook raises SIGKILL at the armed op, so the child dies
+// exactly where a power cut or OOM kill would land.  The parent owns
+// the assertions — nothing in the child reports through gtest.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/checkpoint.hpp"
+#include "core/iocov.hpp"
+#include "core/snapshot.hpp"
+#include "host/fault.hpp"
+#include "host/io.hpp"
+#include "syscall/kernel.hpp"
+#include "testers/fixtures.hpp"
+#include "testers/generator.hpp"
+#include "trace/sink.hpp"
+#include "vfs/filesystem.hpp"
+
+namespace iocov::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Two successive artifact generations of one workload: the "prior"
+/// artifact on disk and the "next" one being written when chaos hits.
+struct Generations {
+    IOCovSnapshot prior;
+    IOCovSnapshot next;
+    std::string prior_bytes;
+    std::string next_bytes;
+};
+
+const Generations& generations() {
+    static const Generations g = [] {
+        vfs::FileSystem fss(testers::recommended_fs_config());
+        auto fx = testers::prepare_environment(fss, "/mnt/test");
+        trace::TraceBuffer buffer;
+        syscall::Kernel kernel(fss, &buffer);
+        testers::run_xfstests(kernel, fx, 0.03, 77);
+        const auto events = buffer.take_events();
+        const auto half =
+            std::vector<trace::TraceEvent>(events.begin(),
+                                           events.begin() +
+                                               events.size() / 2);
+        Generations out;
+        const auto cfg = trace::FilterConfig::mount_point("/mnt/test");
+        IOCov a(cfg);
+        a.consume_binary(trace::encode_trace(half));
+        out.prior = a.snapshot();
+        out.prior.label = "gen1";
+        IOCov b(cfg);
+        b.consume_binary(trace::encode_trace(events));
+        out.next = b.snapshot();
+        out.next.label = "gen2";
+        out.prior_bytes = encode_snapshot(out.prior);
+        out.next_bytes = encode_snapshot(out.next);
+        return out;
+    }();
+    return g;
+}
+
+std::string read_all(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+}
+
+class HostChaos : public ::testing::Test {
+  protected:
+    void SetUp() override {
+        host::FaultHook::reset();
+        dir_ = fs::temp_directory_path() /
+               ("iocov_chaos_" + std::to_string(::getpid()) + "_" +
+                ::testing::UnitTest::GetInstance()
+                    ->current_test_info()
+                    ->name());
+        fs::create_directories(dir_);
+        target_ = (dir_ / "artifact.iocs").string();
+    }
+    void TearDown() override {
+        host::FaultHook::reset();
+        std::error_code ec;
+        fs::remove_all(dir_, ec);
+    }
+
+    /// Crash debris (an orphaned temp file) is acceptable after a
+    /// SIGKILL — directory loaders diagnose-and-skip foreign files —
+    /// but each sweep iteration starts clean.
+    void clear_debris() {
+        for (const auto& e : fs::directory_iterator(dir_))
+            if (e.path().filename().string().find(".tmp.") !=
+                std::string::npos)
+                fs::remove(e.path());
+    }
+
+    /// Runs `save_snapshot_file(target_, next)` in a forked child with
+    /// `spec` armed.  Returns the wait status; the child never reports
+    /// through gtest (exit 99 = spec rejected, 42 = save returned
+    /// false, 0 = save succeeded; SIGKILL = the armed kill fired).
+    int child_save(const std::string& spec) {
+        std::fflush(nullptr);
+        const pid_t pid = ::fork();
+        if (pid == 0) {
+            host::FaultHook::reset();
+            if (host::FaultHook::configure(spec)) ::_exit(99);
+            const bool ok = save_snapshot_file(target_, generations().next);
+            ::_exit(ok ? 0 : 42);
+        }
+        int status = 0;
+        ::waitpid(pid, &status, 0);
+        return status;
+    }
+
+    /// The durability oracle: the artifact path decodes as a complete
+    /// snapshot and its bytes are exactly one of the two generations.
+    void assert_complete_artifact(const std::string& context) {
+        const std::string on_disk = read_all(target_);
+        ASSERT_FALSE(on_disk.empty()) << context << ": artifact vanished";
+        const bool is_prior = on_disk == generations().prior_bytes;
+        const bool is_next = on_disk == generations().next_bytes;
+        EXPECT_TRUE(is_prior || is_next)
+            << context << ": torn artifact (" << on_disk.size()
+            << " bytes, prior=" << generations().prior_bytes.size()
+            << ", next=" << generations().next_bytes.size() << ")";
+        SnapshotError err;
+        EXPECT_TRUE(decode_snapshot(on_disk, &err).has_value())
+            << context << ": " << err.to_string();
+    }
+
+    /// Ops one fault-free save performs (kill/errno sweeps cover the
+    /// range [1, ops+1] so "no fault fired" is a swept point too).
+    std::uint64_t ops_per_save() {
+        host::FaultHook::reset();
+        // An armed-but-never-firing clause turns op counting on.
+        EXPECT_EQ(host::FaultHook::configure("errno:open:ENOSPC:999999"),
+                  std::nullopt);
+        const std::string scratch = (dir_ / "probe.iocs").string();
+        EXPECT_TRUE(save_snapshot_file(scratch, generations().prior));
+        const std::uint64_t ops = host::FaultHook::total_ops();
+        host::FaultHook::reset();
+        fs::remove(scratch);
+        return ops;
+    }
+
+    fs::path dir_;
+    std::string target_;
+};
+
+TEST_F(HostChaos, SigkillAtEveryOpLeavesCompleteArtifact) {
+    const std::uint64_t ops = ops_per_save();
+    ASSERT_GE(ops, 5u);  // temp-create, write, sync, close, rename, ...
+    for (std::uint64_t k = 1; k <= ops + 1; ++k) {
+        ASSERT_TRUE(save_snapshot_file(target_, generations().prior));
+        clear_debris();
+        const int status = child_save("kill:any:" + std::to_string(k));
+        const std::string ctx = "kill:any:" + std::to_string(k);
+        if (WIFSIGNALED(status)) {
+            EXPECT_EQ(WTERMSIG(status), SIGKILL) << ctx;
+        } else {
+            // The armed op index was past the save: it ran to the end.
+            ASSERT_TRUE(WIFEXITED(status)) << ctx;
+            EXPECT_EQ(WEXITSTATUS(status), 0) << ctx;
+        }
+        assert_complete_artifact(ctx);
+    }
+}
+
+TEST_F(HostChaos, TornWriteKillAtManyOffsetsLeavesCompleteArtifact) {
+    // The hard case from the paper's torn-write discussion: die after
+    // persisting exactly `off` bytes of the new artifact's payload.
+    // 56 offsets + the op sweep above ≥ 60 distinct kill points.
+    const std::size_t payload = generations().next_bytes.size();
+    ASSERT_GT(payload, 0u);
+    const std::size_t points = 56;
+    for (std::size_t i = 0; i <= points; ++i) {
+        const std::size_t off = i * payload / points;
+        ASSERT_TRUE(save_snapshot_file(target_, generations().prior));
+        clear_debris();
+        const std::string ctx = "kill:write:1:" + std::to_string(off);
+        const int status = child_save(ctx);
+        ASSERT_TRUE(WIFSIGNALED(status)) << ctx;
+        EXPECT_EQ(WTERMSIG(status), SIGKILL) << ctx;
+        // The torn temp file never reached the destination.
+        assert_complete_artifact(ctx);
+        EXPECT_EQ(read_all(target_), generations().prior_bytes) << ctx;
+    }
+}
+
+TEST_F(HostChaos, ErrnoSweepAtEveryOpLeavesCompleteArtifact) {
+    const std::uint64_t ops = ops_per_save();
+    for (const char* err : {"ENOSPC", "EIO", "EDQUOT"}) {
+        for (std::uint64_t k = 1; k <= ops + 1; ++k) {
+            ASSERT_TRUE(save_snapshot_file(target_, generations().prior));
+            host::FaultHook::reset();
+            const std::string spec =
+                "errno:any:" + std::string(err) + ":" + std::to_string(k);
+            ASSERT_EQ(host::FaultHook::configure(spec), std::nullopt);
+            SnapshotError serr;
+            const bool ok =
+                save_snapshot_file(target_, generations().next, &serr);
+            host::FaultHook::reset();
+            assert_complete_artifact(spec);
+            if (ok) {
+                EXPECT_EQ(read_all(target_), generations().next_bytes)
+                    << spec;
+            } else {
+                // A failed save is loud and structured, and never
+                // destroyed the previous artifact on its way down.
+                EXPECT_EQ(serr.kind, SnapshotError::Kind::Io) << spec;
+                EXPECT_NE(serr.io_errno, 0) << spec;
+            }
+        }
+    }
+}
+
+TEST_F(HostChaos, EintrStormNeverFailsASave) {
+    const std::uint64_t ops = ops_per_save();
+    for (std::uint64_t k = 1; k <= ops; ++k) {
+        ASSERT_TRUE(save_snapshot_file(target_, generations().prior));
+        host::FaultHook::reset();
+        ASSERT_EQ(host::FaultHook::configure(
+                      "errno:any:EINTR:" + std::to_string(k)),
+                  std::nullopt);
+        SnapshotError serr;
+        EXPECT_TRUE(save_snapshot_file(target_, generations().next, &serr))
+            << "k=" << k << ": " << serr.to_string();
+        host::FaultHook::reset();
+        EXPECT_EQ(read_all(target_), generations().next_bytes) << k;
+    }
+}
+
+TEST_F(HostChaos, CheckpointManifestObeysTheSameContract) {
+    // IOCK manifests ride the same writer, so a kill mid-checkpoint
+    // leaves the previous complete manifest — the property `--resume`
+    // depends on (resuming from half a manifest would double-count).
+    Checkpoint gen1;
+    gen1.consumed = {"a.iocs"};
+    gen1.blocks = {{1, generations().prior}};
+    Checkpoint gen2;
+    gen2.consumed = {"a.iocs", "b.iocs"};
+    gen2.blocks = {{2, generations().next}};
+    const std::string g1 = encode_checkpoint(gen1);
+    const std::string g2 = encode_checkpoint(gen2);
+    const std::string path = (dir_ / "walk.iock").string();
+
+    const std::uint64_t ops = ops_per_save();
+    for (std::uint64_t k = 1; k <= ops + 1; ++k) {
+        ASSERT_TRUE(save_checkpoint_file(path, gen1));
+        clear_debris();
+        std::fflush(nullptr);
+        const pid_t pid = ::fork();
+        if (pid == 0) {
+            host::FaultHook::reset();
+            if (host::FaultHook::configure("kill:any:" +
+                                           std::to_string(k)))
+                ::_exit(99);
+            ::_exit(save_checkpoint_file(path, gen2) ? 0 : 42);
+        }
+        int status = 0;
+        ::waitpid(pid, &status, 0);
+        ASSERT_TRUE(WIFSIGNALED(status) ||
+                    (WIFEXITED(status) && WEXITSTATUS(status) == 0))
+            << "k=" << k;
+
+        const std::string on_disk = read_all(path);
+        EXPECT_TRUE(on_disk == g1 || on_disk == g2) << "k=" << k;
+        SnapshotError err;
+        EXPECT_TRUE(load_checkpoint_file(path, &err).has_value())
+            << "k=" << k << ": " << err.to_string();
+    }
+}
+
+}  // namespace
+}  // namespace iocov::core

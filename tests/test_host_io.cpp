@@ -1,0 +1,309 @@
+// host::io durability primitives: atomic create/replace semantics,
+// temp-file hygiene, the bounded transient-retry policy, structured
+// IoError contents, the FaultHook spec parser, and the MappedFile
+// read()-fallback retry/shrank behavior — all driven through the
+// self-fault hook so injected errnos travel the same code paths real
+// kernel failures would.
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "host/fault.hpp"
+#include "host/io.hpp"
+#include "trace/binary_format.hpp"
+
+namespace iocov::host {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fast retries so exhaustion tests do not sleep through real backoff.
+WriteOptions fast_opts() {
+    WriteOptions opts;
+    opts.retry = RetryPolicy{3, 1, 2};
+    return opts;
+}
+
+std::string read_all(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+}
+
+std::size_t temp_debris(const fs::path& dir) {
+    std::size_t n = 0;
+    for (const auto& e : fs::directory_iterator(dir))
+        if (e.path().filename().string().find(".tmp.") != std::string::npos)
+            ++n;
+    return n;
+}
+
+/// Every test starts and ends with no armed fault clauses.
+class HostIo : public ::testing::Test {
+  protected:
+    void SetUp() override {
+        FaultHook::reset();
+        dir_ = fs::temp_directory_path() /
+               ("iocov_hostio_" + std::to_string(::getpid()) + "_" +
+                ::testing::UnitTest::GetInstance()
+                    ->current_test_info()
+                    ->name());
+        fs::create_directories(dir_);
+    }
+    void TearDown() override {
+        FaultHook::reset();
+        std::error_code ec;
+        fs::remove_all(dir_, ec);
+    }
+    std::string target(const char* name = "out.bin") const {
+        return (dir_ / name).string();
+    }
+    fs::path dir_;
+};
+
+TEST_F(HostIo, AtomicWriteCreatesFileWithNoTempResidue) {
+    const std::string path = target();
+    ASSERT_EQ(write_file_atomic(path, "hello artifact"), std::nullopt);
+    EXPECT_EQ(read_all(path), "hello artifact");
+    EXPECT_EQ(temp_debris(dir_), 0u);
+}
+
+TEST_F(HostIo, AtomicWriteReplacesExistingContent) {
+    const std::string path = target();
+    ASSERT_EQ(write_file_atomic(path, "old"), std::nullopt);
+    ASSERT_EQ(write_file_atomic(path, "replacement bytes"), std::nullopt);
+    EXPECT_EQ(read_all(path), "replacement bytes");
+}
+
+TEST_F(HostIo, EmptyPayloadIsAValidArtifact) {
+    const std::string path = target();
+    ASSERT_EQ(write_file_atomic(path, ""), std::nullopt);
+    EXPECT_TRUE(fs::exists(path));
+    EXPECT_EQ(fs::file_size(path), 0u);
+}
+
+TEST_F(HostIo, FailedWritePreservesPriorAndCleansTemp) {
+    const std::string path = target();
+    ASSERT_EQ(write_file_atomic(path, "prior complete artifact"),
+              std::nullopt);
+
+    ASSERT_EQ(FaultHook::configure("errno:write:ENOSPC:1"), std::nullopt);
+    const IoStatus st = write_file_atomic(path, "doomed", fast_opts());
+    ASSERT_TRUE(st.has_value());
+    EXPECT_EQ(st->phase, IoPhase::Write);
+    EXPECT_EQ(st->err, ENOSPC);
+    EXPECT_EQ(st->path, path);  // artifact path, not the temp name
+    // The durability oracle: destination untouched, temp unlinked.
+    EXPECT_EQ(read_all(path), "prior complete artifact");
+    EXPECT_EQ(temp_debris(dir_), 0u);
+}
+
+TEST_F(HostIo, EveryWritePhaseFailurePreservesPrior) {
+    const std::string path = target();
+    for (const char* phase :
+         {"temp-create", "write", "sync", "close", "rename", "dirsync"}) {
+        ASSERT_EQ(write_file_atomic(path, "prior"), std::nullopt);
+        FaultHook::reset();
+        ASSERT_EQ(FaultHook::configure(std::string("errno:") + phase +
+                                       ":EIO:1"),
+                  std::nullopt);
+        const IoStatus st = write_file_atomic(path, "new", fast_opts());
+        FaultHook::reset();
+        ASSERT_TRUE(st.has_value()) << phase;
+        EXPECT_EQ(st->err, EIO) << phase;
+        EXPECT_EQ(phase_name(st->phase), phase);
+        // rename/dirsync fire after the destination swap is allowed to
+        // be in flight; everything earlier must leave the prior bytes.
+        if (st->phase != IoPhase::Rename && st->phase != IoPhase::DirSync) {
+            EXPECT_EQ(read_all(path), "prior") << phase;
+        }
+        EXPECT_EQ(temp_debris(dir_), 0u) << phase;
+    }
+}
+
+TEST_F(HostIo, EintrIsRetriedToSuccess) {
+    ASSERT_EQ(FaultHook::configure("errno:write:EINTR:1,errno:sync:EINTR:1,"
+                                   "errno:rename:EINTR:1"),
+              std::nullopt);
+    const std::string path = target();
+    EXPECT_EQ(write_file_atomic(path, "interrupted but fine", fast_opts()),
+              std::nullopt);
+    EXPECT_EQ(read_all(path), "interrupted but fine");
+}
+
+TEST_F(HostIo, EagainExhaustionIsBoundedAndCounted) {
+    // k == 0 arms the clause for *every* matching op: the retry policy
+    // must give up after max_retries instead of spinning forever.
+    ASSERT_EQ(FaultHook::configure("errno:write:EAGAIN:0"), std::nullopt);
+    const IoStatus st = write_file_atomic(target(), "never", fast_opts());
+    ASSERT_TRUE(st.has_value());
+    EXPECT_EQ(st->err, EAGAIN);
+    EXPECT_EQ(st->phase, IoPhase::Write);
+    EXPECT_EQ(st->retries, fast_opts().retry.max_retries);
+}
+
+TEST_F(HostIo, ShortWritesLoopToCompletion) {
+    // Halve the first few write()s: the writer must loop until all
+    // bytes land, never treating a short write as success or failure.
+    ASSERT_EQ(FaultHook::configure("short:1,short:2,short:3,short:4"),
+              std::nullopt);
+    const std::string payload(4096, 'x');
+    const std::string path = target();
+    ASSERT_EQ(write_file_atomic(path, payload), std::nullopt);
+    EXPECT_EQ(read_all(path), payload);
+}
+
+TEST_F(HostIo, MissingDirectoryIsStructuredTempCreateError) {
+    const IoStatus st = write_file_atomic(
+        (dir_ / "no-such-subdir" / "out.bin").string(), "x");
+    ASSERT_TRUE(st.has_value());
+    EXPECT_EQ(st->phase, IoPhase::TempCreate);
+    EXPECT_EQ(st->err, ENOENT);
+    const std::string msg = st->to_string();
+    EXPECT_NE(msg.find("temp-create"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("out.bin"), std::string::npos) << msg;
+}
+
+TEST_F(HostIo, AbortedWriterLeavesNoTrace) {
+    const std::string path = target();
+    ASSERT_EQ(write_file_atomic(path, "prior"), std::nullopt);
+    {
+        AtomicWriter w;
+        ASSERT_EQ(w.open(path), std::nullopt);
+        ASSERT_EQ(w.write("half an arti"), std::nullopt);
+        EXPECT_FALSE(w.committed());
+        // Destructor aborts the uncommitted write.
+    }
+    EXPECT_EQ(read_all(path), "prior");
+    EXPECT_EQ(temp_debris(dir_), 0u);
+}
+
+TEST_F(HostIo, PhaseNamesRoundTrip) {
+    for (const auto phase :
+         {IoPhase::TempCreate, IoPhase::Write, IoPhase::Sync,
+          IoPhase::Close, IoPhase::Rename, IoPhase::DirOpen,
+          IoPhase::DirSync, IoPhase::Open, IoPhase::Stat, IoPhase::Read}) {
+        const auto back = phase_from_name(phase_name(phase));
+        ASSERT_TRUE(back.has_value()) << phase_name(phase);
+        EXPECT_EQ(*back, phase);
+    }
+    EXPECT_FALSE(phase_from_name("frobnicate").has_value());
+}
+
+TEST_F(HostIo, TransientErrnoClassification) {
+    EXPECT_TRUE(transient_errno(EINTR));
+    EXPECT_TRUE(transient_errno(EAGAIN));
+    EXPECT_FALSE(transient_errno(ENOSPC));
+    EXPECT_FALSE(transient_errno(EIO));
+    EXPECT_FALSE(transient_errno(0));
+}
+
+TEST_F(HostIo, FaultSpecParserAcceptsTheDocumentedGrammar) {
+    for (const char* good :
+         {"errno:write:ENOSPC:1", "errno:any:EIO:0", "errno:sync:5:2",
+          "short:3", "eof:1", "kill:rename:2", "kill:write:1:17",
+          "errno:write:ENOSPC:1,short:2,eof:1"}) {
+        EXPECT_EQ(FaultHook::configure(good), std::nullopt) << good;
+        FaultHook::reset();
+    }
+}
+
+TEST_F(HostIo, FaultSpecParserRejectsMalformedClauses) {
+    for (const char* bad :
+         {"bogus", "errno:write:NOTANERRNO:1", "errno:nophase:EIO:1",
+          "errno:write:ENOSPC", "short:", "short:x", "short:0",
+          "eof:0", "kill:write", "kill:sync:1:17", "eof"}) {
+        EXPECT_NE(FaultHook::configure(bad), std::nullopt) << bad;
+        FaultHook::reset();
+    }
+}
+
+TEST_F(HostIo, ErrnoNameParsing) {
+    EXPECT_EQ(parse_errno_name("ENOSPC"), ENOSPC);
+    EXPECT_EQ(parse_errno_name("EINTR"), EINTR);
+    EXPECT_EQ(parse_errno_name("5"), 5);
+    EXPECT_EQ(parse_errno_name("EWHATEVER"), 0);
+}
+
+TEST_F(HostIo, FaultHookCountsOpsPerPhase) {
+    ASSERT_EQ(FaultHook::configure("errno:write:ENOSPC:999999"),
+              std::nullopt);  // armed but never firing: counting only
+    const auto before = FaultHook::ops(IoPhase::Write);
+    ASSERT_EQ(write_file_atomic(target(), "count me"), std::nullopt);
+    EXPECT_GT(FaultHook::ops(IoPhase::Write), before);
+    EXPECT_GT(FaultHook::total_ops(), 0u);
+}
+
+// ---- MappedFile read()-fallback --------------------------------------------
+
+TEST_F(HostIo, MappedFileReadCopyLoadsBytes) {
+    const std::string path = target("trace.bin");
+    ASSERT_EQ(write_file_atomic(path, "some trace bytes"), std::nullopt);
+    host::IoError err;
+    const auto mf =
+        trace::MappedFile::open(path, trace::MappedFile::Mode::ReadCopy, &err);
+    ASSERT_TRUE(mf.has_value()) << err.to_string();
+    EXPECT_FALSE(mf->mmapped());
+    EXPECT_FALSE(mf->shrank());
+    EXPECT_EQ(mf->data(), "some trace bytes");
+}
+
+TEST_F(HostIo, MappedFileRetriesEintrDuringRead) {
+    const std::string path = target("trace.bin");
+    ASSERT_EQ(write_file_atomic(path, "interrupted read"), std::nullopt);
+    ASSERT_EQ(FaultHook::configure("errno:read:EINTR:1,errno:open:EINTR:1,"
+                                   "errno:stat:EINTR:1"),
+              std::nullopt);
+    host::IoError err;
+    const auto mf =
+        trace::MappedFile::open(path, trace::MappedFile::Mode::ReadCopy, &err);
+    ASSERT_TRUE(mf.has_value()) << err.to_string();
+    EXPECT_EQ(mf->data(), "interrupted read");
+}
+
+TEST_F(HostIo, MappedFileReadErrorIsStructuredNotShrank) {
+    const std::string path = target("trace.bin");
+    ASSERT_EQ(write_file_atomic(path, "doomed read"), std::nullopt);
+    ASSERT_EQ(FaultHook::configure("errno:read:EIO:1"), std::nullopt);
+    host::IoError err;
+    const auto mf =
+        trace::MappedFile::open(path, trace::MappedFile::Mode::ReadCopy, &err);
+    EXPECT_FALSE(mf.has_value());
+    EXPECT_EQ(err.phase, IoPhase::Read);
+    EXPECT_EQ(err.err, EIO);
+    EXPECT_EQ(err.path, path);
+}
+
+TEST_F(HostIo, MappedFileShrinkingFileKeepsPartialAndFlagsShrank) {
+    const std::string path = target("trace.bin");
+    ASSERT_EQ(write_file_atomic(path, "prefix is still useful"),
+              std::nullopt);
+    // Force EOF on the very first read(): the fstat'd size was a lie,
+    // the file "shrank" to nothing.  Distinct from a read *error*.
+    ASSERT_EQ(FaultHook::configure("eof:1"), std::nullopt);
+    host::IoError err;
+    const auto mf =
+        trace::MappedFile::open(path, trace::MappedFile::Mode::ReadCopy, &err);
+    ASSERT_TRUE(mf.has_value()) << err.to_string();
+    EXPECT_TRUE(mf->shrank());
+    EXPECT_LT(mf->data().size(), std::string("prefix is still useful").size());
+}
+
+TEST_F(HostIo, MappedFileMissingFileIsOpenPhase) {
+    host::IoError err;
+    const auto mf = trace::MappedFile::open(
+        target("never-written.bin"), trace::MappedFile::Mode::Auto, &err);
+    EXPECT_FALSE(mf.has_value());
+    EXPECT_EQ(err.phase, IoPhase::Open);
+    EXPECT_EQ(err.err, ENOENT);
+}
+
+}  // namespace
+}  // namespace iocov::host

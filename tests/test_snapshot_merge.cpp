@@ -4,6 +4,7 @@
 // single-pass ingest, and merge_summary_json stability.
 #include <unistd.h>
 
+#include <cerrno>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -199,7 +200,9 @@ TEST(SnapshotMerge, SaveLoadFileRoundTrip) {
     fs::remove(path);
 
     EXPECT_FALSE(load_snapshot_file(path, &err).has_value());
-    EXPECT_EQ(err.reason, "cannot open file");
+    EXPECT_EQ(err.kind, SnapshotError::Kind::Io);
+    EXPECT_EQ(err.io_errno, ENOENT);
+    EXPECT_EQ(err.reason.find("cannot open file"), 0u);
 }
 
 TEST(SnapshotMerge, SummaryJsonIsStableAcrossThreadCounts) {

@@ -31,15 +31,18 @@
 // inferred from the input's magic).  `demo` exists so the tool is
 // explorable without captured traces: it runs one of the built-in
 // suite simulators end to end.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "bugstudy/study.hpp"
+#include "core/checkpoint.hpp"
 #include "core/combos.hpp"
 #include "trace/binary_format.hpp"
 #include "trace/text_format.hpp"
@@ -50,6 +53,8 @@
 #include "core/tcd.hpp"
 #include "core/untested.hpp"
 #include "exec/alloc_hook.hpp"
+#include "host/fault.hpp"
+#include "host/io.hpp"
 #include "report/table.hpp"
 #include "report/trend.hpp"
 #include "syscall/kernel.hpp"
@@ -64,13 +69,26 @@ namespace {
 
 using namespace iocov;  // NOLINT
 
+// Exit-code taxonomy (documented in --help and README):
+//   0  success
+//   1  findings — regressions, bugs, or an exceeded error budget
+//   2  usage error (bad flags/arguments)
+//   3  I/O or artifact error — an input could not be read, an output
+//      could not be written durably, or an artifact failed to decode
+constexpr int kExitOk = 0;
+constexpr int kExitFindings = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitIo = 3;
+
 int usage() {
     std::fprintf(
         stderr,
         "usage:\n"
         "  iocov analyze [--mount RE] [--syz] [--extended] [--threads N]\n"
         "                [--strict] [--max-errors N] [--stats]\n"
-        "                [--save FILE] [--snapshot FILE] TRACE...\n"
+        "                [--checkpoint FILE] [--checkpoint-every N]\n"
+        "                [--resume] [--save FILE] [--snapshot FILE]\n"
+        "                TRACE...\n"
         "      TRACE format is autodetected per file: IOCT binary (by\n"
         "      its \"IOCT\" magic), IOCS coverage snapshot (\"IOCS\"\n"
         "      magic — merged directly, no re-ingest; a version this\n"
@@ -90,7 +108,8 @@ int usage() {
         "      (direction inferred from IN's magic)\n"
         "  iocov merge   [--threads N] [--strict] [--max-errors N]\n"
         "                [--label L] [--timestamp T] [--json FILE]\n"
-        "                -o OUT.iocs INPUT...\n"
+        "                [--checkpoint FILE] [--checkpoint-every N]\n"
+        "                [--resume] -o OUT.iocs INPUT...\n"
         "      fleet aggregation: load every .iocs snapshot from the\n"
         "      INPUTs (directories are scanned non-recursively, sorted\n"
         "      by name), merge them on a deterministic pairwise tree\n"
@@ -142,8 +161,30 @@ int usage() {
         "      --inject-skip-barrier K seeds a lost-barrier bug into the\n"
         "      replayer to validate the oracle (exits 0 iff caught);\n"
         "      otherwise exits 1 when any bug is found.\n"
-        "  iocov bugstudy [--scale S] [--export]\n");
-    return 2;
+        "  iocov bugstudy [--scale S] [--export]\n"
+        "\n"
+        "durability: every file the tool writes (reports, snapshots,\n"
+        "json, checkpoints) is published atomically — full write +\n"
+        "fsync to a temp file in the destination directory, then\n"
+        "rename + directory fsync — so a crash or fault at any instant\n"
+        "leaves the previous complete artifact or the new complete\n"
+        "artifact, never a torn file.\n"
+        "\n"
+        "checkpoints: `merge --checkpoint FILE` and (single-directory)\n"
+        "`analyze --checkpoint FILE` write a resumable IOCK manifest\n"
+        "every N consumed inputs (--checkpoint-every N, default 8);\n"
+        "--resume continues an interrupted walk from the manifest and\n"
+        "produces byte-identical final output.  The manifest is removed\n"
+        "on success.\n"
+        "\n"
+        "exit codes:\n"
+        "  0  success\n"
+        "  1  findings (coverage regression, bugs found, --max-errors\n"
+        "     budget exceeded)\n"
+        "  2  usage error\n"
+        "  3  I/O or artifact error (unreadable input, undecodable\n"
+        "     artifact, or an output that could not be written durably)\n");
+    return kExitUsage;
 }
 
 /// Sniffs the IOCT magic without reading the whole file.
@@ -182,6 +223,108 @@ std::optional<core::CoverageReport> load(const char* path) {
     return report;
 }
 
+/// Writes `data` to `path` durably and atomically; on failure prints
+/// the structured I/O error (path, phase, strerror, errno) to stderr
+/// and returns false — the previous artifact at `path`, if any, is
+/// untouched.
+bool write_artifact(const char* path, std::string_view data) {
+    if (auto err = host::write_file_atomic(path, data)) {
+        std::fprintf(stderr, "iocov: %s\n", err->to_string().c_str());
+        return false;
+    }
+    return true;
+}
+
+/// One input of a checkpointed walk.
+struct WalkEntry {
+    std::string path;  ///< what to open; also the manifest key
+    std::string name;  ///< diagnostic label (file name for dir entries)
+};
+
+/// Expands merge/analyze INPUTs into the deterministic serial walk the
+/// checkpoint manifest records: file arguments stay in argument order,
+/// each directory argument contributes its regular files sorted by
+/// name.  nullopt (with a printed error) when a directory cannot be
+/// enumerated.
+std::optional<std::vector<WalkEntry>> expand_inputs(
+    const std::vector<const char*>& inputs) {
+    std::vector<WalkEntry> walk;
+    for (const char* input : inputs) {
+        std::error_code ec;
+        if (std::filesystem::is_directory(input, ec) && !ec) {
+            std::vector<WalkEntry> entries;
+            std::error_code dec;
+            for (std::filesystem::directory_iterator it(input, dec), end;
+                 !dec && it != end; it.increment(dec)) {
+                std::error_code fec;
+                if (!it->is_regular_file(fec) || fec) continue;
+                entries.push_back({it->path().string(),
+                                   it->path().filename().string()});
+            }
+            if (dec) {
+                std::fprintf(stderr, "iocov: cannot open directory %s\n",
+                             input);
+                return std::nullopt;
+            }
+            std::sort(entries.begin(), entries.end(),
+                      [](const WalkEntry& a, const WalkEntry& b) {
+                          return a.name < b.name;
+                      });
+            for (auto& e : entries) walk.push_back(std::move(e));
+        } else {
+            walk.push_back({input, input});
+        }
+    }
+    return walk;
+}
+
+/// Loads a manifest for --resume when one exists (no manifest = fresh
+/// start, so kill-loops can pass --resume unconditionally).  Validates
+/// mode and that the consumed list is a prefix of the current walk —
+/// anything else means the inputs changed under the manifest, and
+/// resuming would double- or mis-count.  Returns false on a printed,
+/// fatal mismatch.
+bool load_resume_checkpoint(const char* checkpoint_path,
+                            core::CheckpointMode mode,
+                            const std::vector<WalkEntry>& walk,
+                            core::Checkpoint& cp) {
+    std::error_code ec;
+    if (!std::filesystem::exists(checkpoint_path, ec) || ec) return true;
+    core::SnapshotError err;
+    auto loaded = core::load_checkpoint_file(checkpoint_path, &err);
+    if (!loaded) {
+        std::fprintf(stderr, "iocov: %s: %s\n", checkpoint_path,
+                     err.to_string().c_str());
+        return false;
+    }
+    if (loaded->mode != mode) {
+        std::fprintf(stderr,
+                     "iocov: %s: checkpoint was written by `iocov %s`, "
+                     "not this command\n",
+                     checkpoint_path,
+                     loaded->mode == core::CheckpointMode::Merge
+                         ? "merge"
+                         : "analyze");
+        return false;
+    }
+    const bool prefix =
+        loaded->consumed.size() <= walk.size() &&
+        std::equal(loaded->consumed.begin(), loaded->consumed.end(),
+                   walk.begin(),
+                   [](const std::string& a, const WalkEntry& b) {
+                       return a == b.path;
+                   });
+    if (!prefix) {
+        std::fprintf(stderr,
+                     "iocov: %s: checkpoint does not match the current "
+                     "inputs (%zu consumed; inputs changed?)\n",
+                     checkpoint_path, loaded->consumed.size());
+        return false;
+    }
+    cp = std::move(*loaded);
+    return true;
+}
+
 void print_summary(const core::CoverageReport& report) {
     std::printf("events: %llu tracked / %llu seen\n\n",
                 static_cast<unsigned long long>(report.events_tracked),
@@ -206,6 +349,78 @@ void print_summary(const core::CoverageReport& report) {
     }
 }
 
+/// Checkpointed single-directory analyze walk: files are consumed one
+/// at a time in name order (documented bit-identical to the
+/// work-stealing directory ingest), and every --checkpoint-every
+/// consumed entries the analyzer state is snapshotted into an
+/// atomically-written IOCK manifest.  `reject_diags` collects the
+/// per-file rejection diagnostics the directory ingest would have
+/// recorded internally.  Returns kExitOk to continue into the shared
+/// reporting tail.
+int analyze_checkpointed(core::IOCov& iocov, const char* dir,
+                         unsigned threads, const char* checkpoint_path,
+                         std::uint64_t checkpoint_every, bool resume,
+                         trace::ParseDiagnostics& reject_diags) {
+    auto walk = expand_inputs({dir});
+    if (!walk) return kExitIo;
+    core::Checkpoint cp;
+    cp.mode = core::CheckpointMode::Analyze;
+    if (resume &&
+        !load_resume_checkpoint(checkpoint_path,
+                                core::CheckpointMode::Analyze, *walk, cp))
+        return kExitIo;
+    const std::size_t start = cp.consumed.size();
+    std::uint64_t analyzed = start - cp.rejected;
+    if (!cp.blocks.empty()) iocov.merge(cp.blocks.front().snapshot);
+    cp.blocks.clear();
+
+    std::uint64_t since = 0;
+    auto save_cp = [&]() {
+        cp.blocks.clear();
+        if (analyzed > 0) cp.blocks.push_back({analyzed, iocov.snapshot()});
+        core::SnapshotError err;
+        if (!core::save_checkpoint_file(checkpoint_path, cp, &err)) {
+            std::fprintf(stderr, "iocov: %s: %s\n", checkpoint_path,
+                         err.to_string().c_str());
+            return false;
+        }
+        return true;
+    };
+    for (std::size_t i = start; i < walk->size(); ++i) {
+        const auto& e = (*walk)[i];
+        if (file_is_ioct(e.path.c_str())) {
+            const auto dropped = iocov.consume_binary_file(e.path, threads);
+            if (!dropped) {
+                std::fprintf(stderr, "iocov: cannot open %s\n",
+                             e.path.c_str());
+                return kExitIo;
+            }
+            ++analyzed;
+        } else {
+            ++cp.rejected;
+            std::ifstream probe(e.path, std::ios::binary);
+            cp.diags.record(0, 0,
+                            e.name + (probe ? ": not an IOCT file (bad "
+                                              "magic/version)"
+                                            : ": cannot open file"));
+        }
+        cp.consumed.push_back(e.path);
+        if (++since >= checkpoint_every && i + 1 < walk->size()) {
+            since = 0;
+            if (!save_cp()) return kExitIo;
+        }
+    }
+    std::printf("%s: analyzed %llu IOCT files (%llu non-IOCT rejected, "
+                "checkpointed)\n",
+                dir, static_cast<unsigned long long>(analyzed),
+                static_cast<unsigned long long>(cp.rejected));
+    reject_diags = cp.diags;
+    // The walk completed; the manifest has served its purpose.
+    std::error_code ec;
+    std::filesystem::remove(checkpoint_path, ec);
+    return kExitOk;
+}
+
 int cmd_analyze(int argc, char** argv) {
     std::string mount = "/mnt/test";
     bool syz = false;
@@ -218,6 +433,9 @@ int cmd_analyze(int argc, char** argv) {
     // records, lost shards) the run tolerates before failing.  Default
     // is unbounded, matching the historical skip-and-continue behavior.
     std::optional<std::uint64_t> max_errors;
+    const char* checkpoint_path = nullptr;
+    std::uint64_t checkpoint_every = 8;
+    bool resume = false;
     std::vector<const char*> traces;
     for (int i = 0; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--mount") && i + 1 < argc) {
@@ -236,6 +454,14 @@ int cmd_analyze(int argc, char** argv) {
             max_errors = 0;
         } else if (!std::strcmp(argv[i], "--max-errors") && i + 1 < argc) {
             max_errors = std::strtoull(argv[++i], nullptr, 10);
+        } else if (!std::strcmp(argv[i], "--checkpoint") && i + 1 < argc) {
+            checkpoint_path = argv[++i];
+        } else if (!std::strcmp(argv[i], "--checkpoint-every") &&
+                   i + 1 < argc) {
+            checkpoint_every = std::strtoull(argv[++i], nullptr, 10);
+            if (checkpoint_every == 0) checkpoint_every = 1;
+        } else if (!std::strcmp(argv[i], "--resume")) {
+            resume = true;
         } else if (!std::strcmp(argv[i], "--save") && i + 1 < argc) {
             save_path = argv[++i];
         } else if (!std::strcmp(argv[i], "--snapshot") && i + 1 < argc) {
@@ -245,10 +471,26 @@ int cmd_analyze(int argc, char** argv) {
         }
     }
     if (traces.empty()) return usage();
+    if (resume && !checkpoint_path) return usage();
 
     core::IOCov iocov(trace::FilterConfig::mount_point(mount),
                       extended ? core::extended_syscall_registry()
                                : core::syscall_registry());
+    trace::ParseDiagnostics reject_diags;
+    if (checkpoint_path) {
+        // Checkpointed mode only defines resume semantics for one
+        // directory of IOCT traces (the fleet drop-box shape).
+        std::error_code dir_ec;
+        if (syz || traces.size() != 1 ||
+            !std::filesystem::is_directory(traces[0], dir_ec) || dir_ec)
+            return usage();
+        const int rc = analyze_checkpointed(iocov, traces[0], threads,
+                                            checkpoint_path,
+                                            checkpoint_every, resume,
+                                            reject_diags);
+        if (rc != kExitOk) return rc;
+        traces.clear();
+    }
     for (const char* path : traces) {
         std::error_code dir_ec;
         if (!syz && std::filesystem::is_directory(path, dir_ec)) {
@@ -259,7 +501,7 @@ int cmd_analyze(int argc, char** argv) {
             if (!dir) {
                 std::fprintf(stderr, "iocov: cannot open directory %s\n",
                              path);
-                return 1;
+                return kExitIo;
             }
             std::printf("%s: analyzed %zu IOCT files (%zu non-IOCT "
                         "rejected, %zu torn records skipped)\n",
@@ -274,7 +516,7 @@ int cmd_analyze(int argc, char** argv) {
             if (!snap) {
                 std::fprintf(stderr, "iocov: %s: %s\n", path,
                              err.to_string().c_str());
-                return 1;
+                return kExitIo;
             }
             iocov.merge(*snap);
             std::printf("%s: merged [IOCS snapshot] (%llu events seen)\n",
@@ -288,7 +530,7 @@ int cmd_analyze(int argc, char** argv) {
             const auto dropped = iocov.consume_binary_file(path, threads);
             if (!dropped) {
                 std::fprintf(stderr, "iocov: cannot open %s\n", path);
-                return 1;
+                return kExitIo;
             }
             std::printf("%s: analyzed [IOCT] (%zu torn records skipped)\n",
                         path, *dropped);
@@ -297,7 +539,7 @@ int cmd_analyze(int argc, char** argv) {
         std::ifstream in(path);
         if (!in) {
             std::fprintf(stderr, "iocov: cannot open %s\n", path);
-            return 1;
+            return kExitIo;
         }
         if (syz) {
             const auto parsed = iocov.consume_syz(in);
@@ -314,7 +556,11 @@ int cmd_analyze(int argc, char** argv) {
                         path, dropped);
         }
     }
-    const auto& diags = iocov.diagnostics();
+    // Checkpointed walks keep per-file rejection diagnostics at the
+    // CLI layer; fold them in so --max-errors and the printed summary
+    // match the directory-ingest behavior.
+    trace::ParseDiagnostics diags = iocov.diagnostics();
+    diags.merge(reject_diags);
     if (max_errors && diags.total() > *max_errors) {
         std::fprintf(stderr,
                      "iocov: error budget exceeded (%llu dropped > "
@@ -322,7 +568,7 @@ int cmd_analyze(int argc, char** argv) {
                      static_cast<unsigned long long>(diags.total()),
                      static_cast<unsigned long long>(*max_errors),
                      diags.to_string().c_str());
-        return 1;
+        return kExitFindings;
     }
     if (diags.total() > 0)
         std::fprintf(stderr, "%s", diags.to_string().c_str());
@@ -352,18 +598,138 @@ int cmd_analyze(int argc, char** argv) {
         }
     }
     if (save_path) {
-        std::ofstream out(save_path);
+        std::ostringstream out;
         core::save_report(out, iocov.report());
+        if (!write_artifact(save_path, out.str())) return kExitIo;
         std::printf("\nreport saved to %s\n", save_path);
     }
     if (snapshot_path) {
-        if (!core::save_snapshot_file(snapshot_path, iocov.snapshot())) {
-            std::fprintf(stderr, "iocov: cannot write %s\n", snapshot_path);
-            return 1;
+        core::SnapshotError err;
+        if (!core::save_snapshot_file(snapshot_path, iocov.snapshot(),
+                                      &err)) {
+            std::fprintf(stderr, "iocov: %s: %s\n", snapshot_path,
+                         err.to_string().c_str());
+            return kExitIo;
         }
         std::printf("\nsnapshot saved to %s\n", snapshot_path);
     }
-    return 0;
+    return kExitOk;
+}
+
+/// Emits the merged snapshot + optional JSON summary; shared by the
+/// plain and checkpointed merge paths.
+int finish_merge(core::IOCovSnapshot merged, std::size_t count,
+                 std::size_t rejected, std::uint64_t bytes,
+                 const char* out_path, const char* json_path,
+                 const char* label,
+                 std::optional<std::uint64_t> timestamp) {
+    if (label) merged.label = label;
+    if (timestamp) merged.timestamp = *timestamp;
+    core::SnapshotError serr;
+    if (!core::save_snapshot_file(out_path, merged, &serr)) {
+        std::fprintf(stderr, "iocov: %s: %s\n", out_path,
+                     serr.to_string().c_str());
+        return kExitIo;
+    }
+    std::printf("%s: merged %zu snapshots (%zu rejected, %llu events "
+                "seen)\n",
+                out_path, count, rejected,
+                static_cast<unsigned long long>(merged.report.events_seen));
+    if (json_path) {
+        // Reconstruct the load-shaped struct the summary renders from
+        // (snapshots were consumed by the merge; only counts matter).
+        core::SnapshotDirLoad shape;
+        shape.snapshots.resize(count);
+        shape.rejected = rejected;
+        shape.bytes = bytes;
+        if (!write_artifact(json_path,
+                            core::merge_summary_json(shape, merged)))
+            return kExitIo;
+        std::printf("json summary saved to %s\n", json_path);
+    }
+    return kExitOk;
+}
+
+/// Checkpointed merge walk: inputs load serially in the same
+/// deterministic order as the parallel path, fold through an
+/// IncrementalMerge (which reproduces merge_snapshots' exact pairwise
+/// tree, so the final bytes are identical), and every
+/// --checkpoint-every inputs the forest is written to an
+/// atomically-replaced IOCK manifest.
+int merge_checkpointed(const std::vector<const char*>& inputs,
+                       const char* out_path, const char* json_path,
+                       const char* label,
+                       std::optional<std::uint64_t> timestamp,
+                       std::optional<std::uint64_t> max_errors,
+                       const char* checkpoint_path,
+                       std::uint64_t checkpoint_every, bool resume) {
+    auto walk = expand_inputs(inputs);
+    if (!walk) return kExitIo;
+    core::Checkpoint cp;
+    cp.mode = core::CheckpointMode::Merge;
+    if (resume &&
+        !load_resume_checkpoint(checkpoint_path,
+                                core::CheckpointMode::Merge, *walk, cp))
+        return kExitIo;
+    const std::size_t start = cp.consumed.size();
+    core::IncrementalMerge fold;
+    fold.restore(std::move(cp.blocks));
+    cp.blocks.clear();
+
+    std::uint64_t since = 0;
+    auto save_cp = [&]() {
+        cp.blocks = fold.blocks();
+        core::SnapshotError err;
+        const bool ok = core::save_checkpoint_file(checkpoint_path, cp,
+                                                   &err);
+        if (!ok)
+            std::fprintf(stderr, "iocov: %s: %s\n", checkpoint_path,
+                         err.to_string().c_str());
+        cp.blocks.clear();
+        return ok;
+    };
+    for (std::size_t i = start; i < walk->size(); ++i) {
+        const auto& e = (*walk)[i];
+        core::SnapshotError err;
+        auto snap = core::load_snapshot_file(e.path, &err);
+        if (snap) {
+            std::error_code fec;
+            const auto size = std::filesystem::file_size(e.path, fec);
+            cp.bytes += fec ? 0 : static_cast<std::uint64_t>(size);
+            fold.push(std::move(*snap));
+        } else {
+            ++cp.rejected;
+            cp.diags.record(0, err.offset, e.name + ": " + err.to_string());
+        }
+        cp.consumed.push_back(e.path);
+        if (++since >= checkpoint_every && i + 1 < walk->size()) {
+            since = 0;
+            if (!save_cp()) return kExitIo;
+        }
+    }
+    if (max_errors && cp.rejected > *max_errors) {
+        std::fprintf(stderr,
+                     "iocov: error budget exceeded (%llu rejected > "
+                     "--max-errors %llu)\n%s",
+                     static_cast<unsigned long long>(cp.rejected),
+                     static_cast<unsigned long long>(*max_errors),
+                     cp.diags.to_string().c_str());
+        return kExitFindings;
+    }
+    if (cp.rejected > 0)
+        std::fprintf(stderr, "%s", cp.diags.to_string().c_str());
+
+    const auto count = static_cast<std::size_t>(fold.leaves());
+    const int rc = finish_merge(fold.finish(), count,
+                                static_cast<std::size_t>(cp.rejected),
+                                cp.bytes, out_path, json_path, label,
+                                timestamp);
+    if (rc == kExitOk) {
+        // The walk completed; the manifest has served its purpose.
+        std::error_code ec;
+        std::filesystem::remove(checkpoint_path, ec);
+    }
+    return rc;
 }
 
 int cmd_merge(int argc, char** argv) {
@@ -372,6 +738,9 @@ int cmd_merge(int argc, char** argv) {
     const char* out_path = nullptr;
     const char* json_path = nullptr;
     const char* label = nullptr;
+    const char* checkpoint_path = nullptr;
+    std::uint64_t checkpoint_every = 8;
+    bool resume = false;
     std::optional<std::uint64_t> timestamp;
     std::vector<const char*> inputs;
     for (int i = 0; i < argc; ++i) {
@@ -388,12 +757,25 @@ int cmd_merge(int argc, char** argv) {
             timestamp = std::strtoull(argv[++i], nullptr, 10);
         else if (!std::strcmp(argv[i], "--json") && i + 1 < argc)
             json_path = argv[++i];
+        else if (!std::strcmp(argv[i], "--checkpoint") && i + 1 < argc)
+            checkpoint_path = argv[++i];
+        else if (!std::strcmp(argv[i], "--checkpoint-every") &&
+                 i + 1 < argc) {
+            checkpoint_every = std::strtoull(argv[++i], nullptr, 10);
+            if (checkpoint_every == 0) checkpoint_every = 1;
+        } else if (!std::strcmp(argv[i], "--resume"))
+            resume = true;
         else if (!std::strcmp(argv[i], "-o") && i + 1 < argc)
             out_path = argv[++i];
         else
             inputs.push_back(argv[i]);
     }
     if (!out_path || inputs.empty()) return usage();
+    if (resume && !checkpoint_path) return usage();
+    if (checkpoint_path)
+        return merge_checkpointed(inputs, out_path, json_path, label,
+                                  timestamp, max_errors, checkpoint_path,
+                                  checkpoint_every, resume);
 
     // Collect snapshots in argument order; each directory contributes
     // its name-sorted contents, so the full sequence — and with it the
@@ -406,7 +788,7 @@ int cmd_merge(int argc, char** argv) {
             if (!dir) {
                 std::fprintf(stderr, "iocov: cannot open directory %s\n",
                              input);
-                return 1;
+                return kExitIo;
             }
             for (auto& ns : dir->snapshots)
                 all.snapshots.push_back(std::move(ns));
@@ -435,39 +817,15 @@ int cmd_merge(int argc, char** argv) {
                      all.rejected,
                      static_cast<unsigned long long>(*max_errors),
                      all.diags.to_string().c_str());
-        return 1;
+        return kExitFindings;
     }
     if (all.rejected > 0)
         std::fprintf(stderr, "%s", all.diags.to_string().c_str());
 
     const std::size_t count = all.snapshots.size();
     auto merged = core::merge_snapshots(std::move(all.snapshots), threads);
-    if (label) merged.label = label;
-    if (timestamp) merged.timestamp = *timestamp;
-    if (!core::save_snapshot_file(out_path, merged)) {
-        std::fprintf(stderr, "iocov: cannot write %s\n", out_path);
-        return 1;
-    }
-    std::printf("%s: merged %zu snapshots (%zu rejected, %llu events "
-                "seen)\n",
-                out_path, count, all.rejected,
-                static_cast<unsigned long long>(merged.report.events_seen));
-    if (json_path) {
-        // Reconstruct the load-shaped struct the summary renders from
-        // (snapshots were consumed by the merge; only counts matter).
-        core::SnapshotDirLoad shape;
-        shape.snapshots.resize(count);
-        shape.rejected = all.rejected;
-        shape.bytes = all.bytes;
-        std::ofstream out(json_path);
-        if (!out) {
-            std::fprintf(stderr, "iocov: cannot write %s\n", json_path);
-            return 1;
-        }
-        out << core::merge_summary_json(shape, merged);
-        std::printf("json summary saved to %s\n", json_path);
-    }
-    return 0;
+    return finish_merge(std::move(merged), count, all.rejected, all.bytes,
+                        out_path, json_path, label, timestamp);
 }
 
 int cmd_trend(int argc, char** argv) {
@@ -494,25 +852,20 @@ int cmd_trend(int argc, char** argv) {
     auto load = core::load_snapshot_dir(dir, threads);
     if (!load) {
         std::fprintf(stderr, "iocov: cannot open directory %s\n", dir);
-        return 1;
+        return kExitIo;
     }
     if (load->rejected > 0)
         std::fprintf(stderr, "%s", load->diags.to_string().c_str());
     const auto json =
         report::trend_json(load->snapshots, opts, threads);
     if (json_path) {
-        std::ofstream out(json_path);
-        if (!out) {
-            std::fprintf(stderr, "iocov: cannot write %s\n", json_path);
-            return 1;
-        }
-        out << json;
+        if (!write_artifact(json_path, json)) return kExitIo;
         std::printf("trend (%zu snapshots, %zu rejected) saved to %s\n",
                     load->snapshots.size(), load->rejected, json_path);
     } else {
         std::printf("%s", json.c_str());
     }
-    return 0;
+    return kExitOk;
 }
 
 int cmd_convert(int argc, char** argv) {
@@ -522,48 +875,46 @@ int cmd_convert(int argc, char** argv) {
 
     if (file_is_ioct(in_path)) {
         // IOCT binary -> text.
-        auto mapped = trace::MappedFile::open(in_path);
+        host::IoError ioerr;
+        auto mapped = trace::MappedFile::open(
+            in_path, trace::MappedFile::Mode::Auto, &ioerr);
         if (!mapped) {
-            std::fprintf(stderr, "iocov: cannot open %s\n", in_path);
-            return 1;
+            std::fprintf(stderr, "iocov: %s\n", ioerr.to_string().c_str());
+            return kExitIo;
         }
         std::size_t dropped = 0;
         const auto events = trace::decode_trace(mapped->data(), &dropped);
-        std::ofstream out(out_path);
-        if (!out) {
-            std::fprintf(stderr, "iocov: cannot write %s\n", out_path);
-            return 1;
+        std::string out;
+        for (const auto& ev : events) {
+            out += trace::format_event(ev);
+            out += '\n';
         }
-        for (const auto& ev : events)
-            out << trace::format_event(ev) << '\n';
+        if (!write_artifact(out_path, out)) return kExitIo;
         std::printf("%s -> %s: %zu events to text (%zu torn records "
                     "dropped)\n",
                     in_path, out_path, events.size(), dropped);
-        return 0;
+        return kExitOk;
     }
 
     // Text -> IOCT binary.
     std::ifstream in(in_path);
     if (!in) {
         std::fprintf(stderr, "iocov: cannot open %s\n", in_path);
-        return 1;
+        return kExitIo;
     }
     std::size_t dropped = 0;
     const auto events = trace::parse_stream(in, &dropped);
-    std::ofstream out(out_path, std::ios::binary);
-    if (!out) {
-        std::fprintf(stderr, "iocov: cannot write %s\n", out_path);
-        return 1;
-    }
+    std::ostringstream out;
     {
         trace::BinarySink sink(out);
         for (const auto& ev : events) sink.emit(ev);
         sink.finish();
     }
+    if (!write_artifact(out_path, out.str())) return kExitIo;
     std::printf("%s -> %s: %zu events to IOCT (%zu malformed lines "
                 "dropped)\n",
                 in_path, out_path, events.size(), dropped);
-    return 0;
+    return kExitOk;
 }
 
 int cmd_report(int argc, char** argv) {
@@ -578,7 +929,7 @@ int cmd_report(int argc, char** argv) {
     }
     if (!path) return usage();
     auto report = load(path);
-    if (!report) return 1;
+    if (!report) return kExitIo;
 
     if (untested) {
         for (const auto& gap : core::find_untested(*report))
@@ -604,7 +955,7 @@ int cmd_diff(int argc, char** argv) {
     if (argc != 2) return usage();
     auto before = load(argv[0]);
     auto after = load(argv[1]);
-    if (!before || !after) return 1;
+    if (!before || !after) return kExitIo;
     const auto deltas = core::diff_reports(*before, *after);
     for (const auto& d : deltas)
         std::printf("%-9s %s%s%s [%s] %llu -> %llu\n",
@@ -616,7 +967,10 @@ int cmd_diff(int argc, char** argv) {
     const bool regressed = core::has_coverage_regression(*before, *after);
     std::printf("%zu deltas; regression: %s\n", deltas.size(),
                 regressed ? "YES" : "no");
-    return regressed ? 3 : 0;
+    // A regression is a *finding*, not an I/O failure — exit 1 so
+    // scripts can tell "coverage went backwards" from "could not read
+    // the reports" (exit 3).
+    return regressed ? kExitFindings : kExitOk;
 }
 
 int cmd_tcd(int argc, char** argv) {
@@ -632,7 +986,7 @@ int cmd_tcd(int argc, char** argv) {
     }
     if (!path) return usage();
     auto report = load(path);
-    if (!report) return 1;
+    if (!report) return kExitIo;
     const auto dot = arg.find('.');
     if (dot == std::string::npos) return usage();
     const auto* in = report->find_input(arg.substr(0, dot),
@@ -712,11 +1066,12 @@ int cmd_campaign(int argc, char** argv) {
     std::printf("%s\n", result.summary().c_str());
     print_summary(result.aggregate);
     if (save_path) {
-        std::ofstream out(save_path);
+        std::ostringstream out;
         core::save_report(out, result.aggregate);
+        if (!write_artifact(save_path, out.str())) return kExitIo;
         std::printf("\naggregate report saved to %s\n", save_path);
     }
-    return result.clean() ? 0 : 1;
+    return result.clean() ? kExitOk : kExitFindings;
 }
 
 int cmd_guide(int argc, char** argv) {
@@ -758,7 +1113,7 @@ int cmd_guide(int argc, char** argv) {
     testers::guided::GuideResult result;
     if (baseline_path) {
         auto baseline = load(baseline_path);
-        if (!baseline) return 1;
+        if (!baseline) return kExitIo;
         result = testers::guided::run_guide_on_baseline(*baseline, cfg);
     } else {
         result = testers::guided::run_guide(cfg);
@@ -766,11 +1121,12 @@ int cmd_guide(int argc, char** argv) {
     std::printf("%s\n", result.summary().c_str());
     std::printf("%s", result.table().c_str());
     if (save_path) {
-        std::ofstream out(save_path);
+        std::ostringstream out;
         core::save_report(out, result.final_report);
+        if (!write_artifact(save_path, out.str())) return kExitIo;
         std::printf("\nmerged report saved to %s\n", save_path);
     }
-    return 0;
+    return kExitOk;
 }
 
 int cmd_crashtest(int argc, char** argv) {
@@ -836,12 +1192,7 @@ int cmd_crashtest(int argc, char** argv) {
     const auto report = testers::crash::run_crashtest(cfg);
     std::printf("%s", report.to_string().c_str());
     if (json_path) {
-        std::ofstream out(json_path);
-        if (!out) {
-            std::fprintf(stderr, "iocov: cannot write %s\n", json_path);
-            return 1;
-        }
-        out << report.to_json();
+        if (!write_artifact(json_path, report.to_json())) return kExitIo;
         std::printf("json report saved to %s\n", json_path);
     }
     if (cfg.inject_skip_barrier) {
@@ -849,9 +1200,9 @@ int cmd_crashtest(int argc, char** argv) {
         const bool caught = report.total_bugs > 0;
         std::printf("seeded skip-barrier bug: %s\n",
                     caught ? "CAUGHT" : "MISSED");
-        return caught ? 0 : 1;
+        return caught ? kExitOk : kExitFindings;
     }
-    return report.total_bugs == 0 ? 0 : 1;
+    return report.total_bugs == 0 ? kExitOk : kExitFindings;
 }
 
 int cmd_bugstudy(int argc, char** argv) {
@@ -896,6 +1247,26 @@ int cmd_bugstudy(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+    // Self-fault injection into the host I/O layer: IOCOV_SELF_FAULT
+    // in the environment, plus any number of hidden `--self-fault
+    // SPEC` pairs (stripped here, accepted anywhere on the command
+    // line) — the chaos harness's handle for errno sweeps and
+    // kill-point placement.  See src/host/fault.hpp for the grammar.
+    host::FaultHook::configure_from_env();
+    std::vector<char*> args;
+    for (int i = 0; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--self-fault") && i + 1 < argc) {
+            if (auto err = host::FaultHook::configure(argv[++i])) {
+                std::fprintf(stderr, "iocov: --self-fault: %s\n",
+                             err->c_str());
+                return kExitUsage;
+            }
+            continue;
+        }
+        args.push_back(argv[i]);
+    }
+    argc = static_cast<int>(args.size());
+    argv = args.data();
     if (argc < 2) return usage();
     const std::string cmd = argv[1];
     if (cmd == "analyze") return cmd_analyze(argc - 2, argv + 2);
