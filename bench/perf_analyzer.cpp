@@ -23,8 +23,10 @@
 #include "abi/seek.hpp"
 
 #include "core/iocov.hpp"
+#include "core/live.hpp"
 #include "core/snapshot.hpp"
 #include "core/tcd.hpp"
+#include "serve/protocol.hpp"
 #include "vfs/file_data.hpp"
 #include "syscall/kernel.hpp"
 #include "testers/fixtures.hpp"
@@ -542,6 +544,37 @@ void BM_SnapshotMerge(benchmark::State& state) {
     state.SetBytesProcessed(state.iterations() * raw_equiv);
 }
 BENCHMARK(BM_SnapshotMerge);
+
+/// Live daemon ingest: one PUSH frame decoded + the shard analyzed
+/// through LiveCoverage (fresh per-shard analyzer, merge, epoch
+/// publication) — the serve event loop's per-push work minus the
+/// socket itself.  bytes/sec is against the raw IOCT shard bytes, so
+/// the floor in scripts/perf_floor.txt keeps live ingest within a
+/// constant factor of the batch path (BM_IngestBinaryBatched).
+void BM_ServeIngest(benchmark::State& state) {
+    const auto& binary = canned_twin_traces().binary;
+    core::LiveCoverage live;
+    std::uint64_t n = 0;
+    for (auto _ : state) {
+        const auto wire =
+            serve::encode_push("bench-" + std::to_string(n++), binary);
+        serve::FrameDecoder decoder;
+        decoder.feed(wire);
+        serve::Frame frame;
+        if (decoder.next(frame) != serve::FrameDecoder::Status::Frame)
+            state.SkipWithError("frame did not round-trip");
+        std::string name;
+        std::string_view shard;
+        if (!serve::decode_push(frame.body, name, shard))
+            state.SkipWithError("push body did not decode");
+        const auto r = live.push(name, shard);
+        benchmark::DoNotOptimize(r.epoch);
+    }
+    state.SetItemsProcessed(state.iterations() * canned_text_lines());
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<std::int64_t>(binary.size()));
+}
+BENCHMARK(BM_ServeIngest);
 
 void BM_BinaryEncode(benchmark::State& state) {
     const auto& events = canned_trace();

@@ -45,6 +45,8 @@ if [ "${IOCOV_SKIP_SANITIZERS:-0}" != "1" ]; then
   ./scripts/check_crash.sh
   echo "preflight: host durability (chaos) gate"
   ./scripts/check_chaos.sh
+  echo "preflight: live coverage daemon (serve) gate"
+  ./scripts/check_serve.sh
 fi
 
 echo "preflight: perf regression gate"
@@ -58,7 +60,7 @@ cmake -B "$BUILD" -G Ninja -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD" --target perf_analyzer iocov_cli -j >/dev/null
 
 "$BENCH" \
-  --benchmark_filter='BM_(AnalyzerThroughput|FilterThroughput|ConsumeTextSerial|ConsumeTextParallel|IngestTextSerial|IngestBinary|ConsumeBinary|MemoryBandwidth|Snapshot).*' \
+  --benchmark_filter='BM_(AnalyzerThroughput|FilterThroughput|ConsumeTextSerial|ConsumeTextParallel|IngestTextSerial|IngestBinary|ConsumeBinary|MemoryBandwidth|Snapshot|ServeIngest).*' \
   --benchmark_repetitions="${IOCOV_BENCH_REPS:-3}" \
   --benchmark_report_aggregates_only=true \
   --benchmark_format=json \

@@ -10,6 +10,9 @@
 # bit-flipped snapshots in its tests), so its suites run here too, as
 # do the IOCK checkpoint-manifest decoder and the host I/O layer
 # (exhaustive bit-flip/truncation loops + fault-injected write paths).
+# The serve daemon's frame decoder parses length-prefixed frames from
+# untrusted socket bytes (torn, oversized, byte-at-a-time), and the
+# strict CLI numeric parsers chew on junk — both run here too.
 # This configures a full IOCOV_SANITIZE=address tree and runs the
 # decoder-facing suites (binary format, binary pipeline, text format,
 # snapshot) under it.
@@ -23,7 +26,8 @@ cmake --build "$BUILD" -j --target \
   test_binary_format test_binary_pipeline test_text_format \
   test_batch_decode test_dir_ingest \
   test_crash_replay test_crash_oracle test_crashtest \
-  test_snapshot test_snapshot_merge test_host_io test_checkpoint
+  test_snapshot test_snapshot_merge test_host_io test_checkpoint \
+  test_serve test_cli_parse
 ctest --test-dir "$BUILD" \
-  -R 'Binary|TextFormat|MappedFile|BatchDecode|DirIngest|CrashReplay|CrashOracle|CrashTest|Snapshot|SnapshotMerge|HostIo|Checkpoint|IncrementalMerge' \
+  -R 'Binary|TextFormat|MappedFile|BatchDecode|DirIngest|CrashReplay|CrashOracle|CrashTest|Snapshot|SnapshotMerge|HostIo|Checkpoint|IncrementalMerge|Serve|Protocol|LiveCoverage|ParseU|ParseF' \
   --output-on-failure -j "$(nproc)"

@@ -6,7 +6,7 @@
 # Eats our own dogfood: the same fault-injection discipline iocov
 # applies to the file systems it measures is applied to iocov's own
 # artifact writes, via host::FaultHook (`--self-fault` / the
-# IOCOV_SELF_FAULT env).  Four stages:
+# IOCOV_SELF_FAULT env).  Five stages:
 #
 #   1. the `chaos`-labelled unit suites (fork+SIGKILL kill loops over
 #      save_snapshot_file, torn-write offsets, errno sweeps) under the
@@ -22,7 +22,12 @@
 #   4. resumable-ingest byte-identity: `iocov merge`/`iocov analyze`
 #      killed mid-walk and resumed (--checkpoint/--resume) produce
 #      byte-identical artifacts to an uninterrupted run, at --threads
-#      1 and 4, and the manifest is removed on success.
+#      1 and 4, and the manifest is removed on success;
+#   5. the live daemon's socket surface: check_serve.sh's faults stage
+#      injects accept/sock-read/sock-write errnos into a running
+#      `iocov serve` — connections may degrade, the daemon must not,
+#      and once the faults drain re-pushing converges to the
+#      byte-identical batch report.
 #
 # Set IOCOV_SKIP_SANITIZERS=1 to skip stage 2 (quick local re-runs);
 # IOCOV_CHAOS_KILLS overrides the randomized kill-point count.
@@ -251,5 +256,9 @@ for threads in 1 4; do
     exit 1
   }
 done
+
+# ---- stage 5: live daemon socket-errno sweep -------------------------------
+echo "chaos: serve socket-errno sweep (check_serve.sh faults stage)"
+IOCOV_SERVE_STAGE=faults ./scripts/check_serve.sh
 
 echo "chaos gate: OK ($((KILLS + TORN)) kill points, full errno sweep)"

@@ -6,14 +6,18 @@
 #
 # Builds the Release bench binary, runs a short pass over the gated
 # benches (BM_IngestBinaryBatched + BM_Snapshot{Save,SaveDurable,Load,
-# Merge}), and fails (exit 1) if any median throughput drops more
-# than 20% below the checked-in floor (scripts/perf_floor.txt).
+# Merge} + BM_ServeIngest), and fails (exit 1) if any median
+# throughput drops more than 20% below the checked-in floor
+# (scripts/perf_floor.txt).
 # BM_SnapshotSaveDurable covers the atomic temp+fsync+rename write
 # path every artifact now goes through.
 # BM_SnapshotMerge's floor is deliberately ≥10x the ingest floor: its
 # bytes/sec is measured against the raw trace bytes the snapshots
 # replace, so the gate enforces the "fleet aggregation beats
-# re-ingesting" contract, not just absolute speed.  The
+# re-ingesting" contract, not just absolute speed.
+# BM_ServeIngest gates the live daemon's per-push cost (frame decode +
+# incremental merge + epoch publication) so `iocov serve` ingest
+# cannot silently degenerate relative to the batch path.  The
 # floor itself is recorded conservatively (~0.75x a quiet-machine run)
 # so scheduler noise does not trip the gate while a real regression
 # still does.  Wired into scripts/bench_json.sh as a preflight so a
@@ -29,7 +33,7 @@ OUT=$(mktemp /tmp/iocov_check_perf.XXXXXX.json)
 trap 'rm -f "$OUT"' EXIT
 
 "$BUILD"/bench/perf_analyzer \
-  --benchmark_filter='^BM_(IngestBinaryBatched|SnapshotSave|SnapshotSaveDurable|SnapshotLoad|SnapshotMerge)$' \
+  --benchmark_filter='^BM_(IngestBinaryBatched|SnapshotSave|SnapshotSaveDurable|SnapshotLoad|SnapshotMerge|ServeIngest)$' \
   --benchmark_repetitions=3 \
   --benchmark_report_aggregates_only=true \
   --benchmark_format=json \

@@ -10,7 +10,9 @@
 # hide.  This configures a full
 # IOCOV_SANITIZE=undefined tree (recovery disabled, so any report is a
 # hard failure) and runs the fsck, fault, campaign, and decoder suites
-# under it.
+# under it — plus the serve frame decoder (u32 length math on hostile
+# socket bytes), the live-coverage merge path, and the strict CLI
+# numeric parsers (overflow rejection is exactly where UB would hide).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,7 +23,8 @@ cmake --build "$BUILD" -j --target \
   test_fsck test_fault test_campaign test_ingest_faults \
   test_binary_format test_text_format test_batch_decode \
   test_crash_replay test_crash_oracle test_state_diff \
-  test_snapshot test_snapshot_merge
+  test_snapshot test_snapshot_merge test_host_io \
+  test_serve test_cli_parse
 ctest --test-dir "$BUILD" \
-  -R 'Fsck|Fault|ScopedFault|Campaign|IngestFaults|Binary|TextFormat|BatchDecode|CrashReplay|CrashOracle|StateDiff|Snapshot|SnapshotMerge' \
+  -R 'Fsck|Fault|ScopedFault|Campaign|IngestFaults|Binary|TextFormat|BatchDecode|CrashReplay|CrashOracle|StateDiff|Snapshot|SnapshotMerge|HostIo|Serve|Protocol|LiveCoverage|ParseU|ParseF' \
   --output-on-failure -j "$(nproc)"

@@ -221,7 +221,9 @@ std::optional<Checkpoint> decode_checkpoint(std::string_view data,
                     (mode == static_cast<std::uint8_t>(
                                  CheckpointMode::Merge) ||
                      mode == static_cast<std::uint8_t>(
-                                 CheckpointMode::Analyze)) &&
+                                 CheckpointMode::Analyze) ||
+                     mode == static_cast<std::uint8_t>(
+                                 CheckpointMode::Serve)) &&
                     c.read_varint(cp.rejected) && c.read_varint(cp.bytes) &&
                     c.read_varint(diag_total) && c.done();
                 if (!ok) {

@@ -78,6 +78,9 @@ enum class IockTag : std::uint8_t {
 enum class CheckpointMode : std::uint8_t {
     Merge = 1,
     Analyze = 2,
+    /// `iocov serve` daemon state: `consumed` holds accepted shard
+    /// names (push order), one block carries the full merged snapshot.
+    Serve = 3,
 };
 
 /// True if `data` begins with the IOCK magic.

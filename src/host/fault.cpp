@@ -13,7 +13,7 @@
 namespace iocov::host {
 namespace {
 
-constexpr std::size_t kPhaseCount = 10;
+constexpr std::size_t kPhaseCount = 13;
 
 struct Clause {
     enum class Kind : std::uint8_t { Errno, Short, Eof, Kill, KillAfter };
@@ -76,7 +76,10 @@ constexpr ErrName kErrNames[] = {
     {"EROFS", EROFS},   {"ENOENT", ENOENT},   {"EACCES", EACCES},
     {"EBADF", EBADF},   {"EFBIG", EFBIG},     {"EMFILE", EMFILE},
     {"ENFILE", ENFILE}, {"EPERM", EPERM},     {"ENODEV", ENODEV},
-    {"EISDIR", EISDIR}, {"ENOTDIR", ENOTDIR},
+    {"EISDIR", EISDIR}, {"ENOTDIR", ENOTDIR}, {"EPIPE", EPIPE},
+    {"ECONNRESET", ECONNRESET},               {"ECONNABORTED", ECONNABORTED},
+    {"ECONNREFUSED", ECONNREFUSED},           {"ENOTCONN", ENOTCONN},
+    {"ETIMEDOUT", ETIMEDOUT},
 };
 
 std::vector<std::string_view> split(std::string_view s, char sep) {

@@ -28,9 +28,11 @@
 //
 // Phases are the IoPhase names from host/io.hpp ("temp-create",
 // "write", "sync", "close", "rename", "dir-open", "dirsync", "open",
-// "stat", "read") or "any".  ERRNO is a symbolic name (ENOSPC, EIO,
-// EINTR, EAGAIN, ENOMEM, EDQUOT, EROFS, ENOENT, EACCES, EBADF, EFBIG,
-// EMFILE, ENFILE, EPERM) or a plain decimal errno value.  Injected
+// "stat", "read", "accept", "sock-read", "sock-write") or "any".
+// ERRNO is a symbolic name (ENOSPC, EIO, EINTR, EAGAIN, ENOMEM,
+// EDQUOT, EROFS, ENOENT, EACCES, EBADF, EFBIG, EMFILE, ENFILE, EPERM,
+// and the socket family EPIPE, ECONNRESET, ECONNABORTED,
+// ECONNREFUSED, ENOTCONN, ETIMEDOUT) or a plain decimal errno value.  Injected
 // errnos are indistinguishable from real ones: a clause firing EINTR is
 // retried by the normal retry policy, ENOSPC aborts the write with a
 // structured IoError, exactly as the kernel's would.

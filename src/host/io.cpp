@@ -21,6 +21,7 @@ namespace {
 constexpr std::string_view kPhaseNames[] = {
     "temp-create", "write", "sync", "close", "rename",
     "dir-open",    "dirsync", "open", "stat", "read",
+    "accept",      "sock-read", "sock-write",
 };
 
 /// Exponential backoff state for one logical operation.  EINTR retries
@@ -315,6 +316,82 @@ IoStatus write_file_atomic(const std::string& path, std::string_view bytes,
     if (auto e = w.open(path, opts)) return e;
     if (auto e = w.write(bytes)) return e;
     return w.commit();
+}
+
+// ---- fds, pipes, sockets ---------------------------------------------------
+
+void ignore_sigpipe() {
+    struct sigaction sa{};
+    sa.sa_handler = SIG_IGN;
+    ::sigaction(SIGPIPE, &sa, nullptr);
+}
+
+IoStatus write_fd(int fd, std::string_view bytes, IoPhase phase,
+                  const RetryPolicy& policy, std::string label) {
+    std::size_t done = 0;
+    unsigned retries = 0;
+    Backoff backoff(policy);
+    while (done < bytes.size()) {
+        std::size_t want = bytes.size() - done;
+        int injected = 0;
+        if (FaultHook::active()) {
+            const auto a = FaultHook::consult(phase);
+            injected = a.inject_errno;
+            if (a.shorten && want > 1)
+                want = std::max<std::size_t>(1, want / 2);
+            want = std::min(want, a.clamp_bytes);
+        }
+        const ssize_t n = injected
+                              ? (errno = injected, ssize_t{-1})
+                              : ::write(fd, bytes.data() + done, want);
+        if (n > 0) {
+            done += static_cast<std::size_t>(n);
+            continue;
+        }
+        const int err = n == 0 ? 0 : errno;
+        if (transient_errno(err) && retries < policy.max_retries) {
+            ++retries;
+            backoff.wait(err);
+            continue;
+        }
+        return IoError{phase, err, std::move(label), retries};
+    }
+    return std::nullopt;
+}
+
+IoStatus read_fd(int fd, std::size_t want, std::string& out, IoPhase phase,
+                 const RetryPolicy& policy, std::string label) {
+    std::size_t done = 0;
+    unsigned retries = 0;
+    Backoff backoff(policy);
+    char buf[1 << 16];
+    while (done < want) {
+        const std::size_t chunk = std::min(want - done, sizeof buf);
+        int injected = 0;
+        bool eof = false;
+        if (FaultHook::active()) {
+            const auto a = FaultHook::consult(phase);
+            injected = a.inject_errno;
+            eof = a.eof;
+        }
+        const ssize_t n = eof ? 0
+                              : injected ? (errno = injected, ssize_t{-1})
+                                         : ::read(fd, buf, chunk);
+        if (n > 0) {
+            out.append(buf, static_cast<std::size_t>(n));
+            done += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n == 0)  // peer closed mid-message: torn frame, err == 0
+            return IoError{phase, 0, std::move(label), retries};
+        if (transient_errno(errno) && retries < policy.max_retries) {
+            ++retries;
+            backoff.wait(errno);
+            continue;
+        }
+        return IoError{phase, errno, std::move(label), retries};
+    }
+    return std::nullopt;
 }
 
 }  // namespace iocov::host

@@ -45,6 +45,9 @@ enum class IoPhase : std::uint8_t {
     Open,        ///< opening a file for reading
     Stat,        ///< fstat() of an opened file
     Read,        ///< read()ing file bytes (mmap-fallback path)
+    Accept,      ///< accept()ing a serve connection
+    SockRead,    ///< recv()/read() on a socket or pipe
+    SockWrite,   ///< send()/write() on a socket or pipe
 };
 
 /// Stable lower-case name ("temp-create", "write", "dirsync", ...).
@@ -156,5 +159,31 @@ class AtomicWriter {
 /// durably) replaces `path` with `bytes`.
 IoStatus write_file_atomic(const std::string& path, std::string_view bytes,
                            const WriteOptions& opts = {});
+
+// ---- fds, pipes, sockets ---------------------------------------------------
+
+/// Ignores SIGPIPE process-wide (idempotent).  Without this a consumer
+/// closing the read end of a pipe (`iocov analyze ... | head`) or a
+/// serve client disconnecting mid-response kills the process outright,
+/// skipping every cleanup path; with it the write fails with EPIPE and
+/// surfaces as a structured IoError like any other host-I/O failure.
+void ignore_sigpipe();
+
+/// Full write of `bytes` to a blocking fd (pipe, socket, plain file),
+/// looping over short writes, retrying transient errnos per the policy,
+/// consulting FaultHook under `phase` per write() call.  `label` names
+/// the peer in IoError::path (there is no filesystem path).
+IoStatus write_fd(int fd, std::string_view bytes,
+                  IoPhase phase = IoPhase::SockWrite,
+                  const RetryPolicy& policy = RetryPolicy::standard(),
+                  std::string label = "fd");
+
+/// Full read of exactly `want` bytes from a blocking fd into `out`
+/// (appended).  Early EOF and injected `eof` faults surface as an
+/// IoError with err == 0.  Phase SockRead unless overridden.
+IoStatus read_fd(int fd, std::size_t want, std::string& out,
+                 IoPhase phase = IoPhase::SockRead,
+                 const RetryPolicy& policy = RetryPolicy::standard(),
+                 std::string label = "fd");
 
 }  // namespace iocov::host

@@ -1,0 +1,45 @@
+#include "host/parse.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+namespace iocov::host {
+
+bool parse_u64(std::string_view text, std::uint64_t& out) {
+    if (text.empty()) return false;
+    std::uint64_t v = 0;
+    for (const char c : text) {
+        if (c < '0' || c > '9') return false;
+        const auto digit = static_cast<std::uint64_t>(c - '0');
+        if (v > (std::numeric_limits<std::uint64_t>::max() - digit) / 10)
+            return false;  // would overflow, not saturate
+        v = v * 10 + digit;
+    }
+    out = v;
+    return true;
+}
+
+bool parse_u32(std::string_view text, std::uint32_t& out) {
+    std::uint64_t v = 0;
+    if (!parse_u64(text, v)) return false;
+    if (v > std::numeric_limits<std::uint32_t>::max()) return false;
+    out = static_cast<std::uint32_t>(v);
+    return true;
+}
+
+bool parse_f64(std::string_view text, double& out) {
+    if (text.empty()) return false;
+    const std::string owned(text);  // strtod needs a terminator
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(owned.c_str(), &end);
+    if (end != owned.c_str() + owned.size()) return false;
+    if (errno == ERANGE || !std::isfinite(v)) return false;
+    out = v;
+    return true;
+}
+
+}  // namespace iocov::host

@@ -1,0 +1,31 @@
+// Strict numeric parsing for operands the tool cannot afford to guess
+// about.  The CLI used to feed flag operands straight into
+// strtoul(..., nullptr, 10): `--threads junk` silently became 0 and
+// `--seed 18446744073709551616` silently saturated to UINT64_MAX —
+// both then drove real behavior (serial ingest, a different RNG
+// stream) with no hint anything was wrong.  These helpers accept a
+// whole-string decimal integer or nothing: empty input, sign
+// characters, trailing junk, and overflow are all rejected, and the
+// caller turns a rejection into a usage error (exit 2) instead of a
+// silently different run.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace iocov::host {
+
+/// Whole-string decimal u64.  Rejects empty strings, signs, leading
+/// "0x", embedded junk, and values > 2^64-1.  `out` is untouched on
+/// failure.
+bool parse_u64(std::string_view text, std::uint64_t& out);
+
+/// parse_u64 restricted to values representable as u32.
+bool parse_u32(std::string_view text, std::uint32_t& out);
+
+/// Whole-string finite double via strtod ("1.5", "0.25", "2e3").
+/// Rejects empty strings, trailing junk, inf/nan/overflow.  `out` is
+/// untouched on failure.
+bool parse_f64(std::string_view text, double& out);
+
+}  // namespace iocov::host

@@ -1,0 +1,64 @@
+// Blocking client side of the serve protocol: connect (with a bounded
+// retry window, so a producer started in parallel with the daemon
+// does not race its bind), send one framed request, read one framed
+// response.  Socket I/O goes through host::write_fd/read_fd, so
+// client-side failures carry the same structured IoError taxonomy —
+// and the same FaultHook phases — as the daemon's.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "host/io.hpp"
+#include "serve/protocol.hpp"
+
+namespace iocov::serve {
+
+/// Where the daemon listens.  `unix_path` wins when both are set.
+struct Endpoint {
+    std::string unix_path;
+    int tcp_port = -1;  ///< on 127.0.0.1
+};
+
+/// One parsed response frame.
+struct Reply {
+    bool ok = false;           ///< OK vs ERR tag
+    std::uint64_t epoch = 0;   ///< consistent-state tag (OK only)
+    std::string text;          ///< payload (OK) or reason (ERR)
+};
+
+class Client {
+  public:
+    /// Connects, retrying connection-refused/not-found every 20ms for
+    /// up to `deadline_ms` (a daemon that is still binding).  nullopt
+    /// with *err filled on failure.
+    static std::optional<Client> connect(const Endpoint& ep,
+                                         int deadline_ms,
+                                         host::IoError* err = nullptr);
+
+    Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+    Client& operator=(Client&& other) noexcept;
+    Client(const Client&) = delete;
+    Client& operator=(const Client&) = delete;
+    ~Client();
+
+    /// PUSH name+shard; QUERY text; STOP.  Each is one round trip;
+    /// nullopt with *err filled on a transport failure (a server ERR
+    /// response is a Reply with ok == false, not a transport failure).
+    std::optional<Reply> push(std::string_view name, std::string_view shard,
+                              host::IoError* err = nullptr);
+    std::optional<Reply> query(std::string_view text,
+                               host::IoError* err = nullptr);
+    std::optional<Reply> stop(host::IoError* err = nullptr);
+
+  private:
+    explicit Client(int fd) : fd_(fd) {}
+    std::optional<Reply> roundtrip(std::string frame_bytes,
+                                   host::IoError* err);
+
+    int fd_ = -1;
+};
+
+}  // namespace iocov::serve

@@ -1,0 +1,110 @@
+// The iocov serve wire protocol: length-prefixed frames over a
+// stream socket, reusing the IOCT framing idiom (u32 LE payload
+// length, payload = tag byte + body, varint integer fields) so the
+// daemon's decode surface is the one the torn-tail corpus already
+// exercises.
+//
+// Frame layout (all integers little-endian):
+//
+//   u32 LE  payload length (tag + body; 0 and > kMaxFramePayload are
+//           structural corruption, not traffic)
+//   u8      tag
+//   ...     body
+//
+// Requests (client -> daemon):
+//   0x01 PUSH   varint shard-name length, shard name, then the raw
+//               IOCT shard bytes (the rest of the body)
+//   0x02 QUERY  body is the query text ("report", "gaps",
+//               "tcd BASE.KEY TARGET", "status", "ping")
+//   0x03 STOP   empty body; asks the daemon to finalize and exit
+//
+// Responses (daemon -> client):
+//   0x81 OK     varint epoch (consistent-state tag), then the payload
+//               text (report bytes, gap lines, ...)
+//   0x82 ERR    human-readable reason
+//
+// A FrameDecoder accumulates whatever byte slices the socket delivers
+// and yields complete frames; a connection that closes with bytes
+// still buffered is a *torn frame* — diagnosed with a stable reason
+// string, never fed half-parsed into the pipeline (the same contract
+// the IOCT scan gives torn tails).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace iocov::serve {
+
+/// Upper bound on one frame's payload.  A pushed shard rides in one
+/// frame, so this is also the max shard size the daemon accepts.
+inline constexpr std::size_t kMaxFramePayload = std::size_t{1} << 30;
+
+enum class MsgTag : std::uint8_t {
+    Push = 0x01,
+    Query = 0x02,
+    Stop = 0x03,
+    Ok = 0x81,
+    Err = 0x82,
+};
+
+/// True for tags a peer may legitimately send (either direction).
+bool known_tag(std::uint8_t tag);
+
+struct Frame {
+    MsgTag tag = MsgTag::Err;
+    std::string body;  ///< payload minus the tag byte
+};
+
+// ---- encode ----------------------------------------------------------------
+
+/// One complete frame: length prefix + tag + body.
+std::string encode_frame(MsgTag tag, std::string_view body);
+
+std::string encode_push(std::string_view name, std::string_view shard);
+std::string encode_query(std::string_view text);
+std::string encode_stop();
+std::string encode_ok(std::uint64_t epoch, std::string_view text);
+std::string encode_err(std::string_view reason);
+
+// ---- decode ----------------------------------------------------------------
+
+/// Splits a PUSH body into the shard name and the shard bytes (a view
+/// into `body` — keep it alive).  False on a malformed body.
+bool decode_push(std::string_view body, std::string& name,
+                 std::string_view& shard);
+
+/// Splits an OK body into the epoch and the payload text (a view into
+/// `body`).  False on a malformed body.
+bool decode_ok(std::string_view body, std::uint64_t& epoch,
+               std::string_view& text);
+
+/// Incremental frame reassembly over arbitrary byte slices.
+class FrameDecoder {
+  public:
+    enum class Status : std::uint8_t {
+        Frame,     ///< `out` holds one complete frame
+        NeedMore,  ///< no complete frame buffered yet
+        Corrupt,   ///< structural damage; the connection must drop
+    };
+
+    /// Appends bytes as they arrive from the socket.
+    void feed(std::string_view bytes);
+
+    /// Extracts the next complete frame.  On Corrupt, `reason` (when
+    /// non-null) gets a stable diagnostic; the decoder is poisoned and
+    /// keeps returning Corrupt.
+    Status next(Frame& out, std::string* reason = nullptr);
+
+    /// Bytes buffered but not yet consumed by a complete frame — at
+    /// connection close, nonzero pending means a torn frame.
+    std::size_t pending() const { return buf_.size() - off_; }
+
+  private:
+    std::string buf_;
+    std::size_t off_ = 0;
+    bool corrupt_ = false;
+    std::string corrupt_reason_;
+};
+
+}  // namespace iocov::serve

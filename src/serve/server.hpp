@@ -1,0 +1,144 @@
+// iocov serve — the live coverage daemon's connection/session layer.
+//
+// One thread, one epoll: nonblocking Unix-domain and/or TCP
+// (127.0.0.1) listeners, an eventfd for shutdown/wakeup (signal
+// handlers and request_stop() write to it; the loop never handles a
+// signal mid-read), per-connection FrameDecoder read buffers, and
+// pending-write buffers flushed under EPOLLOUT when a send would
+// block.  Handlers drain to EAGAIN but registration is
+// level-triggered, so readiness that races registration is
+// re-reported rather than lost (see epoll_add in server.cpp).  Every socket syscall consults
+// host::FaultHook under the Accept/SockRead/SockWrite phases, so the
+// chaos gate can errno-sweep and SIGKILL the daemon at socket
+// operations exactly as it does file operations.
+//
+// Ingest and queries both run on the loop thread against a
+// core::LiveCoverage, whose published-epoch reads guarantee a query
+// during ingest sees the complete coverage of an exact prefix of the
+// accepted pushes — never a torn histogram (DESIGN.md §13).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/live.hpp"
+#include "host/io.hpp"
+#include "serve/protocol.hpp"
+#include "trace/diagnostics.hpp"
+
+namespace iocov::serve {
+
+struct ServeOptions {
+    std::string unix_path;  ///< Unix-domain listener path ("" = none)
+    int tcp_port = -1;      ///< 127.0.0.1 TCP port (-1 = none, 0 = ephemeral)
+    unsigned threads = 1;   ///< per-push decode threads (1 = serial)
+
+    /// IOCS delta emission: every `delta_every` accepted pushes (and at
+    /// shutdown) the coverage accumulated since the previous delta is
+    /// written durably to `delta_dir`/delta-<epoch>.iocs.  Merging all
+    /// deltas reproduces the full state (snapshot algebra).
+    std::string delta_dir;
+    std::uint64_t delta_every = 0;  ///< 0 = only at shutdown
+    std::string delta_label;        ///< provenance label stamped on deltas
+
+    /// IOCK checkpointing: every `checkpoint_every` accepted pushes the
+    /// full state + consumed shard names are written atomically to
+    /// `checkpoint_path` (mode Serve).  With `resume`, an existing
+    /// manifest seeds the daemon; producers then re-push everything and
+    /// duplicates are skipped, converging to the uninterrupted result.
+    std::string checkpoint_path;
+    std::uint64_t checkpoint_every = 8;
+    bool resume = false;
+
+    /// Install SIGTERM/SIGINT handlers that route through the eventfd
+    /// for a graceful shutdown (final delta + checkpoint).  Off in
+    /// tests — gtest owns the handlers there.
+    bool install_signal_handlers = false;
+};
+
+struct ServeStats {
+    std::uint64_t connections = 0;
+    std::uint64_t frames = 0;
+    std::uint64_t pushes_accepted = 0;
+    std::uint64_t pushes_duplicate = 0;
+    std::uint64_t pushes_rejected = 0;  ///< non-IOCT payloads
+    std::uint64_t queries = 0;
+    std::uint64_t torn_frames = 0;   ///< closed/corrupt mid-frame
+    std::uint64_t sock_errors = 0;   ///< connections dropped on errno
+    std::uint64_t shard_bytes = 0;   ///< accepted IOCT bytes
+    std::uint64_t deltas = 0;
+    std::uint64_t checkpoints = 0;
+};
+
+class Server {
+  public:
+    Server(core::LiveCoverage& live, ServeOptions opts);
+    ~Server();
+    Server(const Server&) = delete;
+    Server& operator=(const Server&) = delete;
+
+    /// Binds the listeners, sets up epoll + eventfd, and — with
+    /// opts.resume — restores state from the checkpoint manifest.
+    /// After success tcp_port() reports the bound port.
+    host::IoStatus start();
+
+    /// Runs the event loop until a STOP frame, a handled signal, or
+    /// request_stop().  Finalizes (last delta + checkpoint) before
+    /// returning.  start() must have succeeded.
+    void run();
+
+    /// Thread-safe shutdown request (eventfd wakeup).
+    void request_stop();
+
+    /// Actual TCP port after start() (resolves port 0).  -1 if no TCP
+    /// listener.
+    int tcp_port() const { return bound_tcp_port_; }
+
+    /// Counters and the retained torn-frame/socket diagnostics.  Read
+    /// after run() (or from the loop thread).
+    const ServeStats& stats() const { return stats_; }
+    const trace::ParseDiagnostics& diagnostics() const { return diags_; }
+
+  private:
+    struct Conn {
+        FrameDecoder decoder;
+        std::string out;        ///< pending response bytes
+        std::size_t out_off = 0;
+        bool dead = false;
+    };
+
+    host::IoStatus listen_unix();
+    host::IoStatus listen_tcp();
+    host::IoStatus restore_from_checkpoint();
+    bool epoll_add(int fd, bool out_too);
+    void accept_ready(int listen_fd);
+    void conn_readable(int fd);
+    void conn_writable(int fd);
+    void drop_conn(int fd);
+    void handle_frame(int fd, Frame frame);
+    void respond(int fd, std::string frame_bytes);
+    std::string handle_query(std::string_view text, std::uint64_t& epoch,
+                             bool& ok);
+    void after_accepted_push();
+    void emit_delta();
+    void write_checkpoint();
+    void finalize();
+
+    core::LiveCoverage& live_;
+    ServeOptions opts_;
+    ServeStats stats_;
+    trace::ParseDiagnostics diags_;
+    std::map<int, Conn> conns_;
+    int epoll_fd_ = -1;
+    int event_fd_ = -1;
+    int unix_fd_ = -1;
+    int tcp_fd_ = -1;
+    int bound_tcp_port_ = -1;
+    std::uint64_t pushes_since_delta_ = 0;
+    std::uint64_t pushes_since_checkpoint_ = 0;
+    bool stopping_ = false;
+};
+
+}  // namespace iocov::serve

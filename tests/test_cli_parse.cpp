@@ -1,0 +1,104 @@
+// Regression tests for the strict numeric parsers behind every CLI
+// flag (host/parse.hpp).  The bugs these pin down: strtoul-based
+// parsing silently turned junk into 0 (`--threads junk` ran serial)
+// and saturated overflow (`--seed 18446744073709551616` became
+// UINT64_MAX), both of which changed behavior without any diagnostic.
+#include "host/parse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace {
+
+using iocov::host::parse_f64;
+using iocov::host::parse_u32;
+using iocov::host::parse_u64;
+
+TEST(ParseU64, AcceptsPlainDecimal) {
+    std::uint64_t v = 99;
+    EXPECT_TRUE(parse_u64("0", v));
+    EXPECT_EQ(v, 0u);
+    EXPECT_TRUE(parse_u64("42", v));
+    EXPECT_EQ(v, 42u);
+    EXPECT_TRUE(parse_u64("18446744073709551615", v));
+    EXPECT_EQ(v, std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(ParseU64, RejectsJunkEntirely) {
+    std::uint64_t v = 7;
+    EXPECT_FALSE(parse_u64("junk", v));
+    EXPECT_FALSE(parse_u64("", v));
+    EXPECT_FALSE(parse_u64(" 1", v));
+    EXPECT_FALSE(parse_u64("1 ", v));
+    EXPECT_FALSE(parse_u64("12x", v));   // trailing junk
+    EXPECT_FALSE(parse_u64("0x10", v));  // no hex
+    EXPECT_FALSE(parse_u64("1.5", v));
+    EXPECT_EQ(v, 7u) << "failed parse must leave the output untouched";
+}
+
+TEST(ParseU64, RejectsSigns) {
+    // strtoull accepts "-1" (wraps to UINT64_MAX) and "+1"; we don't.
+    std::uint64_t v = 7;
+    EXPECT_FALSE(parse_u64("-1", v));
+    EXPECT_FALSE(parse_u64("+1", v));
+    EXPECT_FALSE(parse_u64("-0", v));
+    EXPECT_EQ(v, 7u);
+}
+
+TEST(ParseU64, RejectsOverflowInsteadOfSaturating) {
+    std::uint64_t v = 7;
+    // 2^64 — strtoull saturates this to UINT64_MAX with ERANGE; the
+    // old call sites ignored errno and used the saturated value.
+    EXPECT_FALSE(parse_u64("18446744073709551616", v));
+    EXPECT_FALSE(parse_u64("99999999999999999999999999", v));
+    EXPECT_EQ(v, 7u);
+}
+
+TEST(ParseU64, AcceptsLeadingZeros) {
+    std::uint64_t v = 0;
+    EXPECT_TRUE(parse_u64("007", v));
+    EXPECT_EQ(v, 7u);
+    // Leading zeros must not trip the overflow check on long strings.
+    EXPECT_TRUE(parse_u64("0000000000000000000000042", v));
+    EXPECT_EQ(v, 42u);
+}
+
+TEST(ParseU32, RejectsValuesBeyond32Bits) {
+    std::uint32_t v = 7;
+    EXPECT_TRUE(parse_u32("4294967295", v));
+    EXPECT_EQ(v, std::numeric_limits<std::uint32_t>::max());
+    EXPECT_FALSE(parse_u32("4294967296", v));
+    EXPECT_FALSE(parse_u32("18446744073709551616", v));
+    EXPECT_FALSE(parse_u32("junk", v));
+    EXPECT_EQ(v, std::numeric_limits<std::uint32_t>::max());
+}
+
+TEST(ParseF64, AcceptsUsualShapes) {
+    double v = -1;
+    EXPECT_TRUE(parse_f64("0.25", v));
+    EXPECT_DOUBLE_EQ(v, 0.25);
+    EXPECT_TRUE(parse_f64("1e3", v));
+    EXPECT_DOUBLE_EQ(v, 1000.0);
+    EXPECT_TRUE(parse_f64("-2.5", v));
+    EXPECT_DOUBLE_EQ(v, -2.5);
+    EXPECT_TRUE(parse_f64("1000", v));
+    EXPECT_DOUBLE_EQ(v, 1000.0);
+}
+
+TEST(ParseF64, RejectsJunkPartialAndNonFinite) {
+    double v = 0.5;
+    EXPECT_FALSE(parse_f64("", v));
+    EXPECT_FALSE(parse_f64("abc", v));
+    EXPECT_FALSE(parse_f64("1.5x", v));
+    EXPECT_FALSE(parse_f64("1.5 ", v));
+    EXPECT_FALSE(parse_f64("nan", v));
+    EXPECT_FALSE(parse_f64("inf", v));
+    EXPECT_FALSE(parse_f64("-inf", v));
+    EXPECT_FALSE(parse_f64("1e999", v));  // overflows to inf
+    EXPECT_DOUBLE_EQ(v, 0.5);
+}
+
+}  // namespace

@@ -305,5 +305,95 @@ TEST_F(HostIo, MappedFileMissingFileIsOpenPhase) {
     EXPECT_EQ(err.err, ENOENT);
 }
 
+// ---- fd/pipe/socket I/O -----------------------------------------------
+
+TEST_F(HostIo, WriteFdRoundTripsThroughAPipe) {
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    EXPECT_EQ(write_fd(fds[1], "framed bytes"), std::nullopt);
+    std::string got;
+    EXPECT_EQ(read_fd(fds[0], 12, got), std::nullopt);
+    EXPECT_EQ(got, "framed bytes");
+    ::close(fds[0]);
+    ::close(fds[1]);
+}
+
+TEST_F(HostIo, WriteToClosedPipeIsEpipeNotDeath) {
+    // The bug this pins down: without ignore_sigpipe(), writing to a
+    // pipe whose read end closed (`iocov analyze | head`, or a serve
+    // client disconnecting mid-response) killed the whole process with
+    // SIGPIPE.  With it, the write fails with a structured EPIPE.
+    ignore_sigpipe();
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    ::close(fds[0]);  // reader goes away
+    const auto err = write_fd(fds[1], "nobody is listening",
+                              IoPhase::SockWrite, RetryPolicy{3, 1, 2},
+                              "pipe");
+    ASSERT_TRUE(err.has_value()) << "process survived, but the write "
+                                    "must report the lost consumer";
+    EXPECT_EQ(err->phase, IoPhase::SockWrite);
+    EXPECT_EQ(err->err, EPIPE);
+    EXPECT_EQ(err->path, "pipe");
+    ::close(fds[1]);
+}
+
+TEST_F(HostIo, ReadFdEarlyEofIsATornReadWithErrZero) {
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    ASSERT_EQ(write_fd(fds[1], "short"), std::nullopt);
+    ::close(fds[1]);  // writer quits mid-message
+    std::string got;
+    const auto err = read_fd(fds[0], 64, got);
+    ASSERT_TRUE(err.has_value());
+    EXPECT_EQ(err->phase, IoPhase::SockRead);
+    EXPECT_EQ(err->err, 0) << "EOF is not an errno";
+    EXPECT_EQ(got, "short") << "the torn prefix is still delivered";
+    ::close(fds[0]);
+}
+
+TEST_F(HostIo, FdIoConsultsTheFaultHookAtSocketPhases) {
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    // EIO is not transient: the first injected failure must surface
+    // immediately as a structured error under the right phase.
+    ASSERT_EQ(FaultHook::configure("errno:sock-write:EIO:0"),
+              std::nullopt);
+    const auto werr = write_fd(fds[1], "payload", IoPhase::SockWrite,
+                               RetryPolicy{3, 1, 2}, "sock");
+    ASSERT_TRUE(werr.has_value());
+    EXPECT_EQ(werr->phase, IoPhase::SockWrite);
+    EXPECT_EQ(werr->err, EIO);
+    FaultHook::reset();
+    ASSERT_EQ(FaultHook::configure("errno:sock-read:ECONNRESET:0"),
+              std::nullopt);
+    std::string got;
+    const auto rerr = read_fd(fds[0], 4, got, IoPhase::SockRead,
+                              RetryPolicy{3, 1, 2}, "sock");
+    ASSERT_TRUE(rerr.has_value());
+    EXPECT_EQ(rerr->phase, IoPhase::SockRead);
+    EXPECT_EQ(rerr->err, ECONNRESET);
+    ::close(fds[0]);
+    ::close(fds[1]);
+}
+
+TEST_F(HostIo, FdIoRetriesTransientErrnosToSuccess) {
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    // Two EINTRs then clean: the standard policy absorbs them.
+    ASSERT_EQ(FaultHook::configure(
+                  "errno:sock-write:EINTR:1,errno:sock-write:EINTR:2"),
+              std::nullopt);
+    const auto err = write_fd(fds[1], "eventually lands",
+                              IoPhase::SockWrite, RetryPolicy{5, 1, 2},
+                              "sock");
+    EXPECT_EQ(err, std::nullopt);
+    std::string got;
+    EXPECT_EQ(read_fd(fds[0], 16, got), std::nullopt);
+    EXPECT_EQ(got, "eventually lands");
+    ::close(fds[0]);
+    ::close(fds[1]);
+}
+
 }  // namespace
 }  // namespace iocov::host

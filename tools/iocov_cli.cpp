@@ -32,6 +32,8 @@
 // explorable without captured traces: it runs one of the built-in
 // suite simulators end to end.
 #include <algorithm>
+#include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -48,6 +50,7 @@
 #include "trace/text_format.hpp"
 #include "core/diff.hpp"
 #include "core/iocov.hpp"
+#include "core/live.hpp"
 #include "core/report_io.hpp"
 #include "core/snapshot.hpp"
 #include "core/tcd.hpp"
@@ -55,6 +58,9 @@
 #include "exec/alloc_hook.hpp"
 #include "host/fault.hpp"
 #include "host/io.hpp"
+#include "host/parse.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "report/table.hpp"
 #include "report/trend.hpp"
 #include "syscall/kernel.hpp"
@@ -127,6 +133,43 @@ int usage() {
         "  iocov report  [--untested] [--under N] FILE\n"
         "  iocov diff    BEFORE AFTER\n"
         "  iocov tcd     [--target N] [--arg BASE.KEY] FILE\n"
+        "  iocov serve   [--socket PATH] [--tcp PORT] [--mount RE]\n"
+        "                [--extended] [--threads N] [--delta-dir DIR]\n"
+        "                [--delta-every N] [--label L]\n"
+        "                [--checkpoint FILE] [--checkpoint-every N]\n"
+        "                [--resume]\n"
+        "      live coverage daemon: a single epoll event loop accepts\n"
+        "      framed IOCT shards from many concurrent producers on a\n"
+        "      Unix-domain socket (--socket) and/or 127.0.0.1 TCP port\n"
+        "      (--tcp; 0 binds an ephemeral port, printed at startup)\n"
+        "      and answers queries *while ingesting*.  Each shard is\n"
+        "      analyzed in isolation and merged, so after any pushes\n"
+        "      `iocov query report` is byte-identical to `iocov analyze\n"
+        "      DIR/` over the same files; shard names deduplicate, so\n"
+        "      re-pushing after a crash + --resume converges to the\n"
+        "      uninterrupted result.  --delta-dir emits durable IOCS\n"
+        "      delta snapshots every --delta-every pushes (and at\n"
+        "      shutdown; merging all deltas of a run reproduces the\n"
+        "      full state); --checkpoint writes a resumable IOCK\n"
+        "      manifest (mode serve) every --checkpoint-every pushes.\n"
+        "      SIGTERM/SIGINT/`iocov query stop` shut down gracefully\n"
+        "      (final delta + checkpoint).\n"
+        "  iocov push    [--socket PATH | --tcp PORT] [--timeout-ms N]\n"
+        "                FILE...\n"
+        "      stream IOCT trace files to a serve daemon over one\n"
+        "      connection, one acknowledged push per file (the shard\n"
+        "      name is the file's basename — the daemon's dedup key).\n"
+        "  iocov query   [--socket PATH | --tcp PORT] [--timeout-ms N]\n"
+        "                [--target N] [--arg BASE.KEY] [--save FILE]\n"
+        "                report|gaps|tcd|status|ping|stop\n"
+        "      query a serve daemon: `report` returns the saved-report\n"
+        "      text (with --save, byte-identical to `analyze --save`\n"
+        "      over the pushed shards), `gaps` the untested partitions,\n"
+        "      `tcd` the coverage deviation for --arg/--target,\n"
+        "      `status` daemon counters, `stop` a graceful shutdown.\n"
+        "      Every answer is one epoch-tagged consistent state — an\n"
+        "      exact prefix of the accepted pushes, never a torn\n"
+        "      histogram, even mid-ingest.\n"
         "  iocov demo    [--suite crashmonkey|xfstests|ltp] [--scale S]\n"
         "  iocov campaign [--suite crashmonkey|xfstests|ltp] [--scale S]\n"
         "                 [--seed N] [--samples N] [--runs N] [--chaos N]\n"
@@ -177,13 +220,21 @@ int usage() {
         "produces byte-identical final output.  The manifest is removed\n"
         "on success.\n"
         "\n"
+        "strictness: numeric flag operands are parsed whole — junk,\n"
+        "embedded signs, overflow, or a missing operand is a usage\n"
+        "error (exit 2), never a silent 0 or a saturated value.\n"
+        "`trend --window 0` and `merge --timestamp 0` are rejected as\n"
+        "degenerate (see their descriptions above).\n"
+        "\n"
         "exit codes:\n"
         "  0  success\n"
         "  1  findings (coverage regression, bugs found, --max-errors\n"
         "     budget exceeded)\n"
         "  2  usage error\n"
         "  3  I/O or artifact error (unreadable input, undecodable\n"
-        "     artifact, or an output that could not be written durably)\n");
+        "     artifact, an output that could not be written durably, or\n"
+        "     a stdout consumer that closed the pipe early — SIGPIPE is\n"
+        "     ignored and the truncation reported here instead)\n");
     return kExitUsage;
 }
 
@@ -232,6 +283,85 @@ bool write_artifact(const char* path, std::string_view data) {
         std::fprintf(stderr, "iocov: %s\n", err->to_string().c_str());
         return false;
     }
+    return true;
+}
+
+// ---- strict numeric flag parsing --------------------------------------
+//
+// Every numeric operand goes through host::parse_* (whole-string,
+// overflow-checked).  The historical strtoul/atof sites silently
+// turned junk into 0 and saturated overflow (`--threads junk` ran
+// serial, `--seed 18446744073709551616` became UINT64_MAX), and a
+// flag left dangling at the end of the line fell through to the
+// positional arguments.  Each helper matches one `--flag VALUE` pair;
+// a bad or missing operand prints a one-line diagnostic and flips
+// `bad`, which the command loops turn into exit 2.
+
+/// Matches `--name` and pulls its operand; nullptr operand (with
+/// `bad` set) when the flag dangles at the end of the line.
+const char* flag_operand(int argc, char** argv, int& i, const char* name,
+                         bool& bad) {
+    if (i + 1 >= argc) {
+        std::fprintf(stderr, "iocov: %s: missing operand\n", name);
+        bad = true;
+        return nullptr;
+    }
+    return argv[++i];
+}
+
+bool flag_u64(int argc, char** argv, int& i, const char* name,
+              std::uint64_t& out, bool& bad) {
+    if (std::strcmp(argv[i], name) != 0) return false;
+    if (const char* text = flag_operand(argc, argv, i, name, bad)) {
+        if (!host::parse_u64(text, out)) {
+            std::fprintf(stderr,
+                         "iocov: %s: invalid value '%s' (want a decimal "
+                         "integer in [0, 2^64-1])\n",
+                         name, text);
+            bad = true;
+        }
+    }
+    return true;
+}
+
+bool flag_u32(int argc, char** argv, int& i, const char* name,
+              unsigned& out, bool& bad) {
+    if (std::strcmp(argv[i], name) != 0) return false;
+    if (const char* text = flag_operand(argc, argv, i, name, bad)) {
+        std::uint32_t v = 0;
+        if (!host::parse_u32(text, v)) {
+            std::fprintf(stderr,
+                         "iocov: %s: invalid value '%s' (want a decimal "
+                         "integer in [0, 2^32-1])\n",
+                         name, text);
+            bad = true;
+        } else {
+            out = v;
+        }
+    }
+    return true;
+}
+
+bool flag_f64(int argc, char** argv, int& i, const char* name,
+              double& out, bool& bad) {
+    if (std::strcmp(argv[i], name) != 0) return false;
+    if (const char* text = flag_operand(argc, argv, i, name, bad)) {
+        if (!host::parse_f64(text, out)) {
+            std::fprintf(stderr,
+                         "iocov: %s: invalid value '%s' (want a finite "
+                         "decimal number)\n",
+                         name, text);
+            bad = true;
+        }
+    }
+    return true;
+}
+
+bool flag_u64_opt(int argc, char** argv, int& i, const char* name,
+                  std::optional<std::uint64_t>& out, bool& bad) {
+    std::uint64_t v = 0;
+    if (!flag_u64(argc, argv, i, name, v, bad)) return false;
+    if (!bad) out = v;
     return true;
 }
 
@@ -304,7 +434,9 @@ bool load_resume_checkpoint(const char* checkpoint_path,
                      checkpoint_path,
                      loaded->mode == core::CheckpointMode::Merge
                          ? "merge"
-                         : "analyze");
+                         : loaded->mode == core::CheckpointMode::Serve
+                               ? "serve"
+                               : "analyze");
         return false;
     }
     const bool prefix =
@@ -437,6 +569,7 @@ int cmd_analyze(int argc, char** argv) {
     std::uint64_t checkpoint_every = 8;
     bool resume = false;
     std::vector<const char*> traces;
+    bool bad = false;
     for (int i = 0; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--mount") && i + 1 < argc) {
             mount = argv[++i];
@@ -444,21 +577,18 @@ int cmd_analyze(int argc, char** argv) {
             syz = true;
         } else if (!std::strcmp(argv[i], "--extended")) {
             extended = true;
-        } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
+        } else if (flag_u32(argc, argv, i, "--threads", threads, bad)) {
             // 0 = auto (hardware concurrency); 1 = serial.
-            threads = static_cast<unsigned>(
-                std::strtoul(argv[++i], nullptr, 10));
         } else if (!std::strcmp(argv[i], "--stats")) {
             stats = true;
         } else if (!std::strcmp(argv[i], "--strict")) {
             max_errors = 0;
-        } else if (!std::strcmp(argv[i], "--max-errors") && i + 1 < argc) {
-            max_errors = std::strtoull(argv[++i], nullptr, 10);
+        } else if (flag_u64_opt(argc, argv, i, "--max-errors", max_errors,
+                                bad)) {
         } else if (!std::strcmp(argv[i], "--checkpoint") && i + 1 < argc) {
             checkpoint_path = argv[++i];
-        } else if (!std::strcmp(argv[i], "--checkpoint-every") &&
-                   i + 1 < argc) {
-            checkpoint_every = std::strtoull(argv[++i], nullptr, 10);
+        } else if (flag_u64(argc, argv, i, "--checkpoint-every",
+                            checkpoint_every, bad)) {
             if (checkpoint_every == 0) checkpoint_every = 1;
         } else if (!std::strcmp(argv[i], "--resume")) {
             resume = true;
@@ -469,6 +599,7 @@ int cmd_analyze(int argc, char** argv) {
         } else {
             traces.push_back(argv[i]);
         }
+        if (bad) return kExitUsage;
     }
     if (traces.empty()) return usage();
     if (resume && !checkpoint_path) return usage();
@@ -743,25 +874,34 @@ int cmd_merge(int argc, char** argv) {
     bool resume = false;
     std::optional<std::uint64_t> timestamp;
     std::vector<const char*> inputs;
+    bool bad = false;
     for (int i = 0; i < argc; ++i) {
-        if (!std::strcmp(argv[i], "--threads") && i + 1 < argc)
-            threads = static_cast<unsigned>(
-                std::strtoul(argv[++i], nullptr, 10));
-        else if (!std::strcmp(argv[i], "--strict"))
+        if (flag_u32(argc, argv, i, "--threads", threads, bad)) {
+        } else if (!std::strcmp(argv[i], "--strict"))
             max_errors = 0;
-        else if (!std::strcmp(argv[i], "--max-errors") && i + 1 < argc)
-            max_errors = std::strtoull(argv[++i], nullptr, 10);
-        else if (!std::strcmp(argv[i], "--label") && i + 1 < argc)
+        else if (flag_u64_opt(argc, argv, i, "--max-errors", max_errors,
+                              bad)) {
+        } else if (!std::strcmp(argv[i], "--label") && i + 1 < argc)
             label = argv[++i];
-        else if (!std::strcmp(argv[i], "--timestamp") && i + 1 < argc)
-            timestamp = std::strtoull(argv[++i], nullptr, 10);
-        else if (!std::strcmp(argv[i], "--json") && i + 1 < argc)
+        else if (flag_u64_opt(argc, argv, i, "--timestamp", timestamp,
+                              bad)) {
+            if (timestamp && *timestamp == 0) {
+                // 0 is the "unset" sentinel inside a snapshot: `trend`
+                // would silently drop the snapshot from every time
+                // window.  Stamping it explicitly is always a mistake.
+                std::fprintf(stderr,
+                             "iocov: --timestamp: 0 means 'no capture "
+                             "time' and would exclude the snapshot from "
+                             "every trend window; use a real Unix "
+                             "timestamp\n");
+                bad = true;
+            }
+        } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc)
             json_path = argv[++i];
         else if (!std::strcmp(argv[i], "--checkpoint") && i + 1 < argc)
             checkpoint_path = argv[++i];
-        else if (!std::strcmp(argv[i], "--checkpoint-every") &&
-                 i + 1 < argc) {
-            checkpoint_every = std::strtoull(argv[++i], nullptr, 10);
+        else if (flag_u64(argc, argv, i, "--checkpoint-every",
+                          checkpoint_every, bad)) {
             if (checkpoint_every == 0) checkpoint_every = 1;
         } else if (!std::strcmp(argv[i], "--resume"))
             resume = true;
@@ -769,6 +909,7 @@ int cmd_merge(int argc, char** argv) {
             out_path = argv[++i];
         else
             inputs.push_back(argv[i]);
+        if (bad) return kExitUsage;
     }
     if (!out_path || inputs.empty()) return usage();
     if (resume && !checkpoint_path) return usage();
@@ -833,20 +974,29 @@ int cmd_trend(int argc, char** argv) {
     unsigned threads = 0;  // auto
     const char* json_path = nullptr;
     const char* dir = nullptr;
+    bool bad = false;
     for (int i = 0; i < argc; ++i) {
-        if (!std::strcmp(argv[i], "--window") && i + 1 < argc)
-            opts.window_seconds = std::strtoull(argv[++i], nullptr, 10);
-        else if (!std::strcmp(argv[i], "--by-label"))
+        if (flag_u64(argc, argv, i, "--window", opts.window_seconds,
+                     bad)) {
+            if (!bad && opts.window_seconds == 0) {
+                // A zero-second window is degenerate — every snapshot
+                // would land in its own empty-width slice.  Omitting
+                // --window already gives the "one all-time slice" view.
+                std::fprintf(stderr,
+                             "iocov: --window: a 0-second window is "
+                             "degenerate; omit --window for a single "
+                             "all-time slice\n");
+                bad = true;
+            }
+        } else if (!std::strcmp(argv[i], "--by-label"))
             opts.by_label = true;
-        else if (!std::strcmp(argv[i], "--target") && i + 1 < argc)
-            opts.target = std::atof(argv[++i]);
-        else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc)
-            threads = static_cast<unsigned>(
-                std::strtoul(argv[++i], nullptr, 10));
-        else if (!std::strcmp(argv[i], "--json") && i + 1 < argc)
+        else if (flag_f64(argc, argv, i, "--target", opts.target, bad)) {
+        } else if (flag_u32(argc, argv, i, "--threads", threads, bad)) {
+        } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc)
             json_path = argv[++i];
         else
             dir = argv[i];
+        if (bad) return kExitUsage;
     }
     if (!dir) return usage();
     auto load = core::load_snapshot_dir(dir, threads);
@@ -864,6 +1014,252 @@ int cmd_trend(int argc, char** argv) {
                     load->snapshots.size(), load->rejected, json_path);
     } else {
         std::printf("%s", json.c_str());
+    }
+    return kExitOk;
+}
+
+int cmd_serve(int argc, char** argv) {
+    serve::ServeOptions opts;
+    std::string mount = "/mnt/test";
+    bool extended = false;
+    bool have_tcp = false;
+    bool bad = false;
+    for (int i = 0; i < argc; ++i) {
+        std::uint64_t port = 0;
+        if (!std::strcmp(argv[i], "--socket") && i + 1 < argc) {
+            opts.unix_path = argv[++i];
+        } else if (flag_u64(argc, argv, i, "--tcp", port, bad)) {
+            if (!bad && port > 65535) {
+                std::fprintf(stderr,
+                             "iocov: --tcp: port %llu out of range "
+                             "(0..65535; 0 = ephemeral)\n",
+                             static_cast<unsigned long long>(port));
+                bad = true;
+            } else if (!bad) {
+                opts.tcp_port = static_cast<int>(port);
+                have_tcp = true;
+            }
+        } else if (!std::strcmp(argv[i], "--mount") && i + 1 < argc) {
+            mount = argv[++i];
+        } else if (!std::strcmp(argv[i], "--extended")) {
+            extended = true;
+        } else if (flag_u32(argc, argv, i, "--threads", opts.threads,
+                            bad)) {
+        } else if (!std::strcmp(argv[i], "--delta-dir") && i + 1 < argc) {
+            opts.delta_dir = argv[++i];
+        } else if (flag_u64(argc, argv, i, "--delta-every",
+                            opts.delta_every, bad)) {
+        } else if (!std::strcmp(argv[i], "--label") && i + 1 < argc) {
+            opts.delta_label = argv[++i];
+        } else if (!std::strcmp(argv[i], "--checkpoint") && i + 1 < argc) {
+            opts.checkpoint_path = argv[++i];
+        } else if (flag_u64(argc, argv, i, "--checkpoint-every",
+                            opts.checkpoint_every, bad)) {
+            if (opts.checkpoint_every == 0) opts.checkpoint_every = 1;
+        } else if (!std::strcmp(argv[i], "--resume")) {
+            opts.resume = true;
+        } else {
+            return usage();
+        }
+        if (bad) return kExitUsage;
+    }
+    if (opts.unix_path.empty() && !have_tcp) return usage();
+    if (opts.resume && opts.checkpoint_path.empty()) return usage();
+    opts.install_signal_handlers = true;
+
+    core::LiveCoverage live(trace::FilterConfig::mount_point(mount),
+                            extended ? core::extended_syscall_registry()
+                                     : core::syscall_registry());
+    serve::Server server(live, opts);
+    if (auto err = server.start()) {
+        std::fprintf(stderr, "iocov: %s\n", err->to_string().c_str());
+        return kExitIo;
+    }
+    if (!opts.unix_path.empty())
+        std::printf("serving on unix:%s\n", opts.unix_path.c_str());
+    if (server.tcp_port() >= 0)
+        std::printf("serving on tcp:127.0.0.1:%d\n", server.tcp_port());
+    if (opts.resume && live.epoch() > 0)
+        std::printf("resumed %llu shards from %s\n",
+                    static_cast<unsigned long long>(live.epoch()),
+                    opts.checkpoint_path.c_str());
+    // Producers poll for these lines (and scripts parse the ephemeral
+    // TCP port from them) before pushing; make sure they are visible
+    // before the loop blocks.
+    std::fflush(stdout);
+    server.run();
+
+    const auto& st = server.stats();
+    std::printf("serve: %llu connections, %llu pushes (%llu duplicate, "
+                "%llu rejected), %llu queries, %llu deltas, %llu "
+                "checkpoints\n",
+                static_cast<unsigned long long>(st.connections),
+                static_cast<unsigned long long>(st.pushes_accepted),
+                static_cast<unsigned long long>(st.pushes_duplicate),
+                static_cast<unsigned long long>(st.pushes_rejected),
+                static_cast<unsigned long long>(st.queries),
+                static_cast<unsigned long long>(st.deltas),
+                static_cast<unsigned long long>(st.checkpoints));
+    if (st.torn_frames + st.sock_errors > 0)
+        std::fprintf(stderr,
+                     "iocov: serve: %llu torn frames, %llu socket "
+                     "errors\n%s",
+                     static_cast<unsigned long long>(st.torn_frames),
+                     static_cast<unsigned long long>(st.sock_errors),
+                     server.diagnostics().to_string().c_str());
+    return kExitOk;
+}
+
+/// Shared --socket/--tcp/--timeout-ms parsing for push/query; returns
+/// false on a diagnosed bad flag.
+bool client_flag(int argc, char** argv, int& i, serve::Endpoint& ep,
+                 std::uint64_t& timeout_ms, bool& matched, bool& bad) {
+    matched = true;
+    std::uint64_t port = 0;
+    if (!std::strcmp(argv[i], "--socket") && i + 1 < argc) {
+        ep.unix_path = argv[++i];
+    } else if (flag_u64(argc, argv, i, "--tcp", port, bad)) {
+        if (!bad && (port == 0 || port > 65535)) {
+            std::fprintf(stderr,
+                         "iocov: --tcp: port %llu out of range "
+                         "(1..65535)\n",
+                         static_cast<unsigned long long>(port));
+            bad = true;
+        } else if (!bad) {
+            ep.tcp_port = static_cast<int>(port);
+        }
+    } else if (flag_u64(argc, argv, i, "--timeout-ms", timeout_ms, bad)) {
+    } else {
+        matched = false;
+    }
+    return !bad;
+}
+
+int cmd_push(int argc, char** argv) {
+    serve::Endpoint ep;
+    std::uint64_t timeout_ms = 5000;
+    std::vector<const char*> files;
+    bool bad = false;
+    for (int i = 0; i < argc; ++i) {
+        bool matched = false;
+        if (!client_flag(argc, argv, i, ep, timeout_ms, matched, bad))
+            return kExitUsage;
+        if (!matched) files.push_back(argv[i]);
+    }
+    if (files.empty()) return usage();
+    if (ep.unix_path.empty() && ep.tcp_port < 0) return usage();
+
+    host::IoError err;
+    auto client = serve::Client::connect(
+        ep, static_cast<int>(std::min<std::uint64_t>(timeout_ms, 1 << 30)),
+        &err);
+    if (!client) {
+        std::fprintf(stderr, "iocov: connect: %s\n",
+                     err.to_string().c_str());
+        return kExitIo;
+    }
+    int rc = kExitOk;
+    for (const char* path : files) {
+        std::ifstream in(path, std::ios::binary);
+        if (!in) {
+            std::fprintf(stderr, "iocov: cannot open %s\n", path);
+            return kExitIo;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        const std::string shard = buf.str();
+        // The shard name is the basename: the same key a batch
+        // `analyze DIR/` walk would use, and the daemon's dedup key.
+        const std::string name =
+            std::filesystem::path(path).filename().string();
+        const auto reply = client->push(name, shard, &err);
+        if (!reply) {
+            std::fprintf(stderr, "iocov: push %s: %s\n", path,
+                         err.to_string().c_str());
+            return kExitIo;
+        }
+        if (!reply->ok) {
+            std::fprintf(stderr, "iocov: push %s: %s\n", path,
+                         reply->text.c_str());
+            rc = kExitIo;
+            continue;
+        }
+        std::printf("%s: %s [epoch %llu]\n", path, reply->text.c_str(),
+                    static_cast<unsigned long long>(reply->epoch));
+    }
+    return rc;
+}
+
+int cmd_query(int argc, char** argv) {
+    serve::Endpoint ep;
+    std::uint64_t timeout_ms = 5000;
+    double target = 1000;
+    std::string arg = "open.flags";
+    const char* save_path = nullptr;
+    const char* what = nullptr;
+    bool bad = false;
+    for (int i = 0; i < argc; ++i) {
+        bool matched = false;
+        if (!client_flag(argc, argv, i, ep, timeout_ms, matched, bad))
+            return kExitUsage;
+        if (matched) continue;
+        if (flag_f64(argc, argv, i, "--target", target, bad)) {
+        } else if (!std::strcmp(argv[i], "--arg") && i + 1 < argc)
+            arg = argv[++i];
+        else if (!std::strcmp(argv[i], "--save") && i + 1 < argc)
+            save_path = argv[++i];
+        else if (what)
+            return usage();
+        else
+            what = argv[i];
+        if (bad) return kExitUsage;
+    }
+    if (!what) return usage();
+    if (ep.unix_path.empty() && ep.tcp_port < 0) return usage();
+
+    std::string q;
+    if (!std::strcmp(what, "report") || !std::strcmp(what, "gaps") ||
+        !std::strcmp(what, "status") || !std::strcmp(what, "ping") ||
+        !std::strcmp(what, "stop")) {
+        q = what;
+    } else if (!std::strcmp(what, "tcd")) {
+        char spec[256];
+        std::snprintf(spec, sizeof spec, "tcd %s %g", arg.c_str(), target);
+        q = spec;
+    } else {
+        return usage();
+    }
+
+    host::IoError err;
+    auto client = serve::Client::connect(
+        ep, static_cast<int>(std::min<std::uint64_t>(timeout_ms, 1 << 30)),
+        &err);
+    if (!client) {
+        std::fprintf(stderr, "iocov: connect: %s\n",
+                     err.to_string().c_str());
+        return kExitIo;
+    }
+    const auto reply = q == "stop" ? client->stop(&err)
+                                   : client->query(q, &err);
+    if (!reply) {
+        std::fprintf(stderr, "iocov: query: %s\n", err.to_string().c_str());
+        return kExitIo;
+    }
+    if (!reply->ok) {
+        std::fprintf(stderr, "iocov: query: %s\n", reply->text.c_str());
+        return kExitIo;
+    }
+    if (save_path) {
+        // `query report --save F` writes exactly the bytes `analyze
+        // --save F` would for the same shards — the byte-identity the
+        // gates compare.
+        if (!write_artifact(save_path, reply->text)) return kExitIo;
+        std::printf("%s saved to %s [epoch %llu]\n", what, save_path,
+                    static_cast<unsigned long long>(reply->epoch));
+    } else {
+        std::fputs(reply->text.c_str(), stdout);
+        if (!reply->text.empty() && reply->text.back() != '\n')
+            std::printf("\n");
     }
     return kExitOk;
 }
@@ -921,11 +1317,12 @@ int cmd_report(int argc, char** argv) {
     bool untested = false;
     std::uint64_t under = 0;
     const char* path = nullptr;
+    bool bad = false;
     for (int i = 0; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--untested")) untested = true;
-        else if (!std::strcmp(argv[i], "--under") && i + 1 < argc)
-            under = std::strtoull(argv[++i], nullptr, 10);
-        else path = argv[i];
+        else if (flag_u64(argc, argv, i, "--under", under, bad)) {
+        } else path = argv[i];
+        if (bad) return kExitUsage;
     }
     if (!path) return usage();
     auto report = load(path);
@@ -977,12 +1374,13 @@ int cmd_tcd(int argc, char** argv) {
     double target = 1000;
     std::string arg = "open.flags";
     const char* path = nullptr;
+    bool bad = false;
     for (int i = 0; i < argc; ++i) {
-        if (!std::strcmp(argv[i], "--target") && i + 1 < argc)
-            target = std::atof(argv[++i]);
-        else if (!std::strcmp(argv[i], "--arg") && i + 1 < argc)
+        if (flag_f64(argc, argv, i, "--target", target, bad)) {
+        } else if (!std::strcmp(argv[i], "--arg") && i + 1 < argc)
             arg = argv[++i];
         else path = argv[i];
+        if (bad) return kExitUsage;
     }
     if (!path) return usage();
     auto report = load(path);
@@ -1003,11 +1401,13 @@ int cmd_tcd(int argc, char** argv) {
 int cmd_demo(int argc, char** argv) {
     std::string suite = "xfstests";
     double scale = 0.01;
+    bool bad = false;
     for (int i = 0; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--suite") && i + 1 < argc)
             suite = argv[++i];
-        else if (!std::strcmp(argv[i], "--scale") && i + 1 < argc)
-            scale = std::atof(argv[++i]);
+        else if (flag_f64(argc, argv, i, "--scale", scale, bad)) {
+        }
+        if (bad) return kExitUsage;
     }
     vfs::FileSystem fs(testers::recommended_fs_config());
     auto fx = testers::prepare_environment(fs, "/mnt/test");
@@ -1027,25 +1427,20 @@ int cmd_demo(int argc, char** argv) {
 int cmd_campaign(int argc, char** argv) {
     testers::CampaignConfig cfg;
     const char* save_path = nullptr;
+    bool bad = false;
     for (int i = 0; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--suite") && i + 1 < argc)
             cfg.suite = argv[++i];
-        else if (!std::strcmp(argv[i], "--scale") && i + 1 < argc)
-            cfg.scale = std::atof(argv[++i]);
-        else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc)
-            cfg.seed = std::strtoull(argv[++i], nullptr, 10);
-        else if (!std::strcmp(argv[i], "--samples") && i + 1 < argc)
-            cfg.occurrences_per_point = static_cast<unsigned>(
-                std::strtoul(argv[++i], nullptr, 10));
-        else if (!std::strcmp(argv[i], "--runs") && i + 1 < argc)
-            cfg.max_runs = std::strtoull(argv[++i], nullptr, 10);
-        else if (!std::strcmp(argv[i], "--chaos") && i + 1 < argc)
-            cfg.chaos_runs = static_cast<unsigned>(
-                std::strtoul(argv[++i], nullptr, 10));
-        else if (!std::strcmp(argv[i], "--permille") && i + 1 < argc)
-            cfg.chaos_permille = static_cast<unsigned>(
-                std::strtoul(argv[++i], nullptr, 10));
-        else if (!std::strcmp(argv[i], "--mount") && i + 1 < argc)
+        else if (flag_f64(argc, argv, i, "--scale", cfg.scale, bad)) {
+        } else if (flag_u64(argc, argv, i, "--seed", cfg.seed, bad)) {
+        } else if (flag_u32(argc, argv, i, "--samples",
+                            cfg.occurrences_per_point, bad)) {
+        } else if (flag_u64(argc, argv, i, "--runs", cfg.max_runs, bad)) {
+        } else if (flag_u32(argc, argv, i, "--chaos", cfg.chaos_runs,
+                            bad)) {
+        } else if (flag_u32(argc, argv, i, "--permille",
+                            cfg.chaos_permille, bad)) {
+        } else if (!std::strcmp(argv[i], "--mount") && i + 1 < argc)
             cfg.mount = argv[++i];
         else if (!std::strcmp(argv[i], "--extended"))
             cfg.extended_registry = true;
@@ -1053,6 +1448,7 @@ int cmd_campaign(int argc, char** argv) {
             save_path = argv[++i];
         else
             return usage();
+        if (bad) return kExitUsage;
     }
     if (cfg.suite != "crashmonkey" && cfg.suite != "xfstests" &&
         cfg.suite != "ltp") {
@@ -1078,23 +1474,20 @@ int cmd_guide(int argc, char** argv) {
     testers::guided::GuideConfig cfg;
     const char* baseline_path = nullptr;
     const char* save_path = nullptr;
+    bool bad = false;
     for (int i = 0; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--suite") && i + 1 < argc)
             cfg.suite = argv[++i];
-        else if (!std::strcmp(argv[i], "--scale") && i + 1 < argc)
-            cfg.scale = std::atof(argv[++i]);
-        else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc)
-            cfg.seed = std::strtoull(argv[++i], nullptr, 10);
-        else if (!std::strcmp(argv[i], "--rounds") && i + 1 < argc)
-            cfg.max_rounds = static_cast<unsigned>(
-                std::strtoul(argv[++i], nullptr, 10));
-        else if (!std::strcmp(argv[i], "--budget") && i + 1 < argc)
-            cfg.call_budget = std::strtoull(argv[++i], nullptr, 10);
-        else if (!std::strcmp(argv[i], "--per-gap") && i + 1 < argc)
-            cfg.calls_per_gap = std::strtoull(argv[++i], nullptr, 10);
-        else if (!std::strcmp(argv[i], "--target") && i + 1 < argc)
-            cfg.target = std::atof(argv[++i]);
-        else if (!std::strcmp(argv[i], "--mount") && i + 1 < argc)
+        else if (flag_f64(argc, argv, i, "--scale", cfg.scale, bad)) {
+        } else if (flag_u64(argc, argv, i, "--seed", cfg.seed, bad)) {
+        } else if (flag_u32(argc, argv, i, "--rounds", cfg.max_rounds,
+                            bad)) {
+        } else if (flag_u64(argc, argv, i, "--budget", cfg.call_budget,
+                            bad)) {
+        } else if (flag_u64(argc, argv, i, "--per-gap", cfg.calls_per_gap,
+                            bad)) {
+        } else if (flag_f64(argc, argv, i, "--target", cfg.target, bad)) {
+        } else if (!std::strcmp(argv[i], "--mount") && i + 1 < argc)
             cfg.mount = argv[++i];
         else if (!std::strcmp(argv[i], "--extended"))
             cfg.extended_registry = true;
@@ -1104,6 +1497,7 @@ int cmd_guide(int argc, char** argv) {
             save_path = argv[++i];
         else
             return usage();
+        if (bad) return kExitUsage;
     }
     if (cfg.suite != "crashmonkey" && cfg.suite != "xfstests" &&
         cfg.suite != "ltp") {
@@ -1133,6 +1527,7 @@ int cmd_crashtest(int argc, char** argv) {
     testers::crash::CrashTestConfig cfg;
     const char* json_path = nullptr;
     bool list = false;
+    bool bad = false;
     for (int i = 0; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--list")) {
             list = true;
@@ -1150,27 +1545,23 @@ int cmd_crashtest(int argc, char** argv) {
                 if (comma == std::string::npos) break;
                 pos = comma + 1;
             }
-        } else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
-            cfg.seed = std::strtoull(argv[++i], nullptr, 10);
-        } else if (!std::strcmp(argv[i], "--reorders") && i + 1 < argc) {
-            cfg.reorder_variants = static_cast<unsigned>(
-                std::strtoul(argv[++i], nullptr, 10));
+        } else if (flag_u64(argc, argv, i, "--seed", cfg.seed, bad)) {
+        } else if (flag_u32(argc, argv, i, "--reorders",
+                            cfg.reorder_variants, bad)) {
         } else if (!std::strcmp(argv[i], "--no-torn")) {
             cfg.torn_writes = false;
-        } else if (!std::strcmp(argv[i], "--max-points") && i + 1 < argc) {
-            cfg.max_points_per_workload =
-                std::strtoull(argv[++i], nullptr, 10);
-        } else if (!std::strcmp(argv[i], "--target") && i + 1 < argc) {
-            cfg.tcd_target = std::atof(argv[++i]);
-        } else if (!std::strcmp(argv[i], "--inject-skip-barrier") &&
-                   i + 1 < argc) {
-            cfg.inject_skip_barrier =
-                std::strtoull(argv[++i], nullptr, 10);
+        } else if (flag_u64(argc, argv, i, "--max-points",
+                            cfg.max_points_per_workload, bad)) {
+        } else if (flag_f64(argc, argv, i, "--target", cfg.tcd_target,
+                            bad)) {
+        } else if (flag_u64_opt(argc, argv, i, "--inject-skip-barrier",
+                                cfg.inject_skip_barrier, bad)) {
         } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
             json_path = argv[++i];
         } else {
             return usage();
         }
+        if (bad) return kExitUsage;
     }
     if (list) {
         for (const auto& wl : testers::crash::crashmonkey_baseline())
@@ -1208,11 +1599,12 @@ int cmd_crashtest(int argc, char** argv) {
 int cmd_bugstudy(int argc, char** argv) {
     double scale = 0.01;
     bool export_dataset = false;
+    bool bad = false;
     for (int i = 0; i < argc; ++i) {
-        if (!std::strcmp(argv[i], "--scale") && i + 1 < argc)
-            scale = std::atof(argv[++i]);
-        else if (!std::strcmp(argv[i], "--export"))
+        if (flag_f64(argc, argv, i, "--scale", scale, bad)) {
+        } else if (!std::strcmp(argv[i], "--export"))
             export_dataset = true;
+        if (bad) return kExitUsage;
     }
     if (export_dataset) {
         // The dataset the paper promises to release: per-bug coverage
@@ -1246,7 +1638,35 @@ int cmd_bugstudy(int argc, char** argv) {
 
 }  // namespace
 
+namespace {
+
+int dispatch(const std::string& cmd, int argc, char** argv) {
+    if (cmd == "analyze") return cmd_analyze(argc, argv);
+    if (cmd == "convert") return cmd_convert(argc, argv);
+    if (cmd == "merge") return cmd_merge(argc, argv);
+    if (cmd == "trend") return cmd_trend(argc, argv);
+    if (cmd == "report") return cmd_report(argc, argv);
+    if (cmd == "diff") return cmd_diff(argc, argv);
+    if (cmd == "tcd") return cmd_tcd(argc, argv);
+    if (cmd == "serve") return cmd_serve(argc, argv);
+    if (cmd == "push") return cmd_push(argc, argv);
+    if (cmd == "query") return cmd_query(argc, argv);
+    if (cmd == "demo") return cmd_demo(argc, argv);
+    if (cmd == "campaign") return cmd_campaign(argc, argv);
+    if (cmd == "guide") return cmd_guide(argc, argv);
+    if (cmd == "crashtest") return cmd_crashtest(argc, argv);
+    if (cmd == "bugstudy") return cmd_bugstudy(argc, argv);
+    return usage();
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
+    // A consumer that stops reading early (`iocov analyze ... | head`)
+    // must surface as a reported error, not a SIGPIPE kill: ignore the
+    // signal process-wide so every write fails with EPIPE instead, and
+    // map a truncated stdout to the I/O exit code below.
+    host::ignore_sigpipe();
     // Self-fault injection into the host I/O layer: IOCOV_SELF_FAULT
     // in the environment, plus any number of hidden `--self-fault
     // SPEC` pairs (stripped here, accepted anywhere on the command
@@ -1268,18 +1688,14 @@ int main(int argc, char** argv) {
     argc = static_cast<int>(args.size());
     argv = args.data();
     if (argc < 2) return usage();
-    const std::string cmd = argv[1];
-    if (cmd == "analyze") return cmd_analyze(argc - 2, argv + 2);
-    if (cmd == "convert") return cmd_convert(argc - 2, argv + 2);
-    if (cmd == "merge") return cmd_merge(argc - 2, argv + 2);
-    if (cmd == "trend") return cmd_trend(argc - 2, argv + 2);
-    if (cmd == "report") return cmd_report(argc - 2, argv + 2);
-    if (cmd == "diff") return cmd_diff(argc - 2, argv + 2);
-    if (cmd == "tcd") return cmd_tcd(argc - 2, argv + 2);
-    if (cmd == "demo") return cmd_demo(argc - 2, argv + 2);
-    if (cmd == "campaign") return cmd_campaign(argc - 2, argv + 2);
-    if (cmd == "guide") return cmd_guide(argc - 2, argv + 2);
-    if (cmd == "crashtest") return cmd_crashtest(argc - 2, argv + 2);
-    if (cmd == "bugstudy") return cmd_bugstudy(argc - 2, argv + 2);
-    return usage();
+    int rc = dispatch(argv[1], argc - 2, argv + 2);
+    // Flush before exiting so a closed-pipe consumer is detected here,
+    // while we can still report it, rather than lost in exit teardown.
+    if (std::fflush(stdout) != 0 || std::ferror(stdout)) {
+        std::fprintf(stderr,
+                     "iocov: stdout: %s (output truncated)\n",
+                     std::strerror(errno ? errno : EPIPE));
+        if (rc == kExitOk) rc = kExitIo;
+    }
+    return rc;
 }
